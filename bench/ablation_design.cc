@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Ablation study for the design choices DESIGN.md calls out:
+ *
+ *  1. Router buffering and virtual channels — how close the real
+ *     wormhole fabric gets to the network model's idealized-buffering
+ *     assumption (we default to depth 8, "a moderate amount of
+ *     buffering").
+ *  2. The switch-in refinement of Equation 5 (charging T_s per
+ *     transaction in exposed mode) — its effect on model-vs-sim
+ *     agreement for multithreaded runs.
+ *  3. The node-channel contention extension (Section 2.4) — its
+ *     effect on validation accuracy.
+ *  4. The Equation 4 issue floor — where it binds in the large-scale
+ *     analyses the paper runs without it.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+namespace {
+
+struct Errors
+{
+    double rate_pct = 0.0;
+    double latency_cycles = 0.0;
+};
+
+/** Mean |model - sim| errors over the far half of the mapping family. */
+Errors
+validationErrors(int contexts, int vcs, int depth, bool node_channels,
+                 bool charge_switch, const bench::HarnessOptions &opt)
+{
+    net::TorusTopology topo(8, 2);
+    const auto family = workload::experimentMappings(topo);
+    Errors err;
+    int n = 0;
+    for (const auto &named : family) {
+        machine::MachineConfig config;
+        config.contexts = contexts;
+        config.router.vcs = vcs;
+        config.router.buffer_depth = depth;
+        machine::Machine machine(config, named.mapping);
+        const auto m = machine.run(opt.warmup, opt.window);
+
+        model::ApplicationParams app;
+        app.run_length = m.run_length / 2.0;
+        app.contexts = contexts;
+        app.switch_time =
+            charge_switch && contexts > 1 ? m.switch_overhead / 2.0
+                                          : 0.0;
+        model::TransactionParams txn;
+        txn.critical_messages = m.critical_messages;
+        txn.messages_per_txn = m.messages_per_txn;
+        txn.fixed_overhead = m.fitted_fixed_overhead / 2.0;
+        const model::MachineParams mach =
+            model::alewifeMachine(64, node_channels);
+        model::NodeModel node(
+            model::ApplicationModel(app, 2.0),
+            model::TransactionModel(txn, 2.0));
+        model::CombinedModel combined(
+            node, model::TorusNetworkModel(mach.network), m.avg_hops);
+        const model::Prediction p = combined.solve();
+
+        err.rate_pct += std::fabs(p.injection_rate - m.message_rate) /
+                        m.message_rate * 100.0;
+        err.latency_cycles +=
+            std::fabs(p.message_latency - m.message_latency);
+        ++n;
+    }
+    err.rate_pct /= n;
+    err.latency_cycles /= n;
+    return err;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::HarnessOptions options = bench::parseHarnessOptions(
+        argc, argv, "ablation_design",
+        "ablations over router buffering, model refinements, and "
+        "the issue floor");
+    // Ablations multiply the simulation count; trim windows a bit.
+    if (!options.quick)
+        options.window = 12000;
+
+    std::printf("=== Ablation 1: router buffering vs model agreement "
+                "(p = 1) ===\n\n");
+    {
+        util::TextTable table({"vcs", "depth/vc",
+                               "mean |rate err| %",
+                               "mean |T_m err| cyc"});
+        for (int vcs : {2, 4}) {
+            for (int depth : {2, 4, 8}) {
+                const Errors e = validationErrors(
+                    1, vcs, depth, true, true, options);
+                table.newRow()
+                    .cell(static_cast<long long>(vcs))
+                    .cell(static_cast<long long>(depth))
+                    .cell(e.rate_pct, 1)
+                    .cell(e.latency_cycles, 1);
+            }
+        }
+        table.print(std::cout);
+        std::printf("\nShallow buffers make the wormhole fabric "
+                    "saturate well below rho = 1, which the\nnetwork "
+                    "model (idealized buffering) cannot see; depth 8 "
+                    "is the default.\n\n");
+    }
+
+    std::printf("=== Ablation 2: Equation 5 switch-in charge "
+                "(p = 2) ===\n\n");
+    {
+        util::TextTable table({"variant", "mean |rate err| %",
+                               "mean |T_m err| cyc"});
+        const Errors with_switch =
+            validationErrors(2, 2, 8, true, true, options);
+        const Errors without =
+            validationErrors(2, 2, 8, true, false, options);
+        table.newRow()
+            .cell("t_t = (T_t+T_r+T_s)/p (ours)")
+            .cell(with_switch.rate_pct, 1)
+            .cell(with_switch.latency_cycles, 1);
+        table.newRow()
+            .cell("t_t = (T_t+T_r)/p (paper Eq 5)")
+            .cell(without.rate_pct, 1)
+            .cell(without.latency_cycles, 1);
+        table.print(std::cout);
+        std::printf("\nBlock multithreading pays the 11-cycle switch "
+                    "on every miss; charging it in\nthe curve "
+                    "noticeably tightens multithreaded "
+                    "predictions.\n\n");
+    }
+
+    std::printf("=== Ablation 3: node-channel contention extension "
+                "(p = 1) ===\n\n");
+    {
+        util::TextTable table({"variant", "mean |rate err| %",
+                               "mean |T_m err| cyc"});
+        const Errors on =
+            validationErrors(1, 2, 8, true, true, options);
+        const Errors off =
+            validationErrors(1, 2, 8, false, true, options);
+        table.newRow()
+            .cell("extension on (paper)")
+            .cell(on.rate_pct, 1)
+            .cell(on.latency_cycles, 1);
+        table.newRow()
+            .cell("extension off")
+            .cell(off.rate_pct, 1)
+            .cell(off.latency_cycles, 1);
+        table.print(std::cout);
+        std::printf("\n");
+    }
+
+    std::printf("=== Ablation 4: where the Equation 4 issue floor "
+                "binds (model) ===\n\n");
+    {
+        util::TextTable table({"contexts", "N", "mapping",
+                               "floor binds", "t_t floored",
+                               "t_t unfloored"});
+        for (double contexts : {2.0, 4.0}) {
+            for (double n : {64.0, 1000.0, 1e6}) {
+                for (model::Mapping mapping :
+                     {model::Mapping::Ideal, model::Mapping::Random}) {
+                    model::StudyConfig cfg =
+                        model::alewifeStudy(contexts, n, false);
+                    model::LocalityAnalysis with_floor(cfg);
+                    cfg.enforce_issue_floor = false;
+                    model::LocalityAnalysis without(cfg);
+                    const auto a = with_floor.predict(mapping);
+                    const auto b = without.predict(mapping);
+                    table.newRow()
+                        .cell(static_cast<long long>(contexts))
+                        .cell(static_cast<long long>(n))
+                        .cell(mapping == model::Mapping::Ideal
+                                  ? "ideal"
+                                  : "random")
+                        .cell(a.issue_bound_hit ? "yes" : "no")
+                        .cell(a.inter_txn_time, 1)
+                        .cell(b.inter_txn_time, 1);
+                }
+            }
+        }
+        table.print(std::cout);
+        std::printf("\nThe floor only matters for well-mapped "
+                    "multithreaded configurations -- exactly\nthe "
+                    "regime the paper's experiments never reached, "
+                    "which is why it could drop\nEquation 4.\n");
+    }
+    return 0;
+}

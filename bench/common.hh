@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ *
+ * Each bench binary regenerates one of the paper's tables or figures
+ * and prints the same rows/series the paper reports; `--csv PATH`
+ * additionally dumps machine-readable data for replotting.
+ */
+
+#ifndef LOCSIM_BENCH_COMMON_HH_
+#define LOCSIM_BENCH_COMMON_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "machine/calibration.hh"
+#include "machine/machine.hh"
+#include "model/alewife.hh"
+#include "model/combined_model.hh"
+#include "model/locality.hh"
+#include "util/options.hh"
+#include "workload/mapping.hh"
+
+namespace locsim {
+namespace bench {
+
+/** One validation simulation result. */
+struct SimPoint
+{
+    std::string mapping;
+    int contexts = 0;
+    double distance = 0.0; //!< mapping's average distance
+    machine::Measurement m;
+};
+
+/** Standard options shared by every harness. */
+struct HarnessOptions
+{
+    std::string csv_path; //!< empty = no CSV
+    bool quick = false;   //!< shorter windows for smoke runs
+    std::uint64_t warmup = 6000;
+    std::uint64_t window = 20000;
+};
+
+/** Parse the common flags; exits on --help. */
+inline HarnessOptions
+parseHarnessOptions(int argc, const char *const *argv,
+                    const std::string &name,
+                    const std::string &summary)
+{
+    util::OptionParser opts(name, summary);
+    opts.addString("csv", "write machine-readable results here", "");
+    opts.addFlag("quick", "run shorter simulation windows");
+    opts.addInt("warmup", "warmup length in processor cycles", 6000);
+    opts.addInt("window", "measurement window in processor cycles",
+                20000);
+    opts.parse(argc, argv);
+    HarnessOptions out;
+    out.csv_path = opts.getString("csv");
+    out.quick = opts.getFlag("quick");
+    out.warmup = static_cast<std::uint64_t>(opts.getInt("warmup"));
+    out.window = static_cast<std::uint64_t>(opts.getInt("window"));
+    if (out.quick) {
+        out.warmup = 2000;
+        out.window = 6000;
+    }
+    return out;
+}
+
+/**
+ * Run the Section 3 validation simulations: the mapping family at the
+ * given context counts on the 64-node Alewife-like machine.
+ */
+inline std::vector<SimPoint>
+runValidationSims(const std::vector<int> &context_counts,
+                  const HarnessOptions &options)
+{
+    net::TorusTopology topo(8, 2);
+    const auto family = workload::experimentMappings(topo);
+    std::vector<SimPoint> points;
+    for (int contexts : context_counts) {
+        for (const auto &named : family) {
+            machine::MachineConfig config;
+            config.contexts = contexts;
+            machine::Machine machine(config, named.mapping);
+            SimPoint point;
+            point.mapping = named.name;
+            point.contexts = contexts;
+            point.distance = named.avg_distance;
+            point.m = machine.run(options.warmup, options.window);
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+/**
+ * Combined-model prediction fed with a simulation's *measured*
+ * application parameters (the paper's validation methodology:
+ * a-priori B and g, measured c, T_r and fitted T_f). Thin wrapper
+ * over machine::predictFromMeasurement with the validation platform's
+ * geometry.
+ */
+inline model::Prediction
+predictFromMeasurement(const machine::Measurement &m, int contexts,
+                       double distance)
+{
+    return machine::predictFromMeasurement(m, contexts, distance);
+}
+
+} // namespace bench
+} // namespace locsim
+
+#endif // LOCSIM_BENCH_COMMON_HH_

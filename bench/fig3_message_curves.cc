@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Figure 3: application message curves.
+ *
+ * Reproduces the paper's measured relationship between average
+ * inter-message injection time t_m and average message latency T_m
+ * for the Section 3 application under one, two, and four hardware
+ * contexts, across the nine thread-to-processor mappings. The paper's
+ * claims: the relation is linear (Equation 9) and the slope roughly
+ * doubles with each doubling of the context count (s = p*g/c),
+ * falling slightly short at higher context counts.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/math.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseHarnessOptions(
+        argc, argv, "fig3_message_curves",
+        "Figure 3: measured application message curves (t_m vs T_m)");
+
+    std::printf("=== Figure 3: application message curves ===\n");
+    std::printf("64-node radix-8 2-D torus, synthetic nearest-"
+                "neighbour application\n\n");
+
+    const auto points =
+        bench::runValidationSims({1, 2, 4}, options);
+
+    util::TextTable table({"contexts", "mapping", "d", "T_m (net cyc)",
+                           "t_m (net cyc)"});
+    for (const auto &p : points) {
+        table.newRow()
+            .cell(static_cast<long long>(p.contexts))
+            .cell(p.mapping)
+            .cell(p.distance, 2)
+            .cell(p.m.message_latency, 1)
+            .cell(p.m.inter_message_time, 1);
+    }
+    table.print(std::cout);
+
+    std::printf("\nLeast-squares fits t_m = T_m/s + const "
+                "(Equation 9):\n");
+    util::TextTable fits({"contexts", "fitted s", "drift-adj s",
+                          "expected p*g/c", "ratio vs 1 ctx", "R^2"});
+    double s1 = 0.0;
+    for (int contexts : {1, 2, 4}) {
+        std::vector<double> xs, ys;
+        double g = 0.0, c = 0.0, s_implied = 0.0;
+        int n = 0;
+        for (const auto &p : points) {
+            if (p.contexts != contexts)
+                continue;
+            xs.push_back(p.m.message_latency);
+            ys.push_back(p.m.inter_message_time);
+            g += p.m.messages_per_txn;
+            c += p.m.critical_messages;
+            // Per-run implied sensitivity, controlling for the run's
+            // own intercept (the Equation 9 slope a drift-free
+            // experiment would see).
+            s_implied += machine::impliedSensitivity(p.m);
+            ++n;
+        }
+        const util::LineFit fit = util::fitLine(xs, ys);
+        const double s = 1.0 / fit.slope;
+        if (contexts == 1)
+            s1 = s;
+        const double expected =
+            contexts * (g / n) / (c / n);
+        fits.newRow()
+            .cell(static_cast<long long>(contexts))
+            .cell(s, 2)
+            .cell(s_implied / n, 2)
+            .cell(expected, 2)
+            .cell(s / s1, 2)
+            .cell(fit.r2, 3);
+    }
+    fits.print(std::cout);
+    std::printf(
+        "\nPaper: slopes increase roughly in proportion to the "
+        "context count, slightly\nless than expected at four "
+        "contexts (s measured 3.26 at p = 2).\n"
+        "Our raw cross-mapping fit is flattened by intercept drift "
+        "(per-run T_r and T_f\nvary with the mapping's hit rate); "
+        "the drift-adjusted column controls for each\nrun's own "
+        "intercept. See EXPERIMENTS.md.\n");
+
+    if (!options.csv_path.empty()) {
+        util::CsvWriter csv(options.csv_path);
+        csv.header({"contexts", "mapping", "distance", "T_m", "t_m"});
+        for (const auto &p : points) {
+            csv.row({std::to_string(p.contexts), p.mapping,
+                     util::formatDouble(p.distance, 3),
+                     util::formatDouble(p.m.message_latency, 3),
+                     util::formatDouble(p.m.inter_message_time, 3)});
+        }
+    }
+    return 0;
+}

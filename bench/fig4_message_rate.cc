@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 4: average message rate r_m versus average communication
+ * distance d — simulation measurements against combined-model
+ * predictions, for one, two, and four hardware contexts.
+ *
+ * Paper claim: "predicted values for message rate are consistently
+ * within a few percent of measured values."
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseHarnessOptions(
+        argc, argv, "fig4_message_rate",
+        "Figure 4: message rate vs distance, simulation and model");
+
+    std::printf("=== Figure 4: message rate vs communication "
+                "distance ===\n\n");
+
+    const auto points =
+        bench::runValidationSims({1, 2, 4}, options);
+
+    util::TextTable table({"contexts", "d", "r_m measured",
+                           "r_m model", "error %"});
+    double worst = 0.0;
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const auto &p : points) {
+        const model::Prediction pred = bench::predictFromMeasurement(
+            p.m, p.contexts, p.m.avg_hops);
+        const double err = 100.0 *
+                           (pred.injection_rate - p.m.message_rate) /
+                           p.m.message_rate;
+        worst = std::max(worst, std::fabs(err));
+        table.newRow()
+            .cell(static_cast<long long>(p.contexts))
+            .cell(p.m.avg_hops, 2)
+            .cell(p.m.message_rate, 5)
+            .cell(pred.injection_rate, 5)
+            .cell(err, 1);
+        csv_rows.push_back(
+            {std::to_string(p.contexts),
+             util::formatDouble(p.m.avg_hops, 3),
+             util::formatDouble(p.m.message_rate, 6),
+             util::formatDouble(pred.injection_rate, 6),
+             util::formatDouble(err, 2)});
+    }
+    table.print(std::cout);
+    std::printf("\nWorst-case model error: %.1f%% (paper: "
+                "\"consistently within a few percent\")\n",
+                worst);
+
+    if (!options.csv_path.empty()) {
+        util::CsvWriter csv(options.csv_path);
+        csv.header({"contexts", "distance", "rate_measured",
+                    "rate_model", "error_pct"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+    }
+    return 0;
+}

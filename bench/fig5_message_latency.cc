@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 5: average message latency T_m versus average communication
+ * distance d — simulation measurements against combined-model
+ * predictions, for one, two, and four hardware contexts.
+ *
+ * Paper claim: "predicted values for message latency track measured
+ * values to within a few network cycles."
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseHarnessOptions(
+        argc, argv, "fig5_message_latency",
+        "Figure 5: message latency vs distance, simulation and "
+        "model");
+
+    std::printf("=== Figure 5: message latency vs communication "
+                "distance ===\n\n");
+
+    const auto points =
+        bench::runValidationSims({1, 2, 4}, options);
+
+    util::TextTable table({"contexts", "d", "T_m measured",
+                           "T_m model", "diff (net cyc)"});
+    double worst = 0.0;
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const auto &p : points) {
+        const model::Prediction pred = bench::predictFromMeasurement(
+            p.m, p.contexts, p.m.avg_hops);
+        const double diff =
+            pred.message_latency - p.m.message_latency;
+        worst = std::max(worst, std::fabs(diff));
+        table.newRow()
+            .cell(static_cast<long long>(p.contexts))
+            .cell(p.m.avg_hops, 2)
+            .cell(p.m.message_latency, 1)
+            .cell(pred.message_latency, 1)
+            .cell(diff, 1);
+        csv_rows.push_back(
+            {std::to_string(p.contexts),
+             util::formatDouble(p.m.avg_hops, 3),
+             util::formatDouble(p.m.message_latency, 3),
+             util::formatDouble(pred.message_latency, 3),
+             util::formatDouble(diff, 3)});
+    }
+    table.print(std::cout);
+    std::printf("\nWorst-case deviation: %.1f network cycles (paper: "
+                "\"within a few network cycles\")\n",
+                worst);
+
+    if (!options.csv_path.empty()) {
+        util::CsvWriter csv(options.csv_path);
+        csv.header({"contexts", "distance", "latency_measured",
+                    "latency_model", "diff"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+    }
+    return 0;
+}

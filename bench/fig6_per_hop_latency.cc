@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 6: average per-hop message latency T_h versus machine size,
+ * for the Section 3 application with two hardware contexts under
+ * random mappings, and for the same application with its computation
+ * grain artificially increased tenfold.
+ *
+ * Paper claims: T_h approaches the Equation 16 limit B*s/(2n)
+ * (about 9.8 network cycles at s = 3.26); the small-grain application
+ * reaches over 80% of the limit within a few thousand processors; the
+ * large-grain variant approaches the same limit far more slowly.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseHarnessOptions(
+        argc, argv, "fig6_per_hop_latency",
+        "Figure 6: per-hop latency vs machine size (model)");
+
+    std::printf("=== Figure 6: per-hop latency T_h vs machine size "
+                "===\n\n");
+
+    // Base: two contexts, random mapping; variant: 10x grain.
+    model::StudyConfig base = model::alewifeStudy(2, 64, false);
+    model::StudyConfig coarse = base;
+    coarse.application.run_length *= 10.0;
+
+    model::LocalityAnalysis base_analysis(base);
+    const double limit = base_analysis.limitingPerHopLatency();
+    std::printf("limiting T_h = B*s/(2n) = %.2f network cycles "
+                "(paper: ~9.8 at measured s = 3.26)\n\n",
+                limit);
+
+    std::vector<double> sizes;
+    for (double n = 10.0; n <= 1.05e6; n *= std::sqrt(10.0))
+        sizes.push_back(n);
+
+    const auto small_grain = sweepPerHopLatency(base, sizes);
+    const auto large_grain = sweepPerHopLatency(coarse, sizes);
+
+    util::TextTable table({"processors", "T_h (small grain)",
+                           "% of limit", "T_h (10x grain)",
+                           "% of limit"});
+    std::vector<std::vector<std::string>> csv_rows;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        table.newRow()
+            .cell(static_cast<long long>(sizes[i]))
+            .cell(small_grain[i].second, 2)
+            .cell(100.0 * small_grain[i].second / limit, 1)
+            .cell(large_grain[i].second, 2)
+            .cell(100.0 * large_grain[i].second / limit, 1);
+        csv_rows.push_back(
+            {util::formatDouble(sizes[i], 0),
+             util::formatDouble(small_grain[i].second, 4),
+             util::formatDouble(large_grain[i].second, 4)});
+    }
+    table.print(std::cout);
+
+    // The paper's 80%-within-a-few-thousand anchor.
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        if (small_grain[i].second >= 0.8 * limit) {
+            std::printf("\nSmall-grain application reaches 80%% of "
+                        "the limit at ~%.0f processors "
+                        "(paper: \"a few thousand\")\n",
+                        sizes[i]);
+            break;
+        }
+    }
+
+    if (!options.csv_path.empty()) {
+        util::CsvWriter csv(options.csv_path);
+        csv.header({"processors", "Th_small_grain", "Th_10x_grain"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+    }
+    return 0;
+}

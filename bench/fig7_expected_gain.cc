@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 7: expected gain from exploiting physical locality (ideal
+ * versus random thread-to-processor mappings) as machine size scales
+ * from ten to one million processors, for one, two, and four
+ * hardware contexts.
+ *
+ * Paper claims: each curve starts at unity gain for ten processors
+ * and reaches about two around 1,000 processors before entering the
+ * communication-bound region; gains at one million processors are in
+ * the tens (the paper quotes 40-55; see EXPERIMENTS.md for the
+ * reproduction band at two and four contexts).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseHarnessOptions(
+        argc, argv, "fig7_expected_gain",
+        "Figure 7: expected gain vs machine size (model)");
+
+    std::printf("=== Figure 7: expected gain from exploiting "
+                "physical locality ===\n");
+    std::printf("gain = r_t(ideal mapping) / r_t(random mapping), "
+                "2-D torus\n\n");
+
+    std::vector<double> sizes;
+    for (double n = 10.0; n <= 1.05e6; n *= std::sqrt(10.0))
+        sizes.push_back(n);
+
+    util::TextTable table({"processors", "d(random)", "gain p=1",
+                           "gain p=2", "gain p=4"});
+    std::vector<std::vector<std::string>> csv_rows;
+    for (double n : sizes) {
+        std::vector<double> gains;
+        double d_random = 0.0;
+        for (double contexts : {1.0, 2.0, 4.0}) {
+            model::StudyConfig config =
+                model::alewifeStudy(contexts, n, false);
+            const model::GainResult r =
+                model::LocalityAnalysis(config).expectedGain();
+            gains.push_back(r.gain);
+            d_random = r.random_distance;
+        }
+        table.newRow()
+            .cell(static_cast<long long>(n))
+            .cell(d_random, 1)
+            .cell(gains[0], 2)
+            .cell(gains[1], 2)
+            .cell(gains[2], 2);
+        csv_rows.push_back({util::formatDouble(n, 0),
+                            util::formatDouble(d_random, 3),
+                            util::formatDouble(gains[0], 4),
+                            util::formatDouble(gains[1], 4),
+                            util::formatDouble(gains[2], 4)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nPaper anchors (one context / Table 1 base row): "
+                "unity at 10 processors,\n~2 at 1,000 processors, "
+                "~41 at one million processors.\n");
+
+    if (!options.csv_path.empty()) {
+        util::CsvWriter csv(options.csv_path);
+        csv.header({"processors", "d_random", "gain_p1", "gain_p2",
+                    "gain_p4"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+    }
+    return 0;
+}

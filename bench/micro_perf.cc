@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot paths: the
+ * combined-model solvers, locality sweeps, the flit-level network
+ * simulator, the coherence protocol, and the full machine. These
+ * track the cost of the tools themselves (simulator cycles/second,
+ * model solves/second), not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "machine/machine.hh"
+#include "model/alewife.hh"
+#include "model/combined_model.hh"
+#include "model/locality.hh"
+#include "net/network.hh"
+#include "net/traffic.hh"
+#include "sim/engine.hh"
+#include "util/random.hh"
+#include "workload/mapping.hh"
+
+using namespace locsim;
+
+namespace {
+
+void
+BM_CombinedModelBisection(benchmark::State &state)
+{
+    const model::StudyConfig config = model::alewifeStudy(
+        2, static_cast<double>(state.range(0)), true);
+    model::LocalityAnalysis analysis(config);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            analysis.predict(model::Mapping::Random));
+    }
+}
+BENCHMARK(BM_CombinedModelBisection)->Arg(1000)->Arg(1000000);
+
+void
+BM_CombinedModelQuadratic(benchmark::State &state)
+{
+    model::StudyConfig config = model::alewifeStudy(2, 4096, false);
+    model::LocalityAnalysis analysis(config);
+    model::CombinedModel combined(
+        analysis.nodeModel(), analysis.networkModel(),
+        analysis.mappingDistance(model::Mapping::Random), false);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(combined.solveQuadratic());
+}
+BENCHMARK(BM_CombinedModelQuadratic);
+
+void
+BM_ExpectedGainSweep(benchmark::State &state)
+{
+    const model::StudyConfig base = model::alewifeStudy(1, 64, false);
+    const std::vector<double> sizes{10,   100,    1000,
+                                    10000, 100000, 1000000};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sweepExpectedGain(base, sizes));
+}
+BENCHMARK(BM_ExpectedGainSweep);
+
+void
+BM_NetworkSimCycles(benchmark::State &state)
+{
+    sim::Engine engine;
+    net::NetworkConfig config;
+    config.radix = 8;
+    config.dims = 2;
+    net::Network network(engine, config);
+    engine.addClocked(&network, 1);
+    net::TrafficConfig traffic;
+    traffic.injection_rate = 0.02;
+    net::TrafficGenerator gen(network, traffic);
+    engine.addClocked(&gen, 1);
+    for (auto _ : state)
+        engine.run(100);
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_NetworkSimCycles)->Unit(benchmark::kMicrosecond);
+
+void
+BM_TorusRouting(benchmark::State &state)
+{
+    net::TorusTopology topo(16, 3);
+    util::Rng rng(1);
+    for (auto _ : state) {
+        const auto a = static_cast<sim::NodeId>(
+            rng.nextBounded(topo.nodeCount()));
+        auto b = static_cast<sim::NodeId>(
+            rng.nextBounded(topo.nodeCount() - 1));
+        if (b >= a)
+            ++b;
+        sim::NodeId at = a;
+        while (at != b) {
+            const net::HopStep step = topo.nextHop(at, b);
+            at = topo.neighbor(at, step.dim, step.dir);
+        }
+        benchmark::DoNotOptimize(at);
+    }
+}
+BENCHMARK(BM_TorusRouting);
+
+void
+BM_FullMachineCycles(benchmark::State &state)
+{
+    machine::MachineConfig config;
+    config.contexts = static_cast<int>(state.range(0));
+    machine::Machine machine(
+        config, workload::Mapping::random(64, 9));
+    machine.engine().run(2000); // warm the caches/directories
+    for (auto _ : state)
+        machine.engine().run(200);
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_FullMachineCycles)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void
+BM_MappingDistance(benchmark::State &state)
+{
+    net::TorusTopology topo(8, 2);
+    const workload::Mapping mapping = workload::Mapping::random(64, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mapping.averageNeighborDistance(topo));
+    }
+}
+BENCHMARK(BM_MappingDistance);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table 1: impact of relative network speed on the expected gain from
+ * exploiting physical locality, for the one-context application at
+ * one thousand and one million processors.
+ *
+ * "2x faster" is the base architecture (switches clocked twice as
+ * fast as processors); each following row halves the relative network
+ * speed. Paper values: 2.1 / 41.2 (2x faster), 3.1 / 68.3 (same),
+ * 4.5 / 101.6 (2x slower), 5.9 / 134.3 (4x slower); slowing the
+ * network 8x raises the bounds by roughly a factor of three overall.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseHarnessOptions(
+        argc, argv, "table1_network_speed",
+        "Table 1: expected gain vs relative network speed (model)");
+
+    std::printf("=== Table 1: relative network speed vs expected "
+                "gain (one context) ===\n\n");
+
+    struct Row
+    {
+        const char *label;
+        double speed_factor; // relative to the base architecture
+        double paper_1k;     // paper's reported values (for reference)
+        double paper_1m;
+    };
+    const Row rows[] = {
+        {"2x faster (base)", 1.0, 2.1, 41.2},
+        {"same speed", 0.5, 3.1, 68.3},
+        {"2x slower", 0.25, 4.5, 101.6},
+        {"4x slower", 0.125, 5.9, 134.3},
+        {"8x slower", 0.0625, -1.0, -1.0}, // paper: ~3x the base
+    };
+
+    util::TextTable table({"network speed", "gain 10^3 (ours)",
+                           "paper", "gain 10^6 (ours)", "paper"});
+    std::vector<std::vector<std::string>> csv_rows;
+    double base_1k = 0.0, base_1m = 0.0, last_1k = 0.0, last_1m = 0.0;
+    for (const Row &row : rows) {
+        const model::StudyConfig base_cfg =
+            model::alewifeStudy(1, 1000, false);
+        model::StudyConfig thousand =
+            model::withRelativeNetworkSpeed(base_cfg,
+                                            row.speed_factor);
+        model::StudyConfig million = thousand;
+        million.machine.processors = 1e6;
+
+        const double g1k =
+            model::LocalityAnalysis(thousand).expectedGain().gain;
+        const double g1m =
+            model::LocalityAnalysis(million).expectedGain().gain;
+        if (row.speed_factor == 1.0) {
+            base_1k = g1k;
+            base_1m = g1m;
+        }
+        last_1k = g1k;
+        last_1m = g1m;
+
+        auto paper_cell = [](double v) {
+            return v < 0.0 ? std::string("--")
+                           : util::formatDouble(v, 1);
+        };
+        table.newRow()
+            .cell(row.label)
+            .cell(g1k, 1)
+            .cell(paper_cell(row.paper_1k))
+            .cell(g1m, 1)
+            .cell(paper_cell(row.paper_1m));
+        csv_rows.push_back({row.label,
+                            util::formatDouble(row.speed_factor, 4),
+                            util::formatDouble(g1k, 3),
+                            util::formatDouble(g1m, 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\n8x slower vs base: %.1fx at 10^3, %.1fx at 10^6 "
+                "(paper: \"roughly a factor of three\")\n",
+                last_1k / base_1k, last_1m / base_1m);
+
+    if (!options.csv_path.empty()) {
+        util::CsvWriter csv(options.csv_path);
+        csv.header(
+            {"label", "speed_factor", "gain_1e3", "gain_1e6"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+    }
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Model validation summary (Section 3.3): for every mapping and
+ * context count, compare measured and predicted message rate,
+ * message latency, and channel utilization, plus the measured
+ * application parameters (d, g, c, B) against the paper's a-priori
+ * values (d per mapping, g = 3.2, c = 2, B = 12).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hh"
+#include "util/csv.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseHarnessOptions(
+        argc, argv, "validation_table",
+        "Section 3.3 model-vs-simulation validation summary");
+
+    std::printf("=== Model validation: simulation vs combined model "
+                "===\n\n");
+
+    const auto points =
+        bench::runValidationSims({1, 2, 4}, options);
+
+    util::TextTable table({"p", "mapping", "d", "g", "c",
+                           "r_m sim", "r_m model", "err%",
+                           "T_m sim", "T_m model", "rho sim",
+                           "rho model"});
+    stats::Accumulator rate_err, latency_err;
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const auto &p : points) {
+        const model::Prediction pred = bench::predictFromMeasurement(
+            p.m, p.contexts, p.m.avg_hops);
+        const double err = 100.0 *
+                           (pred.injection_rate - p.m.message_rate) /
+                           p.m.message_rate;
+        rate_err.add(std::fabs(err));
+        latency_err.add(
+            std::fabs(pred.message_latency - p.m.message_latency));
+        table.newRow()
+            .cell(static_cast<long long>(p.contexts))
+            .cell(p.mapping)
+            .cell(p.m.avg_hops, 2)
+            .cell(p.m.messages_per_txn, 2)
+            .cell(p.m.critical_messages, 2)
+            .cell(p.m.message_rate, 5)
+            .cell(pred.injection_rate, 5)
+            .cell(err, 1)
+            .cell(p.m.message_latency, 1)
+            .cell(pred.message_latency, 1)
+            .cell(p.m.utilization, 3)
+            .cell(pred.utilization, 3);
+        csv_rows.push_back(
+            {std::to_string(p.contexts), p.mapping,
+             util::formatDouble(p.m.avg_hops, 3),
+             util::formatDouble(p.m.message_rate, 6),
+             util::formatDouble(pred.injection_rate, 6),
+             util::formatDouble(p.m.message_latency, 3),
+             util::formatDouble(pred.message_latency, 3)});
+    }
+    table.print(std::cout);
+
+    std::printf("\nmean |rate error| = %.1f%%, mean |latency error| "
+                "= %.1f network cycles\n",
+                rate_err.mean(), latency_err.mean());
+    std::printf("paper: rates within a few percent; latencies within "
+                "a few network cycles\n");
+
+    if (!options.csv_path.empty()) {
+        util::CsvWriter csv(options.csv_path);
+        csv.header({"contexts", "mapping", "distance",
+                    "rate_measured", "rate_model",
+                    "latency_measured", "latency_model"});
+        for (const auto &row : csv_rows)
+            csv.row(row);
+    }
+    return 0;
+}

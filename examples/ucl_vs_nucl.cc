@@ -1,0 +1,81 @@
+/**
+ * @file
+ * UCL versus NUCL: the paper's opening argument, quantified.
+ *
+ * Uniform-communication-latency (UCL) networks (multistage indirect
+ * interconnects) make every pair of processors equally far apart, so
+ * nothing can be gained from placement; non-uniform (NUCL) meshes
+ * make some processors close, so well-placed applications win. This
+ * example runs the same application model against both network
+ * models as the machine scales:
+ *
+ *   - indirect k-ary butterfly (UCL): latency ~ log_k N for everyone;
+ *   - 2-D torus with random placement (NUCL, locality ignored);
+ *   - 2-D torus with ideal placement (NUCL, locality exploited).
+ *
+ *   ./ucl_vs_nucl --contexts 2 --switch-radix 4
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "model/alewife.hh"
+#include "model/indirect_network.hh"
+#include "model/locality.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+
+using namespace locsim;
+
+int
+main(int argc, char **argv)
+{
+    util::OptionParser opts("ucl_vs_nucl",
+                            "indirect (UCL) vs torus (NUCL) scaling");
+    opts.addDouble("contexts", "hardware contexts", 1);
+    opts.addInt("switch-radix",
+                "ports per switch in the indirect network", 4);
+    opts.parse(argc, argv);
+    const double contexts = opts.getDouble("contexts");
+    const int radix = static_cast<int>(opts.getInt("switch-radix"));
+
+    std::printf("=== Per-processor transaction rate (x1000, network "
+                "cycles^-1) as N scales ===\n");
+    std::printf("same application on three interconnect options "
+                "(p = %.0f)\n\n",
+                contexts);
+
+    util::TextTable table({"processors", "UCL butterfly",
+                           "torus random", "torus ideal",
+                           "ideal/UCL", "stages", "d(random)"});
+    for (double n = 64; n <= 1.1e6; n *= 4) {
+        model::StudyConfig config = model::alewifeStudy(contexts, n);
+        model::LocalityAnalysis analysis(config);
+
+        const model::IndirectNetworkModel indirect(
+            n, radix, config.machine.network.message_flits);
+        const model::Prediction ucl = solveIndirectClosedLoop(
+            analysis.nodeModel(), indirect,
+            config.enforce_issue_floor);
+        const model::GainResult torus = analysis.expectedGain();
+
+        table.newRow()
+            .cell(static_cast<long long>(n))
+            .cell(ucl.txn_rate * 1000.0, 3)
+            .cell(torus.random.txn_rate * 1000.0, 3)
+            .cell(torus.ideal.txn_rate * 1000.0, 3)
+            .cell(torus.ideal.txn_rate / ucl.txn_rate, 2)
+            .cell(static_cast<long long>(indirect.stages()))
+            .cell(torus.random_distance, 1);
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nThe UCL network degrades gently (latency ~ log N) but "
+        "offers nothing to\nexploit; the randomly-placed torus "
+        "degrades faster (distance ~ sqrt N); the\nwell-placed torus "
+        "keeps single-hop latency at any size. The growing\n"
+        "ideal/UCL ratio is the argument for NUCL machines plus "
+        "locality-aware\nplacement (paper Section 1).\n");
+    return 0;
+}

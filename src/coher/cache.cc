@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Cache implementation.
+ */
+
+#include "coher/cache.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace coher {
+
+Cache::Cache(std::uint32_t cache_bytes)
+{
+    LOCSIM_ASSERT(cache_bytes >= kLineBytes &&
+                      cache_bytes % kLineBytes == 0,
+                  "cache size must be a positive multiple of the line "
+                  "size, got ",
+                  cache_bytes);
+    lines_.resize(cache_bytes / kLineBytes);
+}
+
+std::uint32_t
+Cache::setIndex(Addr addr) const
+{
+    // Direct-mapped, indexed by the node-local line offset (the low
+    // half of the address); lines at the same local offset on
+    // different homes conflict, as in a physically indexed cache.
+    return lineIndexOf(addr) %
+           static_cast<std::uint32_t>(lines_.size());
+}
+
+Cache::Line &
+Cache::lineFor(Addr addr)
+{
+    return lines_[setIndex(addr)];
+}
+
+const Cache::Line &
+Cache::lineFor(Addr addr) const
+{
+    return lines_[setIndex(addr)];
+}
+
+CacheLookup
+Cache::lookup(Addr addr) const
+{
+    const Line &line = lineFor(addr);
+    if (!line.valid || line.addr != lineOf(addr))
+        return {};
+    return {line.state, line.data};
+}
+
+std::optional<Eviction>
+Cache::fill(Addr addr, CacheState state, std::uint64_t data)
+{
+    LOCSIM_ASSERT(state != CacheState::Invalid,
+                  "cannot fill a line Invalid");
+    Line &line = lineFor(addr);
+    std::optional<Eviction> evicted;
+    if (line.valid && line.addr != lineOf(addr)) {
+        evicted = Eviction{line.addr, line.state, line.data};
+    }
+    line.valid = true;
+    line.addr = lineOf(addr);
+    line.state = state;
+    line.data = data;
+    return evicted;
+}
+
+void
+Cache::setState(Addr addr, CacheState state)
+{
+    Line &line = lineFor(addr);
+    LOCSIM_ASSERT(line.valid && line.addr == lineOf(addr),
+                  "setState on a non-resident line");
+    if (state == CacheState::Invalid) {
+        line.valid = false;
+        line.state = CacheState::Invalid;
+    } else {
+        line.state = state;
+    }
+}
+
+void
+Cache::writeData(Addr addr, std::uint64_t data)
+{
+    Line &line = lineFor(addr);
+    LOCSIM_ASSERT(line.valid && line.addr == lineOf(addr) &&
+                      line.state == CacheState::Modified,
+                  "writeData requires a resident Modified line");
+    line.data = data;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    Line &line = lineFor(addr);
+    if (line.valid && line.addr == lineOf(addr)) {
+        line.valid = false;
+        line.state = CacheState::Invalid;
+    }
+}
+
+std::uint32_t
+Cache::residentLines() const
+{
+    std::uint32_t count = 0;
+    for (const Line &line : lines_)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace coher
+} // namespace locsim

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A direct-mapped write-back cache with MSI line states, modeled
+ * after Alewife's 64-kilobyte unified cache with 16-byte lines
+ * (Section 3.1).
+ *
+ * The cache stores one 64-bit verification word per line (the
+ * synthetic application's state word) so protocol correctness can be
+ * checked end to end.
+ */
+
+#ifndef LOCSIM_COHER_CACHE_HH_
+#define LOCSIM_COHER_CACHE_HH_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coher/protocol.hh"
+
+namespace locsim {
+namespace coher {
+
+/** MSI stable states of a cached line. */
+enum class CacheState : std::uint8_t {
+    Invalid,
+    Shared,
+    Modified,
+};
+
+/** Result of probing the cache for an address. */
+struct CacheLookup
+{
+    CacheState state = CacheState::Invalid;
+    std::uint64_t data = 0;
+};
+
+/** A line evicted to make room for a fill. */
+struct Eviction
+{
+    Addr addr = 0;
+    CacheState state = CacheState::Invalid;
+    std::uint64_t data = 0;
+};
+
+/** Direct-mapped write-back cache. */
+class Cache
+{
+  public:
+    /**
+     * @param cache_bytes total capacity; must be a multiple of the
+     *        line size.
+     */
+    explicit Cache(std::uint32_t cache_bytes);
+
+    /** Number of sets (lines) in the cache. */
+    std::uint32_t sets() const
+    {
+        return static_cast<std::uint32_t>(lines_.size());
+    }
+
+    /** Probe for an address without changing state. */
+    CacheLookup lookup(Addr addr) const;
+
+    /** Current state of the line holding @p addr (Invalid if absent). */
+    CacheState state(Addr addr) const { return lookup(addr).state; }
+
+    /**
+     * Install a line in the given state, returning the line displaced
+     * from the set, if any (the controller must write back Modified
+     * victims).
+     */
+    std::optional<Eviction> fill(Addr addr, CacheState state,
+                                 std::uint64_t data);
+
+    /**
+     * Update the state of a resident line (e.g. Shared -> Modified on
+     * an upgrade grant, Modified -> Shared on a Fetch).
+     *
+     * @pre the line is resident.
+     */
+    void setState(Addr addr, CacheState state);
+
+    /** Write the verification word of a resident Modified line. */
+    void writeData(Addr addr, std::uint64_t data);
+
+    /** Invalidate a line if resident (idempotent). */
+    void invalidate(Addr addr);
+
+    /** Count of resident (non-invalid) lines. */
+    std::uint32_t residentLines() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr addr = 0; // line-aligned address (acts as the tag)
+        CacheState state = CacheState::Invalid;
+        std::uint64_t data = 0;
+    };
+
+    std::uint32_t setIndex(Addr addr) const;
+
+    Line &lineFor(Addr addr);
+    const Line &lineFor(Addr addr) const;
+
+    std::vector<Line> lines_;
+};
+
+} // namespace coher
+} // namespace locsim
+
+#endif // LOCSIM_COHER_CACHE_HH_

@@ -1,0 +1,735 @@
+/**
+ * @file
+ * CacheController implementation.
+ */
+
+#include "coher/controller.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace coher {
+
+std::uint64_t
+ProtoTransport::store(const ProtoMsg &msg)
+{
+    ++in_flight_;
+    if (!free_.empty()) {
+        const std::uint64_t handle = free_.back();
+        free_.pop_back();
+        slots_[handle] = msg;
+        return handle;
+    }
+    slots_.push_back(msg);
+    return slots_.size() - 1;
+}
+
+ProtoMsg
+ProtoTransport::take(std::uint64_t handle)
+{
+    LOCSIM_ASSERT(handle < slots_.size(), "bad protocol handle");
+    LOCSIM_ASSERT(in_flight_ > 0, "take with nothing in flight");
+    --in_flight_;
+    free_.push_back(handle);
+    return slots_[handle];
+}
+
+CacheController::CacheController(sim::Engine &engine,
+                                 net::Network &network,
+                                 ProtoTransport &transport,
+                                 sim::NodeId node,
+                                 const ProtocolConfig &config,
+                                 std::uint32_t ticks_per_cycle)
+    : engine_(engine), network_(network), transport_(transport),
+      node_(node), config_(config),
+      ticks_per_cycle_(ticks_per_cycle), cache_(config.cache_bytes),
+      directory_(node)
+{
+    LOCSIM_ASSERT(ticks_per_cycle >= 1, "bad clock ratio");
+}
+
+void
+CacheController::busyFor(std::uint32_t cycles)
+{
+    const sim::Tick now = engine_.now();
+    const sim::Tick base = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = base + static_cast<sim::Tick>(cycles) *
+                             ticks_per_cycle_;
+}
+
+void
+CacheController::send(sim::NodeId dst, MsgType type, Addr addr,
+                      std::uint64_t data, sim::NodeId requester,
+                      std::uint32_t delay_cycles, int critical)
+{
+    LOCSIM_ASSERT(dst != node_,
+                  "protocol must not message its own node: ",
+                  msgTypeName(type));
+    ProtoMsg proto;
+    proto.type = type;
+    proto.addr = addr;
+    proto.sender = node_;
+    proto.data = data;
+    proto.requester = requester;
+    proto.critical = critical;
+
+    net::Message msg;
+    msg.src = node_;
+    msg.dst = dst;
+    msg.flits = carriesData(type) ? config_.data_flits
+                                  : config_.control_flits;
+    msg.payload = transport_.store(proto);
+
+    StagedSend staged;
+    staged.ready = engine_.now() + static_cast<sim::Tick>(delay_cycles) *
+                                       ticks_per_cycle_;
+    staged.msg = msg;
+    outbox_.push_back(staged);
+    stats_.messages_sent.inc();
+
+    if (tracer_ != nullptr) {
+        TraceEvent event;
+        event.when = engine_.now();
+        event.node = node_;
+        event.dir = TraceEvent::Dir::Send;
+        event.type = type;
+        event.addr = addr;
+        event.peer = dst;
+        tracer_->record(event);
+    }
+}
+
+std::optional<MemResponse>
+CacheController::tryFastPath(const MemRequest &req)
+{
+    const CacheLookup hit = cache_.lookup(req.addr);
+    const bool load_hit =
+        !req.is_store && hit.state != CacheState::Invalid;
+    const bool store_hit =
+        req.is_store && hit.state == CacheState::Modified;
+    if (!load_hit && !store_hit)
+        return std::nullopt;
+
+    (req.is_store ? stats_.stores : stats_.loads).inc();
+    stats_.hits.inc();
+    if (store_hit)
+        cache_.writeData(req.addr, req.store_value);
+
+    MemResponse resp;
+    resp.context = req.context;
+    resp.load_value = store_hit ? req.store_value : hit.data;
+    resp.was_transaction = false;
+    return resp;
+}
+
+void
+CacheController::request(const MemRequest &req, CompletionFn done)
+{
+    LOCSIM_ASSERT(done, "null completion callback");
+    proc_queue_.emplace_back(req, std::move(done));
+}
+
+void
+CacheController::tick(sim::Tick now)
+{
+    // Receive from the network every cycle (dedicated hardware path).
+    while (auto msg = network_.receive(node_))
+        inbox_.push_back(transport_.take(msg->payload));
+
+    // Launch staged sends whose delay has elapsed (FIFO per node).
+    while (!outbox_.empty() && outbox_.front().ready <= now) {
+        network_.send(outbox_.front().msg);
+        outbox_.pop_front();
+    }
+
+    if (now < busy_until_)
+        return;
+
+    // One unit of protocol work per free slot; protocol messages take
+    // priority over new processor requests (replies unblock work).
+    if (!inbox_.empty()) {
+        const ProtoMsg msg = inbox_.front();
+        inbox_.pop_front();
+        busyFor(config_.occupancy);
+        if (tracer_ != nullptr) {
+            TraceEvent event;
+            event.when = now;
+            event.node = node_;
+            event.dir = TraceEvent::Dir::Handle;
+            event.type = msg.type;
+            event.addr = msg.addr;
+            event.peer = msg.sender;
+            tracer_->record(event);
+        }
+        handleProtocolMessage(msg);
+    } else if (!proc_queue_.empty()) {
+        auto [req, done] = std::move(proc_queue_.front());
+        proc_queue_.pop_front();
+        busyFor(config_.occupancy);
+        handleProcessorRequest(req, std::move(done));
+    }
+}
+
+void
+CacheController::handleProcessorRequest(const MemRequest &req,
+                                        CompletionFn done)
+{
+    (req.is_store ? stats_.stores : stats_.loads).inc();
+
+    const CacheLookup hit = cache_.lookup(req.addr);
+    const bool load_hit =
+        !req.is_store && hit.state != CacheState::Invalid;
+    const bool store_hit =
+        req.is_store && hit.state == CacheState::Modified;
+    if (load_hit || store_hit) {
+        stats_.hits.inc();
+        if (store_hit)
+            cache_.writeData(req.addr, req.store_value);
+        MemResponse resp;
+        resp.context = req.context;
+        resp.load_value = hit.data;
+        resp.was_transaction = false;
+        engine_.events().schedule(
+            engine_.now() + static_cast<sim::Tick>(
+                                config_.hit_latency) *
+                                ticks_per_cycle_,
+            [done = std::move(done), resp] { done(resp); });
+        return;
+    }
+
+    const Addr line = lineOf(req.addr);
+    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
+        it->second.deferred.emplace_back(req, std::move(done));
+        return;
+    }
+
+    if (homeOf(req.addr) == node_) {
+        homeLocalAccess(req, std::move(done));
+    } else {
+        startMiss(req, std::move(done));
+    }
+}
+
+void
+CacheController::startMiss(const MemRequest &req, CompletionFn done)
+{
+    const Addr line = lineOf(req.addr);
+    Mshr mshr;
+    mshr.req = req;
+    mshr.done = std::move(done);
+    mshr.issued = engine_.now();
+    mshrs_.emplace(line, std::move(mshr));
+    recordTxnIssue();
+    send(homeOf(req.addr),
+         req.is_store ? MsgType::GetX : MsgType::GetS, req.addr, 0,
+         node_, 0);
+}
+
+void
+CacheController::fillLine(Addr addr, CacheState state,
+                          std::uint64_t data)
+{
+    const auto evicted = cache_.fill(addr, state, data);
+    if (!evicted)
+        return;
+    stats_.evictions.inc();
+    if (evicted->state != CacheState::Modified)
+        return; // Shared/clean victims drop silently.
+    stats_.writebacks.inc();
+    const sim::NodeId home = homeOf(evicted->addr);
+    if (home == node_) {
+        DirEntry &entry = directory_.entry(evicted->addr);
+        LOCSIM_ASSERT(entry.state == DirState::Exclusive &&
+                          entry.owner == node_,
+                      "directory out of sync on local writeback");
+        entry.memory = evicted->data;
+        entry.state = DirState::Uncached;
+        entry.owner = sim::kNodeNone;
+        entry.sharers.clear();
+    } else {
+        send(home, MsgType::PutX, evicted->addr, evicted->data, node_,
+             0);
+    }
+}
+
+void
+CacheController::handleProtocolMessage(const ProtoMsg &msg)
+{
+    switch (msg.type) {
+      case MsgType::GetS:
+        homeGetS(msg);
+        return;
+      case MsgType::GetX:
+        homeGetX(msg);
+        return;
+      case MsgType::DataS:
+        handleGrant(msg, false);
+        return;
+      case MsgType::DataX:
+        handleGrant(msg, true);
+        return;
+      case MsgType::Inv:
+        handleInv(msg);
+        return;
+      case MsgType::InvAck:
+        homeInvAck(msg);
+        return;
+      case MsgType::Fetch:
+        handleFetch(msg, false);
+        return;
+      case MsgType::FetchInv:
+        handleFetch(msg, true);
+        return;
+      case MsgType::FetchReply:
+        homeFetchReply(msg, false);
+        return;
+      case MsgType::PutX:
+        homeFetchReply(msg, true);
+        return;
+    }
+    LOCSIM_PANIC("unknown protocol message type");
+}
+
+std::uint32_t
+CacheController::overflowPenalty(const DirEntry &entry)
+{
+    if (config_.dir_pointers == 0)
+        return 0;
+    // Hardware pointers track remote copies; the home's own cached
+    // copy needs no pointer.
+    std::size_t remote = entry.sharers.size();
+    if (Directory::isSharer(entry, node_))
+        --remote;
+    if (remote <= config_.dir_pointers)
+        return 0;
+    // The hardware pointers overflowed: LimitLESS traps to a software
+    // handler that maintains the full sharer list in memory. The
+    // controller is occupied for the handler's duration and the
+    // reply is delayed accordingly.
+    stats_.limitless_traps.inc();
+    busyFor(config_.overflow_trap_cycles);
+    return config_.overflow_trap_cycles;
+}
+
+int
+CacheController::invalidateSharers(DirEntry &entry, Addr addr,
+                                   sim::NodeId keep)
+{
+    int sent = 0;
+    for (sim::NodeId sharer : entry.sharers) {
+        if (sharer == keep)
+            continue;
+        if (sharer == node_) {
+            cache_.invalidate(addr);
+            continue;
+        }
+        send(sharer, MsgType::Inv, addr, 0, keep, 0);
+        ++sent;
+    }
+    return sent;
+}
+
+void
+CacheController::homeLocalAccess(const MemRequest &req,
+                                 CompletionFn done)
+{
+    const Addr line = lineOf(req.addr);
+    if (auto it = home_txns_.find(line); it != home_txns_.end()) {
+        it->second.local_deferred.emplace_back(req, std::move(done));
+        return;
+    }
+
+    DirEntry &entry = directory_.entry(req.addr);
+    LOCSIM_ASSERT(!(entry.state == DirState::Exclusive &&
+                    entry.owner == node_),
+                  "local miss on a line the local cache owns");
+
+    auto respond_local = [&](std::uint64_t value,
+                             std::uint32_t extra_cycles = 0) {
+        MemResponse resp;
+        resp.context = req.context;
+        resp.load_value = value;
+        resp.was_transaction = false;
+        busyFor(config_.mem_latency);
+        engine_.events().schedule(
+            engine_.now() +
+                static_cast<sim::Tick>(config_.mem_latency +
+                                       extra_cycles) *
+                    ticks_per_cycle_,
+            [done, resp] { done(resp); });
+    };
+
+    if (!req.is_store) {
+        if (entry.state != DirState::Exclusive) {
+            // Memory is current: serve locally, become a sharer.
+            fillLine(req.addr, CacheState::Shared, entry.memory);
+            if (entry.state == DirState::Uncached)
+                entry.state = DirState::Shared;
+            Directory::addSharer(entry, node_);
+            respond_local(entry.memory, overflowPenalty(entry));
+            return;
+        }
+        // Recall the remote owner's copy.
+        HomeTxn txn;
+        txn.kind = HomeTxn::Kind::LocalRead;
+        txn.requester = node_;
+        txn.waiting_fetch = true;
+        txn.local_req = req;
+        txn.local_done = std::move(done);
+        txn.issued = engine_.now();
+        home_txns_.emplace(line, std::move(txn));
+        recordTxnIssue();
+        send(entry.owner, MsgType::Fetch, req.addr, 0, node_, 0);
+        return;
+    }
+
+    // Store.
+    if (entry.state == DirState::Exclusive) {
+        HomeTxn txn;
+        txn.kind = HomeTxn::Kind::LocalWrite;
+        txn.requester = node_;
+        txn.waiting_fetch = true;
+        txn.local_req = req;
+        txn.local_done = std::move(done);
+        txn.issued = engine_.now();
+        home_txns_.emplace(line, std::move(txn));
+        recordTxnIssue();
+        send(entry.owner, MsgType::FetchInv, req.addr, 0, node_, 0);
+        return;
+    }
+
+    overflowPenalty(entry); // software walks an overflowed list
+    const int invs = invalidateSharers(entry, req.addr, node_);
+    if (invs > 0) {
+        HomeTxn txn;
+        txn.kind = HomeTxn::Kind::LocalWrite;
+        txn.requester = node_;
+        txn.pending_acks = invs;
+        txn.local_req = req;
+        txn.local_done = std::move(done);
+        txn.issued = engine_.now();
+        home_txns_.emplace(line, std::move(txn));
+        recordTxnIssue();
+        return;
+    }
+
+    // No remote copies: take exclusive ownership locally.
+    entry.state = DirState::Exclusive;
+    entry.owner = node_;
+    entry.sharers.clear();
+    fillLine(req.addr, CacheState::Modified, entry.memory);
+    cache_.writeData(req.addr, req.store_value);
+    respond_local(req.store_value);
+}
+
+void
+CacheController::homeGetS(const ProtoMsg &msg)
+{
+    const Addr line = lineOf(msg.addr);
+    if (auto it = home_txns_.find(line); it != home_txns_.end()) {
+        it->second.deferred.push_back(msg);
+        return;
+    }
+
+    DirEntry &entry = directory_.entry(msg.addr);
+    if (entry.state == DirState::Exclusive) {
+        LOCSIM_ASSERT(entry.owner != msg.sender,
+                      "owner sent GetS for its own Modified line");
+        if (entry.owner == node_) {
+            // Our own cache holds the line Modified: demote in place.
+            const CacheLookup local = cache_.lookup(msg.addr);
+            LOCSIM_ASSERT(local.state == CacheState::Modified,
+                          "directory says local owner but cache "
+                          "disagrees");
+            cache_.setState(msg.addr, CacheState::Shared);
+            entry.memory = local.data;
+            entry.state = DirState::Shared;
+            entry.sharers = {node_};
+            entry.owner = sim::kNodeNone;
+            Directory::addSharer(entry, msg.sender);
+            send(msg.sender, MsgType::DataS, msg.addr, entry.memory,
+                 msg.sender, config_.mem_latency, 2);
+            return;
+        }
+        HomeTxn txn;
+        txn.kind = HomeTxn::Kind::RemoteRead;
+        txn.requester = msg.sender;
+        txn.waiting_fetch = true;
+        home_txns_.emplace(line, std::move(txn));
+        send(entry.owner, MsgType::Fetch, msg.addr, 0, msg.sender, 0);
+        return;
+    }
+
+    if (entry.state == DirState::Uncached)
+        entry.state = DirState::Shared;
+    Directory::addSharer(entry, msg.sender);
+    const std::uint32_t penalty = overflowPenalty(entry);
+    send(msg.sender, MsgType::DataS, msg.addr, entry.memory,
+         msg.sender, config_.mem_latency + penalty, 2);
+}
+
+void
+CacheController::homeGetX(const ProtoMsg &msg)
+{
+    const Addr line = lineOf(msg.addr);
+    if (auto it = home_txns_.find(line); it != home_txns_.end()) {
+        it->second.deferred.push_back(msg);
+        return;
+    }
+
+    DirEntry &entry = directory_.entry(msg.addr);
+    if (entry.state == DirState::Exclusive) {
+        LOCSIM_ASSERT(entry.owner != msg.sender,
+                      "owner sent GetX for its own Modified line");
+        if (entry.owner == node_) {
+            const CacheLookup local = cache_.lookup(msg.addr);
+            LOCSIM_ASSERT(local.state == CacheState::Modified,
+                          "directory says local owner but cache "
+                          "disagrees");
+            cache_.invalidate(msg.addr);
+            entry.memory = local.data;
+            entry.state = DirState::Exclusive;
+            entry.owner = msg.sender;
+            entry.sharers.clear();
+            send(msg.sender, MsgType::DataX, msg.addr, entry.memory,
+                 msg.sender, config_.mem_latency, 2);
+            return;
+        }
+        HomeTxn txn;
+        txn.kind = HomeTxn::Kind::RemoteWrite;
+        txn.requester = msg.sender;
+        txn.waiting_fetch = true;
+        home_txns_.emplace(line, std::move(txn));
+        send(entry.owner, MsgType::FetchInv, msg.addr, 0, msg.sender,
+             0);
+        return;
+    }
+
+    overflowPenalty(entry); // software walks an overflowed list
+    const int invs = invalidateSharers(entry, msg.addr, msg.sender);
+    if (invs > 0) {
+        HomeTxn txn;
+        txn.kind = HomeTxn::Kind::RemoteWrite;
+        txn.requester = msg.sender;
+        txn.pending_acks = invs;
+        home_txns_.emplace(line, std::move(txn));
+        return;
+    }
+
+    entry.state = DirState::Exclusive;
+    entry.owner = msg.sender;
+    entry.sharers.clear();
+    send(msg.sender, MsgType::DataX, msg.addr, entry.memory,
+         msg.sender, config_.mem_latency, 2);
+}
+
+void
+CacheController::handleInv(const ProtoMsg &msg)
+{
+    const CacheLookup look = cache_.lookup(msg.addr);
+    LOCSIM_ASSERT(look.state != CacheState::Modified,
+                  "Inv received for a Modified line");
+    cache_.invalidate(msg.addr);
+    send(homeOf(msg.addr), MsgType::InvAck, msg.addr, 0,
+         msg.requester, 0);
+}
+
+void
+CacheController::handleFetch(const ProtoMsg &msg, bool invalidate)
+{
+    const CacheLookup look = cache_.lookup(msg.addr);
+    if (look.state != CacheState::Modified) {
+        // The line was evicted; the PutX in flight carries the data
+        // and will satisfy the home's pending fetch.
+        return;
+    }
+    if (invalidate) {
+        cache_.invalidate(msg.addr);
+    } else {
+        cache_.setState(msg.addr, CacheState::Shared);
+    }
+    send(homeOf(msg.addr), MsgType::FetchReply, msg.addr, look.data,
+         msg.requester, 0);
+}
+
+void
+CacheController::homeInvAck(const ProtoMsg &msg)
+{
+    const Addr line = lineOf(msg.addr);
+    auto it = home_txns_.find(line);
+    LOCSIM_ASSERT(it != home_txns_.end(),
+                  "InvAck with no transaction pending");
+    HomeTxn &txn = it->second;
+    LOCSIM_ASSERT(txn.pending_acks > 0, "unexpected InvAck");
+    --txn.pending_acks;
+    if (txn.pending_acks == 0 && !txn.waiting_fetch)
+        completeHomeTxn(line, txn);
+}
+
+void
+CacheController::homeFetchReply(const ProtoMsg &msg, bool is_putx)
+{
+    const Addr line = lineOf(msg.addr);
+    DirEntry &entry = directory_.entry(msg.addr);
+    entry.memory = msg.data;
+
+    auto it = home_txns_.find(line);
+    if (it != home_txns_.end() && it->second.waiting_fetch) {
+        it->second.waiting_fetch = false;
+        if (it->second.pending_acks == 0)
+            completeHomeTxn(line, it->second);
+        return;
+    }
+
+    LOCSIM_ASSERT(is_putx, "FetchReply with no fetch pending");
+    LOCSIM_ASSERT(entry.state == DirState::Exclusive &&
+                      entry.owner == msg.sender,
+                  "PutX from a non-owner");
+    entry.state = DirState::Uncached;
+    entry.owner = sim::kNodeNone;
+    entry.sharers.clear();
+}
+
+void
+CacheController::completeHomeTxn(Addr line, HomeTxn &txn)
+{
+    DirEntry &entry = directory_.entry(line);
+    const sim::NodeId old_owner = entry.owner;
+
+    switch (txn.kind) {
+      case HomeTxn::Kind::RemoteRead:
+        entry.state = DirState::Shared;
+        entry.sharers.clear();
+        if (old_owner != sim::kNodeNone)
+            entry.sharers.push_back(old_owner);
+        Directory::addSharer(entry, txn.requester);
+        entry.owner = sim::kNodeNone;
+        send(txn.requester, MsgType::DataS, line, entry.memory,
+             txn.requester, config_.mem_latency, 4);
+        break;
+      case HomeTxn::Kind::RemoteWrite:
+        entry.state = DirState::Exclusive;
+        entry.owner = txn.requester;
+        entry.sharers.clear();
+        send(txn.requester, MsgType::DataX, line, entry.memory,
+             txn.requester, config_.mem_latency, 4);
+        break;
+      case HomeTxn::Kind::LocalRead: {
+        entry.state = DirState::Shared;
+        entry.sharers.clear();
+        if (old_owner != sim::kNodeNone)
+            entry.sharers.push_back(old_owner);
+        Directory::addSharer(entry, node_);
+        entry.owner = sim::kNodeNone;
+        fillLine(line, CacheState::Shared, entry.memory);
+        finishLocalTxn(txn, entry.memory);
+        break;
+      }
+      case HomeTxn::Kind::LocalWrite: {
+        entry.state = DirState::Exclusive;
+        entry.owner = node_;
+        entry.sharers.clear();
+        fillLine(line, CacheState::Modified, entry.memory);
+        cache_.writeData(line, txn.local_req.store_value);
+        finishLocalTxn(txn, txn.local_req.store_value);
+        break;
+      }
+    }
+    releaseHomeTxn(line);
+}
+
+void
+CacheController::finishLocalTxn(HomeTxn &txn, std::uint64_t value)
+{
+    stats_.transactions.inc();
+    stats_.txn_latency.add(
+        static_cast<double>(engine_.now() - txn.issued));
+    stats_.critical_messages.add(2.0);
+
+    MemResponse resp;
+    resp.context = txn.local_req.context;
+    resp.load_value = value;
+    resp.was_transaction = true;
+    auto done = std::move(txn.local_done);
+    engine_.events().schedule(
+        engine_.now() +
+            static_cast<sim::Tick>(config_.mem_latency) *
+                ticks_per_cycle_,
+        [done = std::move(done), resp] { done(resp); });
+}
+
+void
+CacheController::releaseHomeTxn(Addr line)
+{
+    auto it = home_txns_.find(line);
+    LOCSIM_ASSERT(it != home_txns_.end(), "releasing absent txn");
+    // Requeue deferred work at the front so it is served before new
+    // arrivals, preserving request order per line.
+    auto deferred = std::move(it->second.deferred);
+    auto local_deferred = std::move(it->second.local_deferred);
+    home_txns_.erase(it);
+    for (auto rit = local_deferred.rbegin();
+         rit != local_deferred.rend(); ++rit) {
+        proc_queue_.emplace_front(std::move(*rit));
+    }
+    for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit)
+        inbox_.push_front(*rit);
+}
+
+void
+CacheController::handleGrant(const ProtoMsg &msg, bool exclusive)
+{
+    const Addr line = lineOf(msg.addr);
+    auto it = mshrs_.find(line);
+    LOCSIM_ASSERT(it != mshrs_.end(), "grant with no MSHR: ",
+                  msgTypeName(msg.type), " line ", line, " at node ",
+                  node_);
+    Mshr &mshr = it->second;
+    LOCSIM_ASSERT(exclusive == mshr.req.is_store,
+                  "grant kind does not match the pending request");
+
+    std::uint64_t value = msg.data;
+    fillLine(msg.addr, exclusive ? CacheState::Modified
+                                 : CacheState::Shared,
+             msg.data);
+    if (mshr.req.is_store) {
+        cache_.writeData(msg.addr, mshr.req.store_value);
+        value = mshr.req.store_value;
+    }
+
+    stats_.transactions.inc();
+    stats_.txn_latency.add(
+        static_cast<double>(engine_.now() - mshr.issued));
+    stats_.critical_messages.add(static_cast<double>(msg.critical));
+
+    MemResponse resp;
+    resp.context = mshr.req.context;
+    resp.load_value = value;
+    resp.was_transaction = true;
+    mshr.done(resp);
+
+    auto deferred = std::move(mshr.deferred);
+    mshrs_.erase(it);
+    for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit)
+        proc_queue_.emplace_front(std::move(*rit));
+}
+
+void
+CacheController::recordTxnIssue()
+{
+    if (last_txn_issue_ != sim::kTickNever) {
+        stats_.txn_spacing.add(
+            static_cast<double>(engine_.now() - last_txn_issue_));
+    }
+    last_txn_issue_ = engine_.now();
+}
+
+bool
+CacheController::quiescent() const
+{
+    return mshrs_.empty() && home_txns_.empty() && inbox_.empty() &&
+           proc_queue_.empty() && outbox_.empty();
+}
+
+} // namespace coher
+} // namespace locsim

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * The per-node memory/network interface controller: serves processor
+ * loads and stores, maintains the home directory for local lines, and
+ * runs the full-map MSI invalidation protocol over the network
+ * (Alewife's "controller that serves as both memory and network
+ * interface", Section 3.1).
+ *
+ * Protocol summary (stable states MSI at caches;
+ * Uncached/Shared/Exclusive at directories; acknowledgements are
+ * collected at the home):
+ *
+ *   read miss:  GetS -> home; home replies DataS (fetching from the
+ *               exclusive owner first if necessary via Fetch /
+ *               FetchReply).
+ *   write miss: GetX -> home; home invalidates sharers (Inv/InvAck)
+ *               or recalls the owner (FetchInv/FetchReply), then
+ *               grants with DataX.
+ *   eviction:   Modified victims write back with PutX; Shared victims
+ *               drop silently (homes tolerate stale sharers by
+ *               accepting InvAcks from non-holders).
+ *
+ * Races handled: Inv arriving while a GetS/GetX is outstanding on the
+ * same line (ack immediately; the grant carries fresh data), and
+ * Fetch crossing a PutX in flight (the home accepts the PutX as the
+ * fetch reply; the owner drops the stale Fetch).
+ */
+
+#ifndef LOCSIM_COHER_CONTROLLER_HH_
+#define LOCSIM_COHER_CONTROLLER_HH_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coher/cache.hh"
+#include "coher/directory.hh"
+#include "coher/protocol.hh"
+#include "coher/tracer.hh"
+#include "net/network.hh"
+#include "sim/engine.hh"
+#include "stats/stats.hh"
+
+namespace locsim {
+namespace coher {
+
+/**
+ * Shared transport that moves ProtoMsg values through net::Message
+ * payloads (the network treats payloads as opaque handles).
+ */
+class ProtoTransport
+{
+  public:
+    /** Park a protocol message; returns the payload handle. */
+    std::uint64_t store(const ProtoMsg &msg);
+
+    /** Retrieve and release a parked protocol message. */
+    ProtoMsg take(std::uint64_t handle);
+
+    /** Messages currently in flight (diagnostics). */
+    std::size_t inFlight() const { return in_flight_; }
+
+  private:
+    std::vector<ProtoMsg> slots_;
+    std::vector<std::uint64_t> free_;
+    std::size_t in_flight_ = 0;
+};
+
+/** A processor memory request. */
+struct MemRequest
+{
+    bool is_store = false;
+    Addr addr = 0;
+    std::uint64_t store_value = 0;
+    int context = 0;
+};
+
+/** Outcome delivered to the processor when a request completes. */
+struct MemResponse
+{
+    int context = 0;
+    std::uint64_t load_value = 0;
+    /** True if satisfying the request required network messages. */
+    bool was_transaction = false;
+};
+
+/** Per-controller statistics. */
+struct ControllerStats
+{
+    stats::Counter loads;
+    stats::Counter stores;
+    stats::Counter hits;
+    /** Completed communication (network) transactions. */
+    stats::Counter transactions;
+    /** Protocol messages sent into the network. */
+    stats::Counter messages_sent;
+    /** Latency of communication transactions, in ticks. */
+    stats::Accumulator txn_latency;
+    /** Messages on the critical path, per transaction. */
+    stats::Accumulator critical_messages;
+    /** Issue-to-issue spacing of communication transactions (ticks). */
+    stats::Accumulator txn_spacing;
+    stats::Counter evictions;
+    stats::Counter writebacks;
+    /** LimitLESS software-directory traps at this home. */
+    stats::Counter limitless_traps;
+};
+
+/** The memory-side controller for one node. */
+class CacheController : public sim::Clocked
+{
+  public:
+    using CompletionFn = std::function<void(const MemResponse &)>;
+
+    /**
+     * @param engine shared simulation engine (for timestamps).
+     * @param network fabric this node attaches to.
+     * @param transport shared protocol-message transport.
+     * @param node this controller's node id.
+     * @param config protocol timing/sizing knobs.
+     * @param ticks_per_cycle engine ticks per processor cycle.
+     */
+    CacheController(sim::Engine &engine, net::Network &network,
+                    ProtoTransport &transport, sim::NodeId node,
+                    const ProtocolConfig &config,
+                    std::uint32_t ticks_per_cycle);
+
+    /**
+     * Synchronous cache probe for the processor's issue stage: if the
+     * access hits (load in any valid state; store in Modified), apply
+     * it and return the response immediately. Misses return nullopt
+     * and must be submitted via request(). Models the processor's
+     * direct cache path, which does not contend with the controller.
+     */
+    std::optional<MemResponse> tryFastPath(const MemRequest &req);
+
+    /**
+     * Submit a processor request. The completion callback fires when
+     * the access is satisfied (possibly the same tick for hits).
+     * At most one request per context may be outstanding.
+     */
+    void request(const MemRequest &req, CompletionFn done);
+
+    void tick(sim::Tick now) override;
+
+    const ControllerStats &stats() const { return stats_; }
+    ControllerStats &stats() { return stats_; }
+
+    /**
+     * Attach a protocol tracer (nullptr to detach). Not owned; must
+     * outlive the controller while attached.
+     */
+    void setTracer(ProtocolTracer *tracer) { tracer_ = tracer; }
+
+    const Cache &cache() const { return cache_; }
+    const Directory &directory() const { return directory_; }
+    sim::NodeId node() const { return node_; }
+
+    /** True if no transaction is outstanding at this node. */
+    bool quiescent() const;
+
+  private:
+    /** Requester-side outstanding miss. */
+    struct Mshr
+    {
+        MemRequest req;
+        CompletionFn done;
+        sim::Tick issued = 0;
+        /** Requests for the same line arriving while busy. */
+        std::deque<std::pair<MemRequest, CompletionFn>> deferred;
+    };
+
+    /** Home-side transient for one line. */
+    struct HomeTxn
+    {
+        enum class Kind {
+            RemoteRead,   //!< GetS needing a Fetch
+            RemoteWrite,  //!< GetX needing Invs or a FetchInv
+            LocalRead,    //!< local load needing a Fetch
+            LocalWrite,   //!< local store needing Invs or FetchInv
+        };
+        Kind kind = Kind::RemoteRead;
+        sim::NodeId requester = sim::kNodeNone;
+        int pending_acks = 0;
+        bool waiting_fetch = false;
+        /** Deferred same-line requests from the network. */
+        std::deque<ProtoMsg> deferred;
+        /** Deferred same-line local requests. */
+        std::deque<std::pair<MemRequest, CompletionFn>> local_deferred;
+        /** For Local* kinds: the processor request being served. */
+        MemRequest local_req;
+        CompletionFn local_done;
+        /** Issue tick of the local transaction (for latency stats). */
+        sim::Tick issued = 0;
+    };
+
+    void handleProcessorRequest(const MemRequest &req,
+                                CompletionFn done);
+    void handleProtocolMessage(const ProtoMsg &msg);
+
+    // Requester-side handlers.
+    void startMiss(const MemRequest &req, CompletionFn done);
+    void handleGrant(const ProtoMsg &msg, bool exclusive);
+    void handleInv(const ProtoMsg &msg);
+    void handleFetch(const ProtoMsg &msg, bool invalidate);
+
+    // Home-side handlers.
+    void homeGetS(const ProtoMsg &msg);
+    void homeGetX(const ProtoMsg &msg);
+    void homeInvAck(const ProtoMsg &msg);
+    void homeFetchReply(const ProtoMsg &msg, bool is_putx);
+    void homeLocalAccess(const MemRequest &req, CompletionFn done);
+    void completeHomeTxn(Addr line, HomeTxn &txn);
+    void finishLocalTxn(HomeTxn &txn, std::uint64_t value);
+    void releaseHomeTxn(Addr line);
+    void recordTxnIssue();
+
+    /**
+     * Invalidate all sharers of a home entry other than @p keep;
+     * returns the number of Inv messages sent (self-invalidations are
+     * performed directly).
+     */
+    int invalidateSharers(DirEntry &entry, Addr addr,
+                          sim::NodeId keep);
+
+    /** Send a protocol message, after @p delay_cycles proc cycles. */
+    void send(sim::NodeId dst, MsgType type, Addr addr,
+              std::uint64_t data, sim::NodeId requester,
+              std::uint32_t delay_cycles, int critical = 0);
+
+    /** Install a fill, handling any writeback of the victim. */
+    void fillLine(Addr addr, CacheState state, std::uint64_t data);
+
+    /**
+     * Charge the LimitLESS software trap if this entry has overflowed
+     * the hardware pointers; returns the extra reply delay in
+     * processor cycles (0 when within the hardware limit).
+     */
+    std::uint32_t overflowPenalty(const DirEntry &entry);
+
+    /** Complete a requester-side transaction and retry deferrals. */
+    void finishMshr(Addr line, std::uint64_t load_value);
+
+    void busyFor(std::uint32_t cycles);
+
+    sim::Engine &engine_;
+    net::Network &network_;
+    ProtoTransport &transport_;
+    sim::NodeId node_;
+    ProtocolConfig config_;
+    std::uint32_t ticks_per_cycle_;
+
+    Cache cache_;
+    Directory directory_;
+
+    std::deque<ProtoMsg> inbox_;
+    std::deque<std::pair<MemRequest, CompletionFn>> proc_queue_;
+    struct StagedSend
+    {
+        sim::Tick ready = 0;
+        net::Message msg;
+    };
+    std::deque<StagedSend> outbox_;
+
+    std::unordered_map<Addr, Mshr> mshrs_;
+    std::unordered_map<Addr, HomeTxn> home_txns_;
+
+    sim::Tick busy_until_ = 0;
+    sim::Tick last_txn_issue_ = sim::kTickNever;
+    ProtocolTracer *tracer_ = nullptr;
+
+    ControllerStats stats_;
+};
+
+} // namespace coher
+} // namespace locsim
+
+#endif // LOCSIM_COHER_CONTROLLER_HH_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Directory implementation.
+ */
+
+#include "coher/directory.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace coher {
+
+DirEntry &
+Directory::entry(Addr addr)
+{
+    LOCSIM_ASSERT(homeOf(addr) == home_,
+                  "directory access for a line homed elsewhere: node ",
+                  home_, " asked about home ", homeOf(addr));
+    return entries_[lineOf(addr)];
+}
+
+const DirEntry *
+Directory::find(Addr addr) const
+{
+    auto it = entries_.find(lineOf(addr));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+Directory::addSharer(DirEntry &entry, sim::NodeId node)
+{
+    if (!isSharer(entry, node))
+        entry.sharers.push_back(node);
+}
+
+void
+Directory::removeSharer(DirEntry &entry, sim::NodeId node)
+{
+    entry.sharers.erase(
+        std::remove(entry.sharers.begin(), entry.sharers.end(), node),
+        entry.sharers.end());
+}
+
+bool
+Directory::isSharer(const DirEntry &entry, sim::NodeId node)
+{
+    return std::find(entry.sharers.begin(), entry.sharers.end(),
+                     node) != entry.sharers.end();
+}
+
+} // namespace coher
+} // namespace locsim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The full-map directory kept at each line's home node.
+ *
+ * Tracks which nodes hold each home line and in what state, plus the
+ * backing memory word used for end-to-end verification. Transient
+ * (busy) bookkeeping lives in the controller; the directory itself
+ * stores only stable sharing state.
+ */
+
+#ifndef LOCSIM_COHER_DIRECTORY_HH_
+#define LOCSIM_COHER_DIRECTORY_HH_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "coher/protocol.hh"
+
+namespace locsim {
+namespace coher {
+
+/** Stable directory states for one home line. */
+enum class DirState : std::uint8_t {
+    Uncached,   //!< no remote copies; memory is current
+    Shared,     //!< one or more read copies; memory is current
+    Exclusive,  //!< one Modified copy at `owner`; memory is stale
+};
+
+/** Directory entry for one home line. */
+struct DirEntry
+{
+    DirState state = DirState::Uncached;
+    std::vector<sim::NodeId> sharers; //!< valid when Shared
+    sim::NodeId owner = sim::kNodeNone; //!< valid when Exclusive
+    std::uint64_t memory = 0; //!< backing memory word
+};
+
+/** Per-node directory + memory for the lines homed there. */
+class Directory
+{
+  public:
+    explicit Directory(sim::NodeId home) : home_(home) {}
+
+    /** The node this directory belongs to. */
+    sim::NodeId home() const { return home_; }
+
+    /**
+     * Access (and create on demand) the entry for a line.
+     *
+     * @pre homeOf(addr) == home().
+     */
+    DirEntry &entry(Addr addr);
+
+    /** Read-only lookup; returns nullptr for never-touched lines. */
+    const DirEntry *find(Addr addr) const;
+
+    /** Add a sharer if absent. */
+    static void addSharer(DirEntry &entry, sim::NodeId node);
+
+    /** Remove a sharer if present. */
+    static void removeSharer(DirEntry &entry, sim::NodeId node);
+
+    /** True if @p node is recorded as a sharer. */
+    static bool isSharer(const DirEntry &entry, sim::NodeId node);
+
+    /** Number of entries materialized (diagnostics). */
+    std::size_t entryCount() const { return entries_.size(); }
+
+  private:
+    sim::NodeId home_;
+    std::unordered_map<Addr, DirEntry> entries_;
+};
+
+} // namespace coher
+} // namespace locsim
+
+#endif // LOCSIM_COHER_DIRECTORY_HH_

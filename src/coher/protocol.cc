@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Protocol helper implementations.
+ */
+
+#include "coher/protocol.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace coher {
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::GetS:
+        return "GetS";
+      case MsgType::GetX:
+        return "GetX";
+      case MsgType::DataS:
+        return "DataS";
+      case MsgType::DataX:
+        return "DataX";
+      case MsgType::Inv:
+        return "Inv";
+      case MsgType::InvAck:
+        return "InvAck";
+      case MsgType::Fetch:
+        return "Fetch";
+      case MsgType::FetchInv:
+        return "FetchInv";
+      case MsgType::FetchReply:
+        return "FetchReply";
+      case MsgType::PutX:
+        return "PutX";
+    }
+    LOCSIM_PANIC("unknown message type");
+}
+
+bool
+carriesData(MsgType type)
+{
+    switch (type) {
+      case MsgType::DataS:
+      case MsgType::DataX:
+      case MsgType::FetchReply:
+      case MsgType::PutX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace coher
+} // namespace locsim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Protocol tracer implementations.
+ */
+
+#include "coher/tracer.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace locsim {
+namespace coher {
+
+std::string
+formatTraceEvent(const TraceEvent &event)
+{
+    std::ostringstream oss;
+    oss << event.when << " node " << event.node << ' '
+        << (event.dir == TraceEvent::Dir::Send ? "send" : "handle")
+        << ' ' << msgTypeName(event.type) << " line "
+        << lineIndexOf(event.addr) << '@' << homeOf(event.addr)
+        << (event.dir == TraceEvent::Dir::Send ? " -> " : " <- ")
+        << event.peer;
+    return oss.str();
+}
+
+RingTracer::RingTracer(std::size_t capacity) : capacity_(capacity) {}
+
+void
+RingTracer::record(const TraceEvent &event)
+{
+    if (events_.size() == capacity_) {
+        events_.pop_front();
+        ++dropped_;
+    }
+    events_.push_back(event);
+}
+
+std::vector<TraceEvent>
+RingTracer::eventsForLine(Addr addr) const
+{
+    std::vector<TraceEvent> out;
+    const Addr line = lineOf(addr);
+    for (const TraceEvent &event : events_) {
+        if (lineOf(event.addr) == line)
+            out.push_back(event);
+    }
+    return out;
+}
+
+void
+RingTracer::print(std::ostream &os) const
+{
+    for (const TraceEvent &event : events_)
+        os << formatTraceEvent(event) << '\n';
+}
+
+void
+RingTracer::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+}
+
+CsvTracer::CsvTracer(std::ostream &os) : os_(os) {}
+
+void
+CsvTracer::record(const TraceEvent &event)
+{
+    if (!wrote_header_) {
+        os_ << "tick,node,dir,type,home,line,peer\n";
+        wrote_header_ = true;
+    }
+    os_ << event.when << ',' << event.node << ','
+        << (event.dir == TraceEvent::Dir::Send ? "send" : "handle")
+        << ',' << msgTypeName(event.type) << ','
+        << homeOf(event.addr) << ',' << lineIndexOf(event.addr)
+        << ',' << event.peer << '\n';
+}
+
+} // namespace coher
+} // namespace locsim

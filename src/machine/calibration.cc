@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Calibration implementation.
+ */
+
+#include "machine/calibration.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace machine {
+
+model::NodeModel
+nodeModelFromMeasurement(const Measurement &m, int contexts,
+                         double net_clock_ratio)
+{
+    LOCSIM_ASSERT(contexts >= 1, "bad context count");
+    LOCSIM_ASSERT(m.transactions > 0,
+                  "cannot calibrate from an empty measurement");
+
+    // Measurement quantities are in network cycles; the model's
+    // parameter convention is processor cycles.
+    model::ApplicationParams app;
+    app.run_length = m.run_length / net_clock_ratio;
+    app.contexts = contexts;
+    app.switch_time = contexts > 1
+                          ? m.switch_overhead / net_clock_ratio
+                          : 0.0;
+
+    model::TransactionParams txn;
+    txn.critical_messages = m.critical_messages;
+    txn.messages_per_txn = m.messages_per_txn;
+    txn.fixed_overhead = m.fitted_fixed_overhead / net_clock_ratio;
+
+    return model::NodeModel(
+        model::ApplicationModel(app, net_clock_ratio),
+        model::TransactionModel(txn, net_clock_ratio));
+}
+
+model::Prediction
+predictFromMeasurement(const Measurement &m, int contexts,
+                       double distance, int network_dims,
+                       bool node_channels, double net_clock_ratio)
+{
+    model::NetworkParams network;
+    network.dims = network_dims;
+    network.message_flits = m.avg_flits;
+    network.node_channel_contention = node_channels;
+
+    model::CombinedModel combined(
+        nodeModelFromMeasurement(m, contexts, net_clock_ratio),
+        model::TorusNetworkModel(network), distance);
+    return combined.solve();
+}
+
+double
+impliedSensitivity(const Measurement &m)
+{
+    LOCSIM_ASSERT(m.critical_messages > 0.0 &&
+                      m.inter_message_time > 0.0,
+                  "measurement lacks message statistics");
+    const double intercept =
+        (m.run_length + m.switch_overhead + m.fitted_fixed_overhead) /
+        m.critical_messages;
+    return (m.message_latency + intercept) / m.inter_message_time;
+}
+
+} // namespace machine
+} // namespace locsim

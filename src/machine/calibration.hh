@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Measurement-to-model calibration: the paper's Section 3.3
+ * methodology as a library function. Given a Measurement from the
+ * cycle-level machine, build the node model from the *measured*
+ * application parameters (a-priori B and g, measured c and T_r,
+ * fitted T_f, measured per-transaction switch charge) and predict the
+ * operating point with the combined model. Figures 4 and 5 are
+ * exactly "predictFromMeasurement vs the simulation it came from".
+ */
+
+#ifndef LOCSIM_MACHINE_CALIBRATION_HH_
+#define LOCSIM_MACHINE_CALIBRATION_HH_
+
+#include "machine/machine.hh"
+#include "model/combined_model.hh"
+#include "model/node_model.hh"
+
+namespace locsim {
+namespace machine {
+
+/**
+ * Node model implied by a measurement.
+ *
+ * @param m the measurement window's results.
+ * @param contexts hardware contexts the machine ran with.
+ * @param net_clock_ratio network cycles per processor cycle of the
+ *        measured machine (Measurement times are network cycles).
+ */
+model::NodeModel nodeModelFromMeasurement(const Measurement &m,
+                                          int contexts,
+                                          double net_clock_ratio = 2.0);
+
+/**
+ * Combined-model prediction at the measured communication distance
+ * (or any other distance), using the measured parameters.
+ *
+ * @param distance average communication distance to predict at;
+ *        usually m.avg_hops.
+ * @param node_channels include the node-channel contention extension
+ *        (the paper's modeled values do).
+ */
+model::Prediction
+predictFromMeasurement(const Measurement &m, int contexts,
+                       double distance, int network_dims = 2,
+                       bool node_channels = true,
+                       double net_clock_ratio = 2.0);
+
+/**
+ * The per-run implied latency sensitivity: s such that the measured
+ * (t_m, T_m) point lies on the Equation 9 curve with this run's own
+ * intercept. Controls for the cross-run intercept drift that flattens
+ * naive Figure 3 fits (see EXPERIMENTS.md).
+ */
+double impliedSensitivity(const Measurement &m);
+
+} // namespace machine
+} // namespace locsim
+
+#endif // LOCSIM_MACHINE_CALIBRATION_HH_

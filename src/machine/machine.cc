@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Machine implementation.
+ */
+
+#include "machine/machine.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace machine {
+
+Machine::Machine(const MachineConfig &config,
+                 const workload::Mapping &mapping)
+    : config_(config), mapping_(mapping)
+{
+    LOCSIM_ASSERT(config.contexts >= 1 &&
+                      config.contexts <=
+                          static_cast<int>(workload::kMaxInstances),
+                  "context count out of range");
+    LOCSIM_ASSERT(config.net_clock_ratio >= 1, "bad clock ratio");
+
+    net::NetworkConfig net_config;
+    net_config.radix = config.radix;
+    net_config.dims = config.dims;
+    net_config.wraparound = config.wraparound;
+    net_config.router = config.router;
+    network_ = std::make_unique<net::Network>(engine_, net_config);
+    engine_.addClocked(network_.get(), 1);
+
+    const net::TorusTopology &topo = network_->topology();
+    LOCSIM_ASSERT(mapping_.size() == topo.nodeCount(),
+                  "mapping size must match the machine size");
+
+    const sim::NodeId nodes = topo.nodeCount();
+    controllers_.reserve(nodes);
+    processors_.reserve(nodes);
+
+    proc::ProcessorConfig proc_config = config.processor;
+    proc_config.contexts = config.contexts;
+
+    for (sim::NodeId node = 0; node < nodes; ++node) {
+        controllers_.push_back(std::make_unique<coher::CacheController>(
+            engine_, *network_, transport_, node, config.protocol,
+            config.net_clock_ratio));
+        engine_.addClocked(controllers_.back().get(),
+                           config.net_clock_ratio);
+
+        std::vector<proc::ThreadProgram *> node_programs;
+        const std::uint32_t thread = mapping_.threadAt(node);
+        for (int ctx = 0; ctx < config.contexts; ++ctx) {
+            const auto instance = static_cast<std::uint32_t>(ctx);
+            switch (config.workload) {
+              case WorkloadKind::TorusNeighbor:
+                programs_.push_back(
+                    std::make_unique<workload::TorusNeighborProgram>(
+                        topo, mapping_, instance, thread,
+                        config.app));
+                break;
+              case WorkloadKind::UniformRandom:
+                programs_.push_back(
+                    std::make_unique<workload::UniformRemoteProgram>(
+                        topo, mapping_, instance, thread,
+                        config.uniform_app));
+                break;
+              case WorkloadKind::Graph:
+                LOCSIM_ASSERT(config.graph != nullptr,
+                              "Graph workload needs a CommGraph");
+                programs_.push_back(
+                    std::make_unique<workload::GraphNeighborProgram>(
+                        *config.graph, mapping_, instance, thread,
+                        config.app));
+                break;
+            }
+            node_programs.push_back(programs_.back().get());
+        }
+        processors_.push_back(std::make_unique<proc::Processor>(
+            *controllers_.back(), proc_config, node_programs));
+        engine_.addClocked(processors_.back().get(),
+                           config.net_clock_ratio);
+    }
+}
+
+Machine::~Machine() = default;
+
+double
+Machine::mappingDistance() const
+{
+    return mapping_.averageNeighborDistance(network_->topology());
+}
+
+coher::CacheController &
+Machine::controller(sim::NodeId node)
+{
+    return *controllers_[node];
+}
+
+const workload::TorusNeighborProgram &
+Machine::program(sim::NodeId node, int context) const
+{
+    const auto *program =
+        dynamic_cast<const workload::TorusNeighborProgram *>(
+            programs_[node * static_cast<sim::NodeId>(
+                                 config_.contexts) +
+                      static_cast<sim::NodeId>(context)]
+                .get());
+    LOCSIM_ASSERT(program != nullptr,
+                  "program() requires the torus-neighbour workload");
+    return *program;
+}
+
+void
+Machine::resetStats()
+{
+    network_->resetStats();
+    for (auto &controller : controllers_)
+        controller->stats() = coher::ControllerStats{};
+    for (auto &processor : processors_)
+        processor->resetStats();
+}
+
+Measurement
+Machine::run(std::uint64_t warmup, std::uint64_t window)
+{
+    const std::uint64_t ratio = config_.net_clock_ratio;
+    engine_.run(warmup * ratio);
+    resetStats();
+    const sim::Tick start = engine_.now();
+    engine_.run(window * ratio);
+    const double elapsed = static_cast<double>(engine_.now() - start);
+
+    Measurement m;
+    m.window = elapsed;
+
+    const double nodes =
+        static_cast<double>(network_->topology().nodeCount());
+
+    stats::Accumulator txn_latency, critical;
+    std::uint64_t txns = 0, hits = 0, accesses = 0;
+    for (const auto &controller : controllers_) {
+        const coher::ControllerStats &cs = controller->stats();
+        txns += cs.transactions.value();
+        txn_latency.merge(cs.txn_latency);
+        critical.merge(cs.critical_messages);
+        hits += cs.hits.value();
+        accesses += cs.loads.value() + cs.stores.value();
+    }
+    std::uint64_t idle_cycles = 0, switch_cycles = 0;
+    for (const auto &processor : processors_) {
+        idle_cycles += processor->stats().idle_cycles.value();
+        switch_cycles += processor->stats().switch_cycles.value();
+    }
+    // Busy processor cycles: everything except memory stalls and
+    // context switches. This is the effective per-transaction run
+    // length the application model calls T_r (it includes issue and
+    // resume overhead and hit service, which are useful work from
+    // the model's perspective).
+    const std::uint64_t total_proc_cycles =
+        window * network_->topology().nodeCount();
+    const std::uint64_t busy_cycles =
+        total_proc_cycles - idle_cycles - switch_cycles;
+
+    const net::NetworkStats &ns = network_->stats();
+    m.transactions = txns;
+    m.messages = ns.messages_sent;
+
+    if (txns > 0) {
+        m.inter_txn_time = elapsed * nodes / static_cast<double>(txns);
+        m.txn_rate = 1.0 / m.inter_txn_time;
+        m.txn_latency = txn_latency.mean();
+        m.messages_per_txn =
+            static_cast<double>(m.messages) / static_cast<double>(txns);
+        m.critical_messages = critical.mean();
+        m.run_length = static_cast<double>(busy_cycles) *
+                       static_cast<double>(ratio) /
+                       static_cast<double>(txns);
+        m.switch_overhead = static_cast<double>(switch_cycles) *
+                            static_cast<double>(ratio) /
+                            static_cast<double>(txns);
+    }
+    if (m.messages > 0) {
+        m.inter_message_time =
+            elapsed * nodes / static_cast<double>(m.messages);
+        m.message_rate = 1.0 / m.inter_message_time;
+        m.message_latency = ns.latency.mean();
+        m.message_latency_p50 = ns.latency_hist.quantile(0.5);
+        m.message_latency_p95 = ns.latency_hist.quantile(0.95);
+        m.source_queue_wait = ns.source_queue.mean();
+        m.avg_hops = ns.hops.mean();
+    }
+    m.utilization = network_->channelUtilization();
+    m.fitted_fixed_overhead =
+        m.txn_latency - m.critical_messages * m.message_latency;
+    if (accesses > 0) {
+        m.hit_rate =
+            static_cast<double>(hits) / static_cast<double>(accesses);
+    }
+
+    m.avg_flits = ns.flits.mean();
+
+    std::uint64_t iterations = 0, violations = 0;
+    for (const auto &program : programs_) {
+        if (const auto *torus =
+                dynamic_cast<const workload::TorusNeighborProgram *>(
+                    program.get())) {
+            iterations += torus->iterations();
+            violations += torus->violations();
+        } else if (const auto *graph_app = dynamic_cast<
+                       const workload::GraphNeighborProgram *>(
+                       program.get())) {
+            iterations += graph_app->iterations();
+            violations += graph_app->violations();
+        }
+    }
+    m.iterations = iterations;
+    m.violations = violations;
+    return m;
+}
+
+} // namespace machine
+} // namespace locsim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Full-machine assembly: the Alewife-like multiprocessor of
+ * Section 3.1. One object wires the cycle engine, the torus network
+ * (network clock), and per-node cache controllers and block-
+ * multithreaded processors (processor clock, half the network clock
+ * by default), runs the synthetic application, and produces the
+ * measurements the paper's validation figures plot (t_m, T_m, t_t,
+ * T_t, d, rho, and the fitted transaction-model constants).
+ */
+
+#ifndef LOCSIM_MACHINE_MACHINE_HH_
+#define LOCSIM_MACHINE_MACHINE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coher/controller.hh"
+#include "net/network.hh"
+#include "proc/processor.hh"
+#include "sim/engine.hh"
+#include "workload/comm_graph.hh"
+#include "workload/graph_app.hh"
+#include "workload/mapping.hh"
+#include "workload/torus_app.hh"
+#include "workload/uniform_app.hh"
+
+namespace locsim {
+namespace machine {
+
+/** Which synthetic application the machine runs. */
+enum class WorkloadKind {
+    /** Section 3.2's nearest-neighbour application (the default). */
+    TorusNeighbor,
+    /** Uniform-random communication: no physical locality at all. */
+    UniformRandom,
+    /**
+     * The nearest-neighbour loop over an arbitrary communication
+     * graph supplied in MachineConfig::graph.
+     */
+    Graph,
+};
+
+/** Full-machine configuration. */
+struct MachineConfig
+{
+    /** Torus shape (Section 3: radix-8, 2-D, 64 nodes). */
+    int radix = 8;
+    int dims = 2;
+    /** Torus (the paper's simulations) or mesh (physical Alewife). */
+    bool wraparound = true;
+
+    /** Hardware contexts per processor (1, 2, or 4 in the paper). */
+    int contexts = 1;
+
+    /**
+     * Network clock ticks per processor cycle ("network switches are
+     * clocked twice as fast as processors").
+     */
+    std::uint32_t net_clock_ratio = 2;
+
+    proc::ProcessorConfig processor;
+    coher::ProtocolConfig protocol;
+    net::RouterConfig router;
+
+    WorkloadKind workload = WorkloadKind::TorusNeighbor;
+    workload::TorusAppConfig app;
+    workload::UniformAppConfig uniform_app;
+    /** Required when workload == WorkloadKind::Graph. */
+    std::shared_ptr<const workload::CommGraph> graph;
+};
+
+/**
+ * Measurements over one window, all times in network cycles
+ * (simulation ticks). Naming follows the paper's nomenclature
+ * (Appendix A).
+ */
+struct Measurement
+{
+    double window = 0.0;           //!< measurement length, net cycles
+    std::uint64_t transactions = 0;
+    std::uint64_t messages = 0;
+
+    double inter_txn_time = 0.0;   //!< t_t (per node)
+    double txn_latency = 0.0;      //!< T_t (mean)
+    double txn_rate = 0.0;         //!< r_t = 1/t_t
+    double inter_message_time = 0.0; //!< t_m (per node)
+    double message_latency = 0.0;  //!< T_m (mean, network portion)
+    double message_latency_p50 = 0.0; //!< median network latency
+    double message_latency_p95 = 0.0; //!< 95th-percentile latency
+    double message_rate = 0.0;     //!< r_m = 1/t_m
+    double source_queue_wait = 0.0; //!< mean wait before injection
+    double avg_hops = 0.0;         //!< measured d
+    double utilization = 0.0;      //!< measured rho
+    double avg_flits = 0.0;        //!< measured B
+
+    double messages_per_txn = 0.0; //!< measured g
+    double critical_messages = 0.0; //!< measured c
+    /**
+     * Measured effective T_r per transaction in network cycles: all
+     * non-idle, non-switch processor time (useful work, issue/resume
+     * overhead, and hit service) divided by transactions.
+     */
+    double run_length = 0.0;
+    /** Context-switch cycles per transaction, network cycles. */
+    double switch_overhead = 0.0;
+    /** T_f fitted as mean(T_t) - c*mean(T_m). */
+    double fitted_fixed_overhead = 0.0;
+
+    double hit_rate = 0.0;
+    std::uint64_t iterations = 0;  //!< app loop iterations completed
+    std::uint64_t violations = 0;  //!< coherence-order violations
+};
+
+/** The assembled machine. */
+class Machine
+{
+  public:
+    /**
+     * @param config machine knobs.
+     * @param mapping thread placement (copied).
+     */
+    Machine(const MachineConfig &config,
+            const workload::Mapping &mapping);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** Average communication distance implied by the mapping. */
+    double mappingDistance() const;
+
+    /**
+     * Run @p warmup processor cycles, reset statistics, run
+     * @p window processor cycles, and report measurements.
+     */
+    Measurement run(std::uint64_t warmup, std::uint64_t window);
+
+    const MachineConfig &config() const { return config_; }
+    sim::Engine &engine() { return engine_; }
+    net::Network &network() { return *network_; }
+    coher::CacheController &controller(sim::NodeId node);
+
+    /**
+     * The torus-neighbour program of (node, context).
+     * @pre config().workload == WorkloadKind::TorusNeighbor.
+     */
+    const workload::TorusNeighborProgram &
+    program(sim::NodeId node, int context) const;
+
+  private:
+    void resetStats();
+
+    MachineConfig config_;
+    workload::Mapping mapping_;
+    sim::Engine engine_;
+    std::unique_ptr<net::Network> network_;
+    coher::ProtoTransport transport_;
+    std::vector<std::unique_ptr<coher::CacheController>> controllers_;
+    std::vector<std::unique_ptr<proc::ThreadProgram>> programs_;
+    std::vector<std::unique_ptr<proc::Processor>> processors_;
+};
+
+} // namespace machine
+} // namespace locsim
+
+#endif // LOCSIM_MACHINE_MACHINE_HH_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Canonical parameter sets for the paper's validation platform: the
+ * MIT Alewife-like architecture of Section 3 and the synthetic
+ * nearest-neighbour application of Section 3.2.
+ *
+ * Calibration (see DESIGN.md "Equation provenance"): the paper fixes
+ * B = 12 flits, g = 3.2 messages/transaction, c = 2 critical
+ * messages, network switches at twice the processor clock, and an
+ * 11-cycle context switch. The computation grain T_r and fixed
+ * overhead T_f are chosen to satisfy the paper's stated anchors:
+ * fixed transaction overhead is two-thirds of the total fixed
+ * component and corresponds to 1-1.5 us at 33-40 MHz (Section 4.2),
+ * reproducing the headline results (gain ~2 at 1,000 processors,
+ * ~40 at 10^6 for the single-context application; limiting per-hop
+ * latency ~9.8 network cycles at s = 3.26).
+ */
+
+#ifndef LOCSIM_MODEL_ALEWIFE_HH_
+#define LOCSIM_MODEL_ALEWIFE_HH_
+
+#include "model/locality.hh"
+#include "model/parameters.hh"
+
+namespace locsim {
+namespace model {
+
+/**
+ * Application parameters for the Section 3.2 synthetic application.
+ *
+ * @param contexts hardware contexts in use (1, 2, or 4 on Sparcle).
+ */
+ApplicationParams sectionThreeApplication(double contexts);
+
+/** Transaction parameters measured for the LimitLESS-style protocol. */
+TransactionParams alewifeTransaction();
+
+/**
+ * Machine parameters for an Alewife-like system.
+ *
+ * @param processors machine size N (64 in the validation runs).
+ * @param model_node_channels include the node-channel contention
+ *        extension (on for validation against the simulator, where it
+ *        contributes the paper's "two to five network cycles"; the
+ *        large-scale analyses of Section 4 are insensitive to it).
+ */
+MachineParams alewifeMachine(double processors,
+                             bool model_node_channels = true);
+
+/**
+ * A complete study configuration for the Section 3 platform.
+ */
+StudyConfig alewifeStudy(double contexts, double processors,
+                         bool model_node_channels = true);
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_ALEWIFE_HH_

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ApplicationModel implementation.
+ */
+
+#include "model/application_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace model {
+
+ApplicationModel::ApplicationModel(const ApplicationParams &params,
+                                   double net_clock_ratio)
+    : run_length_(params.run_length * net_clock_ratio),
+      switch_time_(params.switch_time * net_clock_ratio),
+      contexts_(params.contexts)
+{
+    LOCSIM_ASSERT(params.run_length > 0.0,
+                  "run length must be positive");
+    LOCSIM_ASSERT(params.switch_time >= 0.0,
+                  "switch time cannot be negative");
+    LOCSIM_ASSERT(params.contexts >= 1.0,
+                  "need at least one context, got ", params.contexts);
+    LOCSIM_ASSERT(net_clock_ratio > 0.0,
+                  "clock ratio must be positive");
+}
+
+double
+ApplicationModel::exposedSwitchTime() const
+{
+    return contexts_ > 1.0 ? switch_time_ : 0.0;
+}
+
+bool
+ApplicationModel::latencyMasked(double txn_latency) const
+{
+    // Continuous form of Equation 3: the other p-1 contexts each
+    // occupy T_s + T_r of processor time before this thread's turn
+    // returns.
+    return txn_latency <
+           (contexts_ - 1.0) * (run_length_ + switch_time_);
+}
+
+double
+ApplicationModel::minInterTransactionTime() const
+{
+    return run_length_ + switch_time_;
+}
+
+double
+ApplicationModel::interTransactionTime(double txn_latency) const
+{
+    LOCSIM_ASSERT(txn_latency >= 0.0, "negative transaction latency");
+    // Exposed mode (Equation 5 plus the switch-in refinement). For
+    // p == 1 this is exactly Equation 1.
+    const double exposed =
+        (txn_latency + run_length_ + exposedSwitchTime()) / contexts_;
+    // The masked-mode floor (Equation 4) meets the exposed line
+    // exactly at the latencyMasked() boundary.
+    if (contexts_ > 1.0)
+        return std::max(exposed, minInterTransactionTime());
+    return exposed;
+}
+
+double
+ApplicationModel::transactionLatencyFor(double issue_time) const
+{
+    return contexts_ * issue_time - run_length_ -
+           exposedSwitchTime();
+}
+
+} // namespace model
+} // namespace locsim

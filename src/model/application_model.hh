@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The application model (paper Section 2.1).
+ *
+ * Describes per-processor behavior as a relationship between the
+ * average inter-transaction issue time t_t and the average
+ * transaction latency T_t (the "application transaction curve"):
+ *
+ *   single context (Eq 1/2):   t_t = T_r + T_t
+ *   p contexts, masked mode (Eq 3/4):
+ *       T_t small enough       =>  t_t = T_r + T_s
+ *   p contexts, exposed mode (Eq 5/6):
+ *       t_t = (T_t + T_r + T_s) / p
+ *
+ * Refinement over the paper's Equation 5 (which writes
+ * t_t = (T_t + T_r)/p): each transaction also costs the switch-in
+ * time T_s of serial processor work, so the exposed-mode period per
+ * thread is T_t + T_r + T_s. This makes the two modes continuous at
+ * the boundary T_t = (p-1)(T_r + T_s) and matches the cycle-level
+ * simulator; it leaves the curve's slope (and hence the latency
+ * sensitivity s) unchanged, only shifting the intercept. For a single
+ * context no switching occurs and Equation 1 is exact.
+ *
+ * All quantities here are in network cycles; the constructor converts
+ * from the processor-cycle parameter convention.
+ */
+
+#ifndef LOCSIM_MODEL_APPLICATION_MODEL_HH_
+#define LOCSIM_MODEL_APPLICATION_MODEL_HH_
+
+#include "model/parameters.hh"
+
+namespace locsim {
+namespace model {
+
+/** The application transaction curve t_t(T_t) and its inverse. */
+class ApplicationModel
+{
+  public:
+    /**
+     * @param params application parameters in processor cycles.
+     * @param net_clock_ratio network cycles per processor cycle, used
+     *        to express the curve in network cycles.
+     */
+    ApplicationModel(const ApplicationParams &params,
+                     double net_clock_ratio);
+
+    /** T_r in network cycles. */
+    double runLength() const { return run_length_; }
+
+    /** T_s in network cycles. */
+    double switchTime() const { return switch_time_; }
+
+    /** p, the degree of multithreading. */
+    double contexts() const { return contexts_; }
+
+    /**
+     * Average inter-transaction issue time for a given average
+     * transaction latency (network cycles). Includes the masked-mode
+     * floor of Equation 4.
+     */
+    double interTransactionTime(double txn_latency) const;
+
+    /**
+     * True if transactions of the given latency are fully masked by
+     * multithreading: T_t < (p-1)(T_r + T_s), the continuous form of
+     * Equation 3's condition.
+     */
+    bool latencyMasked(double txn_latency) const;
+
+    /**
+     * Switch time charged per transaction in exposed mode: T_s for
+     * multithreaded processors, 0 for a single context (which stalls
+     * in place rather than switching).
+     */
+    double exposedSwitchTime() const;
+
+    /**
+     * Minimum achievable inter-transaction issue time (Equation 4):
+     * T_r + T_s network cycles.
+     */
+    double minInterTransactionTime() const;
+
+    /**
+     * Inverse of the exposed-mode curve: the transaction latency that
+     * would produce the given inter-transaction time (Equation 6).
+     *
+     * @pre issue_time >= minInterTransactionTime() is not required;
+     *      this is the raw linear relation T_t = p*t_t - T_r.
+     */
+    double transactionLatencyFor(double issue_time) const;
+
+    /**
+     * Slope of the application transaction curve, dT_t/dt_t = p.
+     * Greater slope means less sensitivity to latency increases.
+     */
+    double transactionCurveSlope() const { return contexts_; }
+
+  private:
+    double run_length_;   // network cycles
+    double switch_time_;  // network cycles
+    double contexts_;
+};
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_APPLICATION_MODEL_HH_

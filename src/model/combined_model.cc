@@ -1,0 +1,203 @@
+/**
+ * @file
+ * CombinedModel implementation.
+ */
+
+#include "model/combined_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace locsim {
+namespace model {
+
+CombinedModel::CombinedModel(NodeModel node, TorusNetworkModel network,
+                             double avg_distance,
+                             bool enforce_issue_floor)
+    : node_(node), network_(network), distance_(avg_distance),
+      enforce_floor_(enforce_issue_floor)
+{
+    LOCSIM_ASSERT(avg_distance > 0.0,
+                  "average communication distance must be positive");
+}
+
+double
+CombinedModel::distancePerDim() const
+{
+    return distance_ / static_cast<double>(network_.dims());
+}
+
+double
+CombinedModel::networkLatencyAt(double injection_rate) const
+{
+    return network_.messageLatency(injection_rate, distancePerDim());
+}
+
+double
+CombinedModel::saturationBound() const
+{
+    double bound = network_.saturationRate(distancePerDim());
+    if (network_.params().node_channel_contention) {
+        // The node<->network channel saturates at one message per B
+        // cycles.
+        bound = std::min(bound, 1.0 / network_.messageFlits());
+    }
+    return bound;
+}
+
+Prediction
+CombinedModel::predictionAt(double injection_rate,
+                            bool issue_bound_hit) const
+{
+    const double kd = distancePerDim();
+    Prediction out;
+    out.injection_rate = injection_rate;
+    out.inter_message_time = 1.0 / injection_rate;
+    out.utilization = network_.utilization(injection_rate, kd);
+    out.per_hop_latency =
+        network_.perHopLatency(out.utilization, kd);
+    out.node_channel_wait = network_.nodeChannelWait(injection_rate);
+    out.message_latency = networkLatencyAt(injection_rate);
+    out.issue_bound_hit = issue_bound_hit;
+
+    const TransactionModel &txn = node_.transaction();
+    const ApplicationModel &app = node_.application();
+    out.txn_latency = txn.transactionLatency(out.message_latency);
+    out.inter_txn_time =
+        txn.interTransactionTime(out.inter_message_time);
+    out.txn_rate = 1.0 / out.inter_txn_time;
+
+    // Equation 18 components. When the issue floor binds, the
+    // processor idles less than the curve implies; the decomposition
+    // below still reports the latency components actually observed,
+    // scaled so they sum to t_t (the CPU component absorbs the slack,
+    // which is exactly where the extra time is spent: running other
+    // contexts' work).
+    const double p = app.contexts();
+    const double c = txn.criticalMessages();
+    out.comp_variable_msg =
+        c * static_cast<double>(network_.dims()) * kd *
+        out.per_hop_latency / p;
+    out.comp_fixed_msg =
+        (c * network_.messageFlits() + c * out.node_channel_wait) / p;
+    out.comp_fixed_txn = txn.fixedOverhead() / p;
+    out.comp_cpu = out.inter_txn_time - out.comp_variable_msg -
+                   out.comp_fixed_msg - out.comp_fixed_txn;
+    return out;
+}
+
+Prediction
+CombinedModel::solve() const
+{
+    const double kd = distancePerDim();
+    const double hi_bound = saturationBound();
+    const double eps = 1e-12;
+
+    // f(r) = node-tolerated latency - network-delivered latency.
+    // Strictly decreasing in r: the node side falls as 1/r while the
+    // network side rises with load.
+    auto excess = [&](double r) {
+        const double node_side =
+            node_.latencySensitivity() / r - node_.fixedTerm();
+        return node_side - networkLatencyAt(r);
+    };
+
+    double root;
+    // Latency diverges as r approaches hi_bound when either the
+    // per-hop contention term is active (k_d > 1 strictly: at
+    // k_d == 1 the (k_d-1) factor vanishes) or node-channel queueing
+    // is modeled.
+    const bool diverges =
+        network_.params().node_channel_contention || kd > 1.0;
+    if (diverges) {
+        // Network latency diverges at hi_bound, guaranteeing a
+        // bracket: f > 0 near zero, f < 0 near saturation. Drive the
+        // bracket to (near) machine precision: close to saturation
+        // dT/dr is enormous, so a loose bracket would leave visible
+        // latency error.
+        double lo = eps;
+        double hi = hi_bound * (1.0 - 1e-9);
+        while (excess(hi) > 0.0 && hi_bound - hi > 1e-15)
+            hi = hi_bound - (hi_bound - hi) * 0.1;
+        root = util::bisect(excess, lo, hi, hi * 1e-16, 300);
+    } else {
+        // k_d <= 1 and no node-channel contention: network latency is
+        // the constant n*k_d*T_h + B with T_h = 1, so the node curve
+        // gives r directly — unless the node curve asks for more than
+        // the channels can carry, in which case the bandwidth bound
+        // binds (the model has no contention term to push back with
+        // at k_d <= 1, so we pin the operating point just below
+        // saturation).
+        const double latency =
+            static_cast<double>(network_.dims()) * kd +
+            network_.messageFlits();
+        root = node_.latencySensitivity() /
+               (latency + node_.fixedTerm());
+        const double sat = network_.saturationRate(kd);
+        if (root >= sat)
+            root = sat * (1.0 - 1e-9);
+    }
+
+    bool floor_hit = false;
+    if (enforce_floor_ && node_.application().contexts() > 1.0) {
+        const double cap = node_.maxInjectionRate();
+        if (root > cap) {
+            root = cap;
+            floor_hit = true;
+        }
+    }
+    return predictionAt(root, floor_hit);
+}
+
+Prediction
+CombinedModel::solveQuadratic() const
+{
+    LOCSIM_ASSERT(!network_.params().node_channel_contention,
+                  "closed form requires the base network model");
+    const double kd = distancePerDim();
+    const double n = static_cast<double>(network_.dims());
+    const double big_b = network_.messageFlits();
+    const double s = node_.latencySensitivity();
+    const double fixed_k = node_.fixedTerm();
+
+    if (kd <= 1.0) {
+        // Constant-latency regime (at k_d == 1 the contention factor
+        // (k_d - 1) vanishes too); linear, not quadratic. Clamp at
+        // the bandwidth bound exactly as solve() does.
+        const double latency = n * kd + big_b;
+        double r = s / (latency + fixed_k);
+        const double sat = network_.saturationRate(kd);
+        if (r >= sat)
+            r = sat * (1.0 - 1e-9);
+        return predictionAt(r, false);
+    }
+
+    // s/r - K = n*k_d*(1 + (a r B w)/(1 - a r)) + B
+    // with a = B*k_d/2 and w = ((k_d-1)/k_d^2)*((n+1)/n).
+    // Multiplying through by r(1 - a r) gives A r^2 + C1 r + C0 = 0:
+    const double a = big_b * kd / 2.0;
+    const double w = ((kd - 1.0) / (kd * kd)) * ((n + 1.0) / n);
+    const double zero_load = n * kd + big_b;
+    const double quad_a =
+        a * (n * kd * big_b * w - zero_load - fixed_k);
+    const double quad_b = zero_load + fixed_k + s * a;
+    const double quad_c = -s;
+
+    double roots[2];
+    const int count =
+        util::solveQuadratic(quad_a, quad_b, quad_c, roots);
+    LOCSIM_ASSERT(count >= 1, "combined model quadratic has no roots");
+    // The physical root satisfies 0 < r and rho = a r < 1.
+    for (int i = 0; i < count; ++i) {
+        const double r = roots[i];
+        if (r > 0.0 && a * r < 1.0)
+            return predictionAt(r, false);
+    }
+    LOCSIM_PANIC("no physical root of the combined-model quadratic");
+}
+
+} // namespace model
+} // namespace locsim

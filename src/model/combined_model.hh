@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The combined model (paper Section 2.5): closing the loop between
+ * the node model (how fast nodes inject as a function of observed
+ * message latency) and the network model (message latency as a
+ * function of injection rate).
+ *
+ * Equating Equation 9 with Equation 11 yields a quadratic in the
+ * injection rate r_m when the network extensions are disabled; the
+ * general case (node-channel contention, Equation 4 issue floor) is
+ * solved by bisection on the monotone excess-latency function. Both
+ * solvers are exposed and tested against each other.
+ *
+ * This feedback is the paper's key departure from prior open-loop
+ * network analyses (Section 5): nodes "back off" as latency rises,
+ * which bounds per-hop latency at B*s/(2n) (Equation 16) instead of
+ * letting it diverge.
+ */
+
+#ifndef LOCSIM_MODEL_COMBINED_MODEL_HH_
+#define LOCSIM_MODEL_COMBINED_MODEL_HH_
+
+#include "model/network_model.hh"
+#include "model/node_model.hh"
+
+namespace locsim {
+namespace model {
+
+/** Everything the combined model predicts for one operating point. */
+struct Prediction
+{
+    double injection_rate = 0.0;      //!< r_m (messages/net cycle)
+    double inter_message_time = 0.0;  //!< t_m = 1/r_m
+    double message_latency = 0.0;     //!< T_m
+    double per_hop_latency = 0.0;     //!< T_h
+    double utilization = 0.0;         //!< rho
+    double node_channel_wait = 0.0;   //!< W per node channel
+    double txn_latency = 0.0;         //!< T_t
+    double inter_txn_time = 0.0;      //!< t_t
+    double txn_rate = 0.0;            //!< r_t
+    /** True if the Equation 4 issue-rate floor bound the solution. */
+    bool issue_bound_hit = false;
+
+    /**
+     * Equation 18 decomposition of t_t (network cycles), in paper
+     * order: variable message overhead c*n*k_d*T_h/p, fixed message
+     * overhead (c*B + node channel waits)/p, fixed transaction
+     * overhead T_f/p, and CPU cycles T_r/p.
+     */
+    double comp_variable_msg = 0.0;
+    double comp_fixed_msg = 0.0;
+    double comp_fixed_txn = 0.0;
+    double comp_cpu = 0.0;
+};
+
+/**
+ * Solves the combined application/transaction/network model for one
+ * machine configuration and one amount of exploited physical locality
+ * (captured, per Section 2.1, by the average communication distance).
+ */
+class CombinedModel
+{
+  public:
+    /**
+     * @param node the node model (application + transaction).
+     * @param network the torus network model.
+     * @param avg_distance d: average communication distance in hops
+     *        (> 0); k_d = d / n per Equation 13.
+     * @param enforce_issue_floor apply the Equation 4 bound
+     *        t_t >= T_r + T_s (the paper drops it because its
+     *        experiments never approached it; we keep it available).
+     */
+    CombinedModel(NodeModel node, TorusNetworkModel network,
+                  double avg_distance, bool enforce_issue_floor = true);
+
+    double avgDistance() const { return distance_; }
+    double distancePerDim() const;
+    const NodeModel &node() const { return node_; }
+    const TorusNetworkModel &network() const { return network_; }
+
+    /**
+     * Solve for the equilibrium operating point by bisection on
+     * f(r) = (latency the node tolerates at rate r) - (latency the
+     * network delivers at rate r), which is strictly decreasing.
+     */
+    Prediction solve() const;
+
+    /**
+     * Closed-form quadratic solution (Section 2.5) for the base model
+     * (requires node-channel contention disabled; ignores the issue
+     * floor). Exposed primarily as a cross-check of solve().
+     *
+     * @pre !network().params().node_channel_contention.
+     */
+    Prediction solveQuadratic() const;
+
+    /**
+     * Network latency seen at a given injection rate (helper shared
+     * by the solvers and the open-loop analyses).
+     */
+    double networkLatencyAt(double injection_rate) const;
+
+  private:
+    Prediction predictionAt(double injection_rate,
+                            bool issue_bound_hit) const;
+
+    /** Largest injection rate before any modeled resource saturates. */
+    double saturationBound() const;
+
+    NodeModel node_;
+    TorusNetworkModel network_;
+    double distance_;
+    bool enforce_floor_;
+};
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_COMBINED_MODEL_HH_

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * IndirectNetworkModel implementation.
+ */
+
+#include "model/indirect_network.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace locsim {
+namespace model {
+
+IndirectNetworkModel::IndirectNetworkModel(double processors,
+                                           int switch_radix,
+                                           double message_flits)
+    : radix_(switch_radix), flits_(message_flits)
+{
+    LOCSIM_ASSERT(processors > 1.0, "need more than one endpoint");
+    LOCSIM_ASSERT(switch_radix >= 2, "switch radix must be >= 2");
+    LOCSIM_ASSERT(message_flits >= 1.0, "messages are >= 1 flit");
+    stages_ = static_cast<int>(std::ceil(
+        std::log(processors) / std::log(double(switch_radix)) -
+        1e-9));
+    if (stages_ < 1)
+        stages_ = 1;
+}
+
+double
+IndirectNetworkModel::utilization(double injection_rate) const
+{
+    LOCSIM_ASSERT(injection_rate >= 0.0, "negative rate");
+    return injection_rate * flits_;
+}
+
+double
+IndirectNetworkModel::perStageWait(double rho) const
+{
+    LOCSIM_ASSERT(rho >= 0.0 && rho < 1.0,
+                  "stage utilization must be in [0, 1)");
+    // M/D/1 wait scaled by the probability another input contends
+    // for the same output port.
+    return (rho * flits_ / (2.0 * (1.0 - rho))) *
+           (1.0 - 1.0 / static_cast<double>(radix_));
+}
+
+double
+IndirectNetworkModel::messageLatency(double injection_rate) const
+{
+    const double rho = utilization(injection_rate);
+    LOCSIM_ASSERT(rho < 1.0, "injection rate ", injection_rate,
+                  " saturates the indirect network");
+    return static_cast<double>(stages_) * (1.0 + perStageWait(rho)) +
+           flits_;
+}
+
+Prediction
+solveIndirectClosedLoop(const NodeModel &node,
+                        const IndirectNetworkModel &network,
+                        bool enforce_issue_floor)
+{
+    const double s = node.latencySensitivity();
+    const double fixed_k = node.fixedTerm();
+
+    auto excess = [&](double r) {
+        return s / r - fixed_k - network.messageLatency(r);
+    };
+    const double hi = network.saturationRate() * (1.0 - 1e-9);
+    double root = util::bisect(excess, 1e-12, hi, 1e-13);
+
+    bool floor_hit = false;
+    if (enforce_issue_floor && node.application().contexts() > 1.0) {
+        const double cap = node.maxInjectionRate();
+        if (root > cap) {
+            root = cap;
+            floor_hit = true;
+        }
+    }
+
+    Prediction out;
+    out.injection_rate = root;
+    out.inter_message_time = 1.0 / root;
+    out.utilization = network.utilization(root);
+    out.message_latency = network.messageLatency(root);
+    out.per_hop_latency =
+        1.0 + network.perStageWait(out.utilization);
+    out.issue_bound_hit = floor_hit;
+
+    const TransactionModel &txn = node.transaction();
+    out.txn_latency = txn.transactionLatency(out.message_latency);
+    out.inter_txn_time =
+        txn.interTransactionTime(out.inter_message_time);
+    out.txn_rate = 1.0 / out.inter_txn_time;
+
+    const double p = node.application().contexts();
+    const double c = txn.criticalMessages();
+    // For the UCL network every hop is "variable" in the sense of
+    // scaling with machine size (stages ~ log N), none with mapping.
+    out.comp_variable_msg = c * static_cast<double>(network.stages()) *
+                            out.per_hop_latency / p;
+    out.comp_fixed_msg = c * network.messageFlits() / p;
+    out.comp_fixed_txn = txn.fixedOverhead() / p;
+    out.comp_cpu = out.inter_txn_time - out.comp_variable_msg -
+                   out.comp_fixed_msg - out.comp_fixed_txn;
+    return out;
+}
+
+} // namespace model
+} // namespace locsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A network model for indirect multistage (UCL) interconnects, in the
+ * style the paper cites for comparison (Section 2.4 notes the
+ * framework "can easily accommodate models for other types of
+ * packet-switched networks such as that for indirect networks").
+ *
+ * Models a buffered k-ary butterfly: every message traverses
+ * ceil(log_k N) switch stages regardless of source/destination (the
+ * defining UCL property — no physical locality to exploit), with an
+ * M/D/1-style queueing delay per stage (Kruskal-Snir approximation):
+ *
+ *   T_m = stages * (1 + W(rho)) + B,
+ *   W(rho) = (rho * B / (2 (1 - rho))) * (1 - 1/k),
+ *   rho = r_m * B.
+ *
+ * Combined with the node model via the same closed-loop feedback as
+ * the torus (solveIndirectClosedLoop), this lets UCL and NUCL
+ * architectures be compared on equal terms — the contrast that
+ * motivates the whole paper (Section 1).
+ */
+
+#ifndef LOCSIM_MODEL_INDIRECT_NETWORK_HH_
+#define LOCSIM_MODEL_INDIRECT_NETWORK_HH_
+
+#include "model/combined_model.hh"
+#include "model/node_model.hh"
+
+namespace locsim {
+namespace model {
+
+/** Buffered k-ary butterfly (UCL) network model. */
+class IndirectNetworkModel
+{
+  public:
+    /**
+     * @param processors number of endpoints N (> 1).
+     * @param switch_radix k, ports per switch (>= 2).
+     * @param message_flits B, average message size in flits.
+     */
+    IndirectNetworkModel(double processors, int switch_radix,
+                         double message_flits);
+
+    /** Number of switch stages, ceil(log_k N). */
+    int stages() const { return stages_; }
+
+    int switchRadix() const { return radix_; }
+    double messageFlits() const { return flits_; }
+
+    /** Per-link utilization at injection rate r_m: rho = r_m * B. */
+    double utilization(double injection_rate) const;
+
+    /** Injection rate at which rho reaches 1. */
+    double saturationRate() const { return 1.0 / flits_; }
+
+    /** Kruskal-Snir style per-stage queueing wait at load rho. */
+    double perStageWait(double rho) const;
+
+    /**
+     * Average message latency at the given injection rate. Identical
+     * for all source/destination pairs: the UCL property.
+     */
+    double messageLatency(double injection_rate) const;
+
+  private:
+    int stages_;
+    int radix_;
+    double flits_;
+};
+
+/**
+ * Close the loop between a node model and an indirect network: the
+ * UCL counterpart of CombinedModel::solve(). Mapping and distance
+ * play no role — there is no locality to exploit.
+ *
+ * @param enforce_issue_floor apply the Equation 4 bound.
+ */
+Prediction solveIndirectClosedLoop(const NodeModel &node,
+                                   const IndirectNetworkModel &network,
+                                   bool enforce_issue_floor = true);
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_INDIRECT_NETWORK_HH_

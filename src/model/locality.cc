@@ -1,0 +1,124 @@
+/**
+ * @file
+ * LocalityAnalysis implementation.
+ */
+
+#include "model/locality.hh"
+
+#include "net/topology.hh"
+#include "util/logging.hh"
+
+namespace locsim {
+namespace model {
+
+LocalityAnalysis::LocalityAnalysis(const StudyConfig &config)
+    : config_(config)
+{
+    LOCSIM_ASSERT(config.machine.processors > 1.0,
+                  "locality is meaningless on one processor");
+}
+
+NodeModel
+LocalityAnalysis::nodeModel() const
+{
+    const double ratio = config_.machine.net_clock_ratio;
+    return NodeModel(ApplicationModel(config_.application, ratio),
+                     TransactionModel(config_.transaction, ratio));
+}
+
+TorusNetworkModel
+LocalityAnalysis::networkModel() const
+{
+    return TorusNetworkModel(config_.machine.network);
+}
+
+double
+LocalityAnalysis::mappingDistance(Mapping mapping) const
+{
+    switch (mapping) {
+      case Mapping::Ideal:
+        return 1.0;
+      case Mapping::Random:
+        return net::randomMappingDistanceForSize(
+            config_.machine.processors,
+            config_.machine.network.dims);
+    }
+    LOCSIM_PANIC("unknown mapping regime");
+}
+
+Prediction
+LocalityAnalysis::predictAtDistance(double distance) const
+{
+    CombinedModel model(nodeModel(), networkModel(), distance,
+                        config_.enforce_issue_floor);
+    return model.solve();
+}
+
+Prediction
+LocalityAnalysis::predict(Mapping mapping) const
+{
+    return predictAtDistance(mappingDistance(mapping));
+}
+
+GainResult
+LocalityAnalysis::expectedGain() const
+{
+    GainResult out;
+    out.processors = config_.machine.processors;
+    out.ideal_distance = mappingDistance(Mapping::Ideal);
+    out.random_distance = mappingDistance(Mapping::Random);
+    out.ideal = predict(Mapping::Ideal);
+    out.random = predict(Mapping::Random);
+    out.gain = out.ideal.txn_rate / out.random.txn_rate;
+    return out;
+}
+
+double
+LocalityAnalysis::limitingPerHopLatency() const
+{
+    return networkModel().limitingPerHopLatency(
+        nodeModel().latencySensitivity());
+}
+
+std::vector<GainResult>
+sweepExpectedGain(const StudyConfig &base,
+                  const std::vector<double> &processor_counts)
+{
+    std::vector<GainResult> out;
+    out.reserve(processor_counts.size());
+    for (double n : processor_counts) {
+        StudyConfig config = base;
+        config.machine.processors = n;
+        out.push_back(LocalityAnalysis(config).expectedGain());
+    }
+    return out;
+}
+
+std::vector<std::pair<double, double>>
+sweepPerHopLatency(const StudyConfig &base,
+                   const std::vector<double> &processor_counts)
+{
+    std::vector<std::pair<double, double>> out;
+    out.reserve(processor_counts.size());
+    for (double n : processor_counts) {
+        StudyConfig config = base;
+        config.machine.processors = n;
+        LocalityAnalysis analysis(config);
+        out.emplace_back(
+            n, analysis.predict(Mapping::Random).per_hop_latency);
+    }
+    return out;
+}
+
+StudyConfig
+withRelativeNetworkSpeed(const StudyConfig &base, double speed_factor)
+{
+    LOCSIM_ASSERT(speed_factor > 0.0,
+                  "network speed factor must be positive");
+    StudyConfig out = base;
+    out.machine.net_clock_ratio *= speed_factor;
+    return out;
+}
+
+} // namespace model
+} // namespace locsim

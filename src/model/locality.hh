@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Physical-locality analyses built on the combined model (paper
+ * Section 4): expected gain from ideal versus random thread-to-
+ * processor mappings, per-hop latency scaling with machine size, the
+ * Equation 18 component breakdown, and the network-speed sensitivity
+ * study of Table 1.
+ */
+
+#ifndef LOCSIM_MODEL_LOCALITY_HH_
+#define LOCSIM_MODEL_LOCALITY_HH_
+
+#include <vector>
+
+#include "model/combined_model.hh"
+#include "model/parameters.hh"
+
+namespace locsim {
+namespace model {
+
+/** The two mapping regimes Figure 7 compares. */
+enum class Mapping {
+    /**
+     * Best case: every communication traverses a single hop (the
+     * Section 3 application's torus communication graph embedded
+     * identically in the torus network).
+     */
+    Ideal,
+    /**
+     * Random thread placement / no physical locality: average
+     * distance follows Equation 17.
+     */
+    Random,
+};
+
+/** Inputs for one locality study. */
+struct StudyConfig
+{
+    ApplicationParams application;
+    TransactionParams transaction;
+    MachineParams machine;
+    /** Apply the Equation 4 issue floor (see CombinedModel). */
+    bool enforce_issue_floor = true;
+};
+
+/** Result of comparing the two mappings at one machine size. */
+struct GainResult
+{
+    double processors = 0.0;
+    double random_distance = 0.0;  //!< Equation 17
+    double ideal_distance = 1.0;
+    Prediction ideal;
+    Prediction random;
+    /**
+     * Expected gain (Section 2.6/4.2): ratio of aggregate transaction
+     * rates, ideal over random. Since N is common it equals the
+     * per-processor ratio r_t(ideal) / r_t(random).
+     */
+    double gain = 0.0;
+};
+
+/** Analysis entry points over the combined model. */
+class LocalityAnalysis
+{
+  public:
+    explicit LocalityAnalysis(const StudyConfig &config);
+
+    /** The node model implied by the configuration. */
+    NodeModel nodeModel() const;
+
+    /** The network model implied by the configuration. */
+    TorusNetworkModel networkModel() const;
+
+    /**
+     * Average communication distance for a mapping regime on a
+     * machine with the configured processor count.
+     */
+    double mappingDistance(Mapping mapping) const;
+
+    /** Solve the combined model at an explicit average distance. */
+    Prediction predictAtDistance(double distance) const;
+
+    /** Solve the combined model for a mapping regime. */
+    Prediction predict(Mapping mapping) const;
+
+    /** Compare ideal and random mappings (one Figure 7 point). */
+    GainResult expectedGain() const;
+
+    /**
+     * Equation 16's limiting per-hop latency for this configuration:
+     * B * s / (2n).
+     */
+    double limitingPerHopLatency() const;
+
+    const StudyConfig &config() const { return config_; }
+
+  private:
+    StudyConfig config_;
+};
+
+/**
+ * Sweep expected gain over machine sizes (Figure 7 / Table 1 rows).
+ *
+ * @param base study configuration; base.machine.processors is
+ *        overridden by each sweep point.
+ * @param processor_counts machine sizes to evaluate.
+ */
+std::vector<GainResult>
+sweepExpectedGain(const StudyConfig &base,
+                  const std::vector<double> &processor_counts);
+
+/**
+ * Per-hop latency T_h under random mappings as a function of machine
+ * size (Figure 6's curves).
+ */
+std::vector<std::pair<double, double>>
+sweepPerHopLatency(const StudyConfig &base,
+                   const std::vector<double> &processor_counts);
+
+/**
+ * Scale a configuration's relative network speed (Table 1): a factor
+ * of 0.5 makes the network twice as slow relative to the processors.
+ * Processor-clock parameters (T_r, T_s, T_f) are unchanged; only the
+ * clock ratio moves.
+ */
+StudyConfig withRelativeNetworkSpeed(const StudyConfig &base,
+                                     double speed_factor);
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_LOCALITY_HH_

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The network model (paper Section 2.4): Agarwal's contention model
+ * for packet-switched, wormhole e-cube routed k-ary n-dimensional
+ * torus networks with separate unidirectional channels per direction.
+ *
+ *   rho = r_m * B * k_d / 2                            (Equation 10)
+ *   T_m = n * k_d * T_h + B                            (Equation 11)
+ *   k_d = d / n                                        (Equation 13)
+ *   T_h = 1 + (rho*B/(1-rho)) * ((k_d-1)/k_d^2)
+ *             * ((n+1)/n)                              (Equation 14)
+ *
+ * with the paper's extensions:
+ *  - T_h = 1 for k_d < 1 (well-mapped local traffic sees essentially
+ *    no contention);
+ *  - optional contention for the node<->network channels, modeled as
+ *    M/D/1 queueing at the injection and ejection ports (adds the
+ *    "two to five network cycles" observed in Section 2.4).
+ *
+ * The asymptotic per-hop latency as machines scale (Equation 16,
+ * derived through the combined model's feedback) is B*s/(2n).
+ */
+
+#ifndef LOCSIM_MODEL_NETWORK_MODEL_HH_
+#define LOCSIM_MODEL_NETWORK_MODEL_HH_
+
+#include "model/parameters.hh"
+
+namespace locsim {
+namespace model {
+
+/** Agarwal's torus network model with the paper's extensions. */
+class TorusNetworkModel
+{
+  public:
+    explicit TorusNetworkModel(const NetworkParams &params);
+
+    int dims() const { return params_.dims; }
+    double messageFlits() const { return params_.message_flits; }
+    const NetworkParams &params() const { return params_; }
+
+    /** Equation 10: channel utilization. */
+    double utilization(double injection_rate,
+                       double distance_per_dim) const;
+
+    /**
+     * Injection rate at which Equation 10 reaches rho = 1; latencies
+     * diverge as this rate is approached.
+     */
+    double saturationRate(double distance_per_dim) const;
+
+    /**
+     * Equation 14 with the k_d < 1 extension: average per-hop latency
+     * of a message head at the given channel utilization.
+     *
+     * @pre 0 <= rho < 1.
+     */
+    double perHopLatency(double rho, double distance_per_dim) const;
+
+    /**
+     * Equation 11 (+ optional node-channel contention): average
+     * message latency at a given injection rate and per-dimension
+     * distance.
+     */
+    double messageLatency(double injection_rate,
+                          double distance_per_dim) const;
+
+    /**
+     * M/D/1 waiting time at one node<->network channel for a node
+     * injecting (or receiving) messages of B flits at the given rate:
+     * W = rho_ch * B / (2 (1 - rho_ch)) with rho_ch = r_m * B.
+     * Returns 0 when node-channel contention modeling is disabled.
+     */
+    double nodeChannelWait(double injection_rate) const;
+
+    /**
+     * Equation 16: the limiting per-hop latency as communication
+     * distance grows without bound, for an application with latency
+     * sensitivity s: T_h -> B*s/(2n). (The network saturates, rho->1,
+     * and the application's negative feedback pins T_h here.)
+     */
+    double limitingPerHopLatency(double latency_sensitivity) const;
+
+  private:
+    NetworkParams params_;
+};
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_NETWORK_MODEL_HH_

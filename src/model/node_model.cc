@@ -1,0 +1,65 @@
+/**
+ * @file
+ * NodeModel implementation.
+ */
+
+#include "model/node_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace model {
+
+NodeModel::NodeModel(ApplicationModel application, TransactionModel txn)
+    : app_(application), txn_(txn)
+{
+}
+
+double
+NodeModel::latencySensitivity() const
+{
+    return app_.contexts() * txn_.messagesPerTxn() /
+           txn_.criticalMessages();
+}
+
+double
+NodeModel::fixedTerm() const
+{
+    return (app_.runLength() + app_.exposedSwitchTime() +
+            txn_.fixedOverhead()) /
+           txn_.criticalMessages();
+}
+
+double
+NodeModel::messageLatencyFor(double inter_message_time) const
+{
+    return latencySensitivity() * inter_message_time - fixedTerm();
+}
+
+double
+NodeModel::interMessageTime(double message_latency) const
+{
+    LOCSIM_ASSERT(message_latency >= 0.0, "negative message latency");
+    const double linear =
+        (message_latency + fixedTerm()) / latencySensitivity();
+    if (app_.contexts() > 1.0)
+        return std::max(linear, minInterMessageTime());
+    return linear;
+}
+
+double
+NodeModel::minInterMessageTime() const
+{
+    return app_.minInterTransactionTime() / txn_.messagesPerTxn();
+}
+
+double
+NodeModel::maxInjectionRate() const
+{
+    return 1.0 / minInterMessageTime();
+}
+
+} // namespace model
+} // namespace locsim

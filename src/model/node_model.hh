@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The node model (paper Section 2.3): the behavior of one
+ * multiprocessor node as seen by the interconnection network,
+ * obtained by composing the application and transaction models.
+ *
+ * Substituting Equations 7 and 8 into Equation 6 gives the
+ * "application message curve" (Equation 9):
+ *
+ *   T_m = (p*g/c) * t_m - (T_r + T_s' + T_f)/c  =  s * t_m - K
+ *
+ * where s = p*g/c is the latency sensitivity (greater s = less
+ * sensitive to message latency) and K = (T_r + T_s' + T_f)/c, with
+ * T_s' the per-transaction switch charge (T_s for p > 1, 0 for a
+ * single context; see ApplicationModel).
+ */
+
+#ifndef LOCSIM_MODEL_NODE_MODEL_HH_
+#define LOCSIM_MODEL_NODE_MODEL_HH_
+
+#include "model/application_model.hh"
+#include "model/transaction_model.hh"
+
+namespace locsim {
+namespace model {
+
+/** The application message curve T_m(t_m) and its inverse. */
+class NodeModel
+{
+  public:
+    NodeModel(ApplicationModel application, TransactionModel txn);
+
+    const ApplicationModel &application() const { return app_; }
+    const TransactionModel &transaction() const { return txn_; }
+
+    /** s = p*g/c, the latency sensitivity (slope of Equation 9). */
+    double latencySensitivity() const;
+
+    /** K = (T_r + T_s' + T_f)/c, intercept magnitude of Equation 9. */
+    double fixedTerm() const;
+
+    /**
+     * Equation 9: average message latency the node can absorb at a
+     * given inter-message injection time (network cycles).
+     */
+    double messageLatencyFor(double inter_message_time) const;
+
+    /**
+     * Inverse of Equation 9: inter-message injection time implied by
+     * an observed message latency, including the Equation 4 floor
+     * (multithreaded processors cannot issue faster than one
+     * transaction per T_r + T_s even at zero latency).
+     */
+    double interMessageTime(double message_latency) const;
+
+    /** Equation 4 translated to messages: (T_r + T_s)/g. */
+    double minInterMessageTime() const;
+
+    /** Message injection rate cap implied by minInterMessageTime. */
+    double maxInjectionRate() const;
+
+  private:
+    ApplicationModel app_;
+    TransactionModel txn_;
+};
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_NODE_MODEL_HH_

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Parameter structs shared by the analytical models (paper Section 2
+ * and Appendix A nomenclature).
+ *
+ * Convention: user-facing parameters that describe processor/software
+ * quantities (run length T_r, context switch time T_s, fixed
+ * transaction overhead T_f) are given in *processor* cycles; the
+ * models convert to network cycles internally using the machine's
+ * network:processor clock ratio. All model outputs (latencies, rates)
+ * are in network cycles, matching the paper's figures.
+ */
+
+#ifndef LOCSIM_MODEL_PARAMETERS_HH_
+#define LOCSIM_MODEL_PARAMETERS_HH_
+
+namespace locsim {
+namespace model {
+
+/**
+ * Application model parameters (Section 2.1).
+ *
+ * Characterizes how a processor running its share of an application
+ * issues communication transactions.
+ */
+struct ApplicationParams
+{
+    /**
+     * T_r: average useful work between successive communication
+     * transactions by one thread, in processor cycles (the
+     * "computational grain").
+     */
+    double run_length = 8.0;
+
+    /**
+     * p: degree of multithreading — the number of hardware contexts,
+     * or more generally the average number of outstanding
+     * transactions the processor sustains. May be fractional for
+     * mechanisms like prefetching that average between integers.
+     */
+    double contexts = 1.0;
+
+    /** T_s: context switch time in processor cycles (Sparcle: 11). */
+    double switch_time = 11.0;
+};
+
+/**
+ * Transaction model parameters (Section 2.2): the cost of satisfying
+ * one communication transaction in terms of network messages.
+ */
+struct TransactionParams
+{
+    /**
+     * c: messages on the critical path of a transaction (2 for a
+     * simple request/response exchange).
+     */
+    double critical_messages = 2.0;
+
+    /** g: average messages sent per transaction (paper: 3.2). */
+    double messages_per_txn = 3.2;
+
+    /**
+     * T_f: fixed transaction overhead in processor cycles — send and
+     * receive occupancy, memory access, and coherence processing that
+     * does not vary with communication distance.
+     */
+    double fixed_overhead = 40.0;
+};
+
+/**
+ * Interconnect parameters (Section 2.4): a packet-switched, wormhole
+ * e-cube routed k-ary n-dimensional torus.
+ */
+struct NetworkParams
+{
+    /** n: mesh dimension. */
+    int dims = 2;
+
+    /** B: average message size in flits (paper: 96 bits / 8 = 12). */
+    double message_flits = 12.0;
+
+    /**
+     * Model contention for the node<->network channels (the paper's
+     * second extension, Section 2.4: "added two to five network
+     * cycles" in the validation experiments). When enabled, an
+     * M/D/1-style queueing delay at the injection and ejection
+     * channels is added to the message latency.
+     */
+    bool node_channel_contention = true;
+};
+
+/**
+ * Machine-level parameters tying the models together.
+ */
+struct MachineParams
+{
+    /** N: number of processors (fractional values allowed in sweeps). */
+    double processors = 64.0;
+
+    /**
+     * Network cycles per processor cycle. The paper's base
+     * architecture clocks switches twice as fast as processors
+     * (ratio 2); Table 1 explores ratios down to 0.25 ("8x slower").
+     */
+    double net_clock_ratio = 2.0;
+
+    NetworkParams network;
+};
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_PARAMETERS_HH_

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * TransactionModel implementation.
+ */
+
+#include "model/transaction_model.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace model {
+
+TransactionModel::TransactionModel(const TransactionParams &params,
+                                   double net_clock_ratio)
+    : critical_(params.critical_messages),
+      per_txn_(params.messages_per_txn),
+      fixed_(params.fixed_overhead * net_clock_ratio)
+{
+    LOCSIM_ASSERT(params.critical_messages > 0.0,
+                  "critical path needs at least one message");
+    LOCSIM_ASSERT(params.messages_per_txn >= params.critical_messages,
+                  "g must be at least c: transactions send at least "
+                  "their critical-path messages");
+    LOCSIM_ASSERT(params.fixed_overhead >= 0.0,
+                  "fixed overhead cannot be negative");
+    LOCSIM_ASSERT(net_clock_ratio > 0.0,
+                  "clock ratio must be positive");
+}
+
+} // namespace model
+} // namespace locsim

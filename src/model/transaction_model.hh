@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The transaction model (paper Section 2.2): resources required to
+ * satisfy one communication transaction.
+ *
+ *   T_t = c * T_m + T_f        (Equation 7)
+ *   t_t = g * t_m              (Equation 8)
+ *
+ * All outputs in network cycles.
+ */
+
+#ifndef LOCSIM_MODEL_TRANSACTION_MODEL_HH_
+#define LOCSIM_MODEL_TRANSACTION_MODEL_HH_
+
+#include "model/parameters.hh"
+
+namespace locsim {
+namespace model {
+
+/** Maps message-level behavior to transaction-level behavior. */
+class TransactionModel
+{
+  public:
+    /**
+     * @param params transaction parameters; fixed_overhead is in
+     *        processor cycles.
+     * @param net_clock_ratio network cycles per processor cycle.
+     */
+    TransactionModel(const TransactionParams &params,
+                     double net_clock_ratio);
+
+    /** c: messages on the critical path. */
+    double criticalMessages() const { return critical_; }
+
+    /** g: average messages per transaction. */
+    double messagesPerTxn() const { return per_txn_; }
+
+    /** T_f in network cycles. */
+    double fixedOverhead() const { return fixed_; }
+
+    /** Equation 7: transaction latency for a given message latency. */
+    double
+    transactionLatency(double message_latency) const
+    {
+        return critical_ * message_latency + fixed_;
+    }
+
+    /** Inverse of Equation 7. */
+    double
+    messageLatencyFor(double txn_latency) const
+    {
+        return (txn_latency - fixed_) / critical_;
+    }
+
+    /** Equation 8: inter-transaction time from inter-message time. */
+    double
+    interTransactionTime(double inter_message_time) const
+    {
+        return per_txn_ * inter_message_time;
+    }
+
+    /** Inverse of Equation 8. */
+    double
+    interMessageTime(double inter_transaction_time) const
+    {
+        return inter_transaction_time / per_txn_;
+    }
+
+  private:
+    double critical_;
+    double per_txn_;
+    double fixed_; // network cycles
+};
+
+} // namespace model
+} // namespace locsim
+
+#endif // LOCSIM_MODEL_TRANSACTION_MODEL_HH_

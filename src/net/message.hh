@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Network message and flit definitions.
+ *
+ * Messages are the unit of communication between nodes; the fabric
+ * breaks them into flits (one flit per 8-bit channel cycle, so a
+ * 96-bit coherence message is B = 12 flits, matching Section 3.2).
+ */
+
+#ifndef LOCSIM_NET_MESSAGE_HH_
+#define LOCSIM_NET_MESSAGE_HH_
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace locsim {
+namespace net {
+
+/** Monotonically assigned message identifier. */
+using MessageId = std::uint64_t;
+
+/**
+ * A network message as submitted by a node.
+ *
+ * The payload is opaque to the fabric; the coherence layer stores a
+ * protocol-message index there.
+ */
+struct Message
+{
+    MessageId id = 0;
+    sim::NodeId src = sim::kNodeNone;
+    sim::NodeId dst = sim::kNodeNone;
+    /** Message length in flits (>= 1). */
+    std::uint32_t flits = 1;
+    /** Opaque payload handle for the client protocol layer. */
+    std::uint64_t payload = 0;
+    /** Tick at which the client submitted the message. */
+    sim::Tick submit_tick = 0;
+};
+
+/**
+ * One flit on a physical channel.
+ *
+ * Head flits carry the routing information; body/tail flits simply
+ * follow the wormhole path their head opened. The vc field names the
+ * virtual channel assigned on the link the flit is currently
+ * traversing (rewritten at every hop).
+ */
+struct Flit
+{
+    MessageId msg = 0;
+    sim::NodeId src = sim::kNodeNone;
+    sim::NodeId dst = sim::kNodeNone;
+    std::uint32_t seq = 0;    //!< flit index within the message
+    bool head = false;
+    bool tail = false;
+    std::uint8_t vc = 0;      //!< VC on the current link
+    /**
+     * Dateline state for the head flit: true once the packet has
+     * crossed the wrap-around link of the ring it is currently
+     * traversing (forces the high virtual channel; Dally's dateline
+     * scheme for deadlock-free wormhole tori).
+     */
+    bool crossed_dateline = false;
+};
+
+/** A credit returned upstream: one buffer slot freed on (port, vc). */
+struct Credit
+{
+    std::uint8_t vc = 0;
+};
+
+} // namespace net
+} // namespace locsim
+
+#endif // LOCSIM_NET_MESSAGE_HH_

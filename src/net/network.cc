@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Network fabric implementation.
+ */
+
+#include "net/network.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace net {
+
+Network::Network(sim::Engine &engine, const NetworkConfig &config)
+    : engine_(engine), config_(config),
+      topo_(config.radix, config.dims, config.wraparound)
+{
+    const sim::NodeId n = topo_.nodeCount();
+    routers_.reserve(n);
+    endpoints_.resize(n);
+    inject_link_.resize(n);
+    inject_credit_.resize(n);
+    eject_link_.resize(n);
+    eject_credit_.resize(n);
+
+    auto make_flit_channel = [&]() {
+        flit_channels_.push_back(std::make_unique<sim::Channel<Flit>>());
+        engine_.addChannel(flit_channels_.back().get());
+        return flit_channels_.back().get();
+    };
+    auto make_credit_channel = [&]() {
+        credit_channels_.push_back(
+            std::make_unique<sim::Channel<Credit>>());
+        engine_.addChannel(credit_channels_.back().get());
+        return credit_channels_.back().get();
+    };
+
+    for (sim::NodeId node = 0; node < n; ++node) {
+        routers_.push_back(
+            std::make_unique<Router>(topo_, node, config_.router));
+    }
+
+    // Wire neighbor links. For each node and each (dim, dir) we create
+    // the unidirectional flit channel node -> neighbor and its credit
+    // return channel. The channel leaving `node` on port p arrives at
+    // the neighbor on the port of the opposite direction.
+    struct PortWiring
+    {
+        sim::Channel<Flit> *in = nullptr;
+        sim::Channel<Flit> *out = nullptr;
+        sim::Channel<Credit> *credit_up = nullptr;
+        sim::Channel<Credit> *credit_down = nullptr;
+    };
+    std::vector<std::vector<PortWiring>> wiring(
+        n, std::vector<PortWiring>(
+               static_cast<std::size_t>(2 * config_.dims + 1)));
+
+    for (sim::NodeId node = 0; node < n; ++node) {
+        for (int dim = 0; dim < config_.dims; ++dim) {
+            for (int dir : {+1, -1}) {
+                const sim::NodeId nbr = topo_.neighbor(node, dim, dir);
+                if (nbr == sim::kNodeNone)
+                    continue; // mesh edge: no link in this direction
+                auto *flits = make_flit_channel();
+                auto *credits = make_credit_channel();
+                const auto out_port =
+                    static_cast<std::size_t>(Router::portFor(dim, dir));
+                const auto in_port = static_cast<std::size_t>(
+                    Router::portFor(dim, -dir));
+                wiring[node][out_port].out = flits;
+                wiring[node][out_port].credit_down = credits;
+                wiring[nbr][in_port].in = flits;
+                wiring[nbr][in_port].credit_up = credits;
+            }
+        }
+        // Local (node <-> router) channels.
+        const auto local =
+            static_cast<std::size_t>(2 * config_.dims);
+        inject_link_[node] = make_flit_channel();
+        inject_credit_[node] = make_credit_channel();
+        eject_link_[node] = make_flit_channel();
+        eject_credit_[node] = make_credit_channel();
+        wiring[node][local].in = inject_link_[node];
+        wiring[node][local].credit_up = inject_credit_[node];
+        wiring[node][local].out = eject_link_[node];
+        wiring[node][local].credit_down = eject_credit_[node];
+
+        endpoints_[node].inject_credits = config_.router.buffer_depth;
+    }
+
+    for (sim::NodeId node = 0; node < n; ++node) {
+        for (int port = 0; port < 2 * config_.dims + 1; ++port) {
+            const auto &w =
+                wiring[node][static_cast<std::size_t>(port)];
+            routers_[node]->connect(port, w.in, w.out, w.credit_up,
+                                    w.credit_down);
+        }
+    }
+}
+
+Network::~Network() = default;
+
+MessageId
+Network::send(Message msg)
+{
+    LOCSIM_ASSERT(msg.src < topo_.nodeCount(), "bad source node");
+    LOCSIM_ASSERT(msg.dst < topo_.nodeCount(), "bad destination node");
+    LOCSIM_ASSERT(msg.src != msg.dst,
+                  "local transactions must not enter the network");
+    LOCSIM_ASSERT(msg.flits >= 1, "message needs at least one flit");
+
+    msg.id = next_id_++;
+    msg.submit_tick = engine_.now();
+
+    MessageRecord record;
+    record.message = msg;
+    record.hops = topo_.distance(msg.src, msg.dst);
+    records_.emplace(msg.id, record);
+
+    endpoints_[msg.src].source_queue.push_back(msg);
+    ++stats_.messages_sent;
+    stats_.flits.add(static_cast<double>(msg.flits));
+    ++in_flight_;
+    return msg.id;
+}
+
+std::optional<Message>
+Network::receive(sim::NodeId node)
+{
+    auto &delivered = endpoints_[node].delivered;
+    if (delivered.empty())
+        return std::nullopt;
+    Message msg = delivered.front();
+    delivered.pop_front();
+    // Accounting for this message is complete; drop the record so
+    // long runs do not accumulate unbounded history.
+    records_.erase(msg.id);
+    return msg;
+}
+
+std::size_t
+Network::pendingAt(sim::NodeId node) const
+{
+    return endpoints_[node].delivered.size();
+}
+
+bool
+Network::idle() const
+{
+    return in_flight_ == 0;
+}
+
+void
+Network::tickInjection(sim::NodeId node)
+{
+    NodeEndpoint &ep = endpoints_[node];
+
+    // Collect returned injection credits.
+    sim::Channel<Credit> *credits = inject_credit_[node];
+    while (!credits->empty()) {
+        credits->pop();
+        ++ep.inject_credits;
+        LOCSIM_ASSERT(ep.inject_credits <= config_.router.buffer_depth,
+                      "injection credit overflow at node ", node);
+    }
+
+    if (ep.source_queue.empty() || ep.inject_credits == 0)
+        return;
+
+    Message &msg = ep.source_queue.front();
+    if (ep.flits_sent == 0) {
+        auto it = records_.find(msg.id);
+        LOCSIM_ASSERT(it != records_.end(), "missing message record");
+        if (it->second.inject_start == sim::kTickNever)
+            it->second.inject_start = engine_.now();
+    }
+
+    Flit flit;
+    flit.msg = msg.id;
+    flit.src = msg.src;
+    flit.dst = msg.dst;
+    flit.seq = ep.flits_sent;
+    flit.head = ep.flits_sent == 0;
+    flit.tail = ep.flits_sent + 1 == msg.flits;
+    flit.vc = 0;
+    inject_link_[node]->push(flit);
+    --ep.inject_credits;
+    ++ep.flits_sent;
+
+    if (ep.flits_sent == msg.flits) {
+        ep.source_queue.pop_front();
+        ep.flits_sent = 0;
+    }
+}
+
+void
+Network::tickEjection(sim::NodeId node)
+{
+    NodeEndpoint &ep = endpoints_[node];
+    sim::Channel<Flit> *link = eject_link_[node];
+
+    // The node drains one flit per network cycle (an 8-bit channel
+    // delivers one flit per cycle, Section 3.1).
+    if (link->empty())
+        return;
+    Flit flit = link->pop();
+    eject_credit_[node]->push(Credit{flit.vc});
+
+    auto &arrived = ep.arrived_flits[flit.msg];
+    LOCSIM_ASSERT(flit.seq == arrived,
+                  "flit reordering within a wormhole message: msg ",
+                  flit.msg, " expected seq ", arrived, " got ",
+                  flit.seq);
+    ++arrived;
+
+    if (!flit.tail)
+        return;
+
+    auto it = records_.find(flit.msg);
+    LOCSIM_ASSERT(it != records_.end(), "tail for unknown message");
+    MessageRecord &rec = it->second;
+    LOCSIM_ASSERT(arrived == rec.message.flits,
+                  "tail arrived before all flits: msg ", flit.msg);
+    LOCSIM_ASSERT(rec.message.dst == node, "message misrouted: msg ",
+                  flit.msg, " for node ", rec.message.dst,
+                  " ejected at ", node);
+
+    rec.delivered = engine_.now();
+    ep.arrived_flits.erase(flit.msg);
+    ep.delivered.push_back(rec.message);
+
+    ++stats_.messages_delivered;
+    --in_flight_;
+    const double latency =
+        static_cast<double>(rec.delivered - rec.inject_start);
+    stats_.latency.add(latency);
+    stats_.latency_hist.add(latency);
+    stats_.source_queue.add(static_cast<double>(rec.inject_start -
+                                                rec.message.submit_tick));
+    stats_.hops.add(static_cast<double>(rec.hops));
+}
+
+void
+Network::tick(sim::Tick)
+{
+    const sim::NodeId n = topo_.nodeCount();
+    for (sim::NodeId node = 0; node < n; ++node)
+        tickEjection(node);
+    for (sim::NodeId node = 0; node < n; ++node)
+        tickInjection(node);
+    for (auto &router : routers_)
+        router->tick();
+}
+
+void
+Network::resetStats()
+{
+    stats_.messages_sent = 0;
+    stats_.messages_delivered = 0;
+    stats_.latency.reset();
+    stats_.latency_hist.reset();
+    stats_.source_queue.reset();
+    stats_.hops.reset();
+    stats_.flits.reset();
+    stats_start_ = engine_.now();
+
+    std::uint64_t hops = 0;
+    for (const auto &router : routers_) {
+        const auto &counts = router->outputFlits();
+        for (std::size_t p = 0; p + 1 < counts.size(); ++p)
+            hops += counts[p].value();
+    }
+    stats_flit_hops_base_ = hops;
+}
+
+double
+Network::channelUtilization() const
+{
+    const sim::Tick elapsed = engine_.now() - stats_start_;
+    if (elapsed == 0)
+        return 0.0;
+    std::uint64_t hops = 0;
+    for (const auto &router : routers_) {
+        const auto &counts = router->outputFlits();
+        // Exclude the local (ejection) port: model rho covers network
+        // channels only.
+        for (std::size_t p = 0; p + 1 < counts.size(); ++p)
+            hops += counts[p].value();
+    }
+    hops -= stats_flit_hops_base_;
+    const double channels = static_cast<double>(topo_.nodeCount()) *
+                            2.0 * static_cast<double>(config_.dims);
+    return static_cast<double>(hops) /
+           (static_cast<double>(elapsed) * channels);
+}
+
+const MessageRecord *
+Network::record(MessageId id) const
+{
+    auto it = records_.find(id);
+    return it == records_.end() ? nullptr : &it->second;
+}
+
+} // namespace net
+} // namespace locsim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The torus network fabric: routers, channels, per-node injection and
+ * ejection interfaces, and network-level statistics.
+ *
+ * The Network is a single Clocked component ticking at the network
+ * clock (period 1). Clients (coherence controllers, traffic
+ * generators) interact only through send()/receive() on a node's
+ * interface; the fabric handles flitization, wormhole transport, and
+ * reassembly.
+ */
+
+#ifndef LOCSIM_NET_NETWORK_HH_
+#define LOCSIM_NET_NETWORK_HH_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hh"
+#include "net/router.hh"
+#include "stats/stats.hh"
+
+namespace locsim {
+namespace net {
+
+/** Network-wide configuration. */
+struct NetworkConfig
+{
+    int radix = 8;           //!< k
+    int dims = 2;            //!< n
+    /** Torus (paper) or mesh (physical Alewife) edges. */
+    bool wraparound = true;
+    RouterConfig router;     //!< per-router knobs
+};
+
+/** Per-message accounting snapshot (also used by tests). */
+struct MessageRecord
+{
+    Message message;
+    sim::Tick inject_start = sim::kTickNever; //!< first flit offered
+    sim::Tick delivered = sim::kTickNever;    //!< tail flit ejected
+    int hops = 0;
+};
+
+/** Aggregate network statistics. */
+struct NetworkStats
+{
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    /** Network latency: head offered to tail ejected, per message. */
+    stats::Accumulator latency;
+    /**
+     * Latency distribution (2-cycle buckets to 1024 cycles) for tail
+     * percentiles; means alone hide contention tails.
+     */
+    stats::Histogram latency_hist{0.0, 1024.0, 512};
+    /** Source queueing delay: submit to first flit offered. */
+    stats::Accumulator source_queue;
+    /** Hop count per delivered message. */
+    stats::Accumulator hops;
+    /** Message size in flits, per submitted message. */
+    stats::Accumulator flits;
+};
+
+/**
+ * The full fabric for one machine.
+ *
+ * Construction wires every router and registers all channels with the
+ * engine; the caller registers the Network itself as a Clocked
+ * component with period 1 (the network clock).
+ */
+class Network : public sim::Clocked
+{
+  public:
+    Network(sim::Engine &engine, const NetworkConfig &config);
+    ~Network() override;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    const TorusTopology &topology() const { return topo_; }
+    const NetworkConfig &config() const { return config_; }
+
+    /**
+     * Submit a message from node @p msg.src.
+     *
+     * The source queue is unbounded (the closed-loop clients bound
+     * their own outstanding transactions); the message id is assigned
+     * by the fabric and returned.
+     *
+     * @pre msg.src != msg.dst (local transactions never enter the
+     *      network, mirroring the machine being modeled).
+     */
+    MessageId send(Message msg);
+
+    /** Pop the next delivered message for @p node, if any. */
+    std::optional<Message> receive(sim::NodeId node);
+
+    /** Number of delivered-but-unclaimed messages at @p node. */
+    std::size_t pendingAt(sim::NodeId node) const;
+
+    /** True if no message is in flight anywhere in the fabric. */
+    bool idle() const;
+
+    void tick(sim::Tick now) override;
+
+    const NetworkStats &stats() const { return stats_; }
+
+    /** Reset statistics (e.g. after warmup), keeping in-flight state. */
+    void resetStats();
+
+    /**
+     * Average utilization of the neighbor (network) channels since the
+     * last stats reset: flit-hops / (cycles * channel count). This is
+     * the quantity the model calls rho.
+     */
+    double channelUtilization() const;
+
+    /** Look up accounting for a message (test/diagnostic hook). */
+    const MessageRecord *record(MessageId id) const;
+
+  private:
+    struct NodeEndpoint
+    {
+        // Injection side.
+        std::deque<Message> source_queue;
+        std::uint32_t flits_sent = 0;    //!< of the current message
+        int inject_credits = 0;          //!< VC0 credits into router
+        // Ejection side.
+        std::deque<Message> delivered;
+        std::unordered_map<MessageId, std::uint32_t> arrived_flits;
+    };
+
+    void tickInjection(sim::NodeId node);
+    void tickEjection(sim::NodeId node);
+
+    sim::Engine &engine_;
+    NetworkConfig config_;
+    TorusTopology topo_;
+
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<sim::Channel<Flit>>> flit_channels_;
+    std::vector<std::unique_ptr<sim::Channel<Credit>>> credit_channels_;
+
+    // Per-node endpoint channels (indexed by node).
+    std::vector<sim::Channel<Flit> *> inject_link_;
+    std::vector<sim::Channel<Credit> *> inject_credit_;
+    std::vector<sim::Channel<Flit> *> eject_link_;
+    std::vector<sim::Channel<Credit> *> eject_credit_;
+
+    std::vector<NodeEndpoint> endpoints_;
+
+    std::unordered_map<MessageId, MessageRecord> records_;
+    MessageId next_id_ = 1;
+    std::uint64_t in_flight_ = 0;
+
+    NetworkStats stats_;
+    sim::Tick stats_start_ = 0;
+    std::uint64_t stats_flit_hops_base_ = 0;
+};
+
+} // namespace net
+} // namespace locsim
+
+#endif // LOCSIM_NET_NETWORK_HH_

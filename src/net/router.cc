@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Router implementation.
+ */
+
+#include "net/router.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace net {
+
+Router::Router(const TorusTopology &topo, sim::NodeId node,
+               const RouterConfig &config)
+    : topo_(topo), node_(node), config_(config)
+{
+    LOCSIM_ASSERT(config_.vcs >= 2,
+                  "torus wormhole routing needs >= 2 virtual channels");
+    LOCSIM_ASSERT(config_.buffer_depth >= 1, "buffer depth must be >= 1");
+
+    const int ports = portCount();
+    inputs_.resize(static_cast<std::size_t>(ports * config_.vcs));
+    outputs_.resize(static_cast<std::size_t>(ports));
+    for (auto &out : outputs_) {
+        out.owner.assign(static_cast<std::size_t>(config_.vcs), -1);
+        out.credits.assign(static_cast<std::size_t>(config_.vcs), 0);
+    }
+    in_links_.assign(static_cast<std::size_t>(ports), nullptr);
+    out_links_.assign(static_cast<std::size_t>(ports), nullptr);
+    credit_up_.assign(static_cast<std::size_t>(ports), nullptr);
+    credit_down_.assign(static_cast<std::size_t>(ports), nullptr);
+    output_flits_.resize(static_cast<std::size_t>(ports));
+}
+
+void
+Router::connect(int port, FlitChannel *in, FlitChannel *out,
+                CreditChannel *credit_up, CreditChannel *credit_down)
+{
+    LOCSIM_ASSERT(port >= 0 && port < portCount(), "bad port index");
+    const auto p = static_cast<std::size_t>(port);
+    in_links_[p] = in;
+    out_links_[p] = out;
+    credit_up_[p] = credit_up;
+    credit_down_[p] = credit_down;
+    // The consumer downstream of `out` exposes buffer_depth slots per
+    // VC; start with full credit.
+    if (out != nullptr) {
+        for (int v = 0; v < config_.vcs; ++v)
+            outputs_[p].credits[static_cast<std::size_t>(v)] =
+                config_.buffer_depth;
+    }
+}
+
+Router::InputVc &
+Router::inputVc(int port, int vc)
+{
+    return inputs_[static_cast<std::size_t>(port * config_.vcs + vc)];
+}
+
+void
+Router::receiveCredits()
+{
+    for (int port = 0; port < portCount(); ++port) {
+        CreditChannel *ch = credit_down_[static_cast<std::size_t>(port)];
+        if (ch == nullptr)
+            continue;
+        while (!ch->empty()) {
+            const Credit credit = ch->pop();
+            auto &credits =
+                outputs_[static_cast<std::size_t>(port)].credits;
+            LOCSIM_ASSERT(credit.vc < config_.vcs, "credit VC range");
+            int &count = credits[credit.vc];
+            ++count;
+            LOCSIM_ASSERT(count <= config_.buffer_depth,
+                          "credit overflow on node ", node_, " port ",
+                          port);
+        }
+    }
+}
+
+void
+Router::receiveFlits()
+{
+    for (int port = 0; port < portCount(); ++port) {
+        FlitChannel *ch = in_links_[static_cast<std::size_t>(port)];
+        if (ch == nullptr)
+            continue;
+        while (!ch->empty()) {
+            Flit flit = ch->pop();
+            LOCSIM_ASSERT(flit.vc < config_.vcs, "flit VC range");
+            InputVc &ivc = inputVc(port, flit.vc);
+            LOCSIM_ASSERT(static_cast<int>(ivc.buffer.size()) <
+                              config_.buffer_depth,
+                          "input buffer overflow: credit protocol "
+                          "violated at node ",
+                          node_, " port ", port, " vc ",
+                          static_cast<int>(flit.vc));
+            ivc.buffer.push_back(flit);
+        }
+    }
+}
+
+void
+Router::computeRoute(int port, InputVc &ivc)
+{
+    const Flit &head = ivc.buffer.front();
+    LOCSIM_ASSERT(head.head, "routing a non-head flit");
+
+    if (head.dst == node_) {
+        ivc.out_port = localPort();
+        ivc.out_vc = 0;
+        ivc.routed = true;
+        return;
+    }
+
+    const HopStep step = topo_.nextHop(node_, head.dst);
+    // Dateline state resets when the packet enters a new dimension.
+    bool crossed = false;
+    if (port != localPort() && port / 2 == step.dim)
+        crossed = head.crossed_dateline;
+    ivc.out_port = portFor(step.dim, step.dir);
+    ivc.out_vc = (crossed || step.wraps) ? 1 : 0;
+    ivc.routed = true;
+}
+
+void
+Router::routeAndAllocate()
+{
+    const int units = portCount() * config_.vcs;
+    // Rotate the scan start so no input unit starves under contention.
+    for (int i = 0; i < units; ++i) {
+        const int unit = (alloc_rr_ + i) % units;
+        const int port = unit / config_.vcs;
+        InputVc &ivc = inputs_[static_cast<std::size_t>(unit)];
+        if (ivc.buffer.empty() || ivc.routed)
+            continue;
+        if (!ivc.buffer.front().head) {
+            // A body flit can be at the front only if the head already
+            // passed, in which case routed would still be true; seeing
+            // one here means the wormhole state machine broke.
+            LOCSIM_PANIC("body flit with no route at node ", node_);
+        }
+        computeRoute(port, ivc);
+        // Try to claim the output VC (wormhole allocation).
+        OutputPort &out =
+            outputs_[static_cast<std::size_t>(ivc.out_port)];
+        int &owner = out.owner[static_cast<std::size_t>(ivc.out_vc)];
+        if (owner == -1) {
+            owner = unit;
+        } else if (owner != unit) {
+            // VC busy: stay routed, retry allocation next cycle.
+            ivc.routed = false;
+            ivc.out_port = -1;
+            ivc.out_vc = -1;
+        }
+    }
+    alloc_rr_ = (alloc_rr_ + 1) % units;
+}
+
+void
+Router::switchTraversal()
+{
+    std::vector<bool> input_port_used(
+        static_cast<std::size_t>(portCount()), false);
+
+    for (int port = 0; port < portCount(); ++port) {
+        OutputPort &out = outputs_[static_cast<std::size_t>(port)];
+        FlitChannel *link = out_links_[static_cast<std::size_t>(port)];
+        if (link == nullptr)
+            continue;
+        // One flit per output port per cycle: round-robin over VCs.
+        for (int i = 0; i < config_.vcs; ++i) {
+            const int vc = (out.next_vc + i) % config_.vcs;
+            const int owner = out.owner[static_cast<std::size_t>(vc)];
+            if (owner == -1)
+                continue;
+            const int in_port = owner / config_.vcs;
+            const int in_vc = owner % config_.vcs;
+            if (input_port_used[static_cast<std::size_t>(in_port)])
+                continue;
+            InputVc &ivc = inputVc(in_port, in_vc);
+            if (ivc.buffer.empty())
+                continue;
+            if (out.credits[static_cast<std::size_t>(vc)] <= 0)
+                continue;
+
+            Flit flit = ivc.buffer.front();
+            ivc.buffer.pop_front();
+            input_port_used[static_cast<std::size_t>(in_port)] = true;
+
+            // Return a credit upstream for the freed buffer slot.
+            CreditChannel *up =
+                credit_up_[static_cast<std::size_t>(in_port)];
+            if (up != nullptr)
+                up->push(Credit{static_cast<std::uint8_t>(in_vc)});
+
+            // Rewrite link-level VC and dateline state.
+            const bool to_neighbor = port != localPort();
+            if (flit.head && to_neighbor)
+                flit.crossed_dateline = (ivc.out_vc == 1);
+            flit.vc = static_cast<std::uint8_t>(vc);
+
+            --out.credits[static_cast<std::size_t>(vc)];
+            link->push(flit);
+            output_flits_[static_cast<std::size_t>(port)].inc();
+
+            if (flit.tail) {
+                out.owner[static_cast<std::size_t>(vc)] = -1;
+                ivc.routed = false;
+                ivc.out_port = -1;
+                ivc.out_vc = -1;
+            }
+            out.next_vc = (vc + 1) % config_.vcs;
+            break;
+        }
+    }
+}
+
+void
+Router::tick()
+{
+    receiveCredits();
+    receiveFlits();
+    routeAndAllocate();
+    switchTraversal();
+}
+
+std::size_t
+Router::bufferedFlits() const
+{
+    std::size_t total = 0;
+    for (const auto &ivc : inputs_)
+        total += ivc.buffer.size();
+    return total;
+}
+
+} // namespace net
+} // namespace locsim

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A virtual-channel wormhole router for k-ary n-dimensional tori.
+ *
+ * Microarchitecture (one network cycle per hop when uncontended,
+ * matching Section 3.1's "base delay through a network switch is a
+ * single network cycle"):
+ *
+ *  - 2n neighbor ports (one per dimension and direction, separate
+ *    unidirectional physical channels) plus an injection input and an
+ *    ejection output.
+ *  - V virtual channels per physical channel, each with a private
+ *    flit buffer of fixed depth; credit-based flow control returns one
+ *    credit upstream per flit drained.
+ *  - Dimension-order (e-cube) routing; within a ring, deadlock freedom
+ *    comes from Dally's dateline scheme: packets use VC 0 until they
+ *    traverse the wrap-around link, VC 1 from the wrap link onward.
+ *  - Per-packet output VC ownership (wormhole): a head flit claims an
+ *    output VC; the tail releases it.
+ *
+ * All ports communicate through latched sim::Channel objects, so the
+ * order in which routers tick within a cycle is immaterial.
+ */
+
+#ifndef LOCSIM_NET_ROUTER_HH_
+#define LOCSIM_NET_ROUTER_HH_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/channel.hh"
+#include "net/message.hh"
+#include "net/topology.hh"
+#include "stats/stats.hh"
+
+namespace locsim {
+namespace net {
+
+/** Configuration knobs for the router fabric. */
+struct RouterConfig
+{
+    /** Virtual channels per physical channel (>= 2 for torus). */
+    int vcs = 2;
+    /**
+     * Flit buffer depth per virtual channel ("a moderate amount of
+     * buffering is provided on each switch", Section 3.1).
+     */
+    int buffer_depth = 8;
+};
+
+/**
+ * One switch of the torus fabric.
+ *
+ * The Network wires up channels between routers; the router itself
+ * only knows its node id, the topology, and its port channels.
+ */
+class Router
+{
+  public:
+    using FlitChannel = sim::Channel<Flit>;
+    using CreditChannel = sim::Channel<Credit>;
+
+    Router(const TorusTopology &topo, sim::NodeId node,
+           const RouterConfig &config);
+
+    /** Number of ports including injection/ejection. */
+    int portCount() const { return 2 * topo_.dims() + 1; }
+
+    /** Port index for (dim, dir): outgoing or incoming neighbor. */
+    static int
+    portFor(int dim, int dir)
+    {
+        return 2 * dim + (dir > 0 ? 0 : 1);
+    }
+
+    /** The local (injection input / ejection output) port index. */
+    int localPort() const { return 2 * topo_.dims(); }
+
+    /**
+     * Connect the channels for one port.
+     *
+     * @param port port index.
+     * @param in flits arriving into this router (may be null for the
+     *        ejection side of the local port pair; the local port uses
+     *        @p in for injection and @p out for ejection).
+     * @param out flits leaving this router.
+     * @param credit_up credits this router returns to whoever feeds
+     *        @p in.
+     * @param credit_down credits arriving for @p out.
+     */
+    void connect(int port, FlitChannel *in, FlitChannel *out,
+                 CreditChannel *credit_up, CreditChannel *credit_down);
+
+    /** Advance one network cycle. */
+    void tick();
+
+    /** Flits forwarded per neighbor output port (for utilization). */
+    const std::vector<stats::Counter> &outputFlits() const
+    {
+        return output_flits_;
+    }
+
+    /** Total flits currently buffered (for drain/idle detection). */
+    std::size_t bufferedFlits() const;
+
+    const RouterConfig &config() const { return config_; }
+    sim::NodeId node() const { return node_; }
+
+  private:
+    struct InputVc
+    {
+        std::deque<Flit> buffer;
+        bool routed = false;       //!< head at front has a route
+        int out_port = -1;
+        int out_vc = -1;
+    };
+
+    struct OutputPort
+    {
+        /** Encoded owner input (port * vcs + vc), or -1 if free. */
+        std::vector<int> owner;
+        /** Credits available per output VC. */
+        std::vector<int> credits;
+        /** Round-robin pointer over output VCs. */
+        int next_vc = 0;
+    };
+
+    void receiveCredits();
+    void receiveFlits();
+    void routeAndAllocate();
+    void switchTraversal();
+
+    /** Compute route for the head flit of (port, vc). */
+    void computeRoute(int port, InputVc &ivc);
+
+    InputVc &inputVc(int port, int vc);
+
+    const TorusTopology &topo_;
+    sim::NodeId node_;
+    RouterConfig config_;
+
+    std::vector<InputVc> inputs_;        // [port][vc] flattened
+    std::vector<OutputPort> outputs_;    // [port]
+
+    std::vector<FlitChannel *> in_links_;
+    std::vector<FlitChannel *> out_links_;
+    std::vector<CreditChannel *> credit_up_;
+    std::vector<CreditChannel *> credit_down_;
+
+    /** Rotating arbitration start for VC allocation fairness. */
+    int alloc_rr_ = 0;
+
+    std::vector<stats::Counter> output_flits_;
+};
+
+} // namespace net
+} // namespace locsim
+
+#endif // LOCSIM_NET_ROUTER_HH_

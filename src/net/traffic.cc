@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Open-loop traffic generator implementation.
+ */
+
+#include "net/traffic.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace net {
+
+TrafficGenerator::TrafficGenerator(Network &network,
+                                   const TrafficConfig &config)
+    : network_(network), config_(config), rng_(config.seed)
+{
+    LOCSIM_ASSERT(config_.injection_rate >= 0.0 &&
+                      config_.injection_rate <= 1.0,
+                  "injection rate must be a probability");
+    LOCSIM_ASSERT(config_.message_flits >= 1, "empty messages");
+}
+
+sim::NodeId
+TrafficGenerator::pickDestination(sim::NodeId src)
+{
+    const TorusTopology &topo = network_.topology();
+    switch (config_.pattern) {
+      case TrafficPattern::UniformRandom: {
+        // Uniform over all nodes except self.
+        auto dst = static_cast<sim::NodeId>(
+            rng_.nextBounded(topo.nodeCount() - 1));
+        if (dst >= src)
+            ++dst;
+        return dst;
+      }
+      case TrafficPattern::NearestNeighbor: {
+        for (;;) {
+            const int dim =
+                static_cast<int>(rng_.nextBounded(
+                    static_cast<std::uint64_t>(topo.dims())));
+            const int dir = rng_.nextBool() ? 1 : -1;
+            const sim::NodeId nbr = topo.neighbor(src, dim, dir);
+            if (nbr != sim::kNodeNone)
+                return nbr; // mesh edges have fewer neighbors
+        }
+      }
+    }
+    LOCSIM_PANIC("unknown traffic pattern");
+}
+
+void
+TrafficGenerator::tick(sim::Tick now)
+{
+    const sim::NodeId n = network_.topology().nodeCount();
+    for (sim::NodeId node = 0; node < n; ++node) {
+        while (network_.receive(node).has_value())
+            ++received_;
+        if (enabled_ && rng_.nextBool(config_.injection_rate)) {
+            Message msg;
+            msg.src = node;
+            msg.dst = pickDestination(node);
+            msg.flits = config_.message_flits;
+            msg.submit_tick = now;
+            network_.send(msg);
+            ++generated_;
+        }
+    }
+}
+
+} // namespace net
+} // namespace locsim

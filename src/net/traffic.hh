@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Open-loop synthetic traffic driver for network-only experiments.
+ *
+ * Each node generates fixed-size messages as a Bernoulli process with
+ * a configurable per-cycle injection probability, addressed either
+ * uniformly at random (never to self; the assumption behind paper
+ * Equation 17) or to a fixed set of neighbors at a target distance.
+ * This is exactly the fixed-message-rate regime Agarwal's network
+ * model assumes, so it is used to validate our network model
+ * implementation and to demonstrate why open-loop analysis mispredicts
+ * closed-loop machines (Section 5's critique).
+ */
+
+#ifndef LOCSIM_NET_TRAFFIC_HH_
+#define LOCSIM_NET_TRAFFIC_HH_
+
+#include <cstdint>
+
+#include "net/network.hh"
+#include "util/random.hh"
+
+namespace locsim {
+namespace net {
+
+/** Traffic pattern selector. */
+enum class TrafficPattern {
+    UniformRandom,      //!< uniform over all other nodes
+    NearestNeighbor,    //!< one of the 2n torus neighbors
+};
+
+/** Open-loop generator configuration. */
+struct TrafficConfig
+{
+    TrafficPattern pattern = TrafficPattern::UniformRandom;
+    /** Per-node, per-network-cycle message injection probability. */
+    double injection_rate = 0.01;
+    /** Message size in flits (paper: B = 12). */
+    std::uint32_t message_flits = 12;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Drives a Network with open-loop traffic and swallows deliveries.
+ *
+ * Register after the Network with the same period so deliveries are
+ * drained every cycle.
+ */
+class TrafficGenerator : public sim::Clocked
+{
+  public:
+    TrafficGenerator(Network &network, const TrafficConfig &config);
+
+    void tick(sim::Tick now) override;
+
+    /**
+     * Stop generating new messages (deliveries are still drained).
+     * Used by tests and benches to let the network run dry.
+     */
+    void stop() { enabled_ = false; }
+
+    /** Resume generation after stop(). */
+    void start() { enabled_ = true; }
+
+    /** Messages injected so far. */
+    std::uint64_t generated() const { return generated_; }
+
+    /** Messages drained from the delivery queues so far. */
+    std::uint64_t received() const { return received_; }
+
+  private:
+    sim::NodeId pickDestination(sim::NodeId src);
+
+    Network &network_;
+    TrafficConfig config_;
+    util::Rng rng_;
+    bool enabled_ = true;
+    std::uint64_t generated_ = 0;
+    std::uint64_t received_ = 0;
+};
+
+} // namespace net
+} // namespace locsim
+
+#endif // LOCSIM_NET_TRAFFIC_HH_

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A Sparcle-like block-multithreaded processor model (Section 3.1):
+ * p hardware contexts, each running one thread; on a cache miss the
+ * processor switches to the next runnable context, paying an 11-cycle
+ * switch penalty. With a single context the processor simply stalls
+ * (Figure 1); with several it overlaps misses with other contexts'
+ * work (Figure 2).
+ */
+
+#ifndef LOCSIM_PROC_PROCESSOR_HH_
+#define LOCSIM_PROC_PROCESSOR_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "coher/controller.hh"
+#include "proc/program.hh"
+#include "sim/engine.hh"
+#include "stats/stats.hh"
+
+namespace locsim {
+namespace proc {
+
+/** Processor configuration. */
+struct ProcessorConfig
+{
+    /** Hardware contexts (Sparcle provides four). */
+    int contexts = 1;
+    /** Context switch penalty in processor cycles (Sparcle: 11). */
+    std::uint32_t switch_cycles = 11;
+};
+
+/** Per-processor statistics. */
+struct ProcessorStats
+{
+    /** Cycles spent on useful thread work. */
+    stats::Counter work_cycles;
+    /** Cycles idle with every context blocked on memory. */
+    stats::Counter idle_cycles;
+    /** Cycles spent switching contexts. */
+    stats::Counter switch_cycles;
+    /** Context switches performed. */
+    stats::Counter switches;
+    /** Memory operations issued (hits and misses). */
+    stats::Counter ops;
+    /** Non-blocking prefetches issued. */
+    stats::Counter prefetches;
+};
+
+/** The processor model for one node. */
+class Processor : public sim::Clocked
+{
+  public:
+    /**
+     * @param controller this node's memory controller.
+     * @param config processor knobs.
+     * @param programs one thread program per context (not owned; must
+     *        outlive the processor).
+     */
+    Processor(coher::CacheController &controller,
+              const ProcessorConfig &config,
+              std::vector<ThreadProgram *> programs);
+
+    void tick(sim::Tick now) override;
+
+    const ProcessorStats &stats() const { return stats_; }
+
+    /** Zero all statistics (e.g. after a warmup period). */
+    void resetStats() { stats_ = ProcessorStats{}; }
+
+    /** True if every context is blocked on memory. */
+    bool allBlocked() const;
+
+  private:
+    enum class CtxState : std::uint8_t {
+        Computing,     //!< burning compute cycles
+        ReadyToIssue,  //!< compute done; memory op pending issue
+        WaitingMem,    //!< memory transaction outstanding
+        ReadyToResume, //!< memory completed; awaiting the pipeline
+    };
+
+    struct Context
+    {
+        ThreadProgram *program = nullptr;
+        CtxState state = CtxState::Computing;
+        std::uint32_t compute_remaining = 0;
+        Op op;
+        std::uint64_t resume_value = 0;
+    };
+
+    /** Load the context's next op after a completed operation. */
+    void advance(Context &ctx, std::uint64_t result);
+
+    /** Issue the active context's pending op (fast path or miss). */
+    void issue(int ctx_index);
+
+    /** Find another runnable context (round-robin); -1 if none. */
+    int findRunnable(int after) const;
+
+    /** Begin switching to @p target. */
+    void startSwitch(int target);
+
+    bool runnable(const Context &ctx) const;
+
+    coher::CacheController &controller_;
+    ProcessorConfig config_;
+    std::vector<Context> contexts_;
+
+    int active_ = 0;
+    std::uint32_t switch_remaining_ = 0;
+
+    ProcessorStats stats_;
+};
+
+} // namespace proc
+} // namespace locsim
+
+#endif // LOCSIM_PROC_PROCESSOR_HH_

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Latched FIFO channels for cycle-driven simulation.
+ *
+ * All communication between clocked components goes through Channel
+ * objects. A value pushed during cycle t becomes visible to the
+ * consumer no earlier than cycle t+1 (the engine rotates every channel
+ * at the end of each tick). This gives clean two-phase semantics: the
+ * order in which components are ticked within a cycle cannot affect
+ * simulation results.
+ */
+
+#ifndef LOCSIM_SIM_CHANNEL_HH_
+#define LOCSIM_SIM_CHANNEL_HH_
+
+#include <cstddef>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace sim {
+
+/** Type-erased interface the engine uses to rotate channels. */
+class Rotatable
+{
+  public:
+    virtual ~Rotatable() = default;
+
+    /** Move this cycle's pushes into the visible queue. */
+    virtual void rotate() = 0;
+};
+
+/**
+ * A bounded FIFO with one cycle of latching delay.
+ *
+ * Capacity limits the total occupancy (visible + in-flight). Producers
+ * must check canPush() before pushing; consumers check empty() before
+ * popping. This models a buffered physical channel: capacity
+ * corresponds to buffer slots on the receiving side.
+ */
+template <typename T>
+class Channel : public Rotatable
+{
+  public:
+    /** @param capacity maximum occupancy; 0 means unbounded. */
+    explicit Channel(std::size_t capacity = 0) : capacity_(capacity) {}
+
+    /** True if a push this cycle would not exceed capacity. */
+    bool
+    canPush() const
+    {
+        return capacity_ == 0 || size() < capacity_;
+    }
+
+    /** Enqueue a value; becomes visible after the next rotate(). */
+    void
+    push(T value)
+    {
+        LOCSIM_ASSERT(canPush(), "push on full channel");
+        staged_.push_back(std::move(value));
+    }
+
+    /** True if no value is currently visible to the consumer. */
+    bool empty() const { return visible_.empty(); }
+
+    /** Peek the oldest visible value. */
+    const T &
+    front() const
+    {
+        LOCSIM_ASSERT(!empty(), "front() on empty channel");
+        return visible_.front();
+    }
+
+    /** Dequeue the oldest visible value. */
+    T
+    pop()
+    {
+        LOCSIM_ASSERT(!empty(), "pop() on empty channel");
+        T value = std::move(visible_.front());
+        visible_.pop_front();
+        return value;
+    }
+
+    /** Total occupancy: visible plus staged. */
+    std::size_t size() const { return visible_.size() + staged_.size(); }
+
+    /** Number of values currently visible to the consumer. */
+    std::size_t visibleSize() const { return visible_.size(); }
+
+    std::size_t capacity() const { return capacity_; }
+
+    void
+    rotate() override
+    {
+        while (!staged_.empty()) {
+            visible_.push_back(std::move(staged_.front()));
+            staged_.pop_front();
+        }
+    }
+
+    /** Discard all contents (for reuse between runs). */
+    void
+    clear()
+    {
+        visible_.clear();
+        staged_.clear();
+    }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> visible_;
+    std::deque<T> staged_;
+};
+
+} // namespace sim
+} // namespace locsim
+
+#endif // LOCSIM_SIM_CHANNEL_HH_

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Engine implementation.
+ */
+
+#include "sim/engine.hh"
+
+#include "sim/channel.hh"
+#include "util/logging.hh"
+
+namespace locsim {
+namespace sim {
+
+void
+Engine::addClocked(Clocked *component, Tick period, Tick offset)
+{
+    LOCSIM_ASSERT(component != nullptr, "null clocked component");
+    LOCSIM_ASSERT(period >= 1, "clock period must be >= 1");
+    LOCSIM_ASSERT(offset < period, "clock offset must be < period");
+    clocked_.push_back({component, period, offset});
+}
+
+void
+Engine::addChannel(Rotatable *channel)
+{
+    LOCSIM_ASSERT(channel != nullptr, "null channel");
+    channels_.push_back(channel);
+}
+
+void
+Engine::stepOneTick()
+{
+    // Fire any events due at the current time before components tick,
+    // so event effects are visible within this cycle.
+    events_.runUntil(now_);
+
+    for (const auto &entry : clocked_) {
+        if ((now_ + entry.period - entry.offset) % entry.period == 0)
+            entry.component->tick(now_);
+    }
+    for (Rotatable *channel : channels_)
+        channel->rotate();
+    ++now_;
+}
+
+void
+Engine::run(Tick ticks)
+{
+    const Tick end = now_ + ticks;
+    while (now_ < end)
+        stepOneTick();
+}
+
+bool
+Engine::runUntil(const std::function<bool()> &done, Tick max_ticks)
+{
+    const Tick end = now_ + max_ticks;
+    while (now_ < end) {
+        if (done())
+            return true;
+        stepOneTick();
+    }
+    return done();
+}
+
+} // namespace sim
+} // namespace locsim

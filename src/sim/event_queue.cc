@@ -1,0 +1,49 @@
+/**
+ * @file
+ * EventQueue implementation.
+ */
+
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace sim {
+
+void
+EventQueue::schedule(Tick when, Callback fn)
+{
+    LOCSIM_ASSERT(fn, "scheduling a null callback");
+    heap_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    return heap_.empty() ? kTickNever : heap_.top().when;
+}
+
+std::size_t
+EventQueue::runUntil(Tick now)
+{
+    std::size_t executed = 0;
+    while (!heap_.empty() && heap_.top().when <= now) {
+        // Copy out before pop so the callback can schedule new events.
+        Event event = heap_.top();
+        heap_.pop();
+        event.fn();
+        ++executed;
+    }
+    return executed;
+}
+
+void
+EventQueue::clear()
+{
+    heap_ = {};
+}
+
+} // namespace sim
+} // namespace locsim

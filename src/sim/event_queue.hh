@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A small discrete-event queue usable alongside (or instead of) the
+ * cycle-driven engine. Components that sleep for long, data-dependent
+ * intervals (e.g. a processor stalled on a memory transaction) can
+ * schedule wakeups instead of being polled every cycle.
+ */
+
+#ifndef LOCSIM_SIM_EVENT_QUEUE_HH_
+#define LOCSIM_SIM_EVENT_QUEUE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace locsim {
+namespace sim {
+
+/**
+ * A priority queue of (tick, sequence, callback) events.
+ *
+ * Events scheduled for the same tick fire in scheduling order, which
+ * keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p fn to run at absolute time @p when. */
+    void schedule(Tick when, Callback fn);
+
+    /** True if no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event (kTickNever if empty). */
+    Tick nextTick() const;
+
+    /**
+     * Run all events scheduled at ticks <= @p now, in time order.
+     * Events may schedule further events (including at @p now).
+     *
+     * @return number of events executed.
+     */
+    std::size_t runUntil(Tick now);
+
+    /** Drop all pending events. */
+    void clear();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace sim
+} // namespace locsim
+
+#endif // LOCSIM_SIM_EVENT_QUEUE_HH_

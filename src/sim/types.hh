@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fundamental simulation types shared by all simulator modules.
+ */
+
+#ifndef LOCSIM_SIM_TYPES_HH_
+#define LOCSIM_SIM_TYPES_HH_
+
+#include <cstdint>
+
+namespace locsim {
+namespace sim {
+
+/**
+ * Simulation time. One tick is one cycle of the fastest clock in the
+ * machine (the network clock in the default Alewife-like
+ * configuration, which clocks switches twice as fast as processors).
+ */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no tick" / unscheduled. */
+inline constexpr Tick kTickNever = ~Tick{0};
+
+/** Identifies a processing node (0 .. N-1). */
+using NodeId = std::uint32_t;
+
+/** Sentinel node id. */
+inline constexpr NodeId kNodeNone = ~NodeId{0};
+
+} // namespace sim
+} // namespace locsim
+
+#endif // LOCSIM_SIM_TYPES_HH_

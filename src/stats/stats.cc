@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Statistics primitive implementations.
+ */
+
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace stats {
+
+void
+Accumulator::add(double sample)
+{
+    ++count_;
+    sum_ += sample;
+    const double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - mean_);
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Accumulator::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    LOCSIM_ASSERT(hi > lo, "histogram range must be non-empty");
+    LOCSIM_ASSERT(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total_;
+    if (sample < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (sample >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((sample - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1); // guard FP edge at hi_
+    ++counts_[idx];
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    LOCSIM_ASSERT(i < counts_.size(), "bucket index out of range");
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::bucketHi(std::size_t i) const
+{
+    return bucketLo(i) + width_;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    LOCSIM_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    if (total_ == 0)
+        return lo_;
+    const double target = q * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    if (seen >= target)
+        return lo_;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double in_bucket = static_cast<double>(counts_[i]);
+        if (seen + in_bucket >= target && in_bucket > 0) {
+            const double frac = (target - seen) / in_bucket;
+            return bucketLo(i) + frac * width_;
+        }
+        seen += in_bucket;
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    underflow_ = overflow_ = total_ = 0;
+}
+
+void
+TimeWeighted::update(std::uint64_t now, double value)
+{
+    if (started_) {
+        LOCSIM_ASSERT(now >= last_time_,
+                      "time-weighted update went backwards: ", now,
+                      " < ", last_time_);
+        const std::uint64_t dt = now - last_time_;
+        weighted_sum_ += value * static_cast<double>(dt);
+        elapsed_ += dt;
+    }
+    last_time_ = now;
+    started_ = true;
+}
+
+double
+TimeWeighted::average() const
+{
+    if (elapsed_ == 0)
+        return 0.0;
+    return weighted_sum_ / static_cast<double>(elapsed_);
+}
+
+void
+TimeWeighted::reset()
+{
+    *this = TimeWeighted();
+}
+
+void
+StatRegistry::add(const std::string &name, const Counter &counter)
+{
+    entries_.push_back({name, Entry::Kind::Counter, &counter});
+}
+
+void
+StatRegistry::add(const std::string &name, const Accumulator &acc)
+{
+    entries_.push_back({name + ".mean", Entry::Kind::AccMean, &acc});
+    entries_.push_back({name + ".count", Entry::Kind::AccCount, &acc});
+}
+
+void
+StatRegistry::addValue(const std::string &name, const double &value)
+{
+    entries_.push_back({name, Entry::Kind::Value, &value});
+}
+
+std::vector<StatValue>
+StatRegistry::dump() const
+{
+    std::vector<StatValue> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_) {
+        double value = 0.0;
+        switch (entry.kind) {
+          case Entry::Kind::Counter:
+            value = static_cast<double>(
+                static_cast<const Counter *>(entry.source)->value());
+            break;
+          case Entry::Kind::AccMean:
+            value =
+                static_cast<const Accumulator *>(entry.source)->mean();
+            break;
+          case Entry::Kind::AccCount:
+            value = static_cast<double>(
+                static_cast<const Accumulator *>(entry.source)->count());
+            break;
+          case Entry::Kind::Value:
+            value = *static_cast<const double *>(entry.source);
+            break;
+        }
+        out.push_back({entry.name, value});
+    }
+    return out;
+}
+
+void
+StatRegistry::print(std::ostream &os) const
+{
+    for (const auto &stat : dump())
+        os << stat.name << " = " << stat.value << '\n';
+}
+
+} // namespace stats
+} // namespace locsim

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Statistics primitives for the simulator and the measurement harness:
+ * counters, streaming mean/variance accumulators, fixed-bucket
+ * histograms, and time-weighted averages (for utilization-style
+ * quantities). A StatRegistry groups named statistics for dumping.
+ *
+ * All statistics are deliberately simple value types; simulated
+ * components own their stats directly and optionally register them for
+ * reporting.
+ */
+
+#ifndef LOCSIM_STATS_STATS_HH_
+#define LOCSIM_STATS_STATS_HH_
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace locsim {
+namespace stats {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Streaming accumulator for mean/variance/min/max using Welford's
+ * algorithm (numerically stable for long runs).
+ */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Number of samples so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Unbiased sample variance (0 with < 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    double min() const;
+    double max() const;
+
+    void reset();
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const Accumulator &other);
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Histogram with uniform buckets over [lo, hi); samples outside the
+ * range land in underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double sample);
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    double bucketLo(std::size_t i) const;
+    double bucketHi(std::size_t i) const;
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t total() const { return total_; }
+
+    /** Approximate quantile (linear interpolation within a bucket). */
+    double quantile(double q) const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Time-weighted average of a piecewise-constant signal, e.g. channel
+ * utilization or queue occupancy sampled against simulation time.
+ */
+class TimeWeighted
+{
+  public:
+    /**
+     * Record that the signal held @p value from the previous update
+     * time up to @p now.
+     */
+    void update(std::uint64_t now, double value);
+
+    /** Time-weighted mean over the observed interval. */
+    double average() const;
+
+    /** Total observed time. */
+    std::uint64_t elapsed() const { return elapsed_; }
+
+    void reset();
+
+  private:
+    std::uint64_t last_time_ = 0;
+    std::uint64_t elapsed_ = 0;
+    double weighted_sum_ = 0.0;
+    bool started_ = false;
+};
+
+/** One named entry in a StatRegistry dump. */
+struct StatValue
+{
+    std::string name;
+    double value;
+};
+
+/**
+ * A flat registry of named statistic readouts.
+ *
+ * Components register closures that produce current values; dump()
+ * snapshots all of them. Registration order is preserved.
+ */
+class StatRegistry
+{
+  public:
+    /** Register a counter by reference (must outlive the registry). */
+    void add(const std::string &name, const Counter &counter);
+
+    /** Register an accumulator's mean and count. */
+    void add(const std::string &name, const Accumulator &acc);
+
+    /** Register an arbitrary double source. */
+    void addValue(const std::string &name, const double &value);
+
+    /** Snapshot all registered statistics. */
+    std::vector<StatValue> dump() const;
+
+    /** Pretty-print a snapshot. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        enum class Kind { Counter, AccMean, AccCount, Value } kind;
+        const void *source;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace stats
+} // namespace locsim
+
+#endif // LOCSIM_STATS_STATS_HH_

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CsvWriter implementation.
+ */
+
+#include "util/csv.hh"
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace locsim {
+namespace util {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path), path_(path)
+{
+    if (!out_)
+        LOCSIM_FATAL("cannot open CSV output file '", path, "'");
+}
+
+CsvWriter::~CsvWriter() = default;
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    const bool needs_quote =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(values[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &names)
+{
+    LOCSIM_ASSERT(!wrote_header_, "CSV header written twice for ",
+                  path_);
+    columns_ = names.size();
+    wrote_header_ = true;
+    writeRow(names);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &values)
+{
+    if (wrote_header_) {
+        LOCSIM_ASSERT(values.size() == columns_,
+                      "CSV row width ", values.size(),
+                      " != header width ", columns_, " in ", path_);
+    }
+    writeRow(values);
+}
+
+void
+CsvWriter::rowDoubles(const std::vector<double> &values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values)
+        cells.push_back(formatDouble(v, precision));
+    row(cells);
+}
+
+} // namespace util
+} // namespace locsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal CSV output support so bench harnesses can dump machine-
+ * readable series (for replotting the paper's figures) alongside the
+ * human-readable tables.
+ */
+
+#ifndef LOCSIM_UTIL_CSV_HH_
+#define LOCSIM_UTIL_CSV_HH_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace locsim {
+namespace util {
+
+/**
+ * Writes rows of values to a CSV file (or any ostream).
+ *
+ * Values containing commas, quotes, or newlines are quoted per
+ * RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Write the header row. */
+    void header(const std::vector<std::string> &names);
+
+    /** Append one data row of preformatted strings. */
+    void row(const std::vector<std::string> &values);
+
+    /** Append one data row of doubles with the given precision. */
+    void rowDoubles(const std::vector<double> &values,
+                    int precision = 6);
+
+    /** Escape one field per RFC 4180 (exposed for testing). */
+    static std::string escape(const std::string &field);
+
+  private:
+    void writeRow(const std::vector<std::string> &values);
+
+    std::ofstream out_;
+    std::string path_;
+    std::size_t columns_ = 0;
+    bool wrote_header_ = false;
+};
+
+} // namespace util
+} // namespace locsim
+
+#endif // LOCSIM_UTIL_CSV_HH_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Implementation of the logging helpers.
+ */
+
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace locsim {
+namespace util {
+
+namespace {
+
+LogLevel g_level = LogLevel::Inform;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file,
+                 line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Inform)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Debug)
+        std::fprintf(stderr, "debug: %s\n", msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace util
+} // namespace locsim

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * OptionParser implementation.
+ */
+
+#include "util/options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace util {
+
+OptionParser::OptionParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary))
+{
+}
+
+void
+OptionParser::addString(const std::string &name, const std::string &help,
+                        const std::string &default_value)
+{
+    options_[name] = Option{Kind::String, help, default_value};
+}
+
+void
+OptionParser::addInt(const std::string &name, const std::string &help,
+                     long long default_value)
+{
+    options_[name] =
+        Option{Kind::Int, help, std::to_string(default_value)};
+}
+
+void
+OptionParser::addDouble(const std::string &name, const std::string &help,
+                        double default_value)
+{
+    std::ostringstream oss;
+    oss << default_value;
+    options_[name] = Option{Kind::Double, help, oss.str()};
+}
+
+void
+OptionParser::addFlag(const std::string &name, const std::string &help)
+{
+    options_[name] = Option{Kind::Flag, help, "0"};
+}
+
+std::vector<std::string>
+OptionParser::parse(int argc, const char *const *argv)
+{
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            positional.push_back(arg);
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool have_value = false;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            have_value = true;
+        }
+        auto it = options_.find(name);
+        if (it == options_.end()) {
+            std::fputs(usage().c_str(), stderr);
+            LOCSIM_FATAL("unknown option --", name);
+        }
+        Option &opt = it->second;
+        if (opt.kind == Kind::Flag) {
+            if (have_value)
+                LOCSIM_FATAL("flag --", name, " takes no value");
+            opt.value = "1";
+            continue;
+        }
+        if (!have_value) {
+            if (i + 1 >= argc)
+                LOCSIM_FATAL("option --", name, " requires a value");
+            value = argv[++i];
+        }
+        if (opt.kind == Kind::Int) {
+            char *end = nullptr;
+            (void)std::strtoll(value.c_str(), &end, 10);
+            if (end == value.c_str() || *end != '\0')
+                LOCSIM_FATAL("option --", name,
+                             " expects an integer, got '", value, "'");
+        } else if (opt.kind == Kind::Double) {
+            char *end = nullptr;
+            (void)std::strtod(value.c_str(), &end);
+            if (end == value.c_str() || *end != '\0')
+                LOCSIM_FATAL("option --", name,
+                             " expects a number, got '", value, "'");
+        }
+        opt.value = value;
+    }
+    return positional;
+}
+
+const OptionParser::Option &
+OptionParser::find(const std::string &name, Kind kind) const
+{
+    auto it = options_.find(name);
+    LOCSIM_ASSERT(it != options_.end(), "option --", name,
+                  " was never registered");
+    LOCSIM_ASSERT(it->second.kind == kind, "option --", name,
+                  " accessed with the wrong type");
+    return it->second;
+}
+
+std::string
+OptionParser::getString(const std::string &name) const
+{
+    return find(name, Kind::String).value;
+}
+
+long long
+OptionParser::getInt(const std::string &name) const
+{
+    return std::strtoll(find(name, Kind::Int).value.c_str(), nullptr,
+                        10);
+}
+
+double
+OptionParser::getDouble(const std::string &name) const
+{
+    return std::strtod(find(name, Kind::Double).value.c_str(), nullptr);
+}
+
+bool
+OptionParser::getFlag(const std::string &name) const
+{
+    return find(name, Kind::Flag).value == "1";
+}
+
+std::string
+OptionParser::usage() const
+{
+    std::ostringstream oss;
+    oss << program_ << " - " << summary_ << "\n\noptions:\n";
+    for (const auto &[name, opt] : options_) {
+        oss << "  --" << name;
+        switch (opt.kind) {
+          case Kind::String:
+            oss << " <string>";
+            break;
+          case Kind::Int:
+            oss << " <int>";
+            break;
+          case Kind::Double:
+            oss << " <num>";
+            break;
+          case Kind::Flag:
+            break;
+        }
+        oss << "\n      " << opt.help;
+        if (opt.kind != Kind::Flag)
+            oss << " (default: " << opt.value << ")";
+        oss << "\n";
+    }
+    oss << "  --help\n      show this message\n";
+    return oss.str();
+}
+
+} // namespace util
+} // namespace locsim

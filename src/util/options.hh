@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A tiny command-line option parser for the examples and bench
+ * harnesses. Supports --name value, --name=value, and boolean flags,
+ * with typed accessors, defaults, and an auto-generated usage string.
+ */
+
+#ifndef LOCSIM_UTIL_OPTIONS_HH_
+#define LOCSIM_UTIL_OPTIONS_HH_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace locsim {
+namespace util {
+
+/** Declarative command-line option set. */
+class OptionParser
+{
+  public:
+    /** @param program short program name, @param summary one-liner. */
+    OptionParser(std::string program, std::string summary);
+
+    /** Register a string option. */
+    void addString(const std::string &name, const std::string &help,
+                   const std::string &default_value);
+
+    /** Register an integer option. */
+    void addInt(const std::string &name, const std::string &help,
+                long long default_value);
+
+    /** Register a floating-point option. */
+    void addDouble(const std::string &name, const std::string &help,
+                   double default_value);
+
+    /** Register a boolean flag (default false; presence sets true). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Unknown options or malformed values produce a usage
+     * message and a fatal error. "--help" prints usage and exits 0.
+     *
+     * @return leftover positional arguments.
+     */
+    std::vector<std::string> parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    long long getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** Render the usage/help text. */
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Int, Double, Flag };
+
+    struct Option
+    {
+        Kind kind;
+        std::string help;
+        std::string value; // current (default or parsed) textual value
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+
+    std::string program_;
+    std::string summary_;
+    std::map<std::string, Option> options_;
+};
+
+} // namespace util
+} // namespace locsim
+
+#endif // LOCSIM_UTIL_OPTIONS_HH_

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace util {
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    LOCSIM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::newRow()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(std::string value)
+{
+    LOCSIM_ASSERT(!rows_.empty(), "cell() before newRow()");
+    LOCSIM_ASSERT(rows_.back().size() < headers_.size(),
+                  "row has more cells than headers");
+    rows_.back().push_back(std::move(value));
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+TextTable &
+TextTable::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string text = c < row.size() ? row[c] : "";
+            const std::size_t pad = widths[c] - text.size();
+            if (c == 0) {
+                os << text << std::string(pad, ' ');
+            } else {
+                os << std::string(pad, ' ') << text;
+            }
+            os << (c + 1 < headers_.size() ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace util
+} // namespace locsim

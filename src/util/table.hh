@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Plain-text table formatting for benchmark harnesses and examples.
+ *
+ * Every bench binary reproduces one of the paper's tables or figures;
+ * TextTable renders the rows in aligned columns so the output can be
+ * compared side-by-side with the paper.
+ */
+
+#ifndef LOCSIM_UTIL_TABLE_HH_
+#define LOCSIM_UTIL_TABLE_HH_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace locsim {
+namespace util {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Cells are strings; numeric convenience overloads format with a fixed
+ * precision. Columns are right-aligned except the first, which is
+ * left-aligned (matching the layout of the paper's tables).
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it. */
+    TextTable &newRow();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(std::string value);
+
+    /** Append a formatted floating-point cell. */
+    TextTable &cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    TextTable &cell(long long value);
+
+    /** Render the table to a stream with a header separator line. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper shared with CSV). */
+std::string formatDouble(double value, int precision);
+
+} // namespace util
+} // namespace locsim
+
+#endif // LOCSIM_UTIL_TABLE_HH_

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * CommGraph implementation.
+ */
+
+#include "workload/comm_graph.hh"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace workload {
+
+CommGraph::CommGraph(std::uint32_t vertices)
+{
+    LOCSIM_ASSERT(vertices >= 2, "graph needs at least two vertices");
+    adjacency_.resize(vertices);
+}
+
+void
+CommGraph::addEdge(std::uint32_t u, std::uint32_t v, double weight)
+{
+    LOCSIM_ASSERT(u < vertexCount() && v < vertexCount(),
+                  "edge endpoint out of range");
+    LOCSIM_ASSERT(u != v, "self-loops are not communication");
+    LOCSIM_ASSERT(weight > 0.0, "edge weight must be positive");
+
+    auto merge = [&](std::uint32_t from, std::uint32_t to) -> bool {
+        for (Edge &edge : adjacency_[from]) {
+            if (edge.peer == to) {
+                edge.weight += weight;
+                return true;
+            }
+        }
+        adjacency_[from].push_back({to, weight});
+        return false;
+    };
+    const bool existed = merge(u, v);
+    merge(v, u);
+    if (!existed) {
+        ++edges_;
+    }
+    total_weight_ += weight;
+}
+
+const std::vector<CommGraph::Edge> &
+CommGraph::neighbors(std::uint32_t vertex) const
+{
+    LOCSIM_ASSERT(vertex < vertexCount(), "vertex out of range");
+    return adjacency_[vertex];
+}
+
+double
+CommGraph::averageDistance(const Mapping &mapping,
+                           const net::TorusTopology &topo) const
+{
+    LOCSIM_ASSERT(mapping.size() == vertexCount(),
+                  "mapping size must match the graph");
+    LOCSIM_ASSERT(topo.nodeCount() == vertexCount(),
+                  "topology size must match the graph");
+    double weighted = 0.0;
+    double weight_total = 0.0;
+    for (std::uint32_t u = 0; u < vertexCount(); ++u) {
+        for (const Edge &edge : adjacency_[u]) {
+            weighted += edge.weight *
+                        topo.distance(mapping.node(u),
+                                      mapping.node(edge.peer));
+            weight_total += edge.weight;
+        }
+    }
+    if (weight_total == 0.0)
+        return 0.0;
+    return weighted / weight_total;
+}
+
+std::uint32_t
+CommGraph::diameter() const
+{
+    // BFS from every vertex (graphs here are machine-sized: <= a few
+    // thousand vertices).
+    std::uint32_t best = 0;
+    std::vector<std::uint32_t> dist(vertexCount());
+    for (std::uint32_t src = 0; src < vertexCount(); ++src) {
+        std::fill(dist.begin(), dist.end(),
+                  std::numeric_limits<std::uint32_t>::max());
+        std::deque<std::uint32_t> queue{src};
+        dist[src] = 0;
+        while (!queue.empty()) {
+            const std::uint32_t at = queue.front();
+            queue.pop_front();
+            for (const Edge &edge : adjacency_[at]) {
+                if (dist[edge.peer] !=
+                    std::numeric_limits<std::uint32_t>::max())
+                    continue;
+                dist[edge.peer] = dist[at] + 1;
+                queue.push_back(edge.peer);
+            }
+        }
+        for (std::uint32_t d : dist) {
+            if (d == std::numeric_limits<std::uint32_t>::max())
+                return std::numeric_limits<std::uint32_t>::max();
+            best = std::max(best, d);
+        }
+    }
+    return best;
+}
+
+bool
+CommGraph::connected() const
+{
+    return diameter() !=
+           std::numeric_limits<std::uint32_t>::max();
+}
+
+double
+CommGraph::averageDegree() const
+{
+    std::uint64_t endpoints = 0;
+    for (const auto &adj : adjacency_)
+        endpoints += adj.size();
+    return static_cast<double>(endpoints) /
+           static_cast<double>(vertexCount());
+}
+
+CommGraph
+CommGraph::torus(int radix, int dims)
+{
+    net::TorusTopology topo(radix, dims);
+    CommGraph graph(topo.nodeCount());
+    for (std::uint32_t v = 0; v < topo.nodeCount(); ++v) {
+        for (int dim = 0; dim < dims; ++dim) {
+            const std::uint32_t peer = topo.neighbor(v, dim, 1);
+            if (peer != v)
+                graph.addEdge(v, peer);
+        }
+    }
+    return graph;
+}
+
+CommGraph
+CommGraph::ring(std::uint32_t vertices)
+{
+    CommGraph graph(vertices);
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        graph.addEdge(v, (v + 1) % vertices);
+    return graph;
+}
+
+CommGraph
+CommGraph::binaryTree(std::uint32_t vertices)
+{
+    CommGraph graph(vertices);
+    for (std::uint32_t v = 1; v < vertices; ++v)
+        graph.addEdge(v, (v - 1) / 2);
+    return graph;
+}
+
+CommGraph
+CommGraph::randomPeers(std::uint32_t vertices, int degree,
+                       std::uint64_t seed)
+{
+    LOCSIM_ASSERT(degree >= 1, "degree must be positive");
+    LOCSIM_ASSERT(static_cast<std::uint32_t>(degree) < vertices,
+                  "degree too large for the vertex count");
+    CommGraph graph(vertices);
+    util::Rng rng(seed);
+    for (std::uint32_t v = 0; v < vertices; ++v) {
+        int added = 0;
+        while (added < degree) {
+            auto peer = static_cast<std::uint32_t>(
+                rng.nextBounded(vertices - 1));
+            if (peer >= v)
+                ++peer;
+            // addEdge merges duplicates; count attempts as draws so
+            // the loop terminates regardless.
+            graph.addEdge(v, peer);
+            ++added;
+        }
+    }
+    return graph;
+}
+
+CommGraph
+CommGraph::grid2d(int width, int height)
+{
+    LOCSIM_ASSERT(width >= 1 && height >= 1, "bad grid shape");
+    const auto vertices =
+        static_cast<std::uint32_t>(width) *
+        static_cast<std::uint32_t>(height);
+    CommGraph graph(vertices);
+    auto id = [&](int x, int y) {
+        return static_cast<std::uint32_t>(y * width + x);
+    };
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            if (x + 1 < width)
+                graph.addEdge(id(x, y), id(x + 1, y));
+            if (y + 1 < height)
+                graph.addEdge(id(x, y), id(x, y + 1));
+        }
+    }
+    return graph;
+}
+
+} // namespace workload
+} // namespace locsim

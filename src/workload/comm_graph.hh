@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Application communication graphs.
+ *
+ * Section 1.1 defines physical locality through the structure of an
+ * application's inter-thread communication graph ("applications tend
+ * to have good physical locality to the extent that their inter-
+ * thread communication graphs have relatively low bisection width and
+ * high diameter"). This module makes that graph a first-class object:
+ * generators for common shapes, locality metrics, and the average
+ * communication distance induced by a thread-to-processor mapping —
+ * the single number the paper's model consumes.
+ */
+
+#ifndef LOCSIM_WORKLOAD_COMM_GRAPH_HH_
+#define LOCSIM_WORKLOAD_COMM_GRAPH_HH_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/topology.hh"
+#include "util/random.hh"
+#include "workload/mapping.hh"
+
+namespace locsim {
+namespace workload {
+
+/** An undirected, weighted inter-thread communication graph. */
+class CommGraph
+{
+  public:
+    /** One adjacency: peer vertex and communication weight. */
+    struct Edge
+    {
+        std::uint32_t peer;
+        double weight;
+    };
+
+    explicit CommGraph(std::uint32_t vertices);
+
+    std::uint32_t vertexCount() const
+    {
+        return static_cast<std::uint32_t>(adjacency_.size());
+    }
+
+    /** Number of undirected edges. */
+    std::uint64_t edgeCount() const { return edges_; }
+
+    /**
+     * Add an undirected edge (no self-loops; parallel edges merge by
+     * summing weights).
+     */
+    void addEdge(std::uint32_t u, std::uint32_t v,
+                 double weight = 1.0);
+
+    /** Neighbors of @p vertex. */
+    const std::vector<Edge> &neighbors(std::uint32_t vertex) const;
+
+    /** Sum of all edge weights. */
+    double totalWeight() const { return total_weight_; }
+
+    /**
+     * Weight-averaged network distance between the endpoints of every
+     * edge under @p mapping on @p topo — the graph's average
+     * communication distance d for that placement.
+     */
+    double averageDistance(const Mapping &mapping,
+                           const net::TorusTopology &topo) const;
+
+    /** Unweighted graph diameter (infinite graphs return UINT32_MAX). */
+    std::uint32_t diameter() const;
+
+    /** True if every vertex can reach every other. */
+    bool connected() const;
+
+    /**
+     * Average vertex degree (edge endpoints per vertex) — with
+     * diameter, a coarse proxy for the bisection-vs-diameter locality
+     * discussion of Section 1.1.
+     */
+    double averageDegree() const;
+
+    // Generators -------------------------------------------------------
+
+    /** The k-ary n-dimensional torus graph (the Section 3 workload). */
+    static CommGraph torus(int radix, int dims);
+
+    /** A simple ring of @p vertices (maximal locality). */
+    static CommGraph ring(std::uint32_t vertices);
+
+    /**
+     * Balanced binary tree over @p vertices (vertex 0 is the root;
+     * vertex i links to (i-1)/2).
+     */
+    static CommGraph binaryTree(std::uint32_t vertices);
+
+    /**
+     * Random graph where each vertex draws @p degree distinct random
+     * peers (degrees are therefore >= degree on average) — low
+     * diameter, high bisection: essentially no physical locality.
+     */
+    static CommGraph randomPeers(std::uint32_t vertices, int degree,
+                                 std::uint64_t seed);
+
+    /**
+     * 2-D five-point stencil without wraparound (open grid), the
+     * classic scientific-computing pattern.
+     */
+    static CommGraph grid2d(int width, int height);
+
+  private:
+    std::vector<std::vector<Edge>> adjacency_;
+    std::uint64_t edges_ = 0;
+    double total_weight_ = 0.0;
+};
+
+} // namespace workload
+} // namespace locsim
+
+#endif // LOCSIM_WORKLOAD_COMM_GRAPH_HH_

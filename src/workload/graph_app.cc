@@ -1,0 +1,73 @@
+/**
+ * @file
+ * GraphNeighborProgram implementation.
+ */
+
+#include "workload/graph_app.hh"
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace workload {
+
+GraphNeighborProgram::GraphNeighborProgram(const CommGraph &graph,
+                                           const Mapping &mapping,
+                                           std::uint32_t instance,
+                                           std::uint32_t thread,
+                                           const TorusAppConfig &config)
+    : config_(config), thread_(thread),
+      own_addr_(stateWordAddr(mapping, instance, thread))
+{
+    LOCSIM_ASSERT(graph.vertexCount() == mapping.size(),
+                  "graph and mapping sizes must match");
+    for (const CommGraph::Edge &edge : graph.neighbors(thread)) {
+        neighbor_addrs_.push_back(
+            stateWordAddr(mapping, instance, edge.peer));
+    }
+    LOCSIM_ASSERT(!neighbor_addrs_.empty(),
+                  "thread ", thread, " has no neighbours");
+    last_seen_.assign(neighbor_addrs_.size(), 0);
+}
+
+proc::Op
+GraphNeighborProgram::makeOp() const
+{
+    proc::Op op;
+    op.compute_cycles = config_.compute_cycles;
+    if (step_ < neighbor_addrs_.size()) {
+        op.kind = proc::Op::Kind::Load;
+        op.addr = neighbor_addrs_[step_];
+    } else {
+        op.kind = proc::Op::Kind::Store;
+        op.addr = own_addr_;
+        op.store_value = ((iteration_ + 1) << 16) | thread_;
+    }
+    return op;
+}
+
+proc::Op
+GraphNeighborProgram::start()
+{
+    return makeOp();
+}
+
+proc::Op
+GraphNeighborProgram::next(std::uint64_t previous_result)
+{
+    if (step_ < neighbor_addrs_.size()) {
+        if (config_.verify) {
+            const std::uint64_t counter = previous_result >> 16;
+            if (counter < (last_seen_[step_] >> 16))
+                ++violations_;
+            last_seen_[step_] = previous_result;
+        }
+        ++step_;
+    } else {
+        step_ = 0;
+        ++iteration_;
+    }
+    return makeOp();
+}
+
+} // namespace workload
+} // namespace locsim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The nearest-neighbour application generalized to arbitrary
+ * communication graphs: each thread loads every graph-neighbour's
+ * state word, computes, and stores its own — the Section 3.2 loop
+ * with the torus replaced by any CommGraph. This is what a downstream
+ * user runs to evaluate placement for their own application's
+ * communication pattern.
+ */
+
+#ifndef LOCSIM_WORKLOAD_GRAPH_APP_HH_
+#define LOCSIM_WORKLOAD_GRAPH_APP_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proc/program.hh"
+#include "workload/comm_graph.hh"
+#include "workload/mapping.hh"
+#include "workload/torus_app.hh"
+
+namespace locsim {
+namespace workload {
+
+/** One thread of the graph application. */
+class GraphNeighborProgram : public proc::ThreadProgram
+{
+  public:
+    /**
+     * @param graph the communication graph (must outlive the
+     *        program).
+     * @param mapping thread placement.
+     * @param instance independent application instance (context).
+     * @param thread this thread's vertex.
+     * @param config reuses the torus app's knobs (compute cycles,
+     *        verification).
+     */
+    GraphNeighborProgram(const CommGraph &graph,
+                         const Mapping &mapping, std::uint32_t instance,
+                         std::uint32_t thread,
+                         const TorusAppConfig &config);
+
+    proc::Op start() override;
+    proc::Op next(std::uint64_t previous_result) override;
+
+    std::uint64_t iterations() const { return iteration_; }
+    std::uint64_t violations() const { return violations_; }
+
+  private:
+    proc::Op makeOp() const;
+
+    TorusAppConfig config_;
+    std::uint32_t thread_;
+    coher::Addr own_addr_;
+    std::vector<coher::Addr> neighbor_addrs_;
+    std::vector<std::uint64_t> last_seen_;
+
+    std::uint32_t step_ = 0;
+    std::uint64_t iteration_ = 0;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace workload
+} // namespace locsim
+
+#endif // LOCSIM_WORKLOAD_GRAPH_APP_HH_

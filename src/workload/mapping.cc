@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Mapping implementation.
+ */
+
+#include "workload/mapping.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace locsim {
+namespace workload {
+
+Mapping::Mapping(std::vector<sim::NodeId> thread_to_node)
+    : to_node_(std::move(thread_to_node))
+{
+    LOCSIM_ASSERT(!to_node_.empty(), "empty mapping");
+    to_thread_.assign(to_node_.size(), ~0u);
+    for (std::uint32_t t = 0; t < to_node_.size(); ++t) {
+        const sim::NodeId node = to_node_[t];
+        LOCSIM_ASSERT(node < to_node_.size(),
+                      "mapping target out of range: ", node);
+        LOCSIM_ASSERT(to_thread_[node] == ~0u,
+                      "mapping is not a bijection: node ", node,
+                      " assigned twice");
+        to_thread_[node] = t;
+    }
+}
+
+sim::NodeId
+Mapping::node(std::uint32_t thread) const
+{
+    LOCSIM_ASSERT(thread < to_node_.size(), "thread out of range");
+    return to_node_[thread];
+}
+
+std::uint32_t
+Mapping::threadAt(sim::NodeId node) const
+{
+    LOCSIM_ASSERT(node < to_thread_.size(), "node out of range");
+    return to_thread_[node];
+}
+
+double
+Mapping::averageNeighborDistance(const net::TorusTopology &topo) const
+{
+    LOCSIM_ASSERT(topo.nodeCount() == to_node_.size(),
+                  "mapping size does not match topology");
+    double total = 0.0;
+    std::uint64_t pairs = 0;
+    for (std::uint32_t t = 0; t < to_node_.size(); ++t) {
+        for (int dim = 0; dim < topo.dims(); ++dim) {
+            for (int dir : {+1, -1}) {
+                const sim::NodeId nbr = topo.neighbor(t, dim, dir);
+                if (nbr == sim::kNodeNone)
+                    continue; // mesh edge
+                total += topo.distance(to_node_[t], to_node_[nbr]);
+                ++pairs;
+            }
+        }
+    }
+    return total / static_cast<double>(pairs);
+}
+
+Mapping
+Mapping::identity(std::uint32_t count)
+{
+    std::vector<sim::NodeId> map(count);
+    std::iota(map.begin(), map.end(), 0u);
+    return Mapping(std::move(map));
+}
+
+Mapping
+Mapping::random(std::uint32_t count, std::uint64_t seed)
+{
+    std::vector<sim::NodeId> map(count);
+    std::iota(map.begin(), map.end(), 0u);
+    util::Rng rng(seed);
+    rng.shuffle(map);
+    return Mapping(std::move(map));
+}
+
+Mapping
+Mapping::linear2d(const net::TorusTopology &topo, int a, int b, int c,
+                  int d)
+{
+    LOCSIM_ASSERT(topo.dims() == 2, "linear2d needs a 2-D torus");
+    const int k = topo.radix();
+    std::vector<sim::NodeId> map(topo.nodeCount());
+    for (sim::NodeId t = 0; t < topo.nodeCount(); ++t) {
+        const int x = topo.coord(t, 0);
+        const int y = topo.coord(t, 1);
+        const int nx = ((a * x + b * y) % k + k) % k;
+        const int ny = ((c * x + d * y) % k + k) % k;
+        map[t] = topo.nodeAt({nx, ny});
+    }
+    // The Mapping constructor verifies bijectivity (equivalent to the
+    // determinant being a unit mod k).
+    return Mapping(std::move(map));
+}
+
+std::vector<NamedMapping>
+experimentMappings(const net::TorusTopology &topo,
+                   std::uint64_t random_seed)
+{
+    LOCSIM_ASSERT(topo.dims() == 2 && topo.radix() >= 8,
+                  "the experiment mapping family targets 2-D tori of "
+                  "radix >= 8");
+    struct LinearSpec
+    {
+        const char *name;
+        int a, b, c, d;
+    };
+    // Coefficients avoid k/2 (ring-distance ties), which would route
+    // every tied hop in the same direction and concentrate load on
+    // half the channels -- a pathology outside both the paper's
+    // experiments and the network model's uniform-load assumption.
+    const LinearSpec specs[] = {
+        {"identity", 1, 0, 0, 1},          // d = 1
+        {"shear-1", 1, 1, 0, 1},           // d = 1.5
+        {"dilate-3x", 3, 0, 0, 1},         // d = 2
+        {"cross-shear-2", 1, 2, 2, 1},     // d = 3
+        {"dilate-3xy", 3, 0, 0, 3},        // d = 3
+        {"mixed-3-2", 1, 3, 2, 1},         // d = 3.5
+        {"cross-23", 2, 3, 3, 2},          // d = 5
+        {"far", 3, 3, 2, 5},               // d = 5.5
+    };
+
+    std::vector<NamedMapping> out;
+    for (const LinearSpec &spec : specs) {
+        Mapping mapping = Mapping::linear2d(topo, spec.a, spec.b,
+                                            spec.c, spec.d);
+        const double dist = mapping.averageNeighborDistance(topo);
+        out.push_back({spec.name, std::move(mapping), dist});
+    }
+    Mapping random = Mapping::random(topo.nodeCount(), random_seed);
+    const double dist = random.averageNeighborDistance(topo);
+    out.push_back({"random", std::move(random), dist});
+
+    std::sort(out.begin(), out.end(),
+              [](const NamedMapping &lhs, const NamedMapping &rhs) {
+                  return lhs.avg_distance < rhs.avg_distance;
+              });
+    return out;
+}
+
+} // namespace workload
+} // namespace locsim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Thread-to-processor mappings (Section 3.2).
+ *
+ * The validation application's threads communicate in a torus graph
+ * of the same shape as the machine, so the mapping alone determines
+ * the average communication distance. The paper used nine mappings
+ * spanning average distances from one hop to just over six; we
+ * provide an equivalent family: linear (matrix) maps over the torus
+ * coordinate space, which are distance-homogeneous, plus random
+ * permutations.
+ */
+
+#ifndef LOCSIM_WORKLOAD_MAPPING_HH_
+#define LOCSIM_WORKLOAD_MAPPING_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.hh"
+#include "sim/types.hh"
+
+namespace locsim {
+namespace workload {
+
+/** A bijective assignment of application threads to nodes. */
+class Mapping
+{
+  public:
+    /**
+     * @param thread_to_node permutation: entry t is the node running
+     *        thread t. Must be a bijection.
+     */
+    explicit Mapping(std::vector<sim::NodeId> thread_to_node);
+
+    /** Number of threads (== number of nodes). */
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(to_node_.size());
+    }
+
+    /** Node running thread @p thread. */
+    sim::NodeId node(std::uint32_t thread) const;
+
+    /** Thread resident on @p node (inverse map). */
+    std::uint32_t threadAt(sim::NodeId node) const;
+
+    /**
+     * Average network distance between the nodes hosting each pair of
+     * graph-adjacent threads, where the thread graph is the torus
+     * @p topo (the synthetic application's communication graph).
+     * This is the mapping's average communication distance d.
+     */
+    double averageNeighborDistance(const net::TorusTopology &topo) const;
+
+    /** Identity mapping: thread t on node t (d = 1). */
+    static Mapping identity(std::uint32_t count);
+
+    /** Uniform random permutation (expected d from Equation 17). */
+    static Mapping random(std::uint32_t count, std::uint64_t seed);
+
+    /**
+     * Linear map over 2-D torus coordinates:
+     * (x, y) -> ((a x + b y) mod k, (c x + d y) mod k).
+     * The determinant must be a unit modulo k so the map is a
+     * bijection; the constructor checks this by construction.
+     */
+    static Mapping linear2d(const net::TorusTopology &topo, int a,
+                            int b, int c, int d);
+
+  private:
+    std::vector<sim::NodeId> to_node_;
+    std::vector<std::uint32_t> to_thread_;
+};
+
+/** A named mapping for experiment tables. */
+struct NamedMapping
+{
+    std::string name;
+    Mapping mapping;
+    /** Average communication distance on the experiment's torus. */
+    double avg_distance;
+};
+
+/**
+ * The experiment suite's mapping family for a 2-D torus: nine
+ * mappings with average communication distance from 1 to about 6
+ * hops (paper Section 3.2), sorted by distance.
+ */
+std::vector<NamedMapping>
+experimentMappings(const net::TorusTopology &topo,
+                   std::uint64_t random_seed = 12345);
+
+} // namespace workload
+} // namespace locsim
+
+#endif // LOCSIM_WORKLOAD_MAPPING_HH_

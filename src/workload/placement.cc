@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Simulated-annealing placement optimizer.
+ */
+
+#include "workload/placement.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace locsim {
+namespace workload {
+
+namespace {
+
+/** Working state for one annealing run. */
+class Annealer
+{
+  public:
+    Annealer(const CommGraph &graph, const net::TorusTopology &topo,
+             util::Rng &rng)
+        : graph_(graph), topo_(topo), rng_(rng),
+          placement_(graph.vertexCount())
+    {
+        for (std::uint32_t t = 0; t < graph.vertexCount(); ++t)
+            placement_[t] = t;
+        rng_.shuffle(placement_);
+    }
+
+    /** Total weighted distance of the current placement. */
+    double
+    totalCost() const
+    {
+        double cost = 0.0;
+        for (std::uint32_t u = 0; u < graph_.vertexCount(); ++u) {
+            for (const CommGraph::Edge &edge : graph_.neighbors(u)) {
+                if (edge.peer < u)
+                    continue; // each undirected edge once
+                cost += edge.weight *
+                        topo_.distance(placement_[u],
+                                       placement_[edge.peer]);
+            }
+        }
+        return cost;
+    }
+
+    /**
+     * Cost of vertex @p u's incident edges if placed at @p node,
+     * excluding any edge to @p skip (whose distance is invariant
+     * under a u<->skip swap and must not be evaluated against a
+     * stale placement).
+     */
+    double
+    incidentCost(std::uint32_t u, sim::NodeId node,
+                 std::uint32_t skip) const
+    {
+        double cost = 0.0;
+        for (const CommGraph::Edge &edge : graph_.neighbors(u)) {
+            if (edge.peer == skip)
+                continue;
+            cost += edge.weight *
+                    topo_.distance(node, placement_[edge.peer]);
+        }
+        return cost;
+    }
+
+    /**
+     * Change in total cost from swapping the placements of threads
+     * @p u and @p v. The edge between them (if any) spans the same
+     * node pair before and after, so it is excluded from both sides.
+     */
+    double
+    swapDelta(std::uint32_t u, std::uint32_t v) const
+    {
+        const sim::NodeId a = placement_[u];
+        const sim::NodeId b = placement_[v];
+        const double before =
+            incidentCost(u, a, v) + incidentCost(v, b, u);
+        const double after =
+            incidentCost(u, b, v) + incidentCost(v, a, u);
+        return after - before;
+    }
+
+    void
+    swap(std::uint32_t u, std::uint32_t v)
+    {
+        std::swap(placement_[u], placement_[v]);
+    }
+
+    const std::vector<sim::NodeId> &placement() const
+    {
+        return placement_;
+    }
+
+  private:
+    const CommGraph &graph_;
+    const net::TorusTopology &topo_;
+    util::Rng &rng_;
+    std::vector<sim::NodeId> placement_;
+};
+
+} // namespace
+
+PlacementResult
+optimizePlacement(const CommGraph &graph,
+                  const net::TorusTopology &topo,
+                  const PlacementConfig &config)
+{
+    LOCSIM_ASSERT(graph.vertexCount() == topo.nodeCount(),
+                  "graph and topology sizes must match");
+    LOCSIM_ASSERT(config.iterations > 0 && config.restarts >= 1,
+                  "bad placement configuration");
+    LOCSIM_ASSERT(config.cooling > 0.0 && config.cooling < 1.0,
+                  "cooling factor must be in (0, 1)");
+
+    util::Rng rng(config.seed);
+    const std::uint32_t n = graph.vertexCount();
+    const double weight_total = graph.totalWeight();
+
+    PlacementResult best{Mapping::identity(n)};
+    best.distance = -1.0;
+
+    for (int restart = 0; restart < config.restarts; ++restart) {
+        Annealer annealer(graph, topo, rng);
+        double cost = annealer.totalCost();
+        const double initial_cost = cost;
+
+        double temperature =
+            config.initial_temperature * cost /
+            static_cast<double>(graph.edgeCount());
+        const std::uint64_t cooling_period =
+            std::max<std::uint64_t>(1, config.iterations / 100);
+        std::uint64_t accepted = 0;
+
+        for (std::uint64_t i = 0; i < config.iterations; ++i) {
+            const auto u =
+                static_cast<std::uint32_t>(rng.nextBounded(n));
+            auto v =
+                static_cast<std::uint32_t>(rng.nextBounded(n - 1));
+            if (v >= u)
+                ++v;
+            const double delta = annealer.swapDelta(u, v);
+            bool accept = delta <= 0.0;
+            if (!accept && temperature > 1e-12) {
+                accept = rng.nextDouble() <
+                         std::exp(-delta / temperature);
+            }
+            if (accept) {
+                annealer.swap(u, v);
+                cost += delta;
+                ++accepted;
+            }
+            if ((i + 1) % cooling_period == 0)
+                temperature *= config.cooling;
+        }
+
+        const double distance = cost / weight_total;
+        if (best.distance < 0.0 || distance < best.distance) {
+            best.mapping = Mapping(annealer.placement());
+            best.distance = distance;
+            best.initial_distance = initial_cost / weight_total;
+            best.accepted_moves = accepted;
+        }
+    }
+    return best;
+}
+
+} // namespace workload
+} // namespace locsim

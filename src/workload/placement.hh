@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Thread-placement optimization.
+ *
+ * The paper assumes "good thread-to-processor mappings" exist and
+ * studies their payoff; this module actually finds them. Given a
+ * communication graph and a torus, the optimizer searches the space
+ * of bijective placements for one minimizing the weighted average
+ * communication distance (the d the combined model consumes), using
+ * simulated annealing over pairwise swaps with greedy descent as the
+ * final polish.
+ */
+
+#ifndef LOCSIM_WORKLOAD_PLACEMENT_HH_
+#define LOCSIM_WORKLOAD_PLACEMENT_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hh"
+#include "workload/comm_graph.hh"
+#include "workload/mapping.hh"
+
+namespace locsim {
+namespace workload {
+
+/** Annealing knobs. */
+struct PlacementConfig
+{
+    /** Swap proposals evaluated. */
+    std::uint64_t iterations = 200000;
+    /** Initial temperature, in units of average edge distance. */
+    double initial_temperature = 2.0;
+    /** Geometric cooling applied every `iterations / 100` proposals. */
+    double cooling = 0.93;
+    /** Independent restarts; the best result wins. */
+    int restarts = 2;
+    std::uint64_t seed = 1;
+};
+
+/** Result of a placement search. */
+struct PlacementResult
+{
+    Mapping mapping;
+    double distance = 0.0;        //!< achieved average distance
+    double initial_distance = 0.0; //!< random-start average distance
+    std::uint64_t accepted_moves = 0;
+};
+
+/**
+ * Search for a placement of @p graph onto @p topo minimizing average
+ * communication distance.
+ */
+PlacementResult optimizePlacement(const CommGraph &graph,
+                                  const net::TorusTopology &topo,
+                                  const PlacementConfig &config = {});
+
+} // namespace workload
+} // namespace locsim
+
+#endif // LOCSIM_WORKLOAD_PLACEMENT_HH_

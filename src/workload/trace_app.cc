@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Trace parsing and replay.
+ */
+
+#include "workload/trace_app.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace workload {
+
+std::vector<proc::Op>
+parseTrace(std::istream &input)
+{
+    std::vector<proc::Op> ops;
+    std::string line;
+    int line_no = 0;
+    while (std::getline(input, line)) {
+        ++line_no;
+        // Strip comments.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string kind;
+        if (!(fields >> kind))
+            continue; // blank line
+
+        proc::Op op;
+        if (kind == "L" || kind == "l") {
+            op.kind = proc::Op::Kind::Load;
+        } else if (kind == "S" || kind == "s") {
+            op.kind = proc::Op::Kind::Store;
+        } else if (kind == "P" || kind == "p") {
+            op.kind = proc::Op::Kind::Prefetch;
+        } else {
+            LOCSIM_FATAL("trace line ", line_no,
+                         ": unknown op kind '", kind,
+                         "' (expected L, S, or P)");
+        }
+
+        std::uint64_t home = 0, index = 0;
+        std::uint32_t compute = 0;
+        if (!(fields >> home >> index >> compute)) {
+            LOCSIM_FATAL("trace line ", line_no,
+                         ": expected '<kind> <home> <line> "
+                         "<compute>'");
+        }
+        std::string extra;
+        if (fields >> extra) {
+            LOCSIM_FATAL("trace line ", line_no,
+                         ": trailing field '", extra, "'");
+        }
+        op.addr = coher::makeAddr(
+            static_cast<sim::NodeId>(home),
+            static_cast<std::uint32_t>(index));
+        op.compute_cycles = compute;
+        // Stores carry a deterministic value derived from position
+        // so replays are reproducible.
+        op.store_value = static_cast<std::uint64_t>(line_no);
+        ops.push_back(op);
+    }
+    return ops;
+}
+
+std::vector<proc::Op>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream input(path);
+    if (!input)
+        LOCSIM_FATAL("cannot open trace file '", path, "'");
+    auto ops = parseTrace(input);
+    if (ops.empty())
+        LOCSIM_FATAL("trace file '", path, "' contains no operations");
+    return ops;
+}
+
+TraceProgram::TraceProgram(std::vector<proc::Op> ops)
+    : ops_(std::move(ops))
+{
+    LOCSIM_ASSERT(!ops_.empty(), "empty trace");
+}
+
+proc::Op
+TraceProgram::start()
+{
+    return ops_[0];
+}
+
+proc::Op
+TraceProgram::next(std::uint64_t)
+{
+    ++pos_;
+    if (pos_ == ops_.size()) {
+        pos_ = 0;
+        ++loops_;
+    }
+    return ops_[pos_];
+}
+
+} // namespace workload
+} // namespace locsim

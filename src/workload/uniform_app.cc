@@ -1,0 +1,66 @@
+/**
+ * @file
+ * UniformRemoteProgram implementation.
+ */
+
+#include "workload/uniform_app.hh"
+
+#include "util/logging.hh"
+#include "workload/torus_app.hh"
+
+namespace locsim {
+namespace workload {
+
+UniformRemoteProgram::UniformRemoteProgram(
+    const net::TorusTopology &topo, const Mapping &mapping,
+    std::uint32_t instance, std::uint32_t thread,
+    const UniformAppConfig &config)
+    : mapping_(mapping), config_(config), instance_(instance),
+      thread_(thread), thread_count_(topo.nodeCount()),
+      rng_(config.seed ^ (std::uint64_t(instance) << 32) ^ thread),
+      until_store_(config.loads_per_store)
+{
+    LOCSIM_ASSERT(config.loads_per_store >= 1,
+                  "need at least one load per store");
+    LOCSIM_ASSERT(thread_count_ >= 2, "need at least two threads");
+}
+
+proc::Op
+UniformRemoteProgram::makeOp()
+{
+    proc::Op op;
+    op.compute_cycles = config_.compute_cycles;
+    if (until_store_ > 0) {
+        --until_store_;
+        // Uniform over all other threads (never self): the random
+        // traffic of Equation 17.
+        auto target = static_cast<std::uint32_t>(
+            rng_.nextBounded(thread_count_ - 1));
+        if (target >= thread_)
+            ++target;
+        op.kind = proc::Op::Kind::Load;
+        op.addr = stateWordAddr(mapping_, instance_, target);
+    } else {
+        until_store_ = config_.loads_per_store;
+        op.kind = proc::Op::Kind::Store;
+        op.addr = stateWordAddr(mapping_, instance_, thread_);
+        op.store_value = (++stores_ << 16) | thread_;
+    }
+    return op;
+}
+
+proc::Op
+UniformRemoteProgram::start()
+{
+    return makeOp();
+}
+
+proc::Op
+UniformRemoteProgram::next(std::uint64_t)
+{
+    ++operations_;
+    return makeOp();
+}
+
+} // namespace workload
+} // namespace locsim

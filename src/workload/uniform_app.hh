@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A no-locality workload: each thread repeatedly loads the state word
+ * of a uniformly random other thread (never itself, matching the
+ * Equation 17 assumption) and periodically updates its own word.
+ *
+ * This realizes "an application in which all distinct pairs of
+ * threads communicate equally has no physical locality" (Section 1.1)
+ * directly in the simulator: its average communication distance is
+ * Equation 17's value under any bijective mapping, so no placement
+ * can help it. Because every thread eventually reads every other
+ * thread's word, sharer lists grow toward N, which also exercises the
+ * LimitLESS limited-directory path.
+ */
+
+#ifndef LOCSIM_WORKLOAD_UNIFORM_APP_HH_
+#define LOCSIM_WORKLOAD_UNIFORM_APP_HH_
+
+#include <cstdint>
+
+#include "net/topology.hh"
+#include "proc/program.hh"
+#include "util/random.hh"
+#include "workload/mapping.hh"
+
+namespace locsim {
+namespace workload {
+
+/** Configuration for the uniform-random workload. */
+struct UniformAppConfig
+{
+    /** Useful work before each memory operation, processor cycles. */
+    std::uint32_t compute_cycles = 8;
+    /** One own-word store per this many random loads. */
+    std::uint32_t loads_per_store = 4;
+    std::uint64_t seed = 1;
+};
+
+/** One thread of the uniform-random application. */
+class UniformRemoteProgram : public proc::ThreadProgram
+{
+  public:
+    UniformRemoteProgram(const net::TorusTopology &topo,
+                         const Mapping &mapping, std::uint32_t instance,
+                         std::uint32_t thread,
+                         const UniformAppConfig &config);
+
+    proc::Op start() override;
+    proc::Op next(std::uint64_t previous_result) override;
+
+    /** Operations completed (loads + stores). */
+    std::uint64_t operations() const { return operations_; }
+
+  private:
+    proc::Op makeOp();
+
+    const Mapping &mapping_;
+    UniformAppConfig config_;
+    std::uint32_t instance_;
+    std::uint32_t thread_;
+    std::uint32_t thread_count_;
+    util::Rng rng_;
+    std::uint32_t until_store_;
+    std::uint64_t operations_ = 0;
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace workload
+} // namespace locsim
+
+#endif // LOCSIM_WORKLOAD_UNIFORM_APP_HH_

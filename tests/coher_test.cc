@@ -1,0 +1,655 @@
+/**
+ * @file
+ * Coherence layer tests: cache and directory units, plus protocol
+ * integration over a real network fabric (reads see writes, writers
+ * serialize, invalidations and fetches work, evictions write back,
+ * and races resolve).
+ */
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+
+#include "coher/cache.hh"
+#include "coher/controller.hh"
+#include "coher/directory.hh"
+#include "net/network.hh"
+#include "sim/engine.hh"
+#include "util/random.hh"
+
+namespace locsim {
+namespace coher {
+namespace {
+
+TEST(Address, ComposeDecompose)
+{
+    const Addr addr = makeAddr(13, 42);
+    EXPECT_EQ(homeOf(addr), 13u);
+    EXPECT_EQ(lineIndexOf(addr), 42u);
+    EXPECT_EQ(lineOf(addr + 7), addr);
+}
+
+TEST(CacheUnit, FillLookupInvalidate)
+{
+    Cache cache(16 * kLineBytes);
+    const Addr addr = makeAddr(1, 3);
+    EXPECT_EQ(cache.state(addr), CacheState::Invalid);
+    EXPECT_FALSE(cache.fill(addr, CacheState::Shared, 99).has_value());
+    EXPECT_EQ(cache.state(addr), CacheState::Shared);
+    EXPECT_EQ(cache.lookup(addr).data, 99u);
+    EXPECT_EQ(cache.residentLines(), 1u);
+    cache.invalidate(addr);
+    EXPECT_EQ(cache.state(addr), CacheState::Invalid);
+    EXPECT_EQ(cache.residentLines(), 0u);
+}
+
+TEST(CacheUnit, DirectMappedConflictEvicts)
+{
+    Cache cache(4 * kLineBytes); // 4 sets
+    const Addr a = makeAddr(0, 1);
+    const Addr b = makeAddr(0, 5); // 5 % 4 == 1: same set as a
+    cache.fill(a, CacheState::Modified, 7);
+    const auto evicted = cache.fill(b, CacheState::Shared, 8);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->addr, lineOf(a));
+    EXPECT_EQ(evicted->state, CacheState::Modified);
+    EXPECT_EQ(evicted->data, 7u);
+    EXPECT_EQ(cache.state(a), CacheState::Invalid);
+    EXPECT_EQ(cache.state(b), CacheState::Shared);
+}
+
+TEST(CacheUnit, SameLineRefillNoEviction)
+{
+    Cache cache(4 * kLineBytes);
+    const Addr a = makeAddr(2, 1);
+    cache.fill(a, CacheState::Shared, 1);
+    EXPECT_FALSE(cache.fill(a, CacheState::Modified, 2).has_value());
+    EXPECT_EQ(cache.state(a), CacheState::Modified);
+}
+
+TEST(CacheUnit, DifferentHomesSameOffsetConflict)
+{
+    Cache cache(4 * kLineBytes);
+    const Addr a = makeAddr(0, 1);
+    const Addr b = makeAddr(3, 1); // same local offset, other home
+    cache.fill(a, CacheState::Shared, 1);
+    const auto evicted = cache.fill(b, CacheState::Shared, 2);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->addr, lineOf(a));
+}
+
+TEST(CacheUnit, WriteDataRequiresModified)
+{
+    Cache cache(4 * kLineBytes);
+    const Addr a = makeAddr(0, 0);
+    cache.fill(a, CacheState::Modified, 0);
+    cache.writeData(a, 123);
+    EXPECT_EQ(cache.lookup(a).data, 123u);
+}
+
+TEST(DirectoryUnit, SharerManagement)
+{
+    Directory dir(5);
+    const Addr addr = makeAddr(5, 9);
+    DirEntry &entry = dir.entry(addr);
+    EXPECT_EQ(entry.state, DirState::Uncached);
+    Directory::addSharer(entry, 1);
+    Directory::addSharer(entry, 2);
+    Directory::addSharer(entry, 1); // idempotent
+    EXPECT_EQ(entry.sharers.size(), 2u);
+    EXPECT_TRUE(Directory::isSharer(entry, 1));
+    Directory::removeSharer(entry, 1);
+    EXPECT_FALSE(Directory::isSharer(entry, 1));
+    EXPECT_EQ(dir.entryCount(), 1u);
+    EXPECT_NE(dir.find(addr), nullptr);
+    EXPECT_EQ(dir.find(makeAddr(5, 10)), nullptr);
+}
+
+TEST(ProtoTransportUnit, StoreTakeRoundTrip)
+{
+    ProtoTransport transport;
+    ProtoMsg msg;
+    msg.type = MsgType::GetX;
+    msg.addr = makeAddr(3, 4);
+    msg.sender = 7;
+    msg.data = 0xdead;
+    const auto h1 = transport.store(msg);
+    msg.type = MsgType::Inv;
+    const auto h2 = transport.store(msg);
+    EXPECT_EQ(transport.inFlight(), 2u);
+    const ProtoMsg out1 = transport.take(h1);
+    EXPECT_EQ(out1.type, MsgType::GetX);
+    EXPECT_EQ(out1.data, 0xdeadu);
+    const ProtoMsg out2 = transport.take(h2);
+    EXPECT_EQ(out2.type, MsgType::Inv);
+    EXPECT_EQ(transport.inFlight(), 0u);
+    // Freed slots are reused.
+    const auto h3 = transport.store(msg);
+    EXPECT_TRUE(h3 == h1 || h3 == h2);
+    transport.take(h3);
+}
+
+/**
+ * Protocol harness: a small torus of controllers with no processors;
+ * tests drive requests directly and step the engine.
+ */
+struct CoherHarness
+{
+    void
+    build(int radix, int dims, std::uint32_t cache_bytes = 64 * 1024,
+          ProtocolConfig base = ProtocolConfig{})
+    {
+        net::NetworkConfig nc;
+        nc.radix = radix;
+        nc.dims = dims;
+        network = std::make_unique<net::Network>(engine, nc);
+        engine.addClocked(network.get(), 1);
+        ProtocolConfig pc = base;
+        pc.cache_bytes = cache_bytes;
+        for (sim::NodeId n = 0; n < network->topology().nodeCount();
+             ++n) {
+            controllers.push_back(std::make_unique<CacheController>(
+                engine, *network, transport, n, pc, 2));
+            engine.addClocked(controllers.back().get(), 2);
+        }
+    }
+
+    /** Issue a request and run until it completes; return the value. */
+    std::uint64_t
+    access(sim::NodeId node, bool is_store, Addr addr,
+           std::uint64_t value = 0)
+    {
+        std::optional<MemResponse> result;
+        MemRequest req;
+        req.is_store = is_store;
+        req.addr = addr;
+        req.store_value = value;
+        req.context = 0;
+        if (auto fast = controllers[node]->tryFastPath(req)) {
+            last_was_txn = false;
+            return fast->load_value;
+        }
+        controllers[node]->request(
+            req, [&](const MemResponse &resp) { result = resp; });
+        const bool done = engine.runUntil(
+            [&] { return result.has_value(); }, 100000);
+        EXPECT_TRUE(done) << "request did not complete";
+        last_was_txn = result ? result->was_transaction : false;
+        return result ? result->load_value : ~0ull;
+    }
+
+    std::uint64_t
+    load(sim::NodeId node, Addr addr)
+    {
+        return access(node, false, addr);
+    }
+
+    void
+    store(sim::NodeId node, Addr addr, std::uint64_t value)
+    {
+        access(node, true, addr, value);
+    }
+
+    sim::Engine engine;
+    std::unique_ptr<net::Network> network;
+    ProtoTransport transport;
+    std::vector<std::unique_ptr<CacheController>> controllers;
+    bool last_was_txn = false;
+};
+
+class ProtocolFixture : public ::testing::Test,
+                        protected CoherHarness
+{
+};
+
+TEST_F(ProtocolFixture, RemoteReadSeesHomeMemory)
+{
+    build(2, 2); // 4 nodes
+    const Addr addr = makeAddr(3, 0);
+    store(3, addr, 77); // home writes locally
+    EXPECT_EQ(load(0, addr), 77u);
+    EXPECT_TRUE(last_was_txn);
+    // Second read hits in cache: no transaction.
+    EXPECT_EQ(load(0, addr), 77u);
+    EXPECT_FALSE(last_was_txn);
+}
+
+TEST_F(ProtocolFixture, WriteInvalidatesReaders)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(0, 5);
+    store(0, addr, 1);
+    EXPECT_EQ(load(1, addr), 1u);
+    EXPECT_EQ(load(2, addr), 1u);
+    // Home writes again: readers' copies must be invalidated.
+    store(0, addr, 2);
+    EXPECT_EQ(load(1, addr), 2u);
+    EXPECT_TRUE(last_was_txn); // the stale copy was invalidated
+    EXPECT_EQ(load(2, addr), 2u);
+}
+
+TEST_F(ProtocolFixture, RemoteWriteTakesOwnershipFromHome)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(1, 2);
+    store(2, addr, 10); // remote write: GetX path
+    EXPECT_TRUE(last_was_txn);
+    EXPECT_EQ(controllers[2]->cache().state(addr),
+              CacheState::Modified);
+    // Home reads back: must fetch from the remote owner.
+    EXPECT_EQ(load(1, addr), 10u);
+    EXPECT_TRUE(last_was_txn);
+    // Owner demoted to Shared by the Fetch.
+    EXPECT_EQ(controllers[2]->cache().state(addr),
+              CacheState::Shared);
+}
+
+TEST_F(ProtocolFixture, RemoteReadFetchesFromRemoteOwner)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(1, 3);
+    store(2, addr, 21); // node 2 owns a line homed at 1
+    EXPECT_EQ(load(3, addr), 21u); // third party reads
+    EXPECT_EQ(controllers[2]->cache().state(addr),
+              CacheState::Shared);
+    EXPECT_EQ(controllers[3]->cache().state(addr),
+              CacheState::Shared);
+}
+
+TEST_F(ProtocolFixture, WriteAfterRemoteOwnershipInvalidatesOwner)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(1, 4);
+    store(2, addr, 5);  // node 2 owns
+    store(3, addr, 6);  // node 3 takes ownership (FetchInv path)
+    EXPECT_EQ(controllers[2]->cache().state(addr),
+              CacheState::Invalid);
+    EXPECT_EQ(controllers[3]->cache().state(addr),
+              CacheState::Modified);
+    EXPECT_EQ(load(0, addr), 6u);
+}
+
+TEST_F(ProtocolFixture, UpgradeFromSharedInvalidatesOtherSharers)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(0, 6);
+    store(0, addr, 3);
+    EXPECT_EQ(load(1, addr), 3u);
+    EXPECT_EQ(load(2, addr), 3u);
+    store(1, addr, 4); // sharer upgrades
+    EXPECT_EQ(controllers[2]->cache().state(addr),
+              CacheState::Invalid);
+    EXPECT_EQ(load(2, addr), 4u);
+}
+
+TEST_F(ProtocolFixture, EvictionWritesBackModifiedData)
+{
+    // Cache with 2 sets: two lines with the same set index force an
+    // eviction of Modified data, which must reach home memory.
+    build(2, 2, 2 * kLineBytes);
+    const Addr a = makeAddr(1, 0);
+    const Addr b = makeAddr(1, 2); // 2 % 2 == 0: conflicts with a
+    store(0, a, 111);
+    EXPECT_EQ(controllers[0]->cache().state(a), CacheState::Modified);
+    store(0, b, 222); // evicts a -> PutX to home 1
+    const bool drained = engine.runUntil(
+        [&] {
+            return network->idle() && controllers[1]->quiescent();
+        },
+        100000);
+    ASSERT_TRUE(drained);
+    EXPECT_EQ(controllers[0]->cache().state(a), CacheState::Invalid);
+    EXPECT_GT(controllers[0]->stats().writebacks.value(), 0u);
+    // Home memory must hold the evicted value.
+    EXPECT_EQ(load(2, a), 111u);
+}
+
+TEST_F(ProtocolFixture, SilentSharedEvictionToleratedByHome)
+{
+    build(2, 2, 2 * kLineBytes);
+    const Addr a = makeAddr(1, 0);
+    const Addr b = makeAddr(1, 2);
+    store(1, a, 9);
+    EXPECT_EQ(load(0, a), 9u); // node 0 shares a
+    EXPECT_EQ(load(0, b), 0u); // evicts a silently
+    // Home writes: sends Inv to node 0, which is no longer a holder;
+    // node 0 must ack from Invalid and the write must complete.
+    store(1, a, 10);
+    EXPECT_EQ(load(0, a), 10u);
+}
+
+TEST_F(ProtocolFixture, ConcurrentWritersSerialize)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(0, 7);
+    // Fire two writes from different nodes in the same cycle; the
+    // home must serialize them, and the final memory value must be
+    // one of the two (the loser's value is overwritten or vice
+    // versa -- here the later-serialized one wins).
+    std::optional<MemResponse> r1, r2;
+    MemRequest w1{true, addr, 100, 0};
+    MemRequest w2{true, addr, 200, 0};
+    controllers[1]->request(w1,
+                            [&](const MemResponse &r) { r1 = r; });
+    controllers[2]->request(w2,
+                            [&](const MemResponse &r) { r2 = r; });
+    ASSERT_TRUE(engine.runUntil(
+        [&] { return r1.has_value() && r2.has_value(); }, 100000));
+    // Exactly one node ends up the owner.
+    const bool owner1 = controllers[1]->cache().state(addr) ==
+                        CacheState::Modified;
+    const bool owner2 = controllers[2]->cache().state(addr) ==
+                        CacheState::Modified;
+    EXPECT_NE(owner1, owner2);
+    const std::uint64_t final = load(3, addr);
+    EXPECT_TRUE(final == 100u || final == 200u);
+    EXPECT_EQ(final, owner1 ? 100u : 200u);
+}
+
+TEST_F(ProtocolFixture, CriticalPathCountsMatchFlows)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(1, 8);
+    store(1, addr, 1); // local, no network
+    // Remote read, home has memory current... home is owner-free:
+    // direct reply, c = 2.
+    load(0, addr);
+    EXPECT_NEAR(controllers[0]->stats().critical_messages.mean(), 2.0,
+                1e-9);
+    // Remote write while node 0 shares: Inv required, c = 4.
+    store(2, addr, 2);
+    EXPECT_NEAR(controllers[2]->stats().critical_messages.mean(), 4.0,
+                1e-9);
+}
+
+TEST_F(ProtocolFixture, MessagesNeverSentForPureLocalAccess)
+{
+    build(2, 2);
+    const Addr addr = makeAddr(2, 9);
+    store(2, addr, 5);
+    EXPECT_EQ(load(2, addr), 5u);
+    EXPECT_EQ(controllers[2]->stats().messages_sent.value(), 0u);
+    EXPECT_EQ(controllers[2]->stats().transactions.value(), 0u);
+}
+
+struct LimitlessHarness : CoherHarness
+{
+    void
+    buildLimited(std::uint32_t pointers, std::uint32_t trap_cycles)
+    {
+        ProtocolConfig pc;
+        pc.dir_pointers = pointers;
+        pc.overflow_trap_cycles = trap_cycles;
+        build(4, 2, 64 * 1024, pc);
+    }
+};
+
+class LimitlessFixture : public ::testing::Test,
+                         protected LimitlessHarness
+{
+};
+
+TEST_F(LimitlessFixture, OverflowTrapsCountedAndCorrect)
+{
+    // Two hardware pointers, six readers: the third and later GetS
+    // must trap, but every reader still sees the right data.
+    buildLimited(2, 50);
+    const Addr addr = makeAddr(0, 3);
+    store(0, addr, 777);
+    for (sim::NodeId reader = 1; reader <= 6; ++reader)
+        EXPECT_EQ(load(reader, addr), 777u);
+    EXPECT_GE(controllers[0]->stats().limitless_traps.value(), 4u);
+    // Writes through the overflowed entry still invalidate everyone.
+    store(0, addr, 888);
+    for (sim::NodeId reader = 1; reader <= 6; ++reader)
+        EXPECT_EQ(load(reader, addr), 888u);
+}
+
+TEST_F(LimitlessFixture, WithinPointerLimitNoTraps)
+{
+    buildLimited(4, 50);
+    const Addr addr = makeAddr(0, 3);
+    store(0, addr, 1);
+    for (sim::NodeId reader = 1; reader <= 4; ++reader)
+        EXPECT_EQ(load(reader, addr), 1u);
+    EXPECT_EQ(controllers[0]->stats().limitless_traps.value(), 0u);
+}
+
+TEST_F(LimitlessFixture, OverflowSlowsOverflowedReads)
+{
+    // The same access pattern with and without the pointer limit:
+    // the trap must make overflowed reads measurably slower.
+    auto read_time = [](std::uint32_t pointers) {
+        LimitlessHarness f;
+        f.buildLimited(pointers, 200);
+        const Addr addr = makeAddr(0, 3);
+        f.store(0, addr, 5);
+        for (sim::NodeId reader = 1; reader <= 5; ++reader)
+            f.load(reader, addr);
+        const sim::Tick before = f.engine.now();
+        f.load(6, addr); // the overflowed read
+        return f.engine.now() - before;
+    };
+    const sim::Tick limited = read_time(2);
+    const sim::Tick unlimited = read_time(0);
+    EXPECT_GT(limited, unlimited + 300); // 200 proc cycles = 400 ticks
+}
+
+/**
+ * Verify the global cache/directory invariants after quiescing:
+ *  - a Modified cache line implies its directory entry is Exclusive
+ *    with that node as owner, and vice versa;
+ *  - a Shared cache line implies the node is a recorded sharer and
+ *    its data matches home memory (stale sharer records from silent
+ *    evictions are allowed, extra copies are not).
+ */
+void
+checkGlobalInvariants(
+    const std::vector<std::unique_ptr<CacheController>> &controllers,
+    const std::vector<Addr> &lines)
+{
+    for (Addr addr : lines) {
+        const sim::NodeId home = homeOf(addr);
+        const DirEntry *entry =
+            controllers[home]->directory().find(addr);
+        if (entry == nullptr)
+            continue;
+        int modified_copies = 0;
+        for (const auto &controller : controllers) {
+            const CacheLookup look = controller->cache().lookup(addr);
+            switch (look.state) {
+              case CacheState::Modified:
+                ++modified_copies;
+                EXPECT_EQ(entry->state, DirState::Exclusive)
+                    << "line " << addr;
+                EXPECT_EQ(entry->owner, controller->node());
+                break;
+              case CacheState::Shared:
+                EXPECT_NE(entry->state, DirState::Exclusive)
+                    << "line " << addr << " shared at node "
+                    << controller->node();
+                EXPECT_TRUE(
+                    Directory::isSharer(*entry, controller->node()))
+                    << "line " << addr;
+                EXPECT_EQ(look.data, entry->memory)
+                    << "stale shared data for line " << addr;
+                break;
+              case CacheState::Invalid:
+                break;
+            }
+        }
+        EXPECT_LE(modified_copies, 1) << "line " << addr;
+        if (entry->state == DirState::Exclusive) {
+            EXPECT_EQ(controllers[entry->owner]->cache().state(addr),
+                      CacheState::Modified)
+                << "directory claims an owner that has no Modified "
+                   "copy, line "
+                << addr;
+        }
+    }
+}
+
+TEST_F(ProtocolFixture, RandomizedStressKeepsInvariants)
+{
+    // 16 nodes, tiny caches (constant evictions), random concurrent
+    // loads/stores over a small set of hot lines. After draining,
+    // the global MSI invariants must hold for every line.
+    build(4, 2, 4 * kLineBytes);
+    util::Rng rng(2024);
+
+    std::vector<Addr> lines;
+    for (sim::NodeId home = 0; home < 16; home += 3) {
+        for (std::uint32_t idx : {0u, 4u, 9u})
+            lines.push_back(makeAddr(home, idx));
+    }
+
+    struct NodeDriver
+    {
+        std::uint64_t outstanding = 0;
+        std::uint64_t issued = 0;
+    };
+    std::vector<NodeDriver> drivers(16);
+    std::uint64_t completed = 0;
+
+    // Issue a few thousand operations with random pacing, at most
+    // one outstanding per node (like a single-context processor).
+    const std::uint64_t target_ops = 3000;
+    std::uint64_t issued_total = 0;
+    while (issued_total < target_ops || completed < issued_total) {
+        for (sim::NodeId node = 0; node < 16; ++node) {
+            NodeDriver &driver = drivers[node];
+            if (driver.outstanding > 0 || issued_total >= target_ops)
+                continue;
+            if (!rng.nextBool(0.2))
+                continue;
+            MemRequest req;
+            req.is_store = rng.nextBool(0.4);
+            req.addr = lines[rng.nextBounded(lines.size())];
+            req.store_value = rng.next();
+            req.context = 0;
+            if (auto fast = controllers[node]->tryFastPath(req)) {
+                ++completed;
+                ++issued_total;
+                continue;
+            }
+            driver.outstanding = 1;
+            ++issued_total;
+            controllers[node]->request(
+                req, [&completed, &driver](const MemResponse &) {
+                    ++completed;
+                    driver.outstanding = 0;
+                });
+        }
+        engine.run(10);
+        ASSERT_LT(engine.now(), 2000000u) << "stress run stalled";
+    }
+
+    // Drain all in-flight protocol activity.
+    ASSERT_TRUE(engine.runUntil(
+        [&] {
+            if (!network->idle())
+                return false;
+            for (const auto &controller : controllers) {
+                if (!controller->quiescent())
+                    return false;
+            }
+            return true;
+        },
+        200000));
+
+    checkGlobalInvariants(controllers, lines);
+}
+
+TEST_F(ProtocolFixture, TracerCapturesReadMissFlow)
+{
+    build(2, 2);
+    RingTracer tracer;
+    controllers[0]->setTracer(&tracer);
+    controllers[3]->setTracer(&tracer);
+
+    const Addr addr = makeAddr(3, 0);
+    store(3, addr, 5); // local write at the home: no messages
+    EXPECT_TRUE(tracer.events().empty());
+
+    EXPECT_EQ(load(0, addr), 5u); // remote read: GetS + DataS
+    const auto events = tracer.eventsForLine(addr);
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].dir, TraceEvent::Dir::Send);
+    EXPECT_EQ(events[0].type, MsgType::GetS);
+    EXPECT_EQ(events[0].node, 0u);
+    EXPECT_EQ(events[0].peer, 3u);
+    EXPECT_EQ(events[1].dir, TraceEvent::Dir::Handle);
+    EXPECT_EQ(events[1].type, MsgType::GetS);
+    EXPECT_EQ(events[1].node, 3u);
+    EXPECT_EQ(events[2].type, MsgType::DataS);
+    EXPECT_EQ(events[2].dir, TraceEvent::Dir::Send);
+    EXPECT_EQ(events[3].type, MsgType::DataS);
+    EXPECT_EQ(events[3].dir, TraceEvent::Dir::Handle);
+    // Timestamps are monotone along the flow.
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_GE(events[i].when, events[i - 1].when);
+
+    // Formatting is stable and greppable.
+    const std::string line = formatTraceEvent(events[0]);
+    EXPECT_NE(line.find("send GetS"), std::string::npos);
+    EXPECT_NE(line.find("node 0"), std::string::npos);
+}
+
+TEST(RingTracerUnit, BoundedAndQueryable)
+{
+    RingTracer tracer(3);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        TraceEvent event;
+        event.when = i;
+        event.addr = makeAddr(1, static_cast<std::uint32_t>(i % 2));
+        tracer.record(event);
+    }
+    EXPECT_EQ(tracer.events().size(), 3u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    EXPECT_EQ(tracer.events().front().when, 2u);
+    EXPECT_EQ(tracer.eventsForLine(makeAddr(1, 0)).size(), 2u);
+    tracer.clear();
+    EXPECT_TRUE(tracer.events().empty());
+    EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(CsvTracerUnit, EmitsHeaderAndRows)
+{
+    std::ostringstream oss;
+    CsvTracer tracer(oss);
+    TraceEvent event;
+    event.when = 42;
+    event.node = 7;
+    event.dir = TraceEvent::Dir::Handle;
+    event.type = MsgType::InvAck;
+    event.addr = makeAddr(2, 9);
+    event.peer = 1;
+    tracer.record(event);
+    tracer.record(event);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("tick,node,dir,type,home,line,peer"),
+              std::string::npos);
+    EXPECT_NE(out.find("42,7,handle,InvAck,2,9,1"),
+              std::string::npos);
+    // Header only once.
+    EXPECT_EQ(out.find("tick"), out.rfind("tick"));
+}
+
+TEST_F(ProtocolFixture, LargerFabricAllPairsCoherent)
+{
+    build(4, 2); // 16 nodes
+    const Addr addr = makeAddr(5, 1);
+    for (std::uint64_t round = 1; round <= 3; ++round) {
+        const sim::NodeId writer =
+            static_cast<sim::NodeId>((round * 7) % 16);
+        store(writer, addr, round * 1000);
+        for (sim::NodeId reader = 0; reader < 16; ++reader)
+            EXPECT_EQ(load(reader, addr), round * 1000)
+                << "round " << round << " reader " << reader;
+    }
+}
+
+} // namespace
+} // namespace coher
+} // namespace locsim

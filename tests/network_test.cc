@@ -1,0 +1,434 @@
+/**
+ * @file
+ * Flit-level network tests: zero-load latency, wormhole integrity,
+ * deadlock freedom under load, utilization accounting, and delivery
+ * guarantees under randomized traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "net/network.hh"
+#include "net/traffic.hh"
+#include "sim/engine.hh"
+#include "util/random.hh"
+
+namespace locsim {
+namespace net {
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(int radix = 8, int dims = 2)
+    {
+        NetworkConfig config;
+        config.radix = radix;
+        config.dims = dims;
+        network = std::make_unique<Network>(engine, config);
+        engine.addClocked(network.get(), 1);
+    }
+
+    sim::Engine engine;
+    std::unique_ptr<Network> network;
+};
+
+/** Drain any deliveries at every node; count them. */
+std::uint64_t
+drainAll(Network &network)
+{
+    std::uint64_t count = 0;
+    for (sim::NodeId n = 0; n < network.topology().nodeCount(); ++n) {
+        while (network.receive(n).has_value())
+            ++count;
+    }
+    return count;
+}
+
+TEST(Network, ZeroLoadLatencyIsHopsPlusSerialization)
+{
+    // An uncontended B-flit message over h hops traverses h router-to-
+    // router links plus the injection and ejection links (h+2 channel
+    // crossings at one cycle each), and the tail trails the head by
+    // B-1 cycles; the node pops the tail the cycle it becomes visible,
+    // so latency = B + h + 1.
+    Fixture f;
+    Message msg;
+    msg.src = 0;
+    msg.dst = f.network->topology().neighbor(0, 0, 1); // 1 hop
+    msg.flits = 12;
+    const MessageId id = f.network->send(msg);
+
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->pendingAt(msg.dst) > 0; }, 1000));
+    const MessageRecord *rec = f.network->record(id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->hops, 1);
+    const auto latency =
+        static_cast<double>(rec->delivered - rec->inject_start);
+    EXPECT_EQ(latency, 12.0 + 1.0 + 1.0);
+}
+
+TEST(Network, ZeroLoadLatencyScalesLinearlyWithDistance)
+{
+    std::map<int, double> latency_by_hops;
+    for (int target_hops : {1, 2, 4, 6, 8}) {
+        Fixture f;
+        const TorusTopology &topo = f.network->topology();
+        // Walk target_hops steps in +x/+y from node 0.
+        sim::NodeId dst = 0;
+        for (int i = 0; i < target_hops; ++i)
+            dst = topo.neighbor(dst, i % 2, 1);
+        ASSERT_EQ(topo.distance(0, dst), target_hops);
+
+        Message msg;
+        msg.src = 0;
+        msg.dst = dst;
+        msg.flits = 12;
+        const MessageId id = f.network->send(msg);
+        ASSERT_TRUE(f.engine.runUntil(
+            [&] { return f.network->pendingAt(dst) > 0; }, 1000));
+        const MessageRecord *rec = f.network->record(id);
+        latency_by_hops[target_hops] =
+            static_cast<double>(rec->delivered - rec->inject_start);
+    }
+    for (const auto &[hops, latency] : latency_by_hops)
+        EXPECT_EQ(latency, 12.0 + hops + 1.0) << "hops=" << hops;
+}
+
+TEST(Network, WormholeKeepsMessagesContiguousPerLink)
+{
+    // Flit sequence checking in the ejector asserts ordering; here we
+    // simply run cross traffic and rely on those asserts plus delivery.
+    Fixture f;
+    TrafficConfig tc;
+    tc.injection_rate = 0.02;
+    tc.seed = 7;
+    TrafficGenerator gen(*f.network, tc);
+    f.engine.addClocked(&gen, 1);
+    f.engine.run(5000);
+    // Let in-flight messages drain.
+    gen.stop();
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 20000));
+    drainAll(*f.network);
+    EXPECT_EQ(f.network->stats().messages_delivered,
+              f.network->stats().messages_sent);
+}
+
+TEST(Network, SelfMessagesAreRejected)
+{
+    Fixture f;
+    Message msg;
+    msg.src = 3;
+    msg.dst = 3;
+    msg.flits = 4;
+    EXPECT_DEATH(f.network->send(msg), "local transactions");
+}
+
+TEST(Network, AllPairsDeliverExactly)
+{
+    // Every node sends one message to every other node; all must
+    // arrive, each exactly once, at the right place (receive() checks
+    // dst on ejection via internal asserts).
+    Fixture f(4, 2); // 16 nodes to keep runtime modest
+    const sim::NodeId n = f.network->topology().nodeCount();
+    std::uint64_t sent = 0;
+    for (sim::NodeId s = 0; s < n; ++s) {
+        for (sim::NodeId d = 0; d < n; ++d) {
+            if (s == d)
+                continue;
+            Message msg;
+            msg.src = s;
+            msg.dst = d;
+            msg.flits = 12;
+            f.network->send(msg);
+            ++sent;
+        }
+    }
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 200000));
+    EXPECT_EQ(drainAll(*f.network), sent);
+    EXPECT_EQ(f.network->stats().messages_delivered, sent);
+    // Average hops must equal the Equation 17 expectation exactly
+    // (this *is* the all-pairs average).
+    EXPECT_NEAR(f.network->stats().hops.mean(),
+                randomMappingDistance(4, 2), 1e-9);
+}
+
+TEST(Network, HeavyLoadDoesNotDeadlock)
+{
+    // Sustained near-saturation random traffic across the dateline;
+    // progress must continue (classic torus deadlock would stall all
+    // deliveries).
+    Fixture f;
+    TrafficConfig tc;
+    tc.injection_rate = 0.08; // ~saturation for B=12 random on 8x8
+    tc.seed = 11;
+    TrafficGenerator gen(*f.network, tc);
+    f.engine.addClocked(&gen, 1);
+
+    std::uint64_t last_delivered = 0;
+    for (int epoch = 0; epoch < 10; ++epoch) {
+        f.engine.run(2000);
+        const std::uint64_t now_delivered =
+            f.network->stats().messages_delivered;
+        EXPECT_GT(now_delivered, last_delivered)
+            << "no progress in epoch " << epoch;
+        last_delivered = now_delivered;
+    }
+}
+
+TEST(Network, UtilizationMatchesHandCount)
+{
+    // One message over h hops crosses exactly h network channels with
+    // B flits each: utilization = h*B / (cycles * channels).
+    Fixture f;
+    f.network->resetStats();
+    Message msg;
+    msg.src = 0;
+    msg.dst = f.network->topology().neighbor(
+        f.network->topology().neighbor(0, 0, 1), 0, 1); // 2 hops
+    msg.flits = 12;
+    f.network->send(msg);
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 1000));
+    const double cycles = static_cast<double>(f.engine.now());
+    const double channels = 64.0 * 4.0;
+    EXPECT_NEAR(f.network->channelUtilization(),
+                2.0 * 12.0 / (cycles * channels), 1e-12);
+}
+
+TEST(Network, ResetStatsClearsAccumulators)
+{
+    Fixture f;
+    Message msg;
+    msg.src = 0;
+    msg.dst = 1;
+    msg.flits = 12;
+    f.network->send(msg);
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 1000));
+    EXPECT_GT(f.network->stats().latency.count(), 0u);
+    f.network->resetStats();
+    EXPECT_EQ(f.network->stats().latency.count(), 0u);
+    EXPECT_EQ(f.network->stats().messages_sent, 0u);
+    EXPECT_NEAR(f.network->channelUtilization(), 0.0, 1e-12);
+}
+
+TEST(Network, SourceQueueDelayAccountedSeparately)
+{
+    // Two messages submitted at once on the same node: the second must
+    // wait B cycles of injection serialization, recorded as source
+    // queue delay, not network latency.
+    Fixture f;
+    Message a, b;
+    a.src = b.src = 0;
+    a.dst = b.dst = 8; // one +y hop for radix 8 (node (0,1))
+    a.flits = b.flits = 12;
+    f.network->send(a);
+    f.network->send(b);
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 2000));
+    EXPECT_EQ(f.network->stats().source_queue.max(), 12.0);
+    EXPECT_EQ(f.network->stats().source_queue.min(), 0.0);
+    // Network latency for both is identical (no contention en route).
+    EXPECT_EQ(f.network->stats().latency.min(),
+              f.network->stats().latency.max());
+}
+
+TEST(Network, SingleFlitMessagesDeliver)
+{
+    // Head == tail: allocation and release happen in one traversal.
+    Fixture f;
+    for (int i = 0; i < 5; ++i) {
+        Message msg;
+        msg.src = 0;
+        msg.dst = 9;
+        msg.flits = 1;
+        f.network->send(msg);
+    }
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 5000));
+    EXPECT_EQ(drainAll(*f.network), 5u);
+}
+
+TEST(Network, WraparoundPathsUseDatelineAndDeliver)
+{
+    // Route that must cross the wrap link: 6 -> 1 in a radix-8 ring
+    // is 3 hops through 7 -> 0 (positive direction, wrapping).
+    Fixture f(8, 1);
+    Message msg;
+    msg.src = 6;
+    msg.dst = 1;
+    msg.flits = 12;
+    const MessageId id = f.network->send(msg);
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 1000));
+    const MessageRecord *rec = f.network->record(id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->hops, 3);
+    EXPECT_EQ(drainAll(*f.network), 1u);
+}
+
+TEST(Network, ConvergingBurstBackpressuresWithoutLoss)
+{
+    // Every node floods one victim; credits must throttle the flood
+    // (any overflow trips an internal assert) and every message must
+    // arrive.
+    Fixture f(4, 2);
+    const sim::NodeId victim = 5;
+    std::uint64_t sent = 0;
+    for (sim::NodeId s = 0; s < 16; ++s) {
+        if (s == victim)
+            continue;
+        for (int i = 0; i < 8; ++i) {
+            Message msg;
+            msg.src = s;
+            msg.dst = victim;
+            msg.flits = 12;
+            f.network->send(msg);
+            ++sent;
+        }
+    }
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 100000));
+    EXPECT_EQ(drainAll(*f.network), sent);
+    // The ejection channel is the bottleneck: total time is at least
+    // sent * flits cycles of drain.
+    EXPECT_GE(f.engine.now(), sent * 12);
+}
+
+TEST(Network, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        Fixture f;
+        TrafficConfig tc;
+        tc.injection_rate = 0.03;
+        tc.seed = 99;
+        TrafficGenerator gen(*f.network, tc);
+        f.engine.addClocked(&gen, 1);
+        f.engine.run(4000);
+        return std::make_tuple(f.network->stats().messages_delivered,
+                               f.network->stats().latency.mean(),
+                               f.network->channelUtilization());
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Network, MeshDeliversAllPairs)
+{
+    // A 4x4 mesh (no wrap links): every pair must still route, with
+    // hop counts following the Manhattan metric.
+    sim::Engine engine;
+    NetworkConfig config;
+    config.radix = 4;
+    config.dims = 2;
+    config.wraparound = false;
+    Network network(engine, config);
+    engine.addClocked(&network, 1);
+
+    std::uint64_t sent = 0;
+    for (sim::NodeId s = 0; s < 16; ++s) {
+        for (sim::NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            Message msg;
+            msg.src = s;
+            msg.dst = d;
+            msg.flits = 12;
+            network.send(msg);
+            ++sent;
+        }
+    }
+    ASSERT_TRUE(engine.runUntil([&] { return network.idle(); },
+                                200000));
+    EXPECT_EQ(drainAll(network), sent);
+    EXPECT_NEAR(network.stats().hops.mean(),
+                network.topology().averageRandomDistance(), 1e-9);
+}
+
+TEST(Network, MeshCornerToCornerZeroLoadLatency)
+{
+    sim::Engine engine;
+    NetworkConfig config;
+    config.radix = 8;
+    config.dims = 2;
+    config.wraparound = false;
+    Network network(engine, config);
+    engine.addClocked(&network, 1);
+
+    Message msg;
+    msg.src = network.topology().nodeAt({0, 0});
+    msg.dst = network.topology().nodeAt({7, 7});
+    msg.flits = 12;
+    const MessageId id = network.send(msg);
+    ASSERT_TRUE(engine.runUntil(
+        [&] { return network.pendingAt(msg.dst) > 0; }, 1000));
+    const MessageRecord *rec = network.record(id);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->hops, 14);
+    EXPECT_EQ(static_cast<double>(rec->delivered - rec->inject_start),
+              12.0 + 14.0 + 1.0);
+}
+
+TEST(Network, MinimalRadixTwoTorus)
+{
+    // k = 2: every hop is simultaneously a wrap; ties resolve
+    // positive. The fabric must still route and not deadlock.
+    Fixture f(2, 3); // 8 nodes
+    std::uint64_t sent = 0;
+    for (sim::NodeId s = 0; s < 8; ++s) {
+        for (sim::NodeId d = 0; d < 8; ++d) {
+            if (s == d)
+                continue;
+            Message msg;
+            msg.src = s;
+            msg.dst = d;
+            msg.flits = 6;
+            f.network->send(msg);
+            ++sent;
+        }
+    }
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 50000));
+    EXPECT_EQ(drainAll(*f.network), sent);
+}
+
+/** Parameterized deadlock/delivery sweep across shapes and loads. */
+class NetworkSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>>
+{
+};
+
+TEST_P(NetworkSweep, DeliversEverythingEventually)
+{
+    const auto [radix, dims, rate] = GetParam();
+    Fixture f(radix, dims);
+    TrafficConfig tc;
+    tc.injection_rate = rate;
+    tc.seed = 1234;
+    TrafficGenerator gen(*f.network, tc);
+    f.engine.addClocked(&gen, 1);
+    f.engine.run(3000);
+    gen.stop();
+    ASSERT_TRUE(f.engine.runUntil(
+        [&] { return f.network->idle(); }, 300000))
+        << "network failed to drain (deadlock?)";
+    EXPECT_EQ(f.network->stats().messages_delivered,
+              f.network->stats().messages_sent);
+    EXPECT_GT(f.network->stats().messages_sent, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndLoads, NetworkSweep,
+    ::testing::Values(std::make_tuple(4, 2, 0.02),
+                      std::make_tuple(8, 2, 0.05),
+                      std::make_tuple(4, 3, 0.03),
+                      std::make_tuple(16, 1, 0.02),
+                      std::make_tuple(2, 2, 0.05)));
+
+} // namespace
+} // namespace net
+} // namespace locsim

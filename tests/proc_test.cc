@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Processor model tests: single-context stalling (Figure 1), block
+ * multithreading with context switches (Figure 2), and cycle
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coher/controller.hh"
+#include "net/network.hh"
+#include "proc/processor.hh"
+#include "sim/engine.hh"
+
+namespace locsim {
+namespace proc {
+namespace {
+
+/** A program issuing a fixed pattern of remote loads. */
+class FixedLoadProgram : public ThreadProgram
+{
+  public:
+    FixedLoadProgram(coher::Addr addr, std::uint32_t compute)
+        : addr_(addr), compute_(compute)
+    {
+    }
+
+    Op
+    start() override
+    {
+        return makeOp();
+    }
+
+    Op
+    next(std::uint64_t) override
+    {
+        ++completed;
+        return makeOp();
+    }
+
+    std::uint64_t completed = 0;
+
+  private:
+    Op
+    makeOp() const
+    {
+        Op op;
+        op.kind = Op::Kind::Load;
+        op.addr = addr_;
+        op.compute_cycles = compute_;
+        return op;
+    }
+
+    coher::Addr addr_;
+    std::uint32_t compute_;
+};
+
+/** Alternating store to force repeated coherence transactions. */
+class PingStoreProgram : public ThreadProgram
+{
+  public:
+    PingStoreProgram(coher::Addr a, coher::Addr b,
+                     std::uint32_t compute)
+        : a_(a), b_(b), compute_(compute)
+    {
+    }
+
+    Op
+    start() override
+    {
+        return makeOp();
+    }
+
+    Op
+    next(std::uint64_t) override
+    {
+        ++completed;
+        flip_ = !flip_;
+        return makeOp();
+    }
+
+    std::uint64_t completed = 0;
+
+  private:
+    Op
+    makeOp() const
+    {
+        Op op;
+        op.kind = Op::Kind::Store;
+        op.addr = flip_ ? a_ : b_;
+        op.store_value = completed;
+        op.compute_cycles = compute_;
+        return op;
+    }
+
+    coher::Addr a_, b_;
+    std::uint32_t compute_;
+    bool flip_ = false;
+};
+
+/** Standalone harness so tests can build several machines. */
+struct Harness
+{
+    void
+    build(int contexts, std::vector<ThreadProgram *> programs,
+          std::uint32_t switch_cycles = 11)
+    {
+        net::NetworkConfig nc;
+        nc.radix = 2;
+        nc.dims = 2;
+        network = std::make_unique<net::Network>(engine, nc);
+        engine.addClocked(network.get(), 1);
+        coher::ProtocolConfig pc;
+        // Tiny cache (4 sets) so line indices 4 apart conflict; the
+        // ping-store programs below exploit this to miss every time.
+        pc.cache_bytes = 4 * coher::kLineBytes;
+        for (sim::NodeId n = 0; n < 4; ++n) {
+            controllers.push_back(
+                std::make_unique<coher::CacheController>(
+                    engine, *network, transport, n, pc, 2));
+            engine.addClocked(controllers.back().get(), 2);
+        }
+        ProcessorConfig config;
+        config.contexts = contexts;
+        config.switch_cycles = switch_cycles;
+        processor = std::make_unique<Processor>(*controllers[0],
+                                                config, programs);
+        engine.addClocked(processor.get(), 2);
+    }
+
+    sim::Engine engine;
+    std::unique_ptr<net::Network> network;
+    coher::ProtoTransport transport;
+    std::vector<std::unique_ptr<coher::CacheController>> controllers;
+    std::unique_ptr<Processor> processor;
+};
+
+class ProcessorFixture : public ::testing::Test
+{
+  protected:
+    void
+    build(int contexts, std::vector<ThreadProgram *> programs,
+          std::uint32_t switch_cycles = 11)
+    {
+        h.build(contexts, std::move(programs), switch_cycles);
+    }
+
+    Harness h;
+    sim::Engine &engine = h.engine;
+};
+
+TEST_F(ProcessorFixture, SingleContextMakesProgress)
+{
+    // Loads of a remote line that a remote writer keeps dirtying
+    // would be ideal; simplest: load a remote line once (miss), then
+    // hits. The program must advance and count work cycles.
+    FixedLoadProgram program(coher::makeAddr(3, 0), 5);
+    build(1, {&program});
+    engine.run(2000);
+    EXPECT_GT(program.completed, 10u);
+    EXPECT_GT(h.processor->stats().work_cycles.value(), 0u);
+    // After the first fill, everything hits: exactly one transaction.
+    EXPECT_EQ(h.controllers[0]->stats().transactions.value(), 1u);
+    EXPECT_EQ(h.processor->stats().switches.value(), 0u);
+}
+
+TEST_F(ProcessorFixture, SingleContextStallsWithoutSwitching)
+{
+    // Two nodes ping-ponging ownership: every store is a transaction.
+    PingStoreProgram program(coher::makeAddr(1, 0),
+                             coher::makeAddr(2, 4), 4);
+    build(1, {&program});
+    engine.run(4000);
+    EXPECT_GT(program.completed, 5u);
+    EXPECT_EQ(h.processor->stats().switches.value(), 0u);
+    EXPECT_GT(h.processor->stats().idle_cycles.value(), 0u);
+}
+
+TEST_F(ProcessorFixture, MultithreadingOverlapsMisses)
+{
+    // Two contexts with always-missing stores: while one context
+    // waits, the other should run; switches must be counted and
+    // throughput should beat a single context.
+    PingStoreProgram p0(coher::makeAddr(1, 0), coher::makeAddr(2, 4),
+                        4);
+    PingStoreProgram p1(coher::makeAddr(1, 1), coher::makeAddr(2, 5),
+                        4);
+    build(2, {&p0, &p1});
+    engine.run(8000);
+    const std::uint64_t both = p0.completed + p1.completed;
+    EXPECT_GT(h.processor->stats().switches.value(), 10u);
+    EXPECT_GT(h.processor->stats().switch_cycles.value(), 10u);
+
+    // Baseline: one context alone over half the window.
+    Harness solo;
+    PingStoreProgram ps(coher::makeAddr(1, 0), coher::makeAddr(2, 4),
+                        4);
+    solo.build(1, {&ps});
+    solo.engine.run(8000);
+    // Two contexts share one controller and injection channel, so
+    // the gain is well under 2x here, but must be clearly positive.
+    EXPECT_GT(both, ps.completed * 5 / 4)
+        << "two contexts should clearly outrun one";
+}
+
+TEST_F(ProcessorFixture, SwitchCostsConfiguredCycles)
+{
+    PingStoreProgram p0(coher::makeAddr(1, 0), coher::makeAddr(2, 4),
+                        4);
+    PingStoreProgram p1(coher::makeAddr(1, 1), coher::makeAddr(2, 5),
+                        4);
+    build(2, {&p0, &p1}, 11);
+    engine.run(8000);
+    const auto &stats = h.processor->stats();
+    // A switch may be in progress when the window closes, so burned
+    // cycles sit within one switch of switches * 11.
+    EXPECT_LE(stats.switch_cycles.value(),
+              stats.switches.value() * 11u);
+    EXPECT_GE(stats.switch_cycles.value() + 11u,
+              stats.switches.value() * 11u);
+}
+
+TEST_F(ProcessorFixture, ZeroSwitchTimeAllowed)
+{
+    PingStoreProgram p0(coher::makeAddr(1, 0), coher::makeAddr(2, 4),
+                        4);
+    PingStoreProgram p1(coher::makeAddr(1, 1), coher::makeAddr(2, 5),
+                        4);
+    build(2, {&p0, &p1}, 0);
+    engine.run(4000);
+    EXPECT_EQ(h.processor->stats().switch_cycles.value(), 0u);
+    EXPECT_GT(h.processor->stats().switches.value(), 0u);
+    EXPECT_GT(p0.completed + p1.completed, 10u);
+}
+
+TEST_F(ProcessorFixture, WorkCyclesMatchComputePerOp)
+{
+    FixedLoadProgram program(coher::makeAddr(3, 1), 7);
+    build(1, {&program});
+    engine.run(4000);
+    // Every completed op burned exactly 7 compute cycles (hits after
+    // the first fill; issue/resume cycles are not counted as work).
+    const std::uint64_t work = h.processor->stats().work_cycles.value();
+    EXPECT_NEAR(static_cast<double>(work) /
+                    static_cast<double>(program.completed),
+                7.0, 0.2);
+}
+
+TEST_F(ProcessorFixture, AllBlockedReportsCorrectly)
+{
+    PingStoreProgram program(coher::makeAddr(1, 0),
+                             coher::makeAddr(2, 4), 1);
+    build(1, {&program});
+    // At time zero nothing is blocked.
+    EXPECT_FALSE(h.processor->allBlocked());
+    engine.run(20);
+    // With a 1-cycle compute and long remote latency, the single
+    // context is almost certainly waiting now.
+    EXPECT_TRUE(h.processor->allBlocked());
+}
+
+} // namespace
+} // namespace proc
+} // namespace locsim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Unit tests for the stats library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+#include "util/random.hh"
+
+namespace locsim {
+namespace stats {
+namespace {
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(9);
+    EXPECT_EQ(c.value(), 10u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_EQ(acc.mean(), 0.0);
+    EXPECT_EQ(acc.variance(), 0.0);
+    EXPECT_EQ(acc.min(), 0.0);
+    EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, MeanVarianceMinMax)
+{
+    Accumulator acc;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(v);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_NEAR(acc.mean(), 5.0, 1e-12);
+    // Population variance is 4; sample variance is 32/7.
+    EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_EQ(acc.min(), 2.0);
+    EXPECT_EQ(acc.max(), 9.0);
+    EXPECT_NEAR(acc.sum(), 40.0, 1e-12);
+}
+
+TEST(Accumulator, WelfordStableForLargeOffsets)
+{
+    Accumulator acc;
+    const double offset = 1e9;
+    for (int i = 0; i < 1000; ++i)
+        acc.add(offset + (i % 2 ? 1.0 : -1.0));
+    EXPECT_NEAR(acc.mean(), offset, 1e-3);
+    // Sample variance of alternating +/-1 is n/(n-1).
+    EXPECT_NEAR(acc.variance(), 1000.0 / 999.0, 1e-6);
+}
+
+TEST(Accumulator, MergeMatchesSequential)
+{
+    util::Rng rng(5);
+    Accumulator whole, left, right;
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.nextDouble() * 100.0;
+        whole.add(v);
+        (i < 250 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+    EXPECT_EQ(left.min(), whole.min());
+    EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides)
+{
+    Accumulator a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndOutliers)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-1.0);  // underflow
+    h.add(0.0);   // bucket 0
+    h.add(1.9);   // bucket 0
+    h.add(2.0);   // bucket 1
+    h.add(9.99);  // bucket 4
+    h.add(10.0);  // overflow
+    h.add(50.0);  // overflow
+    EXPECT_EQ(h.total(), 7u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_DOUBLE_EQ(h.bucketLo(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(1), 4.0);
+}
+
+TEST(Histogram, QuantileOfUniformData)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    h.add(5.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage)
+{
+    TimeWeighted tw;
+    tw.update(0, 0.0);   // establishes the start; value unused till next
+    tw.update(10, 1.0);  // value 1.0 held over [0, 10)
+    tw.update(30, 0.5);  // value 0.5 held over [10, 30)
+    // Average = (10*1.0 + 20*0.5) / 30 = 20/30.
+    EXPECT_NEAR(tw.average(), 20.0 / 30.0, 1e-12);
+    EXPECT_EQ(tw.elapsed(), 30u);
+}
+
+TEST(TimeWeighted, EmptyAverageIsZero)
+{
+    TimeWeighted tw;
+    EXPECT_EQ(tw.average(), 0.0);
+    tw.update(5, 2.0);
+    EXPECT_EQ(tw.average(), 0.0); // no elapsed time yet
+}
+
+TEST(StatRegistry, DumpsRegisteredSources)
+{
+    StatRegistry reg;
+    Counter c;
+    Accumulator acc;
+    double gauge = 1.5;
+    reg.add("events", c);
+    reg.add("latency", acc);
+    reg.addValue("gauge", gauge);
+
+    c.inc(3);
+    acc.add(10.0);
+    acc.add(20.0);
+    gauge = 2.5;
+
+    const auto snapshot = reg.dump();
+    ASSERT_EQ(snapshot.size(), 4u);
+    EXPECT_EQ(snapshot[0].name, "events");
+    EXPECT_EQ(snapshot[0].value, 3.0);
+    EXPECT_EQ(snapshot[1].name, "latency.mean");
+    EXPECT_EQ(snapshot[1].value, 15.0);
+    EXPECT_EQ(snapshot[2].name, "latency.count");
+    EXPECT_EQ(snapshot[2].value, 2.0);
+    EXPECT_EQ(snapshot[3].name, "gauge");
+    EXPECT_EQ(snapshot[3].value, 2.5);
+
+    std::ostringstream oss;
+    reg.print(oss);
+    EXPECT_NE(oss.str().find("latency.mean = 15"), std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace locsim

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Unit and property tests for the torus topology, including the
+ * paper's Equation 17 anchors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "net/topology.hh"
+
+namespace locsim {
+namespace net {
+namespace {
+
+TEST(Topology, NodeCountAndCoords)
+{
+    TorusTopology topo(8, 2);
+    EXPECT_EQ(topo.nodeCount(), 64u);
+    EXPECT_EQ(topo.coord(0, 0), 0);
+    EXPECT_EQ(topo.coord(0, 1), 0);
+    EXPECT_EQ(topo.coord(9, 0), 1);
+    EXPECT_EQ(topo.coord(9, 1), 1);
+    EXPECT_EQ(topo.nodeAt({1, 1}), 9u);
+    EXPECT_EQ(topo.nodeAt(topo.coords(37)), 37u);
+}
+
+TEST(Topology, RingOffsetShortestWay)
+{
+    TorusTopology topo(8, 1);
+    EXPECT_EQ(topo.ringOffset(0, 1), 1);
+    EXPECT_EQ(topo.ringOffset(0, 7), -1);
+    EXPECT_EQ(topo.ringOffset(0, 4), 4);  // tie -> positive
+    EXPECT_EQ(topo.ringOffset(5, 1), 4);  // tie -> positive
+    EXPECT_EQ(topo.ringOffset(6, 2), 4);
+    EXPECT_EQ(topo.ringOffset(3, 3), 0);
+}
+
+TEST(Topology, DistanceMatchesManhattanOnTorus)
+{
+    TorusTopology topo(8, 2);
+    // (0,0) to (1,1): 2 hops.
+    EXPECT_EQ(topo.distance(topo.nodeAt({0, 0}), topo.nodeAt({1, 1})),
+              2);
+    // (0,0) to (7,7): wraps both dims, 2 hops.
+    EXPECT_EQ(topo.distance(topo.nodeAt({0, 0}), topo.nodeAt({7, 7})),
+              2);
+    // (0,0) to (4,4): 8 hops (worst case).
+    EXPECT_EQ(topo.distance(topo.nodeAt({0, 0}), topo.nodeAt({4, 4})),
+              8);
+    EXPECT_EQ(topo.distance(5, 5), 0);
+}
+
+TEST(Topology, NeighborWrapsCorrectly)
+{
+    TorusTopology topo(8, 2);
+    const sim::NodeId origin = topo.nodeAt({0, 0});
+    EXPECT_EQ(topo.neighbor(origin, 0, 1), topo.nodeAt({1, 0}));
+    EXPECT_EQ(topo.neighbor(origin, 0, -1), topo.nodeAt({7, 0}));
+    EXPECT_EQ(topo.neighbor(origin, 1, -1), topo.nodeAt({0, 7}));
+}
+
+TEST(Topology, NextHopReachesDestinationInDistanceSteps)
+{
+    TorusTopology topo(8, 2);
+    for (sim::NodeId src : {0u, 9u, 17u, 63u}) {
+        for (sim::NodeId dst = 0; dst < topo.nodeCount(); ++dst) {
+            if (src == dst)
+                continue;
+            sim::NodeId at = src;
+            int steps = 0;
+            const int expected = topo.distance(src, dst);
+            while (at != dst) {
+                const HopStep step = topo.nextHop(at, dst);
+                at = topo.neighbor(at, step.dim, step.dir);
+                ++steps;
+                ASSERT_LE(steps, expected) << "route overshoot";
+            }
+            EXPECT_EQ(steps, expected);
+        }
+    }
+}
+
+TEST(Topology, NextHopIsDimensionOrdered)
+{
+    TorusTopology topo(4, 3);
+    const sim::NodeId src = topo.nodeAt({0, 0, 0});
+    const sim::NodeId dst = topo.nodeAt({2, 1, 3});
+    sim::NodeId at = src;
+    int last_dim = 0;
+    while (at != dst) {
+        const HopStep step = topo.nextHop(at, dst);
+        EXPECT_GE(step.dim, last_dim) << "e-cube order violated";
+        last_dim = step.dim;
+        at = topo.neighbor(at, step.dim, step.dir);
+    }
+}
+
+TEST(Topology, WrapFlagMatchesCoordinateWrap)
+{
+    TorusTopology topo(8, 1);
+    const HopStep wrap = topo.nextHop(7, 1); // 7 -> 0 -> 1 (positive)
+    EXPECT_EQ(wrap.dir, 1);
+    EXPECT_TRUE(wrap.wraps);
+    const HopStep inner = topo.nextHop(2, 4);
+    EXPECT_FALSE(inner.wraps);
+}
+
+/**
+ * Paper anchor (footnote 2): random mappings on the 64-node radix-8
+ * 2D torus give an expected distance just over four hops.
+ */
+TEST(Topology, Equation17PaperAnchor64Nodes)
+{
+    EXPECT_NEAR(randomMappingDistance(8, 2), 4.063, 0.001);
+    TorusTopology topo(8, 2);
+    EXPECT_NEAR(topo.averageRandomDistance(), 4.063, 0.001);
+}
+
+/** Closed form and enumeration must agree for all even radices. */
+class Eq17Param
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(Eq17Param, ClosedFormMatchesEnumeration)
+{
+    const auto [radix, dims] = GetParam();
+    TorusTopology topo(radix, dims);
+    EXPECT_NEAR(topo.averageRandomDistance(),
+                randomMappingDistance(radix, dims), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EvenRadixSweeps, Eq17Param,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                       ::testing::Values(1, 2, 3)));
+
+/** Brute-force expectation over all pairs must match Equation 17. */
+TEST(Topology, Equation17MatchesBruteForce)
+{
+    TorusTopology topo(8, 2);
+    double total = 0.0;
+    std::uint64_t pairs = 0;
+    for (sim::NodeId a = 0; a < topo.nodeCount(); ++a) {
+        for (sim::NodeId b = 0; b < topo.nodeCount(); ++b) {
+            if (a == b)
+                continue;
+            total += topo.distance(a, b);
+            ++pairs;
+        }
+    }
+    EXPECT_NEAR(total / static_cast<double>(pairs),
+                randomMappingDistance(8, 2), 1e-9);
+}
+
+TEST(Topology, OddRadixEnumerationDiffersFromEvenClosedForm)
+{
+    // The paper's closed form assumes even k; our enumeration handles
+    // odd radix exactly. For k=5, per-ring mean over deltas is
+    // (0+1+2+2+1)/5 = 1.2, so 1D expectation is 1.2 * 25/24... for
+    // n=2: 2*1.2*25/24 = 2.5.
+    TorusTopology topo(5, 2);
+    EXPECT_NEAR(topo.averageRandomDistance(), 2.5, 1e-9);
+}
+
+TEST(Topology, RandomMappingDistanceForSizeMatchesSquareTorus)
+{
+    // N = 1024, n = 2 -> k = 32.
+    EXPECT_NEAR(randomMappingDistanceForSize(1024.0, 2),
+                randomMappingDistance(32, 2), 1e-9);
+    // Paper Section 4.2: ~16x larger than single hop at N = 1000.
+    const double d1000 = randomMappingDistanceForSize(1000.0, 2);
+    EXPECT_GT(d1000, 15.0);
+    EXPECT_LT(d1000, 17.0);
+}
+
+TEST(Topology, HigherDimensionsShortenRandomDistance)
+{
+    const double d2 = randomMappingDistanceForSize(4096.0, 2);
+    const double d3 = randomMappingDistanceForSize(4096.0, 3);
+    const double d4 = randomMappingDistanceForSize(4096.0, 4);
+    EXPECT_GT(d2, d3);
+    EXPECT_GT(d3, d4);
+}
+
+TEST(MeshTopology, NoWraparoundNeighbors)
+{
+    TorusTopology mesh(8, 2, false);
+    EXPECT_FALSE(mesh.wraparound());
+    const sim::NodeId corner = mesh.nodeAt({0, 0});
+    EXPECT_EQ(mesh.neighbor(corner, 0, -1), sim::kNodeNone);
+    EXPECT_EQ(mesh.neighbor(corner, 1, -1), sim::kNodeNone);
+    EXPECT_EQ(mesh.neighbor(corner, 0, 1), mesh.nodeAt({1, 0}));
+    const sim::NodeId edge = mesh.nodeAt({7, 3});
+    EXPECT_EQ(mesh.neighbor(edge, 0, 1), sim::kNodeNone);
+    EXPECT_EQ(mesh.neighbor(edge, 1, 1), mesh.nodeAt({7, 4}));
+}
+
+TEST(MeshTopology, DistancesAreManhattan)
+{
+    TorusTopology mesh(8, 2, false);
+    // No shortcuts across the edge: (0,0) to (7,7) is 14 hops.
+    EXPECT_EQ(mesh.distance(mesh.nodeAt({0, 0}), mesh.nodeAt({7, 7})),
+              14);
+    EXPECT_EQ(mesh.distance(mesh.nodeAt({0, 0}), mesh.nodeAt({7, 0})),
+              7);
+}
+
+TEST(MeshTopology, RoutesNeverWrap)
+{
+    TorusTopology mesh(8, 2, false);
+    for (sim::NodeId src : {0u, 7u, 56u, 63u}) {
+        for (sim::NodeId dst = 0; dst < 64; dst += 5) {
+            if (src == dst)
+                continue;
+            sim::NodeId at = src;
+            int steps = 0;
+            while (at != dst) {
+                const HopStep step = mesh.nextHop(at, dst);
+                EXPECT_FALSE(step.wraps);
+                const sim::NodeId next =
+                    mesh.neighbor(at, step.dim, step.dir);
+                ASSERT_NE(next, sim::kNodeNone)
+                    << "route stepped off the mesh edge";
+                at = next;
+                ASSERT_LE(++steps, 14);
+            }
+            EXPECT_EQ(steps, mesh.distance(src, dst));
+        }
+    }
+}
+
+TEST(MeshTopology, RandomDistanceIsClosedForm)
+{
+    // Mesh per-dimension mean is (k^2-1)/(3k); 2-D radix-8 with
+    // self-exclusion: 2 * 63/24 * 64/63 = 16/3.
+    TorusTopology mesh(8, 2, false);
+    EXPECT_NEAR(mesh.averageRandomDistance(), 16.0 / 3.0, 1e-9);
+
+    // Cross-check by enumeration.
+    double total = 0.0;
+    std::uint64_t pairs = 0;
+    for (sim::NodeId a = 0; a < 64; ++a) {
+        for (sim::NodeId b = 0; b < 64; ++b) {
+            if (a == b)
+                continue;
+            total += mesh.distance(a, b);
+            ++pairs;
+        }
+    }
+    EXPECT_NEAR(total / static_cast<double>(pairs),
+                mesh.averageRandomDistance(), 1e-9);
+}
+
+TEST(MeshTopology, MeshRandomDistanceExceedsTorus)
+{
+    // Without wraparound the average random-pair distance grows
+    // (k/3 vs k/4 per dimension asymptotically).
+    for (int k : {4, 8, 16}) {
+        TorusTopology torus(k, 2, true);
+        TorusTopology mesh(k, 2, false);
+        EXPECT_GT(mesh.averageRandomDistance(),
+                  torus.averageRandomDistance());
+    }
+}
+
+TEST(Topology, DistanceSymmetricAndTriangle)
+{
+    TorusTopology topo(6, 2);
+    for (sim::NodeId a = 0; a < topo.nodeCount(); a += 5) {
+        for (sim::NodeId b = 0; b < topo.nodeCount(); b += 3) {
+            EXPECT_EQ(topo.distance(a, b), topo.distance(b, a));
+            for (sim::NodeId c = 0; c < topo.nodeCount(); c += 7) {
+                EXPECT_LE(topo.distance(a, c),
+                          topo.distance(a, b) + topo.distance(b, c));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace net
+} // namespace locsim

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Unit tests for the util library: RNG, math helpers, tables, CSV,
+ * and option parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/math.hh"
+#include "util/options.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace locsim {
+namespace util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BoundedCoversAllValues)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.nextBounded(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveEndpoints)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(23);
+    const double p = 0.25;
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(p));
+    // Mean of failures-before-success geometric is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, GeometricWithPOneIsZero)
+{
+    Rng rng(29);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextGeometric(1.0), 0u);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(31);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextExponential(10.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(37);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(99);
+    Rng child = a.split();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(MathFitLine, RecoversExactLine)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.5 * x - 2.0);
+    const LineFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 3.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(MathFitLine, NoisyDataReasonableR2)
+{
+    Rng rng(41);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 200; ++i) {
+        const double x = static_cast<double>(i);
+        xs.push_back(x);
+        ys.push_back(2.0 * x + 5.0 + (rng.nextDouble() - 0.5));
+    }
+    const LineFit fit = fitLine(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.0, 0.01);
+    EXPECT_NEAR(fit.intercept, 5.0, 0.5);
+    EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(MathNearlyEqual, Basics)
+{
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0));
+    EXPECT_TRUE(nearlyEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(nearlyEqual(1.0, 1.1));
+    EXPECT_TRUE(nearlyEqual(0.0, 0.0));
+    EXPECT_TRUE(nearlyEqual(1e8, 1e8 * (1 + 1e-10)));
+}
+
+TEST(MathBisect, FindsSqrtTwo)
+{
+    const double root = bisect(
+        [](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-12);
+    EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(MathBisect, HandlesDecreasingFunction)
+{
+    const double root = bisect(
+        [](double x) { return 5.0 - x; }, 0.0, 10.0, 1e-12);
+    EXPECT_NEAR(root, 5.0, 1e-10);
+}
+
+TEST(MathQuadratic, TwoRootsSorted)
+{
+    double roots[2];
+    // (x-1)(x-3) = x^2 -4x +3
+    ASSERT_EQ(solveQuadratic(1.0, -4.0, 3.0, roots), 2);
+    EXPECT_NEAR(roots[0], 1.0, 1e-12);
+    EXPECT_NEAR(roots[1], 3.0, 1e-12);
+}
+
+TEST(MathQuadratic, LinearFallback)
+{
+    double roots[2];
+    ASSERT_EQ(solveQuadratic(0.0, 2.0, -8.0, roots), 1);
+    EXPECT_NEAR(roots[0], 4.0, 1e-12);
+}
+
+TEST(MathQuadratic, NoRealRoots)
+{
+    double roots[2];
+    EXPECT_EQ(solveQuadratic(1.0, 0.0, 1.0, roots), 0);
+}
+
+TEST(MathQuadratic, NumericallyStableForSmallRoot)
+{
+    double roots[2];
+    // Roots 1e-8 and 1e8: naive formula loses the small root.
+    ASSERT_EQ(solveQuadratic(1.0, -(1e8 + 1e-8), 1.0, roots), 2);
+    EXPECT_NEAR(roots[0], 1e-8, 1e-14);
+    EXPECT_NEAR(roots[1], 1e8, 1.0);
+}
+
+TEST(MathMean, EmptyAndSimple)
+{
+    EXPECT_EQ(mean({}), 0.0);
+    std::vector<double> xs{1.0, 2.0, 3.0};
+    EXPECT_NEAR(mean(xs), 2.0, 1e-12);
+}
+
+TEST(TextTable, AlignsColumnsAndCountsRows)
+{
+    TextTable table({"name", "value"});
+    table.newRow().cell("alpha").cell(1.25, 2);
+    table.newRow().cell("b").cell(42ll);
+    EXPECT_EQ(table.rows(), 2u);
+    const std::string out = table.str();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.25"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("q\"uote"), "\"q\"\"uote\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    const std::string path = ::testing::TempDir() + "/locsim_csv_test.csv";
+    {
+        CsvWriter csv(path);
+        csv.header({"x", "y"});
+        csv.rowDoubles({1.0, 2.5}, 1);
+        csv.row({"3", "4"});
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "x,y");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "1.0,2.5");
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "3,4");
+    std::remove(path.c_str());
+}
+
+TEST(Options, ParsesTypedValues)
+{
+    OptionParser opts("prog", "test");
+    opts.addInt("count", "a count", 5);
+    opts.addDouble("rate", "a rate", 0.5);
+    opts.addString("name", "a name", "default");
+    opts.addFlag("verbose", "chatty");
+
+    const char *argv[] = {"prog", "--count", "10", "--rate=0.25",
+                          "--verbose", "positional"};
+    const auto rest = opts.parse(6, argv);
+
+    EXPECT_EQ(opts.getInt("count"), 10);
+    EXPECT_DOUBLE_EQ(opts.getDouble("rate"), 0.25);
+    EXPECT_EQ(opts.getString("name"), "default");
+    EXPECT_TRUE(opts.getFlag("verbose"));
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0], "positional");
+}
+
+TEST(Logging, LevelsGateMessages)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    LOCSIM_WARN("suppressed warning");   // must not crash
+    LOCSIM_INFORM("suppressed info");
+    LOCSIM_DEBUG("suppressed debug");
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(original);
+}
+
+TEST(LoggingDeathTest, AssertPanicsWithMessage)
+{
+    EXPECT_DEATH(LOCSIM_ASSERT(1 == 2, "math broke: ", 42),
+                 "assertion failed.*math broke: 42");
+}
+
+TEST(MathDeathTest, BisectRequiresBracket)
+{
+    EXPECT_DEATH(bisect([](double) { return 1.0; }, 0.0, 1.0),
+                 "opposite signs");
+}
+
+TEST(MathDeathTest, FitLineRejectsDegenerateInput)
+{
+    std::vector<double> one_x{1.0}, one_y{2.0};
+    EXPECT_DEATH(fitLine(one_x, one_y), "at least two");
+    std::vector<double> flat_x{3.0, 3.0}, ys{1.0, 2.0};
+    EXPECT_DEATH(fitLine(flat_x, ys), "degenerate");
+}
+
+TEST(OptionsDeathTest, RejectsBadInput)
+{
+    auto parse = [](std::vector<const char *> argv) {
+        OptionParser opts("prog", "test");
+        opts.addInt("count", "a count", 5);
+        opts.addFlag("fast", "go fast");
+        opts.parse(static_cast<int>(argv.size()), argv.data());
+    };
+    EXPECT_DEATH(parse({"prog", "--bogus", "1"}), "unknown option");
+    EXPECT_DEATH(parse({"prog", "--count", "abc"}),
+                 "expects an integer");
+    EXPECT_DEATH(parse({"prog", "--count"}), "requires a value");
+    EXPECT_DEATH(parse({"prog", "--fast=1"}), "takes no value");
+}
+
+TEST(Options, UsageMentionsAllOptions)
+{
+    OptionParser opts("prog", "test");
+    opts.addInt("count", "a count", 5);
+    opts.addFlag("fast", "go fast");
+    const std::string usage = opts.usage();
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("--fast"), std::string::npos);
+    EXPECT_NE(usage.find("default: 5"), std::string::npos);
+}
+
+} // namespace
+} // namespace util
+} // namespace locsim

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Workload tests: mapping family properties and the synthetic
+ * application's op stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "net/topology.hh"
+#include "workload/mapping.hh"
+#include "workload/torus_app.hh"
+#include "workload/trace_app.hh"
+#include "workload/uniform_app.hh"
+
+namespace locsim {
+namespace workload {
+namespace {
+
+TEST(Mapping, IdentityDistanceIsOne)
+{
+    net::TorusTopology topo(8, 2);
+    const Mapping mapping = Mapping::identity(64);
+    EXPECT_DOUBLE_EQ(mapping.averageNeighborDistance(topo), 1.0);
+    EXPECT_EQ(mapping.node(17), 17u);
+    EXPECT_EQ(mapping.threadAt(17), 17u);
+}
+
+TEST(Mapping, RandomIsBijective)
+{
+    const Mapping mapping = Mapping::random(64, 99);
+    std::vector<bool> seen(64, false);
+    for (std::uint32_t t = 0; t < 64; ++t) {
+        const sim::NodeId node = mapping.node(t);
+        EXPECT_FALSE(seen[node]);
+        seen[node] = true;
+        EXPECT_EQ(mapping.threadAt(node), t);
+    }
+}
+
+TEST(Mapping, RandomDistanceNearEquation17)
+{
+    net::TorusTopology topo(8, 2);
+    // Averaged over several seeds, the random mapping's neighbour
+    // distance approaches the Equation 17 expectation (4.06).
+    double total = 0.0;
+    const int seeds = 20;
+    for (int s = 0; s < seeds; ++s) {
+        total += Mapping::random(64, 1000 + s)
+                     .averageNeighborDistance(topo);
+    }
+    EXPECT_NEAR(total / seeds, net::randomMappingDistance(8, 2), 0.35);
+}
+
+TEST(Mapping, Linear2dKnownDistances)
+{
+    net::TorusTopology topo(8, 2);
+    // identity
+    EXPECT_DOUBLE_EQ(
+        Mapping::linear2d(topo, 1, 0, 0, 1)
+            .averageNeighborDistance(topo),
+        1.0);
+    // shear by 1: x-nbrs at 1, y-nbrs at 2 -> 1.5
+    EXPECT_DOUBLE_EQ(
+        Mapping::linear2d(topo, 1, 1, 0, 1)
+            .averageNeighborDistance(topo),
+        1.5);
+    // dilate x by 3: x-nbrs at 3, y-nbrs at 1 -> 2
+    EXPECT_DOUBLE_EQ(
+        Mapping::linear2d(topo, 3, 0, 0, 1)
+            .averageNeighborDistance(topo),
+        2.0);
+    // dilate both by 3 -> 3
+    EXPECT_DOUBLE_EQ(
+        Mapping::linear2d(topo, 3, 0, 0, 3)
+            .averageNeighborDistance(topo),
+        3.0);
+    // cross shear by 4: both neighbour kinds at 5 -> 5
+    EXPECT_DOUBLE_EQ(
+        Mapping::linear2d(topo, 1, 4, 4, 1)
+            .averageNeighborDistance(topo),
+        5.0);
+}
+
+TEST(Mapping, ExperimentFamilySpansOneToSix)
+{
+    net::TorusTopology topo(8, 2);
+    const auto family = experimentMappings(topo);
+    ASSERT_EQ(family.size(), 9u); // paper: nine mappings
+    EXPECT_DOUBLE_EQ(family.front().avg_distance, 1.0);
+    EXPECT_GE(family.back().avg_distance, 5.4);
+    for (std::size_t i = 1; i < family.size(); ++i) {
+        EXPECT_GE(family[i].avg_distance,
+                  family[i - 1].avg_distance); // sorted
+    }
+    // Every mapping's recorded distance matches a recomputation.
+    for (const auto &named : family) {
+        EXPECT_DOUBLE_EQ(
+            named.mapping.averageNeighborDistance(topo),
+            named.avg_distance)
+            << named.name;
+    }
+}
+
+TEST(StateWordAddr, HomedAtTheThreadsNode)
+{
+    const Mapping mapping = Mapping::random(64, 5);
+    for (std::uint32_t t : {0u, 7u, 33u, 63u}) {
+        for (std::uint32_t j : {0u, 3u}) {
+            const coher::Addr addr = stateWordAddr(mapping, j, t);
+            EXPECT_EQ(coher::homeOf(addr), mapping.node(t));
+        }
+    }
+}
+
+TEST(StateWordAddr, DistinctLinesAcrossInstancesAndThreads)
+{
+    const Mapping mapping = Mapping::identity(64);
+    std::set<coher::Addr> seen;
+    for (std::uint32_t t = 0; t < 64; ++t) {
+        for (std::uint32_t j = 0; j < 4; ++j) {
+            const coher::Addr addr = stateWordAddr(mapping, j, t);
+            EXPECT_TRUE(seen.insert(coher::lineOf(addr)).second)
+                << "line aliasing at t=" << t << " j=" << j;
+        }
+    }
+}
+
+TEST(TorusApp, OpSequenceIsLoadsThenStore)
+{
+    net::TorusTopology topo(8, 2);
+    const Mapping mapping = Mapping::identity(64);
+    TorusAppConfig config;
+    config.compute_cycles = 8;
+    TorusNeighborProgram program(topo, mapping, 0, 9, config);
+
+    proc::Op op = program.start();
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(op.kind, proc::Op::Kind::Load) << "op " << i;
+        EXPECT_EQ(op.compute_cycles, 8u);
+        EXPECT_NE(coher::homeOf(op.addr), 9u)
+            << "neighbour loads are remote under identity";
+        op = program.next((1ull << 16)); // pretend value
+    }
+    EXPECT_EQ(op.kind, proc::Op::Kind::Store);
+    EXPECT_EQ(coher::homeOf(op.addr), 9u) << "own word is local";
+    EXPECT_EQ(program.iterations(), 0u);
+    op = program.next(op.store_value);
+    EXPECT_EQ(program.iterations(), 1u);
+    EXPECT_EQ(op.kind, proc::Op::Kind::Load);
+}
+
+TEST(TorusApp, StoreValueEncodesIterationAndThread)
+{
+    net::TorusTopology topo(8, 2);
+    const Mapping mapping = Mapping::identity(64);
+    TorusNeighborProgram program(topo, mapping, 0, 42, {});
+    proc::Op op = program.start();
+    while (op.kind != proc::Op::Kind::Store)
+        op = program.next(0);
+    EXPECT_EQ(op.store_value & 0xffff, 42u);
+    EXPECT_EQ(op.store_value >> 16, 1u);
+}
+
+TEST(TorusApp, ViolationDetectorFiresOnRegression)
+{
+    net::TorusTopology topo(8, 2);
+    const Mapping mapping = Mapping::identity(64);
+    TorusNeighborProgram program(topo, mapping, 0, 0, {});
+    program.start();
+    // First neighbour read returns counter 5, later counter 3:
+    // a coherence regression the program must flag.
+    program.next(5ull << 16);
+    // Complete the iteration (3 more loads + the store)...
+    program.next(0);
+    program.next(0);
+    program.next(0);
+    program.next(0); // store done
+    EXPECT_EQ(program.violations(), 0u);
+    program.next(3ull << 16); // first neighbour again, counter went back
+    EXPECT_EQ(program.violations(), 1u);
+}
+
+TEST(UniformApp, NeverTargetsSelfAndMixesLoadsStores)
+{
+    net::TorusTopology topo(8, 2);
+    const Mapping mapping = Mapping::identity(64);
+    UniformAppConfig config;
+    config.loads_per_store = 4;
+    config.seed = 9;
+    UniformRemoteProgram program(topo, mapping, 0, 21, config);
+
+    int loads = 0, stores = 0;
+    proc::Op op = program.start();
+    for (int i = 0; i < 500; ++i) {
+        if (op.kind == proc::Op::Kind::Load) {
+            ++loads;
+            EXPECT_NE(coher::homeOf(op.addr), mapping.node(21))
+                << "uniform loads never target the own node";
+        } else {
+            ++stores;
+            EXPECT_EQ(op.addr, stateWordAddr(mapping, 0, 21));
+        }
+        op = program.next(0);
+    }
+    // 4 loads per store.
+    EXPECT_NEAR(static_cast<double>(loads) / stores, 4.0, 0.05);
+    EXPECT_EQ(program.operations(), 500u);
+}
+
+TEST(UniformApp, LoadTargetsCoverAllThreads)
+{
+    net::TorusTopology topo(8, 2);
+    const Mapping mapping = Mapping::identity(64);
+    UniformRemoteProgram program(topo, mapping, 0, 0, {});
+    std::set<sim::NodeId> targets;
+    proc::Op op = program.start();
+    for (int i = 0; i < 3000; ++i) {
+        if (op.kind == proc::Op::Kind::Load)
+            targets.insert(coher::homeOf(op.addr));
+        op = program.next(0);
+    }
+    EXPECT_EQ(targets.size(), 63u); // everyone but self
+}
+
+TEST(TorusApp, PrefetchSequenceInterleavesCorrectly)
+{
+    net::TorusTopology topo(8, 2);
+    const Mapping mapping = Mapping::identity(64);
+    TorusAppConfig config;
+    config.prefetch_depth = 2;
+    TorusNeighborProgram program(topo, mapping, 0, 9, config);
+
+    // Expected per-iteration kinds: P L P L L L P S.
+    const proc::Op::Kind expected[] = {
+        proc::Op::Kind::Prefetch, proc::Op::Kind::Load,
+        proc::Op::Kind::Prefetch, proc::Op::Kind::Load,
+        proc::Op::Kind::Load,     proc::Op::Kind::Load,
+        proc::Op::Kind::Prefetch, proc::Op::Kind::Store,
+    };
+    proc::Op op = program.start();
+    for (int round = 0; round < 2; ++round) {
+        for (const proc::Op::Kind kind : expected) {
+            EXPECT_EQ(op.kind, kind);
+            if (kind == proc::Op::Kind::Prefetch) {
+                EXPECT_EQ(op.compute_cycles, 0u);
+            }
+            op = program.next(op.kind == proc::Op::Kind::Store
+                                  ? op.store_value
+                                  : 0);
+        }
+        EXPECT_EQ(program.iterations(),
+                  static_cast<std::uint64_t>(round + 1));
+    }
+}
+
+TEST(TraceApp, ParsesKindsCommentsAndBlanks)
+{
+    std::istringstream input(
+        "# header comment\n"
+        "L 3 17 8\n"
+        "\n"
+        "S 0 2 4   # trailing comment\n"
+        "P 5 9 0\n");
+    const auto ops = parseTrace(input);
+    ASSERT_EQ(ops.size(), 3u);
+    EXPECT_EQ(ops[0].kind, proc::Op::Kind::Load);
+    EXPECT_EQ(coher::homeOf(ops[0].addr), 3u);
+    EXPECT_EQ(coher::lineIndexOf(ops[0].addr), 17u);
+    EXPECT_EQ(ops[0].compute_cycles, 8u);
+    EXPECT_EQ(ops[1].kind, proc::Op::Kind::Store);
+    EXPECT_EQ(ops[2].kind, proc::Op::Kind::Prefetch);
+    EXPECT_EQ(ops[2].compute_cycles, 0u);
+}
+
+TEST(TraceApp, MalformedInputIsFatal)
+{
+    auto parse = [](const char *text) {
+        std::istringstream input(text);
+        parseTrace(input);
+    };
+    EXPECT_DEATH(parse("X 1 2 3\n"), "unknown op kind");
+    EXPECT_DEATH(parse("L 1 2\n"), "expected");
+    EXPECT_DEATH(parse("L 1 2 3 4\n"), "trailing field");
+}
+
+TEST(TraceApp, ReplayLoopsForever)
+{
+    std::istringstream input("L 1 0 2\nS 2 0 3\n");
+    TraceProgram program(parseTrace(input));
+    proc::Op op = program.start();
+    EXPECT_EQ(op.kind, proc::Op::Kind::Load);
+    op = program.next(0);
+    EXPECT_EQ(op.kind, proc::Op::Kind::Store);
+    EXPECT_EQ(program.loops(), 0u);
+    op = program.next(0);
+    EXPECT_EQ(op.kind, proc::Op::Kind::Load);
+    EXPECT_EQ(program.loops(), 1u);
+}
+
+TEST(TraceApp, LoadTraceFileRoundTrip)
+{
+    const std::string path =
+        ::testing::TempDir() + "/locsim_trace_test.txt";
+    {
+        std::ofstream out(path);
+        out << "L 0 1 5\nS 1 0 6\n";
+    }
+    const auto ops = loadTraceFile(path);
+    ASSERT_EQ(ops.size(), 2u);
+    EXPECT_EQ(coher::homeOf(ops[1].addr), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TorusApp, MeshBoundaryThreadsHaveFewerNeighbors)
+{
+    net::TorusTopology mesh(8, 2, false);
+    const Mapping mapping = Mapping::identity(64);
+    // Corner thread (0,0): two neighbours instead of four.
+    TorusNeighborProgram corner(mesh, mapping, 0,
+                                mesh.nodeAt({0, 0}), {});
+    int loads = 0;
+    proc::Op op = corner.start();
+    while (op.kind == proc::Op::Kind::Load) {
+        ++loads;
+        op = corner.next(0);
+    }
+    EXPECT_EQ(loads, 2);
+}
+
+} // namespace
+} // namespace workload
+} // namespace locsim
