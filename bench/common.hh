@@ -19,6 +19,7 @@
 #include "model/alewife.hh"
 #include "model/combined_model.hh"
 #include "model/locality.hh"
+#include "runner/runner.hh"
 #include "util/options.hh"
 #include "workload/mapping.hh"
 
@@ -41,6 +42,8 @@ struct HarnessOptions
     bool quick = false;   //!< shorter windows for smoke runs
     std::uint64_t warmup = 6000;
     std::uint64_t window = 20000;
+    /** Worker threads for independent simulations (0 = all cores). */
+    int threads = 0;
 };
 
 /** Parse the common flags; exits on --help. */
@@ -55,12 +58,17 @@ parseHarnessOptions(int argc, const char *const *argv,
     opts.addInt("warmup", "warmup length in processor cycles", 6000);
     opts.addInt("window", "measurement window in processor cycles",
                 20000);
+    opts.addInt("threads",
+                "worker threads for independent simulations "
+                "(0 = all cores)",
+                0);
     opts.parse(argc, argv);
     HarnessOptions out;
     out.csv_path = opts.getString("csv");
     out.quick = opts.getFlag("quick");
     out.warmup = static_cast<std::uint64_t>(opts.getInt("warmup"));
     out.window = static_cast<std::uint64_t>(opts.getInt("window"));
+    out.threads = opts.getInt("threads");
     if (out.quick) {
         out.warmup = 2000;
         out.window = 6000;
@@ -71,6 +79,11 @@ parseHarnessOptions(int argc, const char *const *argv,
 /**
  * Run the Section 3 validation simulations: the mapping family at the
  * given context counts on the 64-node Alewife-like machine.
+ *
+ * The (contexts, mapping) grid runs on the experiment runner's thread
+ * pool; every simulation owns its full machine state, and results are
+ * collected by grid index, so the output is identical to the old
+ * sequential loop for any thread count.
  */
 inline std::vector<SimPoint>
 runValidationSims(const std::vector<int> &context_counts,
@@ -78,21 +91,31 @@ runValidationSims(const std::vector<int> &context_counts,
 {
     net::TorusTopology topo(8, 2);
     const auto family = workload::experimentMappings(topo);
-    std::vector<SimPoint> points;
+    struct Cell
+    {
+        int contexts;
+        const workload::NamedMapping *named;
+    };
+    std::vector<Cell> grid;
     for (int contexts : context_counts) {
-        for (const auto &named : family) {
-            machine::MachineConfig config;
-            config.contexts = contexts;
-            machine::Machine machine(config, named.mapping);
-            SimPoint point;
-            point.mapping = named.name;
-            point.contexts = contexts;
-            point.distance = named.avg_distance;
-            point.m = machine.run(options.warmup, options.window);
-            points.push_back(point);
-        }
+        for (const auto &named : family)
+            grid.push_back({contexts, &named});
     }
-    return points;
+    return runner::parallelMap(
+        grid.size(),
+        [&](std::size_t i) {
+            const Cell &cell = grid[i];
+            machine::MachineConfig config;
+            config.contexts = cell.contexts;
+            machine::Machine machine(config, cell.named->mapping);
+            SimPoint point;
+            point.mapping = cell.named->name;
+            point.contexts = cell.contexts;
+            point.distance = cell.named->avg_distance;
+            point.m = machine.run(options.warmup, options.window);
+            return point;
+        },
+        options.threads);
 }
 
 /**

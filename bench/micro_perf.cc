@@ -5,9 +5,19 @@
  * simulator, the coherence protocol, and the full machine. These
  * track the cost of the tools themselves (simulator cycles/second,
  * model solves/second), not paper results.
+ *
+ * `--json PATH` (or `--json=PATH`) additionally writes a compact
+ * machine-readable summary — one entry per benchmark with its ns/op —
+ * for CI trend tracking and the before/after tables in
+ * docs/PERFORMANCE.md. All regular google-benchmark flags still work.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "machine/machine.hh"
 #include "model/alewife.hh"
@@ -130,6 +140,111 @@ BM_MappingDistance(benchmark::State &state)
 }
 BENCHMARK(BM_MappingDistance);
 
+/**
+ * Console reporter that also records (name, ns/op, iterations) for
+ * every per-iteration run it prints.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        double ns_per_op = 0.0;
+        std::int64_t iterations = 0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.run_type != Run::RT_Iteration)
+                continue; // skip mean/median/stddev aggregates
+            Entry entry;
+            entry.name = run.benchmark_name();
+            entry.iterations =
+                static_cast<std::int64_t>(run.iterations);
+            if (run.iterations > 0) {
+                entry.ns_per_op =
+                    run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+            }
+            entries.push_back(std::move(entry));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<Entry> entries;
+};
+
+std::string
+escapeJson(const std::string &in)
+{
+    std::string out;
+    for (char c : in) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+bool
+writeJson(const std::string &path,
+          const std::vector<CollectingReporter::Entry> &entries)
+{
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+        std::fprintf(stderr, "micro_perf: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(file, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        std::fprintf(file,
+                     "    {\"name\": \"%s\", \"ns_per_op\": %.6g, "
+                     "\"iterations\": %lld}%s\n",
+                     escapeJson(e.name).c_str(), e.ns_per_op,
+                     static_cast<long long>(e.iterations),
+                     i + 1 < entries.size() ? "," : "");
+    }
+    std::fprintf(file, "  ]\n}\n");
+    std::fclose(file);
+    return true;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off our --json flag before google-benchmark sees argv.
+    std::string json_path;
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               args.data()))
+        return 1;
+
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!json_path.empty() && !writeJson(json_path, reporter.entries))
+        return 1;
+    return 0;
+}

@@ -14,9 +14,11 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "model/alewife.hh"
 #include "model/locality.hh"
+#include "runner/runner.hh"
 #include "util/options.hh"
 #include "util/table.hh"
 
@@ -37,19 +39,30 @@ main(int argc, char **argv)
                 "(p = %.0f) ===\n\n",
                 contexts);
     {
+        // Evaluate the (machine size x dimension) grid on the
+        // experiment runner; each cell is an independent model
+        // evaluation, and results come back in grid order.
+        std::vector<double> sizes;
+        for (double n = 64; n <= max_n * 1.01; n *= 4)
+            sizes.push_back(n);
+        const std::vector<int> dim_choices = {2, 3, 4};
+        const std::size_t cols = dim_choices.size();
+        const std::vector<double> gains = runner::parallelMap(
+            sizes.size() * cols, [&](std::size_t i) {
+                model::StudyConfig config = model::alewifeStudy(
+                    contexts, sizes[i / cols]);
+                config.machine.network.dims = dim_choices[i % cols];
+                return model::LocalityAnalysis(config)
+                    .expectedGain()
+                    .gain;
+            });
+
         util::TextTable table({"processors", "gain n=2", "gain n=3",
                                "gain n=4"});
-        for (double n = 64; n <= max_n * 1.01; n *= 4) {
-            table.newRow().cell(static_cast<long long>(n));
-            for (int dims : {2, 3, 4}) {
-                model::StudyConfig config =
-                    model::alewifeStudy(contexts, n);
-                config.machine.network.dims = dims;
-                table.cell(
-                    model::LocalityAnalysis(config).expectedGain()
-                        .gain,
-                    2);
-            }
+        for (std::size_t row = 0; row < sizes.size(); ++row) {
+            table.newRow().cell(static_cast<long long>(sizes[row]));
+            for (std::size_t col = 0; col < cols; ++col)
+                table.cell(gains[row * cols + col], 2);
         }
         table.print(std::cout);
         std::printf("\nHigher-dimensional networks shorten random-"

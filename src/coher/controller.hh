@@ -163,6 +163,18 @@ class CacheController : public sim::Clocked
     /** True if no transaction is outstanding at this node. */
     bool quiescent() const;
 
+    /**
+     * The controller has work while any transaction state (MSHRs,
+     * home transients, queued messages or requests) exists, or while
+     * the network holds deliveries this node has not drained yet.
+     * A future busy_until_ alone does not count: with every queue
+     * empty the occupancy window expires without side effects.
+     */
+    bool busy() const override
+    {
+        return !quiescent() || network_.pendingAt(node_) > 0;
+    }
+
   private:
     /** Requester-side outstanding miss. */
     struct Mshr

@@ -20,6 +20,9 @@ Machine::Machine(const MachineConfig &config,
                   "context count out of range");
     LOCSIM_ASSERT(config.net_clock_ratio >= 1, "bad clock ratio");
 
+    if (config.reference_stepping)
+        engine_.setStepMode(sim::Engine::StepMode::Reference);
+
     net::NetworkConfig net_config;
     net_config.radix = config.radix;
     net_config.dims = config.dims;

@@ -64,6 +64,13 @@ struct MachineConfig
     coher::ProtocolConfig protocol;
     net::RouterConfig router;
 
+    /**
+     * Drive the engine in reference (dumb-stepping) mode instead of
+     * activity tracking. Both produce identical results; reference
+     * mode exists as the oracle for equivalence tests.
+     */
+    bool reference_stepping = false;
+
     WorkloadKind workload = WorkloadKind::TorusNeighbor;
     workload::TorusAppConfig app;
     workload::UniformAppConfig uniform_app;

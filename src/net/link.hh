@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Specialised latched links for the torus fabric.
+ *
+ * Both types keep the two-phase contract of sim::Channel (a value
+ * pushed during cycle t becomes visible at t+1, via the engine's
+ * rotation) but exploit fabric invariants the generic deque-backed
+ * channel cannot:
+ *
+ *  - FlitRing: credit flow control bounds link occupancy to the
+ *    downstream buffer depth, so a fixed power-of-two ring replaces
+ *    the deque and rotation collapses to publishing one index.
+ *  - CreditPipe: credits are fungible per-VC tokens — only their
+ *    count matters, never their order — so the queue collapses to a
+ *    staged/visible counter pair per VC.
+ *
+ * Profiling showed the per-flit deque traffic of the generic channels
+ * (push, pop, rotate, and the credit round-trip per hop) dominating
+ * the router's switch-traversal phase; these links remove it.
+ */
+
+#ifndef LOCSIM_NET_LINK_HH_
+#define LOCSIM_NET_LINK_HH_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/channel.hh"
+#include "util/logging.hh"
+
+namespace locsim {
+namespace net {
+
+/**
+ * A latched flit link backed by a power-of-two ring buffer.
+ *
+ * FIFO, same visibility semantics as sim::Channel<Flit>. The ring is
+ * sized for the caller-declared occupancy bound; a push beyond it
+ * asserts (it would mean the credit protocol was violated).
+ */
+class FlitRing : public sim::Rotatable
+{
+  public:
+    /** @param max_occupancy most flits ever simultaneously in flight. */
+    explicit FlitRing(int max_occupancy)
+    {
+        std::size_t cap = 4;
+        while (cap < static_cast<std::size_t>(max_occupancy))
+            cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    /** True if no flit is currently visible to the consumer. */
+    bool empty() const { return head_ == mid_; }
+
+    /** Enqueue a flit; becomes visible after the next rotate(). */
+    void
+    push(const Flit &flit)
+    {
+        LOCSIM_ASSERT(tail_ - head_ < buf_.size(),
+                      "flit link overflow: credit protocol violated");
+        buf_[tail_ & mask_] = flit;
+        ++tail_;
+        markDirty();
+        notifyWake();
+    }
+
+    /** Peek the oldest visible flit. */
+    const Flit &
+    front() const
+    {
+        LOCSIM_ASSERT(!empty(), "front() on empty link");
+        return buf_[head_ & mask_];
+    }
+
+    /** Dequeue the oldest visible flit. */
+    Flit
+    pop()
+    {
+        LOCSIM_ASSERT(!empty(), "pop() on empty link");
+        const Flit flit = buf_[head_ & mask_];
+        ++head_;
+        return flit;
+    }
+
+    /** Number of flits currently visible to the consumer. */
+    std::size_t visibleSize() const
+    {
+        return static_cast<std::size_t>(mid_ - head_);
+    }
+
+    void
+    rotate() override
+    {
+        dirty_ = false;
+        mid_ = tail_;
+    }
+
+  private:
+    std::vector<Flit> buf_;
+    std::size_t mask_ = 0;
+    // Monotonic indices into the ring (masked on access): the ranges
+    // [head_, mid_) and [mid_, tail_) are the visible and staged
+    // regions respectively.
+    std::uint64_t head_ = 0;
+    std::uint64_t mid_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+/**
+ * A latched credit return path: staged/visible counters per VC.
+ *
+ * Equivalent to a sim::Channel<Credit> whose consumer drains it
+ * completely whenever it holds anything — which is how the router and
+ * the injection endpoints use credits — because per-VC counts are the
+ * only observable property of a batch of credits.
+ */
+class CreditPipe : public sim::Rotatable
+{
+  public:
+    static constexpr int kMaxVcs = 8;
+
+    explicit CreditPipe(int vcs) : vcs_(vcs)
+    {
+        LOCSIM_ASSERT(vcs >= 1 && vcs <= kMaxVcs, "VC count range");
+    }
+
+    /** Return one credit for @p vc; visible after the next rotate(). */
+    void
+    push(int vc)
+    {
+        ++staged_[static_cast<std::size_t>(vc)];
+        markDirty();
+        notifyWake();
+    }
+
+    /** Drain and return all visible credits for @p vc. */
+    int
+    take(int vc)
+    {
+        const auto v = static_cast<std::size_t>(vc);
+        const int count = visible_[v];
+        visible_[v] = 0;
+        return count;
+    }
+
+    /** Drain and return all visible credits across every VC. */
+    int
+    takeAll()
+    {
+        int total = 0;
+        for (int vc = 0; vc < vcs_; ++vc) {
+            const auto v = static_cast<std::size_t>(vc);
+            total += visible_[v];
+            visible_[v] = 0;
+        }
+        return total;
+    }
+
+    void
+    rotate() override
+    {
+        dirty_ = false;
+        for (int vc = 0; vc < vcs_; ++vc) {
+            const auto v = static_cast<std::size_t>(vc);
+            visible_[v] += staged_[v];
+            staged_[v] = 0;
+        }
+    }
+
+  private:
+    int vcs_;
+    std::array<int, kMaxVcs> staged_{};
+    std::array<int, kMaxVcs> visible_{};
+};
+
+} // namespace net
+} // namespace locsim
+
+#endif // LOCSIM_NET_LINK_HH_

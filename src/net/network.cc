@@ -22,14 +22,18 @@ Network::Network(sim::Engine &engine, const NetworkConfig &config)
     eject_link_.resize(n);
     eject_credit_.resize(n);
 
+    // Credit flow control bounds link occupancy to the downstream
+    // buffer depth; +2 leaves slack for the cycle of latching delay
+    // on each side of the credit loop.
     auto make_flit_channel = [&]() {
-        flit_channels_.push_back(std::make_unique<sim::Channel<Flit>>());
+        flit_channels_.push_back(std::make_unique<FlitRing>(
+            config_.router.buffer_depth + 2));
         engine_.addChannel(flit_channels_.back().get());
         return flit_channels_.back().get();
     };
     auto make_credit_channel = [&]() {
         credit_channels_.push_back(
-            std::make_unique<sim::Channel<Credit>>());
+            std::make_unique<CreditPipe>(config_.router.vcs));
         engine_.addChannel(credit_channels_.back().get());
         return credit_channels_.back().get();
     };
@@ -45,10 +49,10 @@ Network::Network(sim::Engine &engine, const NetworkConfig &config)
     // the neighbor on the port of the opposite direction.
     struct PortWiring
     {
-        sim::Channel<Flit> *in = nullptr;
-        sim::Channel<Flit> *out = nullptr;
-        sim::Channel<Credit> *credit_up = nullptr;
-        sim::Channel<Credit> *credit_down = nullptr;
+        FlitRing *in = nullptr;
+        FlitRing *out = nullptr;
+        CreditPipe *credit_up = nullptr;
+        CreditPipe *credit_down = nullptr;
     };
     std::vector<std::vector<PortWiring>> wiring(
         n, std::vector<PortWiring>(
@@ -131,6 +135,7 @@ Network::receive(sim::NodeId node)
         return std::nullopt;
     Message msg = delivered.front();
     delivered.pop_front();
+    --pending_deliveries_;
     // Accounting for this message is complete; drop the record so
     // long runs do not accumulate unbounded history.
     records_.erase(msg.id);
@@ -154,16 +159,18 @@ Network::tickInjection(sim::NodeId node)
 {
     NodeEndpoint &ep = endpoints_[node];
 
-    // Collect returned injection credits.
-    sim::Channel<Credit> *credits = inject_credit_[node];
-    while (!credits->empty()) {
-        credits->pop();
-        ++ep.inject_credits;
-        LOCSIM_ASSERT(ep.inject_credits <= config_.router.buffer_depth,
-                      "injection credit overflow at node ", node);
-    }
+    if (ep.source_queue.empty())
+        return;
 
-    if (ep.source_queue.empty() || ep.inject_credits == 0)
+    // Collect returned injection credits. Credits bank up in the pipe
+    // while the node has nothing to send, so collecting them lazily
+    // (only when a message wants to inject) is equivalent to
+    // collecting every cycle.
+    ep.inject_credits += inject_credit_[node]->takeAll();
+    LOCSIM_ASSERT(ep.inject_credits <= config_.router.buffer_depth,
+                  "injection credit overflow at node ", node);
+
+    if (ep.inject_credits == 0)
         return;
 
     Message &msg = ep.source_queue.front();
@@ -196,14 +203,14 @@ void
 Network::tickEjection(sim::NodeId node)
 {
     NodeEndpoint &ep = endpoints_[node];
-    sim::Channel<Flit> *link = eject_link_[node];
+    FlitRing *link = eject_link_[node];
 
     // The node drains one flit per network cycle (an 8-bit channel
     // delivers one flit per cycle, Section 3.1).
     if (link->empty())
         return;
     Flit flit = link->pop();
-    eject_credit_[node]->push(Credit{flit.vc});
+    eject_credit_[node]->push(flit.vc);
 
     auto &arrived = ep.arrived_flits[flit.msg];
     LOCSIM_ASSERT(flit.seq == arrived,
@@ -227,6 +234,7 @@ Network::tickEjection(sim::NodeId node)
     rec.delivered = engine_.now();
     ep.arrived_flits.erase(flit.msg);
     ep.delivered.push_back(rec.message);
+    ++pending_deliveries_;
 
     ++stats_.messages_delivered;
     --in_flight_;
@@ -240,15 +248,26 @@ Network::tickEjection(sim::NodeId node)
 }
 
 void
-Network::tick(sim::Tick)
+Network::tick(sim::Tick now)
 {
+    // Latch the wake bits staged by last cycle's channel pushes
+    // before anything pushes this cycle: injection, ejection credits
+    // and router traversal below all stage wakes for the NEXT cycle,
+    // matching the channels' one-cycle latching delay.
+    for (auto &router : routers_)
+        router->latchWakes();
     const sim::NodeId n = topo_.nodeCount();
     for (sim::NodeId node = 0; node < n; ++node)
         tickEjection(node);
     for (sim::NodeId node = 0; node < n; ++node)
         tickInjection(node);
-    for (auto &router : routers_)
-        router->tick();
+    // An idle router's tick is a no-op (no buffered flits, nothing
+    // visible on its channels, and its arbitration state is derived
+    // from `now`), so skipping it cannot change behavior.
+    for (auto &router : routers_) {
+        if (router->busy())
+            router->tick(now);
+    }
 }
 
 void

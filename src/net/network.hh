@@ -103,10 +103,22 @@ class Network : public sim::Clocked
     /** Number of delivered-but-unclaimed messages at @p node. */
     std::size_t pendingAt(sim::NodeId node) const;
 
+    /** Delivered-but-unclaimed messages across all nodes. */
+    std::uint64_t pendingDeliveries() const { return pending_deliveries_; }
+
     /** True if no message is in flight anywhere in the fabric. */
     bool idle() const;
 
     void tick(sim::Tick now) override;
+
+    /**
+     * The fabric has work while any message is between send() and tail
+     * ejection. Credits still propagating after the last delivery are
+     * deliberately not counted: receiveCredits() runs at the start of
+     * every router tick, so deferred absorption is observationally
+     * identical to eager absorption.
+     */
+    bool busy() const override { return in_flight_ > 0; }
 
     const NetworkStats &stats() const { return stats_; }
 
@@ -143,20 +155,21 @@ class Network : public sim::Clocked
     TorusTopology topo_;
 
     std::vector<std::unique_ptr<Router>> routers_;
-    std::vector<std::unique_ptr<sim::Channel<Flit>>> flit_channels_;
-    std::vector<std::unique_ptr<sim::Channel<Credit>>> credit_channels_;
+    std::vector<std::unique_ptr<FlitRing>> flit_channels_;
+    std::vector<std::unique_ptr<CreditPipe>> credit_channels_;
 
     // Per-node endpoint channels (indexed by node).
-    std::vector<sim::Channel<Flit> *> inject_link_;
-    std::vector<sim::Channel<Credit> *> inject_credit_;
-    std::vector<sim::Channel<Flit> *> eject_link_;
-    std::vector<sim::Channel<Credit> *> eject_credit_;
+    std::vector<FlitRing *> inject_link_;
+    std::vector<CreditPipe *> inject_credit_;
+    std::vector<FlitRing *> eject_link_;
+    std::vector<CreditPipe *> eject_credit_;
 
     std::vector<NodeEndpoint> endpoints_;
 
     std::unordered_map<MessageId, MessageRecord> records_;
     MessageId next_id_ = 1;
     std::uint64_t in_flight_ = 0;
+    std::uint64_t pending_deliveries_ = 0;
 
     NetworkStats stats_;
     sim::Tick stats_start_ = 0;

@@ -5,6 +5,8 @@
 
 #include "net/router.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace locsim {
@@ -19,11 +21,27 @@ Router::Router(const TorusTopology &topo, sim::NodeId node,
     LOCSIM_ASSERT(config_.buffer_depth >= 1, "buffer depth must be >= 1");
 
     const int ports = portCount();
+    LOCSIM_ASSERT(ports * config_.vcs < 32,
+                  "activity masks hold one bit per input unit");
+    LOCSIM_ASSERT(config_.vcs <= CreditPipe::kMaxVcs,
+                  "per-port VC state uses fixed-size arrays");
     inputs_.resize(static_cast<std::size_t>(ports * config_.vcs));
+    std::size_t vc_cap = 2;
+    while (vc_cap < static_cast<std::size_t>(config_.buffer_depth))
+        vc_cap <<= 1;
+    vc_buf_.resize(vc_cap * inputs_.size());
+    for (std::size_t unit = 0; unit < inputs_.size(); ++unit) {
+        inputs_[unit].slots = vc_buf_.data() + unit * vc_cap;
+        inputs_[unit].mask = static_cast<std::uint32_t>(vc_cap - 1);
+    }
     outputs_.resize(static_cast<std::size_t>(ports));
-    for (auto &out : outputs_) {
-        out.owner.assign(static_cast<std::size_t>(config_.vcs), -1);
-        out.credits.assign(static_cast<std::size_t>(config_.vcs), 0);
+    for (auto &out : outputs_)
+        out.owner.fill(-1);
+    for (int unit = 0; unit < ports * config_.vcs; ++unit) {
+        unit_port_[static_cast<std::size_t>(unit)] =
+            static_cast<std::int8_t>(unit / config_.vcs);
+        unit_vc_[static_cast<std::size_t>(unit)] =
+            static_cast<std::int8_t>(unit % config_.vcs);
     }
     in_links_.assign(static_cast<std::size_t>(ports), nullptr);
     out_links_.assign(static_cast<std::size_t>(ports), nullptr);
@@ -42,6 +60,12 @@ Router::connect(int port, FlitChannel *in, FlitChannel *out,
     out_links_[p] = out;
     credit_up_[p] = credit_up;
     credit_down_[p] = credit_down;
+    // Input channels wake this router at push time so tick() visits
+    // only the ports that actually carry something.
+    if (in != nullptr)
+        in->bindWake(&flit_wake_staged_, 1u << port);
+    if (credit_down != nullptr)
+        credit_down->bindWake(&credit_wake_staged_, 1u << port);
     // The consumer downstream of `out` exposes buffer_depth slots per
     // VC; start with full credit.
     if (out != nullptr) {
@@ -60,17 +84,20 @@ Router::inputVc(int port, int vc)
 void
 Router::receiveCredits()
 {
-    for (int port = 0; port < portCount(); ++port) {
+    // Visit only the ports whose credit pipes woke us; the wake
+    // contract guarantees every other credit pipe is empty.
+    std::uint32_t ports = std::exchange(credit_wake_, 0u);
+    while (ports != 0) {
+        const int port = std::countr_zero(ports);
+        ports &= ports - 1;
         CreditChannel *ch = credit_down_[static_cast<std::size_t>(port)];
-        if (ch == nullptr)
-            continue;
-        while (!ch->empty()) {
-            const Credit credit = ch->pop();
-            auto &credits =
-                outputs_[static_cast<std::size_t>(port)].credits;
-            LOCSIM_ASSERT(credit.vc < config_.vcs, "credit VC range");
-            int &count = credits[credit.vc];
-            ++count;
+        auto &credits = outputs_[static_cast<std::size_t>(port)].credits;
+        for (int vc = 0; vc < config_.vcs; ++vc) {
+            const int taken = ch->take(vc);
+            if (taken == 0)
+                continue;
+            int &count = credits[static_cast<std::size_t>(vc)];
+            count += taken;
             LOCSIM_ASSERT(count <= config_.buffer_depth,
                           "credit overflow on node ", node_, " port ",
                           port);
@@ -81,21 +108,25 @@ Router::receiveCredits()
 void
 Router::receiveFlits()
 {
-    for (int port = 0; port < portCount(); ++port) {
+    std::uint32_t ports = std::exchange(flit_wake_, 0u);
+    while (ports != 0) {
+        const int port = std::countr_zero(ports);
+        ports &= ports - 1;
         FlitChannel *ch = in_links_[static_cast<std::size_t>(port)];
-        if (ch == nullptr)
-            continue;
         while (!ch->empty()) {
             Flit flit = ch->pop();
             LOCSIM_ASSERT(flit.vc < config_.vcs, "flit VC range");
-            InputVc &ivc = inputVc(port, flit.vc);
-            LOCSIM_ASSERT(static_cast<int>(ivc.buffer.size()) <
+            const int unit = port * config_.vcs + flit.vc;
+            InputVc &ivc = inputs_[static_cast<std::size_t>(unit)];
+            LOCSIM_ASSERT(static_cast<int>(ivc.bufSize()) <
                               config_.buffer_depth,
                           "input buffer overflow: credit protocol "
                           "violated at node ",
                           node_, " port ", port, " vc ",
                           static_cast<int>(flit.vc));
-            ivc.buffer.push_back(flit);
+            ivc.bufPush(flit);
+            vc_occupied_ |= 1u << unit;
+            ++buffered_;
         }
     }
 }
@@ -103,13 +134,13 @@ Router::receiveFlits()
 void
 Router::computeRoute(int port, InputVc &ivc)
 {
-    const Flit &head = ivc.buffer.front();
+    const Flit &head = ivc.bufFront();
     LOCSIM_ASSERT(head.head, "routing a non-head flit");
 
     if (head.dst == node_) {
         ivc.out_port = localPort();
         ivc.out_vc = 0;
-        ivc.routed = true;
+        ivc.route_valid = true;
         return;
     }
 
@@ -120,79 +151,113 @@ Router::computeRoute(int port, InputVc &ivc)
         crossed = head.crossed_dateline;
     ivc.out_port = portFor(step.dim, step.dir);
     ivc.out_vc = (crossed || step.wraps) ? 1 : 0;
-    ivc.routed = true;
+    ivc.route_valid = true;
 }
 
 void
-Router::routeAndAllocate()
+Router::routeAndAllocate(sim::Tick now)
 {
     const int units = portCount() * config_.vcs;
     // Rotate the scan start so no input unit starves under contention.
-    for (int i = 0; i < units; ++i) {
-        const int unit = (alloc_rr_ + i) % units;
-        const int port = unit / config_.vcs;
+    // The start advances once per network cycle; deriving it from the
+    // tick (routers are clocked at period 1) makes it independent of
+    // how many idle cycles were skipped.
+    int start;
+    if (now == rr_now_ + 1) {
+        start = rr_start_ + 1 == units ? 0 : rr_start_ + 1;
+    } else {
+        start = static_cast<int>(now % static_cast<sim::Tick>(units));
+    }
+    rr_now_ = now;
+    rr_start_ = start;
+    // Visit only units with buffered flits, in the same rotated order
+    // (start, start+1, ..., wrapping) as a full scan would.
+    std::uint32_t pending = vc_occupied_;
+    if (start != 0) {
+        pending = ((pending >> start) | (pending << (units - start))) &
+                  ((1u << units) - 1u);
+    }
+    while (pending != 0) {
+        const int offset = std::countr_zero(pending);
+        pending &= pending - 1;
+        int unit = start + offset;
+        if (unit >= units)
+            unit -= units;
+        const int port = unit_port_[static_cast<std::size_t>(unit)];
         InputVc &ivc = inputs_[static_cast<std::size_t>(unit)];
-        if (ivc.buffer.empty() || ivc.routed)
+        if (ivc.routed)
             continue;
-        if (!ivc.buffer.front().head) {
-            // A body flit can be at the front only if the head already
-            // passed, in which case routed would still be true; seeing
-            // one here means the wormhole state machine broke.
-            LOCSIM_PANIC("body flit with no route at node ", node_);
+        if (!ivc.route_valid) {
+            if (!ivc.bufFront().head) {
+                // A body flit can be at the front only if the head
+                // already passed, in which case routed would still be
+                // true; seeing one here means the wormhole state
+                // machine broke.
+                LOCSIM_PANIC("body flit with no route at node ", node_);
+            }
+            computeRoute(port, ivc);
         }
-        computeRoute(port, ivc);
-        // Try to claim the output VC (wormhole allocation).
+        // Try to claim the output VC (wormhole allocation). On
+        // failure the cached route is kept and the claim retried
+        // next cycle.
         OutputPort &out =
             outputs_[static_cast<std::size_t>(ivc.out_port)];
         int &owner = out.owner[static_cast<std::size_t>(ivc.out_vc)];
         if (owner == -1) {
             owner = unit;
-        } else if (owner != unit) {
-            // VC busy: stay routed, retry allocation next cycle.
-            ivc.routed = false;
-            ivc.out_port = -1;
-            ivc.out_vc = -1;
+            owned_ports_ |= 1u << ivc.out_port;
+            ivc.routed = true;
         }
     }
-    alloc_rr_ = (alloc_rr_ + 1) % units;
 }
 
 void
 Router::switchTraversal()
 {
-    std::vector<bool> input_port_used(
-        static_cast<std::size_t>(portCount()), false);
+    // One bit per input port; ports are bounded well below 32
+    // (2 * dims + 1), so a mask avoids a heap allocation per call.
+    std::uint32_t input_port_used = 0;
 
-    for (int port = 0; port < portCount(); ++port) {
+    // Visit only output ports with an owned VC, in ascending port
+    // order (the same order a full scan visits them).
+    std::uint32_t owned = owned_ports_;
+    while (owned != 0) {
+        const int port = std::countr_zero(owned);
+        owned &= owned - 1;
         OutputPort &out = outputs_[static_cast<std::size_t>(port)];
         FlitChannel *link = out_links_[static_cast<std::size_t>(port)];
         if (link == nullptr)
             continue;
         // One flit per output port per cycle: round-robin over VCs.
-        for (int i = 0; i < config_.vcs; ++i) {
-            const int vc = (out.next_vc + i) % config_.vcs;
+        int vc = out.next_vc;
+        for (int i = 0; i < config_.vcs;
+             ++i, vc = vc + 1 == config_.vcs ? 0 : vc + 1) {
             const int owner = out.owner[static_cast<std::size_t>(vc)];
             if (owner == -1)
                 continue;
-            const int in_port = owner / config_.vcs;
-            const int in_vc = owner % config_.vcs;
-            if (input_port_used[static_cast<std::size_t>(in_port)])
+            const int in_port =
+                unit_port_[static_cast<std::size_t>(owner)];
+            const int in_vc = unit_vc_[static_cast<std::size_t>(owner)];
+            if (input_port_used & (1u << in_port))
                 continue;
             InputVc &ivc = inputVc(in_port, in_vc);
-            if (ivc.buffer.empty())
+            if (ivc.bufEmpty())
                 continue;
             if (out.credits[static_cast<std::size_t>(vc)] <= 0)
                 continue;
 
-            Flit flit = ivc.buffer.front();
-            ivc.buffer.pop_front();
-            input_port_used[static_cast<std::size_t>(in_port)] = true;
+            Flit flit = ivc.bufFront();
+            ivc.bufPop();
+            --buffered_;
+            if (ivc.bufEmpty())
+                vc_occupied_ &= ~(1u << owner);
+            input_port_used |= 1u << in_port;
 
             // Return a credit upstream for the freed buffer slot.
             CreditChannel *up =
                 credit_up_[static_cast<std::size_t>(in_port)];
             if (up != nullptr)
-                up->push(Credit{static_cast<std::uint8_t>(in_vc)});
+                up->push(in_vc);
 
             // Rewrite link-level VC and dateline state.
             const bool to_neighbor = port != localPort();
@@ -207,31 +272,46 @@ Router::switchTraversal()
             if (flit.tail) {
                 out.owner[static_cast<std::size_t>(vc)] = -1;
                 ivc.routed = false;
+                ivc.route_valid = false;
                 ivc.out_port = -1;
                 ivc.out_vc = -1;
+                bool any_owner = false;
+                for (int v = 0; v < config_.vcs; ++v) {
+                    if (out.owner[static_cast<std::size_t>(v)] != -1) {
+                        any_owner = true;
+                        break;
+                    }
+                }
+                if (!any_owner)
+                    owned_ports_ &= ~(1u << port);
             }
-            out.next_vc = (vc + 1) % config_.vcs;
+            out.next_vc = vc + 1 == config_.vcs ? 0 : vc + 1;
             break;
         }
     }
 }
 
 void
-Router::tick()
+Router::tick(sim::Tick now)
 {
-    receiveCredits();
-    receiveFlits();
-    routeAndAllocate();
+    if (credit_wake_ != 0)
+        receiveCredits();
+    if (flit_wake_ != 0)
+        receiveFlits();
+    // Both remaining phases only act on buffered flits (an output VC
+    // owner with an empty input buffer is waiting on upstream body
+    // flits and makes no progress), so a router woken only to absorb
+    // credits stops here.
+    if (buffered_ == 0)
+        return;
+    routeAndAllocate(now);
     switchTraversal();
 }
 
 std::size_t
 Router::bufferedFlits() const
 {
-    std::size_t total = 0;
-    for (const auto &ivc : inputs_)
-        total += ivc.buffer.size();
-    return total;
+    return buffered_;
 }
 
 } // namespace net

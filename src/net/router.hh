@@ -25,11 +25,13 @@
 #ifndef LOCSIM_NET_ROUTER_HH_
 #define LOCSIM_NET_ROUTER_HH_
 
+#include <array>
 #include <cstdint>
-#include <deque>
+#include <utility>
 #include <vector>
 
 #include "sim/channel.hh"
+#include "net/link.hh"
 #include "net/message.hh"
 #include "net/topology.hh"
 #include "stats/stats.hh"
@@ -58,8 +60,8 @@ struct RouterConfig
 class Router
 {
   public:
-    using FlitChannel = sim::Channel<Flit>;
-    using CreditChannel = sim::Channel<Credit>;
+    using FlitChannel = FlitRing;
+    using CreditChannel = CreditPipe;
 
     Router(const TorusTopology &topo, sim::NodeId node,
            const RouterConfig &config);
@@ -92,8 +94,39 @@ class Router
     void connect(int port, FlitChannel *in, FlitChannel *out,
                  CreditChannel *credit_up, CreditChannel *credit_down);
 
-    /** Advance one network cycle. */
-    void tick();
+    /**
+     * Advance one network cycle. @p now is the engine tick; internal
+     * round-robin pointers are derived from it so that skipping ticks
+     * while idle leaves arbitration state exactly as if the router
+     * had been polled every cycle.
+     */
+    void tick(sim::Tick now);
+
+    /**
+     * Latch the wake bits staged by last cycle's channel pushes into
+     * the masks tick() consumes. The Network calls this on every
+     * router at the start of a network cycle, before anything pushes:
+     * pushes made during the current cycle stage wakes for the next
+     * one, mirroring the channels' one-cycle latching delay.
+     */
+    void
+    latchWakes()
+    {
+        flit_wake_ |= std::exchange(flit_wake_staged_, 0u);
+        credit_wake_ |= std::exchange(credit_wake_staged_, 0u);
+    }
+
+    /**
+     * Activity report: true if any flit is buffered in this router or
+     * a latched wake says a flit/credit became visible on an input
+     * channel. An idle router's tick() is a no-op, so the fabric may
+     * skip it entirely. Only meaningful after latchWakes().
+     */
+    bool
+    busy() const
+    {
+        return buffered_ > 0 || flit_wake_ != 0 || credit_wake_ != 0;
+    }
 
     /** Flits forwarded per neighbor output port (for utilization). */
     const std::vector<stats::Counter> &outputFlits() const
@@ -108,10 +141,38 @@ class Router
     sim::NodeId node() const { return node_; }
 
   private:
+    /**
+     * One input VC: a private flit buffer (a slice of the router's
+     * contiguous ring storage, power-of-two sized for buffer_depth;
+     * credit flow control guarantees it never overflows) plus the
+     * wormhole routing state of the packet at its head. Ring indices
+     * are monotonic and masked on access.
+     */
     struct InputVc
     {
-        std::deque<Flit> buffer;
-        bool routed = false;       //!< head at front has a route
+        Flit *slots = nullptr;       //!< into Router::vc_buf_
+        std::uint32_t mask = 0;      //!< ring capacity - 1
+        std::uint32_t head = 0;
+        std::uint32_t tail = 0;
+
+        bool bufEmpty() const { return head == tail; }
+        std::uint32_t bufSize() const { return tail - head; }
+        const Flit &bufFront() const { return slots[head & mask]; }
+        void bufPush(const Flit &flit)
+        {
+            slots[tail & mask] = flit;
+            ++tail;
+        }
+        void bufPop() { ++head; }
+
+        bool routed = false;      //!< head holds its output VC
+        /**
+         * out_port/out_vc hold a valid route for the head packet.
+         * The route is a pure function of the head flit and the input
+         * port, so it stays cached across failed allocation retries
+         * and is only invalidated when the tail flit departs.
+         */
+        bool route_valid = false;
         int out_port = -1;
         int out_vc = -1;
     };
@@ -119,16 +180,16 @@ class Router
     struct OutputPort
     {
         /** Encoded owner input (port * vcs + vc), or -1 if free. */
-        std::vector<int> owner;
+        std::array<int, CreditPipe::kMaxVcs> owner{};
         /** Credits available per output VC. */
-        std::vector<int> credits;
+        std::array<int, CreditPipe::kMaxVcs> credits{};
         /** Round-robin pointer over output VCs. */
         int next_vc = 0;
     };
 
     void receiveCredits();
     void receiveFlits();
-    void routeAndAllocate();
+    void routeAndAllocate(sim::Tick now);
     void switchTraversal();
 
     /** Compute route for the head flit of (port, vc). */
@@ -142,14 +203,50 @@ class Router
 
     std::vector<InputVc> inputs_;        // [port][vc] flattened
     std::vector<OutputPort> outputs_;    // [port]
+    std::vector<Flit> vc_buf_;           // all input VC rings, contiguous
 
     std::vector<FlitChannel *> in_links_;
     std::vector<FlitChannel *> out_links_;
     std::vector<CreditChannel *> credit_up_;
     std::vector<CreditChannel *> credit_down_;
 
-    /** Rotating arbitration start for VC allocation fairness. */
-    int alloc_rr_ = 0;
+    /** Flits currently held in input VC buffers (kept incrementally). */
+    std::size_t buffered_ = 0;
+
+    /**
+     * Activity bitmasks, one bit per port (wake words) or per input
+     * unit / output port (occupancy). The wake words are written by
+     * the input channels at push time (Channel::bindWake) and latched
+     * by latchWakes(); tick() then visits only ports whose channels
+     * actually carry something, and the allocation / traversal phases
+     * visit only units with buffered flits / ports with owned VCs.
+     * The constructor asserts port * VC counts fit in 32 bits.
+     */
+    std::uint32_t flit_wake_staged_ = 0;
+    std::uint32_t flit_wake_ = 0;
+    std::uint32_t credit_wake_staged_ = 0;
+    std::uint32_t credit_wake_ = 0;
+    /** Input units (port * vcs + vc) with a non-empty flit buffer. */
+    std::uint32_t vc_occupied_ = 0;
+    /** Output ports with at least one owned (allocated) VC. */
+    std::uint32_t owned_ports_ = 0;
+
+    /**
+     * Unit index -> (port, vc) decode tables: the hot phases decode
+     * owner units every cycle, and a table lookup beats dividing by
+     * the runtime VC count.
+     */
+    std::array<std::int8_t, 32> unit_port_{};
+    std::array<std::int8_t, 32> unit_vc_{};
+
+    /**
+     * Cache for the allocation scan's rotating start position, which
+     * is a pure function of the tick (start = now mod units). Ticks
+     * usually arrive consecutively, so the common case is an
+     * increment instead of a 64-bit division.
+     */
+    sim::Tick rr_now_ = 0;
+    int rr_start_ = 0;
 
     std::vector<stats::Counter> output_flits_;
 };

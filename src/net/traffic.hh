@@ -62,6 +62,17 @@ class TrafficGenerator : public sim::Clocked
     /** Resume generation after stop(). */
     void start() { enabled_ = true; }
 
+    /**
+     * While enabled the generator draws randomness every cycle, so it
+     * can never be skipped without perturbing the Bernoulli stream.
+     * After stop() it only needs ticks while deliveries remain
+     * undrained.
+     */
+    bool busy() const override
+    {
+        return enabled_ || network_.pendingDeliveries() > 0;
+    }
+
     /** Messages injected so far. */
     std::uint64_t generated() const { return generated_; }
 

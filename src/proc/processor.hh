@@ -64,6 +64,26 @@ class Processor : public sim::Clocked
 
     void tick(sim::Tick now) override;
 
+    /**
+     * The processor only marks time when every context is blocked on
+     * memory and no switch is in flight; any other state does work on
+     * each tick.
+     */
+    bool busy() const override
+    {
+        return switch_remaining_ > 0 || !allBlocked();
+    }
+
+    /**
+     * Skipped ticks are exactly the cycles tick() would have spent in
+     * the all-blocked idle branch; credit them so utilization
+     * accounting is independent of the stepping mode.
+     */
+    void skipIdle(sim::Tick ticks) override
+    {
+        stats_.idle_cycles.inc(static_cast<std::uint64_t>(ticks));
+    }
+
     const ProcessorStats &stats() const { return stats_; }
 
     /** Zero all statistics (e.g. after a warmup period). */

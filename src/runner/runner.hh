@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A thread-pool runner for embarrassingly parallel experiment sweeps.
+ *
+ * Every harness in this repository reduces to "run K independent
+ * simulations, collect K result structs": each simulation owns its
+ * Engine, Network, and RNG state, so runs share nothing and can
+ * execute concurrently. The runner distributes the runs over a pool
+ * of worker threads while keeping results in submission order, so a
+ * sweep's output is bit-identical regardless of the thread count
+ * (including 1, which degenerates to the old sequential loop).
+ *
+ * Determinism contract: the job function must derive all randomness
+ * from its index (per-run seeds), never from shared mutable state,
+ * and must write only to its own result slot.
+ */
+
+#ifndef LOCSIM_RUNNER_RUNNER_HH_
+#define LOCSIM_RUNNER_RUNNER_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace locsim {
+namespace runner {
+
+/** Worker threads to use when the caller passes 0 ("all cores"). */
+int defaultThreads();
+
+/**
+ * A fixed-size pool executing submitted jobs in FIFO order.
+ *
+ * Exceptions thrown by jobs are captured; the first one (in
+ * completion order) is rethrown from wait(). Once a job has thrown,
+ * remaining queued jobs are still executed (their result slots stay
+ * valid), but their exceptions are dropped.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; <= 0 selects defaultThreads(). */
+    explicit ThreadPool(int threads = 0);
+
+    /** Joins all workers (waits for the queue to drain). */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue @p job for execution on some worker. */
+    void submit(std::function<void()> job);
+
+    /**
+     * Block until every submitted job has finished; rethrows the
+     * first captured job exception, if any. The pool remains usable
+     * for further submissions afterwards.
+     */
+    void wait();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> queue_;
+    std::size_t in_progress_ = 0;
+    bool stopping_ = false;
+    std::exception_ptr first_error_;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Evaluate @p fn(0..count-1) across @p threads workers and return the
+ * results indexed by input position.
+ *
+ * The result type must be default-constructible (slots are
+ * pre-allocated so workers never contend on the output vector).
+ * Rethrows the first job exception after all jobs finish.
+ */
+template <typename Fn>
+auto
+parallelMap(std::size_t count, Fn &&fn, int threads = 0)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using Result = std::invoke_result_t<Fn &, std::size_t>;
+    std::vector<Result> results(count);
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&results, &fn, i] { results[i] = fn(i); });
+    }
+    pool.wait();
+    return results;
+}
+
+/** parallelMap for jobs with side effects only (no result vector). */
+template <typename Fn>
+void
+parallelForEach(std::size_t count, Fn &&fn, int threads = 0)
+{
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < count; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace runner
+} // namespace locsim
+
+#endif // LOCSIM_RUNNER_RUNNER_HH_

@@ -4,24 +4,41 @@
  *
  * All communication between clocked components goes through Channel
  * objects. A value pushed during cycle t becomes visible to the
- * consumer no earlier than cycle t+1 (the engine rotates every channel
- * at the end of each tick). This gives clean two-phase semantics: the
- * order in which components are ticked within a cycle cannot affect
- * simulation results.
+ * consumer no earlier than cycle t+1 (the engine rotates the channel
+ * at the end of the tick in which it was pushed). This gives clean
+ * two-phase semantics: the order in which components are ticked within
+ * a cycle cannot affect simulation results.
+ *
+ * Rotation is activity-tracked: a channel marks itself dirty on the
+ * first push of a cycle and (when bound to an engine) appends itself
+ * to the engine's dirty list, so the engine only rotates channels
+ * that actually staged values this cycle. A channel with an empty
+ * staging queue is invariant under rotate(), so skipping clean
+ * channels is exactly equivalent to the rotate-everything reference
+ * behaviour.
  */
 
 #ifndef LOCSIM_SIM_CHANNEL_HH_
 #define LOCSIM_SIM_CHANNEL_HH_
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "util/logging.hh"
 
 namespace locsim {
 namespace sim {
 
-/** Type-erased interface the engine uses to rotate channels. */
+/**
+ * Type-erased interface the engine uses to rotate channels.
+ *
+ * Holds the per-cycle dirty flag and the (engine-owned) dirty list a
+ * channel enrols itself in on the first push of a cycle. Channels not
+ * bound to an engine (unit tests driving rotate() by hand) simply
+ * keep the flag local.
+ */
 class Rotatable
 {
   public:
@@ -29,6 +46,59 @@ class Rotatable
 
     /** Move this cycle's pushes into the visible queue. */
     virtual void rotate() = 0;
+
+    /**
+     * Bind this channel to an engine's dirty list. Called by
+     * Engine::addChannel; the list must outlive the channel's use.
+     */
+    void bindDirtyList(std::vector<Rotatable *> *list)
+    {
+        dirty_list_ = list;
+    }
+
+    /** True if values were staged since the last rotate(). */
+    bool dirty() const { return dirty_; }
+
+    /**
+     * Bind a consumer-side wake word: every push ORs @p bit into
+     * @p mask. A consumer with many input channels can latch the mask
+     * once per cycle and visit only the channels that staged values,
+     * instead of polling every channel for emptiness. The mask must
+     * outlive the channel's use.
+     */
+    void
+    bindWake(std::uint32_t *mask, std::uint32_t bit)
+    {
+        wake_mask_ = mask;
+        wake_bit_ = bit;
+    }
+
+  protected:
+    /** Called by push implementations to flag the bound wake word. */
+    void
+    notifyWake()
+    {
+        if (wake_mask_ != nullptr)
+            *wake_mask_ |= wake_bit_;
+    }
+    /** Record a push; enrols in the engine's dirty list once per cycle. */
+    void
+    markDirty()
+    {
+        if (dirty_)
+            return;
+        dirty_ = true;
+        if (dirty_list_ != nullptr)
+            dirty_list_->push_back(this);
+    }
+
+    /** Cleared by rotate() implementations. */
+    bool dirty_ = false;
+
+  private:
+    std::vector<Rotatable *> *dirty_list_ = nullptr;
+    std::uint32_t *wake_mask_ = nullptr;
+    std::uint32_t wake_bit_ = 0;
 };
 
 /**
@@ -59,6 +129,8 @@ class Channel : public Rotatable
     {
         LOCSIM_ASSERT(canPush(), "push on full channel");
         staged_.push_back(std::move(value));
+        markDirty();
+        notifyWake();
     }
 
     /** True if no value is currently visible to the consumer. */
@@ -93,6 +165,15 @@ class Channel : public Rotatable
     void
     rotate() override
     {
+        dirty_ = false;
+        // Invariant: rotation drains the staging queue completely, so
+        // when the visible queue is empty the whole staged contents
+        // become the visible contents — an O(1) deque swap instead of
+        // an element-by-element move.
+        if (visible_.empty()) {
+            visible_.swap(staged_);
+            return;
+        }
         while (!staged_.empty()) {
             visible_.push_back(std::move(staged_.front()));
             staged_.pop_front();
@@ -105,6 +186,7 @@ class Channel : public Rotatable
     {
         visible_.clear();
         staged_.clear();
+        dirty_ = false;
     }
 
   private:

@@ -5,6 +5,8 @@
 
 #include "sim/engine.hh"
 
+#include <algorithm>
+
 #include "sim/channel.hh"
 #include "util/logging.hh"
 
@@ -17,7 +19,13 @@ Engine::addClocked(Clocked *component, Tick period, Tick offset)
     LOCSIM_ASSERT(component != nullptr, "null clocked component");
     LOCSIM_ASSERT(period >= 1, "clock period must be >= 1");
     LOCSIM_ASSERT(offset < period, "clock offset must be < period");
-    clocked_.push_back({component, period, offset});
+    // First due tick >= now_ with next_due == offset (mod period).
+    Tick next_due = offset;
+    if (now_ > offset) {
+        next_due =
+            offset + ((now_ - offset + period - 1) / period) * period;
+    }
+    clocked_.push_back({component, period, offset, next_due});
 }
 
 void
@@ -25,6 +33,11 @@ Engine::addChannel(Rotatable *channel)
 {
     LOCSIM_ASSERT(channel != nullptr, "null channel");
     channels_.push_back(channel);
+    channel->bindDirtyList(&dirty_channels_);
+    // A channel can be registered with values already staged (or be
+    // re-registered after manual use); make sure it rotates this tick.
+    if (channel->dirty())
+        dirty_channels_.push_back(channel);
 }
 
 void
@@ -34,21 +47,85 @@ Engine::stepOneTick()
     // so event effects are visible within this cycle.
     events_.runUntil(now_);
 
-    for (const auto &entry : clocked_) {
-        if ((now_ + entry.period - entry.offset) % entry.period == 0)
-            entry.component->tick(now_);
+    if (mode_ == StepMode::Reference) {
+        for (auto &entry : clocked_) {
+            if ((now_ + entry.period - entry.offset) % entry.period ==
+                0) {
+                entry.component->tick(now_);
+                entry.next_due = now_ + entry.period;
+            }
+        }
+        // Dumb stepping: rotate every channel, every tick. Clean
+        // channels are invariant under rotate(), so this differs from
+        // the dirty-list path only in wasted work.
+        for (Rotatable *channel : channels_)
+            channel->rotate();
+        dirty_channels_.clear();
+    } else {
+        for (auto &entry : clocked_) {
+            if (now_ == entry.next_due) {
+                entry.component->tick(now_);
+                entry.next_due += entry.period;
+            }
+        }
+        // Only channels pushed this cycle need rotating. rotate() may
+        // not push into other channels, so the list is stable here.
+        for (Rotatable *channel : dirty_channels_)
+            channel->rotate();
+        dirty_channels_.clear();
     }
-    for (Rotatable *channel : channels_)
-        channel->rotate();
     ++now_;
+}
+
+void
+Engine::tryFastForward(Tick end)
+{
+    // Values staged outside a tick (e.g. a test pushing a channel by
+    // hand before run()) must rotate on schedule, not after a skip.
+    if (!dirty_channels_.empty())
+        return;
+    for (const auto &entry : clocked_) {
+        if (entry.component->busy())
+            return;
+    }
+
+    // Everyone is idle: nothing can happen until the next scheduled
+    // event wakes a component (or the run window closes).
+    Tick target = end;
+    const Tick next_event = events_.nextTick();
+    if (next_event != kTickNever) {
+        if (next_event <= now_)
+            return; // due immediately; step normally
+        target = std::min(end, next_event);
+    }
+    if (target <= now_)
+        return;
+
+    for (auto &entry : clocked_) {
+        if (entry.next_due < target) {
+            const Tick skipped =
+                (target - entry.next_due + entry.period - 1) /
+                entry.period;
+            entry.component->skipIdle(skipped);
+            entry.next_due += skipped * entry.period;
+        }
+    }
+    skipped_ticks_ += target - now_;
+    now_ = target;
 }
 
 void
 Engine::run(Tick ticks)
 {
     const Tick end = now_ + ticks;
-    while (now_ < end)
+    while (now_ < end) {
+        if (mode_ == StepMode::Activity) {
+            tryFastForward(end);
+            if (now_ >= end)
+                break;
+        }
         stepOneTick();
+    }
 }
 
 bool
@@ -58,6 +135,11 @@ Engine::runUntil(const std::function<bool()> &done, Tick max_ticks)
     while (now_ < end) {
         if (done())
             return true;
+        if (mode_ == StepMode::Activity) {
+            tryFastForward(end);
+            if (now_ >= end)
+                break;
+        }
         stepOneTick();
     }
     return done();

@@ -6,12 +6,27 @@
  * register with a clock period (in ticks) and phase offset and have
  * their tick() method invoked on matching ticks. All inter-component
  * communication flows through Channel objects registered with the
- * engine, which rotates them at the end of every tick so that values
- * pushed in cycle t are visible in cycle t+1.
+ * engine, which rotates them at the end of the tick they were pushed
+ * in so that values pushed in cycle t are visible in cycle t+1.
  *
  * In the Alewife-like machine, network switches run at period 1 and
  * processors/controllers at period `ratio` (default 2), mirroring the
  * paper's "network switches are clocked twice as fast as processors".
+ *
+ * Activity tracking (StepMode::Activity, the default):
+ *  - each clocked entry carries a precomputed next-due tick, so firing
+ *    a component is a single compare instead of a per-entry modulo;
+ *  - only channels pushed this cycle are rotated (see Rotatable's
+ *    dirty list); a clean channel is invariant under rotation;
+ *  - when every component reports idle via Clocked::busy(), the engine
+ *    fast-forwards time to the next event-queue wakeup (or the end of
+ *    the run), crediting skipped cycles via Clocked::skipIdle() so
+ *    time-based statistics (e.g. processor idle cycles) stay exact.
+ *
+ * StepMode::Reference disables all three optimizations (modulo scan,
+ * rotate every channel, never skip) and is kept as the oracle for the
+ * equivalence tests: both modes must produce tick-for-tick identical
+ * simulation results.
  */
 
 #ifndef LOCSIM_SIM_ENGINE_HH_
@@ -36,6 +51,23 @@ class Clocked
 
     /** Advance one cycle of this component's clock. */
     virtual void tick(Tick now) = 0;
+
+    /**
+     * Activity report: true if this component has (or may have) work
+     * to do on its upcoming ticks. The engine only skips ticks while
+     * every registered component reports idle, so a conservative
+     * "always busy" default is safe for components that do not
+     * implement the protocol.
+     */
+    virtual bool busy() const { return true; }
+
+    /**
+     * Credit @p ticks skipped component ticks. Called instead of
+     * tick() when the engine fast-forwards over a globally quiescent
+     * stretch; implementations must account exactly what an idle
+     * tick() would have (e.g. idle-cycle counters) and nothing else.
+     */
+    virtual void skipIdle(Tick ticks) { (void)ticks; }
 };
 
 /**
@@ -48,6 +80,12 @@ class Clocked
 class Engine
 {
   public:
+    /** Stepping strategy; see the file comment. */
+    enum class StepMode {
+        Activity,  //!< next-due scheduling, dirty rotation, skipping
+        Reference, //!< poll everything every tick (equivalence oracle)
+    };
+
     Engine() = default;
     Engine(const Engine &) = delete;
     Engine &operator=(const Engine &) = delete;
@@ -62,8 +100,12 @@ class Engine
     void addClocked(Clocked *component, Tick period = 1,
                     Tick offset = 0);
 
-    /** Register a channel to be rotated at the end of every tick. */
+    /** Register a channel to be rotated when pushed. */
     void addChannel(Rotatable *channel);
+
+    /** Select the stepping strategy (results are identical in both). */
+    void setStepMode(StepMode mode) { mode_ = mode; }
+    StepMode stepMode() const { return mode_; }
 
     /** Current simulation time. */
     Tick now() const { return now_; }
@@ -78,24 +120,44 @@ class Engine
      * Advance until @p done returns true (checked once per tick,
      * before that tick executes) or @p max_ticks elapse.
      *
+     * Note: while the machine is globally quiescent the engine only
+     * re-evaluates the predicate at event-queue wakeups; a predicate
+     * that depends on nothing but now() may therefore be observed
+     * later (never earlier) than in Reference mode. Predicates over
+     * component state are unaffected: that state cannot change while
+     * every component is idle.
+     *
      * @return true if the predicate fired, false on timeout.
      */
     bool runUntil(const std::function<bool()> &done, Tick max_ticks);
 
+    /** Ticks elided by quiescence fast-forwarding (diagnostics). */
+    Tick skippedTicks() const { return skipped_ticks_; }
+
   private:
     void stepOneTick();
+
+    /**
+     * If every component is idle, jump now_ to the next event-queue
+     * wakeup (capped at @p end), crediting skipped component ticks.
+     */
+    void tryFastForward(Tick end);
 
     struct ClockedEntry
     {
         Clocked *component;
         Tick period;
         Tick offset;
+        Tick next_due;
     };
 
     Tick now_ = 0;
+    StepMode mode_ = StepMode::Activity;
     std::vector<ClockedEntry> clocked_;
     std::vector<Rotatable *> channels_;
+    std::vector<Rotatable *> dirty_channels_;
     EventQueue events_;
+    Tick skipped_ticks_ = 0;
 };
 
 } // namespace sim

@@ -5,6 +5,7 @@
 
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/logging.hh"
@@ -16,23 +17,26 @@ void
 EventQueue::schedule(Tick when, Callback fn)
 {
     LOCSIM_ASSERT(fn, "scheduling a null callback");
-    heap_.push(Event{when, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 Tick
 EventQueue::nextTick() const
 {
-    return heap_.empty() ? kTickNever : heap_.top().when;
+    return heap_.empty() ? kTickNever : heap_.front().when;
 }
 
 std::size_t
 EventQueue::runUntil(Tick now)
 {
     std::size_t executed = 0;
-    while (!heap_.empty() && heap_.top().when <= now) {
-        // Copy out before pop so the callback can schedule new events.
-        Event event = heap_.top();
-        heap_.pop();
+    while (!heap_.empty() && heap_.front().when <= now) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        // Move out before invoking so the callback can schedule new
+        // events (the vector may grow/reallocate under it).
+        Event event = std::move(heap_.back());
+        heap_.pop_back();
         event.fn();
         ++executed;
     }
@@ -42,7 +46,7 @@ EventQueue::runUntil(Tick now)
 void
 EventQueue::clear()
 {
-    heap_ = {};
+    heap_.clear();
 }
 
 } // namespace sim

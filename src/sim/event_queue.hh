@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/types.hh"
@@ -24,6 +23,12 @@ namespace sim {
  *
  * Events scheduled for the same tick fire in scheduling order, which
  * keeps runs deterministic.
+ *
+ * Implemented as a binary heap over a plain vector (std::push_heap /
+ * std::pop_heap) rather than std::priority_queue: top() on the
+ * adapter is const, which would force copying each std::function
+ * callback on pop. The vector heap lets runUntil() move callbacks
+ * out before invoking them.
  */
 class EventQueue
 {
@@ -61,6 +66,7 @@ class EventQueue
         Callback fn;
     };
 
+    /** Heap order: the earliest (when, seq) is the "largest". */
     struct Later
     {
         bool
@@ -72,7 +78,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    std::vector<Event> heap_;
     std::uint64_t next_seq_ = 0;
 };
 

@@ -325,6 +325,35 @@ TEST(Machine, DeterministicAcrossIdenticalRuns)
     EXPECT_EQ(run(), run());
 }
 
+/**
+ * The whole machine — processors, controllers, coherence protocol,
+ * network — must measure exactly the same under the activity-tracked
+ * engine as under dumb-stepping reference mode. Every Measurement
+ * field is derived from counters, so exact equality (including the
+ * doubles) is the correct assertion: the two modes run the same
+ * arithmetic on the same values or they have diverged.
+ */
+TEST(Machine, ActivityTrackingMatchesReferenceExactly)
+{
+    auto run = [](bool reference, int contexts) {
+        MachineConfig config;
+        config.contexts = contexts;
+        config.reference_stepping = reference;
+        Machine machine(config, workload::Mapping::random(64, 23));
+        const Measurement m = machine.run(1500, 5000);
+        return std::make_tuple(
+            m.transactions, m.messages, m.iterations, m.violations,
+            m.txn_latency, m.message_latency, m.inter_txn_time,
+            m.inter_message_time, m.source_queue_wait, m.avg_hops,
+            m.utilization, m.run_length, m.switch_overhead,
+            m.hit_rate, m.messages_per_txn, m.critical_messages);
+    };
+    for (int contexts : {1, 4}) {
+        EXPECT_EQ(run(false, contexts), run(true, contexts))
+            << contexts << " contexts";
+    }
+}
+
 TEST(Machine, DifferentClockRatiosRun)
 {
     // The engine supports other network:processor ratios (used by the
