@@ -11,6 +11,8 @@
 #define LOCSIM_BENCH_COMMON_HH_
 
 #include <cstdint>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,7 +21,9 @@
 #include "model/alewife.hh"
 #include "model/combined_model.hh"
 #include "model/locality.hh"
+#include "obs/trace.hh"
 #include "runner/runner.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "workload/mapping.hh"
 
@@ -33,6 +37,8 @@ struct SimPoint
     int contexts = 0;
     double distance = 0.0; //!< mapping's average distance
     machine::Measurement m;
+    /** Trace shard for this simulation (null unless --trace-out). */
+    std::shared_ptr<obs::Tracer> tracer;
 };
 
 /** Standard options shared by every harness. */
@@ -44,6 +50,10 @@ struct HarnessOptions
     std::uint64_t window = 20000;
     /** Worker threads for independent simulations (0 = all cores). */
     int threads = 0;
+    /** --log-level / --trace-out / --trace-detail / --sample-period. */
+    util::ObservabilityOptions obs;
+    /** --attribution: add latency-decomposition columns. */
+    bool attribution = false;
 };
 
 /** Parse the common flags; exits on --help. */
@@ -62,6 +72,10 @@ parseHarnessOptions(int argc, const char *const *argv,
                 "worker threads for independent simulations "
                 "(0 = all cores)",
                 0);
+    opts.addFlag("attribution",
+                 "report the latency decomposition (serialization, "
+                 "hops, contention) per message");
+    util::addObservabilityOptions(opts);
     opts.parse(argc, argv);
     HarnessOptions out;
     out.csv_path = opts.getString("csv");
@@ -69,9 +83,85 @@ parseHarnessOptions(int argc, const char *const *argv,
     out.warmup = static_cast<std::uint64_t>(opts.getInt("warmup"));
     out.window = static_cast<std::uint64_t>(opts.getInt("window"));
     out.threads = opts.getInt("threads");
+    out.attribution = opts.getFlag("attribution");
+    out.obs = util::applyObservabilityOptions(opts);
     if (out.quick) {
         out.warmup = 2000;
         out.window = 6000;
+    }
+    return out;
+}
+
+/** Map the shared observability options onto a machine config. */
+inline void
+applyObservability(machine::MachineConfig &config,
+                   const HarnessOptions &options)
+{
+    config.trace.enabled = !options.obs.trace_out.empty();
+    config.trace.detail = options.obs.flit_detail
+                              ? obs::TraceDetail::Flit
+                              : obs::TraceDetail::Message;
+    config.sample_period =
+        static_cast<sim::Tick>(options.obs.sample_period);
+}
+
+/**
+ * Merge the sweep's trace shards (in grid submission order, so the
+ * output is identical for any worker-thread count) and write the
+ * --trace-out file. No-op when tracing is off.
+ */
+inline void
+maybeWriteTrace(const std::vector<SimPoint> &points,
+                const HarnessOptions &options)
+{
+    if (options.obs.trace_out.empty())
+        return;
+    std::vector<const obs::Tracer *> shards;
+    std::vector<std::string> names;
+    for (const auto &p : points) {
+        if (p.tracer == nullptr)
+            continue;
+        shards.push_back(p.tracer.get());
+        names.push_back(p.mapping + ".p" +
+                        std::to_string(p.contexts));
+    }
+    std::ofstream os(options.obs.trace_out);
+    if (!os)
+        LOCSIM_FATAL("cannot open --trace-out file '",
+                     options.obs.trace_out, "'");
+    obs::writeMergedTrace(os, shards, names);
+    LOCSIM_INFORM("wrote ", shards.size(), " trace shard(s) to ",
+                  options.obs.trace_out);
+}
+
+/**
+ * Mean latency decomposition per delivered message, summed over all
+ * message classes of a measurement.
+ */
+struct AttributionSummary
+{
+    double serialization = 0.0;
+    double hops = 0.0;
+    double contention = 0.0;
+};
+
+inline AttributionSummary
+summarizeAttribution(const machine::Measurement &m)
+{
+    AttributionSummary out;
+    std::uint64_t count = 0;
+    double ser = 0.0, hops = 0.0, cont = 0.0;
+    for (const auto &attr : m.attribution) {
+        count += attr.count;
+        ser += attr.serialization;
+        hops += attr.hops;
+        cont += attr.contention;
+    }
+    if (count > 0) {
+        const double n = static_cast<double>(count);
+        out.serialization = ser / n;
+        out.hops = hops / n;
+        out.contention = cont / n;
     }
     return out;
 }
@@ -107,12 +197,16 @@ runValidationSims(const std::vector<int> &context_counts,
             const Cell &cell = grid[i];
             machine::MachineConfig config;
             config.contexts = cell.contexts;
+            applyObservability(config, options);
             machine::Machine machine(config, cell.named->mapping);
             SimPoint point;
             point.mapping = cell.named->name;
             point.contexts = cell.contexts;
             point.distance = cell.named->avg_distance;
             point.m = machine.run(options.warmup, options.window);
+            // The shard outlives the machine; shards are merged in
+            // grid order by maybeWriteTrace.
+            point.tracer = machine.shareTracer();
             return point;
         },
         options.threads);

@@ -32,8 +32,14 @@ main(int argc, char **argv)
     const auto points =
         bench::runValidationSims({1, 2, 4}, options);
 
-    util::TextTable table({"contexts", "d", "T_m measured",
-                           "T_m model", "diff (net cyc)"});
+    // Columns are appended only under --attribution so the default
+    // output stays byte-identical.
+    std::vector<std::string> headers = {"contexts", "d",
+                                        "T_m measured", "T_m model",
+                                        "diff (net cyc)"};
+    if (options.attribution)
+        headers.insert(headers.end(), {"T_ser", "T_hop", "T_cont"});
+    util::TextTable table(headers);
     double worst = 0.0;
     std::vector<std::vector<std::string>> csv_rows;
     for (const auto &p : points) {
@@ -42,18 +48,30 @@ main(int argc, char **argv)
         const double diff =
             pred.message_latency - p.m.message_latency;
         worst = std::max(worst, std::fabs(diff));
-        table.newRow()
-            .cell(static_cast<long long>(p.contexts))
+        auto &row = table.newRow();
+        row.cell(static_cast<long long>(p.contexts))
             .cell(p.m.avg_hops, 2)
             .cell(p.m.message_latency, 1)
             .cell(pred.message_latency, 1)
             .cell(diff, 1);
-        csv_rows.push_back(
-            {std::to_string(p.contexts),
-             util::formatDouble(p.m.avg_hops, 3),
-             util::formatDouble(p.m.message_latency, 3),
-             util::formatDouble(pred.message_latency, 3),
-             util::formatDouble(diff, 3)});
+        std::vector<std::string> csv_row = {
+            std::to_string(p.contexts),
+            util::formatDouble(p.m.avg_hops, 3),
+            util::formatDouble(p.m.message_latency, 3),
+            util::formatDouble(pred.message_latency, 3),
+            util::formatDouble(diff, 3)};
+        if (options.attribution) {
+            const auto attr = bench::summarizeAttribution(p.m);
+            row.cell(attr.serialization, 1)
+                .cell(attr.hops, 1)
+                .cell(attr.contention, 1);
+            csv_row.push_back(
+                util::formatDouble(attr.serialization, 3));
+            csv_row.push_back(util::formatDouble(attr.hops, 3));
+            csv_row.push_back(
+                util::formatDouble(attr.contention, 3));
+        }
+        csv_rows.push_back(std::move(csv_row));
     }
     table.print(std::cout);
     std::printf("\nWorst-case deviation: %.1f network cycles (paper: "
@@ -62,10 +80,18 @@ main(int argc, char **argv)
 
     if (!options.csv_path.empty()) {
         util::CsvWriter csv(options.csv_path);
-        csv.header({"contexts", "distance", "latency_measured",
-                    "latency_model", "diff"});
+        std::vector<std::string> csv_header = {
+            "contexts", "distance", "latency_measured",
+            "latency_model", "diff"};
+        if (options.attribution) {
+            csv_header.insert(csv_header.end(),
+                              {"lat_serialization", "lat_hops",
+                               "lat_contention"});
+        }
+        csv.header(csv_header);
         for (const auto &row : csv_rows)
             csv.row(row);
     }
+    bench::maybeWriteTrace(points, options);
     return 0;
 }

@@ -128,6 +128,32 @@ BENCHMARK(BM_FullMachineCycles)
     ->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
+/**
+ * Same machine with message-level tracing enabled: measures the cost
+ * of recording (the null-sink cost when tracing is off is covered by
+ * BM_FullMachineCycles). The event cap is raised so typical runs
+ * measure the record path, not the cheaper post-cap drop path, while
+ * still bounding memory if benchmark iterations run long.
+ */
+void
+BM_FullMachineCyclesTraced(benchmark::State &state)
+{
+    machine::MachineConfig config;
+    config.contexts = static_cast<int>(state.range(0));
+    config.trace.enabled = true;
+    config.trace.max_events = 1u << 24;
+    machine::Machine machine(
+        config, workload::Mapping::random(64, 9));
+    machine.engine().run(2000); // warm the caches/directories
+    for (auto _ : state)
+        machine.engine().run(200);
+    state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_FullMachineCyclesTraced)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
 void
 BM_MappingDistance(benchmark::State &state)
 {

@@ -30,10 +30,17 @@ main(int argc, char **argv)
     const auto points =
         bench::runValidationSims({1, 2, 4}, options);
 
-    util::TextTable table({"p", "mapping", "d", "g", "c",
-                           "r_m sim", "r_m model", "err%",
-                           "T_m sim", "T_m model", "rho sim",
-                           "rho model"});
+    // Output stays byte-identical unless --attribution is given: the
+    // decomposition columns are appended, never reordered.
+    std::vector<std::string> headers = {"p", "mapping", "d", "g", "c",
+                                        "r_m sim", "r_m model", "err%",
+                                        "T_m sim", "T_m model",
+                                        "rho sim", "rho model"};
+    if (options.attribution) {
+        headers.insert(headers.end(),
+                       {"T_ser", "T_hop", "T_cont"});
+    }
+    util::TextTable table(headers);
     stats::Accumulator rate_err, latency_err;
     std::vector<std::vector<std::string>> csv_rows;
     for (const auto &p : points) {
@@ -45,8 +52,8 @@ main(int argc, char **argv)
         rate_err.add(std::fabs(err));
         latency_err.add(
             std::fabs(pred.message_latency - p.m.message_latency));
-        table.newRow()
-            .cell(static_cast<long long>(p.contexts))
+        auto &row = table.newRow();
+        row.cell(static_cast<long long>(p.contexts))
             .cell(p.mapping)
             .cell(p.m.avg_hops, 2)
             .cell(p.m.messages_per_txn, 2)
@@ -58,13 +65,25 @@ main(int argc, char **argv)
             .cell(pred.message_latency, 1)
             .cell(p.m.utilization, 3)
             .cell(pred.utilization, 3);
-        csv_rows.push_back(
-            {std::to_string(p.contexts), p.mapping,
-             util::formatDouble(p.m.avg_hops, 3),
-             util::formatDouble(p.m.message_rate, 6),
-             util::formatDouble(pred.injection_rate, 6),
-             util::formatDouble(p.m.message_latency, 3),
-             util::formatDouble(pred.message_latency, 3)});
+        std::vector<std::string> csv_row = {
+            std::to_string(p.contexts), p.mapping,
+            util::formatDouble(p.m.avg_hops, 3),
+            util::formatDouble(p.m.message_rate, 6),
+            util::formatDouble(pred.injection_rate, 6),
+            util::formatDouble(p.m.message_latency, 3),
+            util::formatDouble(pred.message_latency, 3)};
+        if (options.attribution) {
+            const auto attr = bench::summarizeAttribution(p.m);
+            row.cell(attr.serialization, 1)
+                .cell(attr.hops, 1)
+                .cell(attr.contention, 1);
+            csv_row.push_back(
+                util::formatDouble(attr.serialization, 3));
+            csv_row.push_back(util::formatDouble(attr.hops, 3));
+            csv_row.push_back(
+                util::formatDouble(attr.contention, 3));
+        }
+        csv_rows.push_back(std::move(csv_row));
     }
     table.print(std::cout);
 
@@ -76,11 +95,18 @@ main(int argc, char **argv)
 
     if (!options.csv_path.empty()) {
         util::CsvWriter csv(options.csv_path);
-        csv.header({"contexts", "mapping", "distance",
-                    "rate_measured", "rate_model",
-                    "latency_measured", "latency_model"});
+        std::vector<std::string> csv_header = {
+            "contexts", "mapping", "distance", "rate_measured",
+            "rate_model", "latency_measured", "latency_model"};
+        if (options.attribution) {
+            csv_header.insert(csv_header.end(),
+                              {"lat_serialization", "lat_hops",
+                               "lat_contention"});
+        }
+        csv.header(csv_header);
         for (const auto &row : csv_rows)
             csv.row(row);
     }
+    bench::maybeWriteTrace(points, options);
     return 0;
 }

@@ -7,15 +7,23 @@
  * compares the measurements with the combined model's prediction.
  *
  *   ./alewife_sim_demo --mapping random --contexts 2 --window 30000
+ *
+ * Observability: --trace-out dumps a Chrome trace_event JSON of the
+ * run (add --trace-detail flit for per-flit events), --sample-period
+ * prints the metrics sampler's time-series as CSV on stdout, and
+ * --log-level controls verbosity.
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "machine/calibration.hh"
 #include "machine/machine.hh"
 #include "model/alewife.hh"
 #include "model/combined_model.hh"
+#include "obs/sampler.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "util/table.hh"
 #include "workload/mapping.hh"
@@ -37,7 +45,10 @@ main(int argc, char **argv)
     opts.addInt("window", "measurement window processor cycles",
                 20000);
     opts.addInt("seed", "seed for random mappings", 12345);
+    util::addObservabilityOptions(opts);
     opts.parse(argc, argv);
+    const util::ObservabilityOptions obs =
+        util::applyObservabilityOptions(opts);
 
     net::TorusTopology topo(8, 2);
     const std::string which = opts.getString("mapping");
@@ -58,6 +69,10 @@ main(int argc, char **argv)
 
     machine::MachineConfig config;
     config.contexts = static_cast<int>(opts.getInt("contexts"));
+    config.trace.enabled = !obs.trace_out.empty();
+    config.trace.detail = obs.flit_detail ? obs::TraceDetail::Flit
+                                          : obs::TraceDetail::Message;
+    config.sample_period = static_cast<sim::Tick>(obs.sample_period);
     machine::Machine machine(config, chosen->mapping);
 
     std::printf("simulating 64-node radix-8 2-D torus, %d context(s), "
@@ -99,5 +114,20 @@ main(int argc, char **argv)
     row("inter-txn time t_t", m.inter_txn_time, p.inter_txn_time, 1);
     row("transaction latency T_t", m.txn_latency, p.txn_latency, 1);
     table.print(std::cout);
+
+    if (machine.sampler() != nullptr) {
+        std::printf("\nmetrics samples (period %llu ticks):\n",
+                    static_cast<unsigned long long>(
+                        machine.sampler()->period()));
+        machine.sampler()->writeCsv(std::cout);
+    }
+    if (machine.tracer() != nullptr) {
+        std::ofstream trace_os(obs.trace_out);
+        if (!trace_os)
+            LOCSIM_FATAL("cannot open --trace-out file '",
+                         obs.trace_out, "'");
+        machine.writeTrace(trace_os);
+        LOCSIM_INFORM("wrote trace to ", obs.trace_out);
+    }
     return 0;
 }

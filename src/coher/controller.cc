@@ -10,6 +10,33 @@
 namespace locsim {
 namespace coher {
 
+namespace {
+
+/** Attribution class of a protocol message (net latency breakdown). */
+net::MessageClass
+classOf(MsgType type)
+{
+    switch (type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::Fetch:
+      case MsgType::FetchInv:
+        return net::MessageClass::Request;
+      case MsgType::DataS:
+      case MsgType::DataX:
+      case MsgType::FetchReply:
+        return net::MessageClass::Reply;
+      case MsgType::Inv:
+      case MsgType::InvAck:
+        return net::MessageClass::Inv;
+      case MsgType::PutX:
+        return net::MessageClass::Writeback;
+    }
+    return net::MessageClass::Generic;
+}
+
+} // namespace
+
 std::uint64_t
 ProtoTransport::store(const ProtoMsg &msg)
 {
@@ -79,6 +106,7 @@ CacheController::send(sim::NodeId dst, MsgType type, Addr addr,
     msg.flits = carriesData(type) ? config_.data_flits
                                   : config_.control_flits;
     msg.payload = transport_.store(proto);
+    msg.cls = classOf(type);
 
     StagedSend staged;
     staged.ready = engine_.now() + static_cast<sim::Tick>(delay_cycles) *

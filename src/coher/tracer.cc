@@ -78,5 +78,23 @@ CsvTracer::record(const TraceEvent &event)
         << ',' << event.peer << '\n';
 }
 
+void
+ObsTracerBridge::record(const TraceEvent &event)
+{
+    // msgTypeName returns static storage, satisfying Event::name's
+    // lifetime contract.
+    tracer_.instant(
+        track_, event.when, msgTypeName(event.type),
+        obs::Category::Coher,
+        std::move(obs::Args()
+                      .add("dir", event.dir == TraceEvent::Dir::Send
+                                      ? "send"
+                                      : "handle")
+                      .add("line", lineIndexOf(event.addr))
+                      .add("peer",
+                           static_cast<std::int64_t>(event.peer)))
+            .str());
+}
+
 } // namespace coher
 } // namespace locsim

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "coher/protocol.hh"
+#include "obs/trace.hh"
 #include "sim/types.hh"
 
 namespace locsim {
@@ -95,6 +96,27 @@ class CsvTracer : public ProtocolTracer
   private:
     std::ostream &os_;
     bool wrote_header_ = false;
+};
+
+/**
+ * Forwards protocol events into the unified obs::Tracer as instant
+ * events (Category::Coher) named after the message type, on a fixed
+ * track (one bridge per controller, e.g. track "coher.<node>").
+ */
+class ObsTracerBridge : public ProtocolTracer
+{
+  public:
+    /** @param tracer destination shard; must outlive the bridge. */
+    ObsTracerBridge(obs::Tracer &tracer, int track)
+        : tracer_(tracer), track_(track)
+    {
+    }
+
+    void record(const TraceEvent &event) override;
+
+  private:
+    obs::Tracer &tracer_;
+    int track_;
 };
 
 } // namespace coher

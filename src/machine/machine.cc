@@ -5,6 +5,9 @@
 
 #include "machine/machine.hh"
 
+#include <ostream>
+#include <string>
+
 #include "util/logging.hh"
 
 namespace locsim {
@@ -82,6 +85,66 @@ Machine::Machine(const MachineConfig &config,
         engine_.addClocked(processors_.back().get(),
                            config.net_clock_ratio);
     }
+
+    if (config.trace.enabled) {
+        tracer_ = std::make_shared<obs::Tracer>(config.trace);
+        engine_.setTracer(tracer_.get(), tracer_->newTrack("engine"));
+        network_->setTracer(tracer_.get());
+        coher_bridges_.reserve(nodes);
+        for (sim::NodeId node = 0; node < nodes; ++node) {
+            coher_bridges_.push_back(
+                std::make_unique<coher::ObsTracerBridge>(
+                    *tracer_, tracer_->newTrack(
+                                  "coher." + std::to_string(node))));
+            controllers_[node]->setTracer(coher_bridges_.back().get());
+            processors_[node]->setTracer(
+                tracer_.get(),
+                tracer_->newTrack("proc." + std::to_string(node)),
+                config.net_clock_ratio);
+        }
+    }
+
+    if (config.sample_period > 0) {
+        sampler_ =
+            std::make_unique<obs::MetricsSampler>(config.sample_period);
+        net::Network *net = network_.get();
+        const double node_count = static_cast<double>(nodes);
+        const double channels =
+            node_count * 2.0 * static_cast<double>(config.dims);
+        sampler_->addGauge("buffered_flits", [net] {
+            return static_cast<double>(net->bufferedFlits());
+        });
+        // rho: flit-hops per channel per cycle over the sample window.
+        sampler_->addRate(
+            "rho",
+            [net] {
+                return static_cast<double>(
+                    net->totalNeighborFlitHops());
+            },
+            1.0 / channels);
+        // r_m: messages submitted per node per network cycle.
+        sampler_->addRate(
+            "r_m",
+            [net] {
+                return static_cast<double>(
+                    net->stats().messages_sent);
+            },
+            1.0 / node_count);
+        sampler_->addRate("alloc_stalls", [net] {
+            return static_cast<double>(net->totalAllocStalls());
+        });
+        // T_m: mean network latency of messages delivered during the
+        // sample window.
+        sampler_->addMean(
+            "T_m", [net] { return net->stats().latency.sum(); },
+            [net] {
+                return static_cast<double>(
+                    net->stats().latency.count());
+            });
+        if (tracer_ != nullptr)
+            sampler_->attachTracer(tracer_.get());
+        engine_.addClocked(sampler_.get(), config.sample_period);
+    }
 }
 
 Machine::~Machine() = default;
@@ -120,6 +183,18 @@ Machine::resetStats()
         controller->stats() = coher::ControllerStats{};
     for (auto &processor : processors_)
         processor->resetStats();
+    // After the network counters so the rate windows re-prime from
+    // the post-reset values.
+    if (sampler_ != nullptr)
+        sampler_->clearSamples();
+}
+
+void
+Machine::writeTrace(std::ostream &os) const
+{
+    LOCSIM_ASSERT(tracer_ != nullptr,
+                  "writeTrace requires config.trace.enabled");
+    tracer_->write(os);
 }
 
 Measurement
@@ -200,6 +275,7 @@ Machine::run(std::uint64_t warmup, std::uint64_t window)
     }
 
     m.avg_flits = ns.flits.mean();
+    m.attribution = ns.attribution;
 
     std::uint64_t iterations = 0, violations = 0;
     for (const auto &program : programs_) {

@@ -12,12 +12,16 @@
 #ifndef LOCSIM_MACHINE_MACHINE_HH_
 #define LOCSIM_MACHINE_MACHINE_HH_
 
+#include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
 #include "coher/controller.hh"
 #include "net/network.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "proc/processor.hh"
 #include "sim/engine.hh"
 #include "workload/comm_graph.hh"
@@ -76,6 +80,23 @@ struct MachineConfig
     workload::UniformAppConfig uniform_app;
     /** Required when workload == WorkloadKind::Graph. */
     std::shared_ptr<const workload::CommGraph> graph;
+
+    /**
+     * Structured event tracing (off by default). When enabled the
+     * machine owns one obs::Tracer shard wired through every layer:
+     * engine run/fast-forward spans, per-node network message spans
+     * (flit detail optional), coherence protocol events, and
+     * processor context switches.
+     */
+    obs::TraceConfig trace;
+
+    /**
+     * Metrics sampler period in network cycles; 0 (default) disables
+     * the sampler. When set, a low-rate Clocked probe snapshots
+     * channel utilization (rho), injection rate (r_m), observed
+     * message latency (T_m), buffered flits, and allocation stalls.
+     */
+    sim::Tick sample_period = 0;
 };
 
 /**
@@ -118,6 +139,14 @@ struct Measurement
     double hit_rate = 0.0;
     std::uint64_t iterations = 0;  //!< app loop iterations completed
     std::uint64_t violations = 0;  //!< coherence-order violations
+
+    /**
+     * Per-class latency decomposition sums over the window, indexed
+     * by net::MessageClass (always filled; zero when no traffic of a
+     * class was delivered).
+     */
+    std::array<net::ClassAttribution, net::kMessageClassCount>
+        attribution{};
 };
 
 /** The assembled machine. */
@@ -149,6 +178,25 @@ class Machine
     net::Network &network() { return *network_; }
     coher::CacheController &controller(sim::NodeId node);
 
+    /** The trace shard, or null when config().trace.enabled is off. */
+    obs::Tracer *tracer() { return tracer_.get(); }
+
+    /**
+     * Shared ownership of the trace shard, so a runner can keep the
+     * shard alive after the machine is destroyed and merge shards
+     * from a sweep deterministically (submission order).
+     */
+    std::shared_ptr<obs::Tracer> shareTracer() const
+    {
+        return tracer_;
+    }
+
+    /** Serialize this machine's trace shard (requires tracing on). */
+    void writeTrace(std::ostream &os) const;
+
+    /** The metrics sampler, or null when sample_period is 0. */
+    obs::MetricsSampler *sampler() { return sampler_.get(); }
+
     /**
      * The torus-neighbour program of (node, context).
      * @pre config().workload == WorkloadKind::TorusNeighbor.
@@ -167,6 +215,11 @@ class Machine
     std::vector<std::unique_ptr<coher::CacheController>> controllers_;
     std::vector<std::unique_ptr<proc::ThreadProgram>> programs_;
     std::vector<std::unique_ptr<proc::Processor>> processors_;
+
+    std::shared_ptr<obs::Tracer> tracer_;
+    std::vector<std::unique_ptr<coher::ObsTracerBridge>>
+        coher_bridges_;
+    std::unique_ptr<obs::MetricsSampler> sampler_;
 };
 
 } // namespace machine

@@ -21,6 +21,24 @@ namespace net {
 using MessageId = std::uint64_t;
 
 /**
+ * Coarse message class for latency attribution. The fabric treats all
+ * classes identically; the network only groups its per-message latency
+ * decomposition (serialization + hops + contention) by this tag.
+ */
+enum class MessageClass : std::uint8_t {
+    Generic,   //!< synthetic traffic / unclassified
+    Request,   //!< cache miss requests (GetS/GetX/Fetch...)
+    Reply,     //!< data replies
+    Inv,       //!< invalidations and their acks
+    Writeback, //!< dirty-data writebacks
+};
+
+constexpr std::size_t kMessageClassCount = 5;
+
+/** Stable lower-case class name for report columns. */
+const char *messageClassName(MessageClass cls);
+
+/**
  * A network message as submitted by a node.
  *
  * The payload is opaque to the fabric; the coherence layer stores a
@@ -37,6 +55,8 @@ struct Message
     std::uint64_t payload = 0;
     /** Tick at which the client submitted the message. */
     sim::Tick submit_tick = 0;
+    /** Attribution class; does not affect routing or arbitration. */
+    MessageClass cls = MessageClass::Generic;
 };
 
 /**
@@ -63,6 +83,13 @@ struct Flit
      * scheme for deadlock-free wormhole tori).
      */
     bool crossed_dateline = false;
+    /**
+     * Head-flit counters for latency attribution: network links
+     * traversed and router cycles spent waiting for an output VC.
+     * Carried on the head only (body flits follow the opened path).
+     */
+    std::uint16_t hops = 0;
+    std::uint16_t stalls = 0;
 };
 
 /** A credit returned upstream: one buffer slot freed on (port, vc). */

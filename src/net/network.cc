@@ -5,10 +5,30 @@
 
 #include "net/network.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace locsim {
 namespace net {
+
+const char *
+messageClassName(MessageClass cls)
+{
+    switch (cls) {
+      case MessageClass::Generic:
+        return "generic";
+      case MessageClass::Request:
+        return "request";
+      case MessageClass::Reply:
+        return "reply";
+      case MessageClass::Inv:
+        return "inv";
+      case MessageClass::Writeback:
+        return "writeback";
+    }
+    return "?";
+}
 
 Network::Network(sim::Engine &engine, const NetworkConfig &config)
     : engine_(engine), config_(config),
@@ -124,6 +144,16 @@ Network::send(Message msg)
     ++stats_.messages_sent;
     stats_.flits.add(static_cast<double>(msg.flits));
     ++in_flight_;
+    if (tracer_ != nullptr) {
+        tracer_->asyncBegin(
+            node_tracks_[msg.src], msg.submit_tick, msg.id, "msg",
+            obs::Category::Net,
+            std::move(obs::Args()
+                          .add("dst", static_cast<std::int64_t>(msg.dst))
+                          .add("flits", msg.flits)
+                          .add("class", messageClassName(msg.cls)))
+                .str());
+    }
     return msg.id;
 }
 
@@ -177,8 +207,15 @@ Network::tickInjection(sim::NodeId node)
     if (ep.flits_sent == 0) {
         auto it = records_.find(msg.id);
         LOCSIM_ASSERT(it != records_.end(), "missing message record");
-        if (it->second.inject_start == sim::kTickNever)
+        if (it->second.inject_start == sim::kTickNever) {
             it->second.inject_start = engine_.now();
+            if (tracer_ != nullptr) {
+                tracer_->instant(
+                    node_tracks_[node], engine_.now(), "inject",
+                    obs::Category::Net,
+                    std::move(obs::Args().add("msg", msg.id)).str());
+            }
+        }
     }
 
     Flit flit;
@@ -219,6 +256,15 @@ Network::tickEjection(sim::NodeId node)
                   flit.seq);
     ++arrived;
 
+    if (flit.head) {
+        // Harvest the head flit's attribution counters; body flits
+        // follow the opened path and carry none.
+        auto hit = records_.find(flit.msg);
+        LOCSIM_ASSERT(hit != records_.end(), "head for unknown message");
+        hit->second.head_hops = flit.hops;
+        hit->second.head_stalls = flit.stalls;
+    }
+
     if (!flit.tail)
         return;
 
@@ -245,6 +291,35 @@ Network::tickEjection(sim::NodeId node)
     stats_.source_queue.add(static_cast<double>(rec.inject_start -
                                                 rec.message.submit_tick));
     stats_.hops.add(static_cast<double>(rec.hops));
+
+    // Latency decomposition (see ClassAttribution): the network_test
+    // zero-load identity is T = B + h + 1, so the contention residual
+    // is exactly zero on an uncontended path.
+    const double serialization =
+        static_cast<double>(rec.message.flits);
+    const double measured_hops = static_cast<double>(rec.head_hops);
+    const double contention = std::max(
+        0.0, latency - serialization - measured_hops - 1.0);
+    ClassAttribution &attr =
+        stats_.attribution[static_cast<std::size_t>(rec.message.cls)];
+    ++attr.count;
+    attr.latency += latency;
+    attr.serialization += serialization;
+    attr.hops += measured_hops;
+    attr.contention += contention;
+    attr.stalls += static_cast<double>(rec.head_stalls);
+
+    if (tracer_ != nullptr) {
+        tracer_->asyncEnd(
+            node_tracks_[rec.message.src], rec.delivered, flit.msg,
+            "msg", obs::Category::Net,
+            std::move(obs::Args()
+                          .add("latency", latency)
+                          .add("hops", static_cast<int>(rec.head_hops))
+                          .add("stalls",
+                               static_cast<int>(rec.head_stalls)))
+                .str());
+    }
 }
 
 void
@@ -280,6 +355,7 @@ Network::resetStats()
     stats_.source_queue.reset();
     stats_.hops.reset();
     stats_.flits.reset();
+    stats_.attribution.fill({});
     stats_start_ = engine_.now();
 
     std::uint64_t hops = 0;
@@ -317,6 +393,52 @@ Network::record(MessageId id) const
 {
     auto it = records_.find(id);
     return it == records_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+Network::totalNeighborFlitHops() const
+{
+    std::uint64_t hops = 0;
+    for (const auto &router : routers_) {
+        const auto &counts = router->outputFlits();
+        for (std::size_t p = 0; p + 1 < counts.size(); ++p)
+            hops += counts[p].value();
+    }
+    return hops;
+}
+
+std::uint64_t
+Network::totalAllocStalls() const
+{
+    std::uint64_t stalls = 0;
+    for (const auto &router : routers_)
+        stalls += router->allocStalls().value();
+    return stalls;
+}
+
+std::uint64_t
+Network::bufferedFlits() const
+{
+    std::uint64_t flits = 0;
+    for (const auto &router : routers_)
+        flits += router->bufferedFlits();
+    return flits;
+}
+
+void
+Network::setTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer_ != nullptr && node_tracks_.empty()) {
+        node_tracks_.reserve(routers_.size());
+        for (sim::NodeId node = 0; node < topo_.nodeCount(); ++node)
+            node_tracks_.push_back(
+                tracer_->newTrack("net." + std::to_string(node)));
+    }
+    for (sim::NodeId node = 0; node < topo_.nodeCount(); ++node) {
+        routers_[node]->setTracer(
+            tracer_, tracer_ != nullptr ? node_tracks_[node] : 0);
+    }
 }
 
 } // namespace net

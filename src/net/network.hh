@@ -13,6 +13,7 @@
 #ifndef LOCSIM_NET_NETWORK_HH_
 #define LOCSIM_NET_NETWORK_HH_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -20,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/engine.hh"
 #include "net/router.hh"
 #include "stats/stats.hh"
@@ -44,6 +46,26 @@ struct MessageRecord
     sim::Tick inject_start = sim::kTickNever; //!< first flit offered
     sim::Tick delivered = sim::kTickNever;    //!< tail flit ejected
     int hops = 0;
+    /** Counters harvested from the head flit at ejection. */
+    std::uint16_t head_hops = 0;
+    std::uint16_t head_stalls = 0;
+};
+
+/**
+ * Per-class sums of the paper's latency decomposition: network latency
+ * T = B (serialization) + h (hops) + 1 (ejection) + contention. The
+ * contention term is measured as the residual T - B - h - 1 of each
+ * delivered message (h from the head flit's link counter), clamped at
+ * zero; at zero load it is identically zero.
+ */
+struct ClassAttribution
+{
+    std::uint64_t count = 0;
+    double latency = 0.0;       //!< sum of T per message
+    double serialization = 0.0; //!< sum of B (length in flits)
+    double hops = 0.0;          //!< sum of measured link traversals
+    double contention = 0.0;    //!< sum of the clamped residual
+    double stalls = 0.0;        //!< sum of router allocation stalls
 };
 
 /** Aggregate network statistics. */
@@ -64,6 +86,8 @@ struct NetworkStats
     stats::Accumulator hops;
     /** Message size in flits, per submitted message. */
     stats::Accumulator flits;
+    /** Latency decomposition sums, indexed by MessageClass. */
+    std::array<ClassAttribution, kMessageClassCount> attribution{};
 };
 
 /**
@@ -135,6 +159,27 @@ class Network : public sim::Clocked
     /** Look up accounting for a message (test/diagnostic hook). */
     const MessageRecord *record(MessageId id) const;
 
+    /**
+     * Cumulative flits forwarded over neighbor (network) channels
+     * since construction (sampler probe; resets never).
+     */
+    std::uint64_t totalNeighborFlitHops() const;
+
+    /** Cumulative failed output-VC claims across all routers. */
+    std::uint64_t totalAllocStalls() const;
+
+    /** Flits currently buffered in all routers (sampler probe). */
+    std::uint64_t bufferedFlits() const;
+
+    /**
+     * Attach a tracer (nullptr to detach; not owned). Allocates one
+     * "net.<node>" track per node on first attach: message lifetimes
+     * run as async spans from send() to tail ejection on the source
+     * node's track, with "inject" instants when the head flit is first
+     * offered. Routers share the tracks for flit-level detail.
+     */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     struct NodeEndpoint
     {
@@ -174,6 +219,9 @@ class Network : public sim::Clocked
     NetworkStats stats_;
     sim::Tick stats_start_ = 0;
     std::uint64_t stats_flit_hops_base_ = 0;
+
+    obs::Tracer *tracer_ = nullptr;
+    std::vector<int> node_tracks_;
 };
 
 } // namespace net

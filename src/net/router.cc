@@ -207,13 +207,32 @@ Router::routeAndAllocate(sim::Tick now)
             owner = unit;
             owned_ports_ |= 1u << ivc.out_port;
             ivc.routed = true;
+        } else {
+            // Output VC held by another packet: the head flit stalls
+            // in place. Counted both globally and on the flit itself
+            // (per-message contention attribution; saturating).
+            alloc_stalls_.inc();
+            Flit &head = ivc.bufFrontMut();
+            if (head.stalls != UINT16_MAX)
+                ++head.stalls;
+            if (tracer_ != nullptr) {
+                tracer_->instant(
+                    trace_track_, now, "alloc_stall",
+                    obs::Category::Net,
+                    std::move(obs::Args()
+                                  .add("msg", head.msg)
+                                  .add("out_port", ivc.out_port)
+                                  .add("out_vc", ivc.out_vc))
+                        .str());
+            }
         }
     }
 }
 
 void
-Router::switchTraversal()
+Router::switchTraversal(sim::Tick now)
 {
+    (void)now; // only read when flit-level tracing is on
     // One bit per input port; ports are bounded well below 32
     // (2 * dims + 1), so a mask avoids a heap allocation per call.
     std::uint32_t input_port_used = 0;
@@ -261,13 +280,36 @@ Router::switchTraversal()
 
             // Rewrite link-level VC and dateline state.
             const bool to_neighbor = port != localPort();
-            if (flit.head && to_neighbor)
+            if (flit.head && to_neighbor) {
                 flit.crossed_dateline = (ivc.out_vc == 1);
+                // One more physical link traversed (attribution).
+                if (flit.hops != UINT16_MAX)
+                    ++flit.hops;
+            }
             flit.vc = static_cast<std::uint8_t>(vc);
 
             --out.credits[static_cast<std::size_t>(vc)];
             link->push(flit);
             output_flits_[static_cast<std::size_t>(port)].inc();
+            if (tracer_ != nullptr) {
+                tracer_->instant(
+                    trace_track_, now, "flit", obs::Category::Net,
+                    std::move(obs::Args()
+                                  .add("msg", flit.msg)
+                                  .add("seq", flit.seq)
+                                  .add("port", port)
+                                  .add("vc", vc))
+                        .str());
+                if (up != nullptr) {
+                    tracer_->instant(
+                        trace_track_, now, "credit",
+                        obs::Category::Net,
+                        std::move(obs::Args()
+                                      .add("port", in_port)
+                                      .add("vc", in_vc))
+                            .str());
+                }
+            }
 
             if (flit.tail) {
                 out.owner[static_cast<std::size_t>(vc)] = -1;
@@ -305,7 +347,7 @@ Router::tick(sim::Tick now)
     if (buffered_ == 0)
         return;
     routeAndAllocate(now);
-    switchTraversal();
+    switchTraversal(now);
 }
 
 std::size_t

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sim/channel.hh"
 #include "net/link.hh"
 #include "net/message.hh"
@@ -134,6 +135,24 @@ class Router
         return output_flits_;
     }
 
+    /** Failed output-VC claims (head flit blocked this cycle). */
+    const stats::Counter &allocStalls() const { return alloc_stalls_; }
+
+    /**
+     * Attach a tracer for flit-level detail (nullptr to detach; not
+     * owned). Events are only emitted when the tracer is configured
+     * with TraceDetail::Flit: "flit" per link/ejection traversal and
+     * "alloc_stall" per failed output-VC claim, all on @p track.
+     */
+    void
+    setTracer(obs::Tracer *tracer, int track)
+    {
+        tracer_ = (tracer != nullptr && tracer->flitDetail())
+                      ? tracer
+                      : nullptr;
+        trace_track_ = track;
+    }
+
     /** Total flits currently buffered (for drain/idle detection). */
     std::size_t bufferedFlits() const;
 
@@ -158,6 +177,7 @@ class Router
         bool bufEmpty() const { return head == tail; }
         std::uint32_t bufSize() const { return tail - head; }
         const Flit &bufFront() const { return slots[head & mask]; }
+        Flit &bufFrontMut() { return slots[head & mask]; }
         void bufPush(const Flit &flit)
         {
             slots[tail & mask] = flit;
@@ -190,7 +210,7 @@ class Router
     void receiveCredits();
     void receiveFlits();
     void routeAndAllocate(sim::Tick now);
-    void switchTraversal();
+    void switchTraversal(sim::Tick now);
 
     /** Compute route for the head flit of (port, vc). */
     void computeRoute(int port, InputVc &ivc);
@@ -249,6 +269,11 @@ class Router
     int rr_start_ = 0;
 
     std::vector<stats::Counter> output_flits_;
+    stats::Counter alloc_stalls_;
+
+    /** Non-null only when flit-level tracing is on (null sink). */
+    obs::Tracer *tracer_ = nullptr;
+    int trace_track_ = 0;
 };
 
 } // namespace net

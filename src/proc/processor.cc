@@ -66,6 +66,15 @@ void
 Processor::startSwitch(int target)
 {
     LOCSIM_ASSERT(target != active_, "switching to the active context");
+    if (tracer_ != nullptr) {
+        tracer_->complete(
+            trace_track_, now_,
+            static_cast<sim::Tick>(config_.switch_cycles) *
+                trace_ticks_per_cycle_,
+            "ctx_switch", obs::Category::Proc,
+            std::move(obs::Args().add("from", active_).add("to", target))
+                .str());
+    }
     active_ = target;
     switch_remaining_ = config_.switch_cycles;
     stats_.switches.inc();
@@ -130,8 +139,9 @@ Processor::issue(int ctx_index)
 }
 
 void
-Processor::tick(sim::Tick)
+Processor::tick(sim::Tick now)
 {
+    now_ = now;
     if (switch_remaining_ > 0) {
         --switch_remaining_;
         stats_.switch_cycles.inc();

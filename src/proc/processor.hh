@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "coher/controller.hh"
+#include "obs/trace.hh"
 #include "proc/program.hh"
 #include "sim/engine.hh"
 #include "stats/stats.hh"
@@ -89,6 +90,21 @@ class Processor : public sim::Clocked
     /** Zero all statistics (e.g. after a warmup period). */
     void resetStats() { stats_ = ProcessorStats{}; }
 
+    /**
+     * Attach a tracer (nullptr to detach; not owned): emits one
+     * "ctx_switch" span per context switch on @p track, with the
+     * switch penalty rendered in engine ticks via
+     * @p ticks_per_cycle (the processor's clock period).
+     */
+    void
+    setTracer(obs::Tracer *tracer, int track,
+              sim::Tick ticks_per_cycle)
+    {
+        tracer_ = tracer;
+        trace_track_ = track;
+        trace_ticks_per_cycle_ = ticks_per_cycle;
+    }
+
     /** True if every context is blocked on memory. */
     bool allBlocked() const;
 
@@ -131,6 +147,12 @@ class Processor : public sim::Clocked
     std::uint32_t switch_remaining_ = 0;
 
     ProcessorStats stats_;
+
+    obs::Tracer *tracer_ = nullptr;
+    int trace_track_ = 0;
+    sim::Tick trace_ticks_per_cycle_ = 1;
+    /** Engine time of the current tick (for trace timestamps). */
+    sim::Tick now_ = 0;
 };
 
 } // namespace proc

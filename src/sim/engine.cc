@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/channel.hh"
 #include "util/logging.hh"
 
@@ -111,12 +112,31 @@ Engine::tryFastForward(Tick end)
         }
     }
     skipped_ticks_ += target - now_;
+    if (tracer_ != nullptr) {
+        tracer_->complete(trace_track_, now_, target - now_,
+                          "fast_forward", obs::Category::Engine);
+    }
     now_ = target;
+}
+
+void
+Engine::traceRun(Tick start, Tick skipped_before)
+{
+    if (tracer_ == nullptr || now_ == start)
+        return;
+    tracer_->complete(
+        trace_track_, start, now_ - start, "run",
+        obs::Category::Engine,
+        std::move(obs::Args().add("skipped_ticks",
+                                  skipped_ticks_ - skipped_before))
+            .str());
 }
 
 void
 Engine::run(Tick ticks)
 {
+    const Tick start = now_;
+    const Tick skipped_before = skipped_ticks_;
     const Tick end = now_ + ticks;
     while (now_ < end) {
         if (mode_ == StepMode::Activity) {
@@ -126,15 +146,20 @@ Engine::run(Tick ticks)
         }
         stepOneTick();
     }
+    traceRun(start, skipped_before);
 }
 
 bool
 Engine::runUntil(const std::function<bool()> &done, Tick max_ticks)
 {
+    const Tick start = now_;
+    const Tick skipped_before = skipped_ticks_;
     const Tick end = now_ + max_ticks;
     while (now_ < end) {
-        if (done())
+        if (done()) {
+            traceRun(start, skipped_before);
             return true;
+        }
         if (mode_ == StepMode::Activity) {
             tryFastForward(end);
             if (now_ >= end)
@@ -142,6 +167,7 @@ Engine::runUntil(const std::function<bool()> &done, Tick max_ticks)
         }
         stepOneTick();
     }
+    traceRun(start, skipped_before);
     return done();
 }
 

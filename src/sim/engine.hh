@@ -39,6 +39,11 @@
 #include "sim/types.hh"
 
 namespace locsim {
+
+namespace obs {
+class Tracer;
+}
+
 namespace sim {
 
 class Rotatable;
@@ -134,8 +139,23 @@ class Engine
     /** Ticks elided by quiescence fast-forwarding (diagnostics). */
     Tick skippedTicks() const { return skipped_ticks_; }
 
+    /**
+     * Attach a structured tracer (nullptr to detach; not owned). The
+     * engine emits a "run" span per run()/runUntil() call and a
+     * "fast_forward" span per quiescence skip on @p track.
+     */
+    void
+    setTracer(obs::Tracer *tracer, int track)
+    {
+        tracer_ = tracer;
+        trace_track_ = track;
+    }
+
   private:
     void stepOneTick();
+
+    /** Trace one completed run window (no-op without a tracer). */
+    void traceRun(Tick start, Tick skipped_before);
 
     /**
      * If every component is idle, jump now_ to the next event-queue
@@ -158,6 +178,8 @@ class Engine
     std::vector<Rotatable *> dirty_channels_;
     EventQueue events_;
     Tick skipped_ticks_ = 0;
+    obs::Tracer *tracer_ = nullptr;
+    int trace_track_ = 0;
 };
 
 } // namespace sim

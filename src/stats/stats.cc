@@ -193,6 +193,14 @@ StatRegistry::addValue(const std::string &name, const double &value)
     entries_.push_back({name, Entry::Kind::Value, &value});
 }
 
+void
+StatRegistry::addValue(const std::string &name, double &&value)
+{
+    owned_values_.push_back(value);
+    entries_.push_back({name, Entry::Kind::Value,
+                        &owned_values_.back()});
+}
+
 std::vector<StatValue>
 StatRegistry::dump() const
 {

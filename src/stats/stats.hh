@@ -14,6 +14,7 @@
 #define LOCSIM_STATS_STATS_HH_
 
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
 #include <limits>
 #include <string>
@@ -160,8 +161,19 @@ class StatRegistry
     /** Register an accumulator's mean and count. */
     void add(const std::string &name, const Accumulator &acc);
 
-    /** Register an arbitrary double source. */
+    /**
+     * Register an arbitrary double source by reference (must outlive
+     * the registry).
+     */
     void addValue(const std::string &name, const double &value);
+
+    /**
+     * Register a fixed value. The temporary is captured into storage
+     * owned by the registry; without this overload a call with an
+     * rvalue (`addValue("x", compute())`) would bind the const
+     * reference to a dead temporary and dump garbage.
+     */
+    void addValue(const std::string &name, double &&value);
 
     /** Snapshot all registered statistics. */
     std::vector<StatValue> dump() const;
@@ -178,6 +190,8 @@ class StatRegistry
     };
 
     std::vector<Entry> entries_;
+    /** Stable storage for captured rvalues (deque: no reallocation). */
+    std::deque<double> owned_values_;
 };
 
 } // namespace stats

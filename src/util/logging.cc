@@ -30,6 +30,37 @@ logLevel()
     return g_level;
 }
 
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    if (name == "silent")
+        return LogLevel::Silent;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "inform")
+        return LogLevel::Inform;
+    if (name == "debug")
+        return LogLevel::Debug;
+    LOCSIM_FATAL("unknown log level '", name,
+                 "' (expected silent, warn, inform, or debug)");
+}
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent:
+        return "silent";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "inform";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
 namespace detail {
 
 void

@@ -31,6 +31,15 @@ void setLogLevel(LogLevel level);
 /** Get the current global verbosity threshold. */
 LogLevel logLevel();
 
+/**
+ * Parse a level name ("silent", "warn", "inform", "debug"); fatal on
+ * anything else. Used by the shared --log-level command-line option.
+ */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Stable lower-case name of a level. */
+const char *logLevelName(LogLevel level);
+
 namespace detail {
 
 /** Concatenate a pack of streamable values into one string. */

@@ -172,5 +172,43 @@ OptionParser::usage() const
     return oss.str();
 }
 
+void
+addObservabilityOptions(OptionParser &parser)
+{
+    parser.addString("log-level",
+                     "verbosity: silent, warn, inform, or debug",
+                     logLevelName(logLevel()));
+    parser.addString("trace-out",
+                     "write a Chrome trace_event JSON trace here "
+                     "(empty: tracing off)",
+                     "");
+    parser.addString("trace-detail",
+                     "trace granularity: message or flit", "message");
+    parser.addInt("sample-period",
+                  "metrics sample cadence in network cycles "
+                  "(0: sampler off)",
+                  0);
+}
+
+ObservabilityOptions
+applyObservabilityOptions(const OptionParser &parser)
+{
+    setLogLevel(parseLogLevel(parser.getString("log-level")));
+
+    ObservabilityOptions obs;
+    obs.trace_out = parser.getString("trace-out");
+    const std::string detail = parser.getString("trace-detail");
+    if (detail == "flit") {
+        obs.flit_detail = true;
+    } else if (detail != "message") {
+        LOCSIM_FATAL("unknown --trace-detail '", detail,
+                     "' (expected message or flit)");
+    }
+    obs.sample_period = parser.getInt("sample-period");
+    if (obs.sample_period < 0)
+        LOCSIM_FATAL("--sample-period must be >= 0");
+    return obs;
+}
+
 } // namespace util
 } // namespace locsim

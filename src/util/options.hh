@@ -70,6 +70,36 @@ class OptionParser
     std::map<std::string, Option> options_;
 };
 
+/**
+ * The shared observability options, parsed out of an OptionParser by
+ * applyObservabilityOptions(). Plain types only so util stays at the
+ * bottom of the library stack; callers map these onto
+ * machine::MachineConfig / obs::TraceConfig.
+ */
+struct ObservabilityOptions
+{
+    /** --trace-out: trace JSON path; empty means tracing off. */
+    std::string trace_out;
+    /** --trace-detail=flit: record per-flit events and stalls. */
+    bool flit_detail = false;
+    /** --sample-period: metrics cadence in ticks; 0 disables. */
+    long long sample_period = 0;
+};
+
+/**
+ * Register --log-level, --trace-out, --trace-detail, and
+ * --sample-period on @p parser (one shared definition so every binary
+ * spells them identically).
+ */
+void addObservabilityOptions(OptionParser &parser);
+
+/**
+ * Read back the options registered by addObservabilityOptions() and
+ * apply --log-level globally (setLogLevel). Call after parse().
+ */
+ObservabilityOptions
+applyObservabilityOptions(const OptionParser &parser);
+
 } // namespace util
 } // namespace locsim
 

@@ -179,6 +179,110 @@ TEST(StatRegistry, DumpsRegisteredSources)
     EXPECT_NE(oss.str().find("latency.mean = 15"), std::string::npos);
 }
 
+TEST(StatRegistry, RvalueAddValueCapturesTheValue)
+{
+    // Regression: addValue with a temporary used to register a const
+    // reference to the dead temporary; the dump then read freed stack
+    // memory. The rvalue overload must capture by value into
+    // registry-owned storage that stays stable as more entries arrive.
+    StatRegistry reg;
+    reg.addValue("first", 1.0 + 0.5);
+    for (int i = 0; i < 100; ++i)
+        reg.addValue("v" + std::to_string(i),
+                     static_cast<double>(i) * 2.0);
+
+    const auto snapshot = reg.dump();
+    ASSERT_EQ(snapshot.size(), 101u);
+    EXPECT_DOUBLE_EQ(snapshot[0].value, 1.5);
+    EXPECT_DOUBLE_EQ(snapshot[1].value, 0.0);
+    EXPECT_DOUBLE_EQ(snapshot[100].value, 198.0);
+}
+
+TEST(StatRegistry, RvalueAndReferenceEntriesCoexist)
+{
+    StatRegistry reg;
+    double live = 1.0;
+    reg.addValue("live", live);
+    reg.addValue("frozen", live * 10.0);
+    live = 7.0; // visible through the reference, not the captured copy
+
+    const auto snapshot = reg.dump();
+    ASSERT_EQ(snapshot.size(), 2u);
+    EXPECT_DOUBLE_EQ(snapshot[0].value, 7.0);
+    EXPECT_DOUBLE_EQ(snapshot[1].value, 10.0);
+}
+
+TEST(Histogram, QuantileOfEmptyHistogramIsLo)
+{
+    Histogram h(5.0, 10.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(Histogram, QuantileWithSingleBucket)
+{
+    Histogram h(0.0, 10.0, 1);
+    for (int i = 0; i < 4; ++i)
+        h.add(5.0);
+    // All mass in one bucket: quantiles interpolate across [0, 10).
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileWithUnderflowMass)
+{
+    Histogram h(10.0, 20.0, 10);
+    for (int i = 0; i < 9; ++i)
+        h.add(-1.0); // underflow
+    h.add(15.0);
+    // 90% of the mass sits below lo; low/median quantiles clamp to lo.
+    EXPECT_DOUBLE_EQ(h.quantile(0.1), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_GT(h.quantile(0.99), 10.0);
+    EXPECT_EQ(h.underflow(), 9u);
+}
+
+TEST(Histogram, QuantileWithOverflowMass)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(5.0);
+    for (int i = 0; i < 9; ++i)
+        h.add(100.0); // overflow
+    // The top 90% of the mass is above hi; high quantiles report hi.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+    EXPECT_LT(h.quantile(0.05), 10.0);
+    EXPECT_EQ(h.overflow(), 9u);
+}
+
+TEST(Histogram, QuantileOutOfRangeDies)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    EXPECT_DEATH(h.quantile(-0.1), "quantile");
+    EXPECT_DEATH(h.quantile(1.5), "quantile");
+}
+
+TEST(TimeWeighted, EqualTimestampsAddNoWeight)
+{
+    TimeWeighted tw;
+    tw.update(0, 0.0);
+    tw.update(10, 1.0);
+    tw.update(10, 99.0); // zero-length interval: no contribution
+    tw.update(20, 2.0);
+    // (10*1.0 + 0*99.0 + 10*2.0) / 20 = 1.5.
+    EXPECT_NEAR(tw.average(), 1.5, 1e-12);
+    EXPECT_EQ(tw.elapsed(), 20u);
+}
+
+TEST(TimeWeighted, OutOfOrderUpdateDies)
+{
+    TimeWeighted tw;
+    tw.update(10, 1.0);
+    EXPECT_DEATH(tw.update(5, 2.0), "backwards");
+}
+
 } // namespace
 } // namespace stats
 } // namespace locsim
