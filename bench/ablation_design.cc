@@ -47,8 +47,8 @@ validationErrors(int contexts, int vcs, int depth, bool node_channels,
         config.contexts = contexts;
         config.router.vcs = vcs;
         config.router.buffer_depth = depth;
-        machine::Machine machine(config, named.mapping);
-        const auto m = machine.run(opt.warmup, opt.window);
+        const auto m =
+            bench::runCachedMeasurement(opt, config, named.mapping);
 
         model::ApplicationParams app;
         app.run_length = m.run_length / 2.0;
@@ -197,5 +197,6 @@ main(int argc, char **argv)
                     "regime the paper's experiments never reached, "
                     "which is why it could drop\nEquation 4.\n");
     }
+    bench::maybeReportCacheStats(options);
     return 0;
 }

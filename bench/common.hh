@@ -11,11 +11,16 @@
 #define LOCSIM_BENCH_COMMON_HH_
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cache/key.hh"
+#include "cache/store.hh"
 #include "machine/calibration.hh"
 #include "machine/machine.hh"
 #include "model/alewife.hh"
@@ -54,6 +59,32 @@ struct HarnessOptions
     util::ObservabilityOptions obs;
     /** --attribution: add latency-decomposition columns. */
     bool attribution = false;
+    /** --cache-dir: persistent simulation cache (empty = no cache). */
+    std::string cache_dir;
+    /** --no-cache: ignore --cache-dir (and LOCSIM_CACHE_DIR). */
+    bool no_cache = false;
+    /** --cache-stats: print hit/miss counters to stderr at exit. */
+    bool cache_stats = false;
+
+    /**
+     * The simulation cache selected by the flags, or null. Shared so
+     * SimPoint-producing helpers and the harness's own cells can use
+     * one store (and one stats block).
+     */
+    std::shared_ptr<locsim::cache::SimCache> sim_cache;
+
+    /**
+     * True when results may be served from / stored to the cache:
+     * a cache is configured and no observability sink is attached
+     * (traces and samples are side effects a cached replay would
+     * silently lose).
+     */
+    bool
+    cacheUsable() const
+    {
+        return sim_cache != nullptr && obs.trace_out.empty() &&
+               obs.sample_period == 0;
+    }
 };
 
 /** Parse the common flags; exits on --help. */
@@ -75,6 +106,13 @@ parseHarnessOptions(int argc, const char *const *argv,
     opts.addFlag("attribution",
                  "report the latency decomposition (serialization, "
                  "hops, contention) per message");
+    opts.addString("cache-dir",
+                   "content-addressed simulation cache directory "
+                   "(also via LOCSIM_CACHE_DIR)",
+                   "");
+    opts.addFlag("no-cache", "bypass the simulation cache");
+    opts.addFlag("cache-stats",
+                 "print cache hit/miss counters to stderr");
     util::addObservabilityOptions(opts);
     opts.parse(argc, argv);
     HarnessOptions out;
@@ -83,13 +121,106 @@ parseHarnessOptions(int argc, const char *const *argv,
     out.warmup = static_cast<std::uint64_t>(opts.getInt("warmup"));
     out.window = static_cast<std::uint64_t>(opts.getInt("window"));
     out.threads = opts.getInt("threads");
+    // 0 is the "all cores" default; an explicit non-positive count is
+    // always a mistake (a shell expansion gone wrong), so reject it
+    // rather than silently soaking up every core.
+    if (opts.wasSet("threads") && out.threads <= 0) {
+        LOCSIM_FATAL("--threads must be a positive integer, got ",
+                     out.threads,
+                     " (omit the flag to use all cores)");
+    }
     out.attribution = opts.getFlag("attribution");
     out.obs = util::applyObservabilityOptions(opts);
     if (out.quick) {
         out.warmup = 2000;
         out.window = 6000;
     }
+    out.cache_dir = opts.getString("cache-dir");
+    if (out.cache_dir.empty()) {
+        if (const char *env = std::getenv("LOCSIM_CACHE_DIR"))
+            out.cache_dir = env;
+    }
+    out.no_cache = opts.getFlag("no-cache");
+    out.cache_stats = opts.getFlag("cache-stats");
+    if (!out.cache_dir.empty() && !out.no_cache) {
+        try {
+            out.sim_cache = std::make_shared<locsim::cache::SimCache>(
+                out.cache_dir);
+        } catch (const std::exception &e) {
+            LOCSIM_FATAL("--cache-dir rejected: ", e.what());
+        }
+    }
     return out;
+}
+
+/**
+ * Run one (config, warmup, window) simulation through the cache:
+ * serve the recorded Measurement on a hit, otherwise run the machine
+ * and record it. Falls back to an uncached run when the options
+ * disallow caching (no --cache-dir, or observability attached) — in
+ * which case @p out_tracer (optional) receives the machine's trace
+ * shard.
+ */
+inline machine::Measurement
+runCachedMeasurement(const HarnessOptions &options,
+                     const machine::MachineConfig &config,
+                     const workload::Mapping &mapping,
+                     std::shared_ptr<obs::Tracer> *out_tracer = nullptr)
+{
+    if (!options.cacheUsable()) {
+        machine::Machine machine(config, mapping);
+        const machine::Measurement m =
+            machine.run(options.warmup, options.window);
+        if (out_tracer != nullptr)
+            *out_tracer = machine.shareTracer();
+        return m;
+    }
+    const std::string key = locsim::cache::simKey(
+        config, mapping, options.warmup, options.window);
+    locsim::cache::SimCache &store = *options.sim_cache;
+    const std::vector<std::uint8_t> payload = store.getOrRun(key, [&] {
+        machine::Machine machine(config, mapping);
+        const machine::Measurement m =
+            machine.run(options.warmup, options.window);
+        util::Serializer s;
+        machine::saveMeasurement(s, m);
+        return s.takeBuffer();
+    });
+    try {
+        util::Deserializer d(payload);
+        machine::Measurement m = machine::loadMeasurement(d);
+        if (!d.atEnd())
+            throw std::runtime_error("trailing payload bytes");
+        return m;
+    } catch (const std::exception &) {
+        // Corrupt entry (torn write from a crashed run, foreign
+        // bytes): drop it and recompute once.
+        store.remove(key);
+        machine::Machine machine(config, mapping);
+        const machine::Measurement m =
+            machine.run(options.warmup, options.window);
+        util::Serializer s;
+        machine::saveMeasurement(s, m);
+        store.getOrRun(key, [&] { return s.takeBuffer(); });
+        return m;
+    }
+}
+
+/**
+ * Print the shared cache's counters to stderr (never stdout: warm
+ * and cold runs must produce byte-identical standard output). No-op
+ * unless --cache-stats and a cache are active.
+ */
+inline void
+maybeReportCacheStats(const HarnessOptions &options)
+{
+    if (!options.cache_stats || options.sim_cache == nullptr)
+        return;
+    const locsim::cache::CacheStats s = options.sim_cache->stats();
+    std::cerr << "cache-stats: hits=" << s.hits
+              << " misses=" << s.misses << " stores=" << s.stores
+              << " dedup_hits=" << s.dedup_hits << " dir="
+              << options.sim_cache->dir().string() << "\n";
 }
 
 /** Map the shared observability options onto a machine config. */
@@ -198,15 +329,15 @@ runValidationSims(const std::vector<int> &context_counts,
             machine::MachineConfig config;
             config.contexts = cell.contexts;
             applyObservability(config, options);
-            machine::Machine machine(config, cell.named->mapping);
             SimPoint point;
             point.mapping = cell.named->name;
             point.contexts = cell.contexts;
             point.distance = cell.named->avg_distance;
-            point.m = machine.run(options.warmup, options.window);
-            // The shard outlives the machine; shards are merged in
-            // grid order by maybeWriteTrace.
-            point.tracer = machine.shareTracer();
+            // Cached cells return the recorded measurement without
+            // simulating; the shard (tracing runs only, which bypass
+            // the cache) is merged in grid order by maybeWriteTrace.
+            point.m = runCachedMeasurement(
+                options, config, cell.named->mapping, &point.tracer);
             return point;
         },
         options.threads);

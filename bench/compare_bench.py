@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Compare micro_perf --json outputs against a committed baseline.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [CURRENT2.json ...]
+        [--threshold PCT] [--strict]
+
+When several CURRENT files are given (repeated runs), the median
+ns_per_op / allocs_per_op per benchmark is compared, which filters the
+run-to-run noise of a loaded CI box. A benchmark regresses when its
+median is more than --threshold percent (default 10) above the
+baseline. Allocation counts are near-deterministic, so any increase
+beyond the threshold is also flagged.
+
+Exit status: 0 when nothing regressed, or always 0 without --strict
+(report-only mode for informational CI steps); 1 with --strict when at
+least one benchmark regressed; 2 on malformed input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        return {b["name"]: b for b in doc["benchmarks"]}
+    except (OSError, ValueError, KeyError) as e:
+        print(f"compare_bench: cannot read {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def median_metric(runs, name, key):
+    values = [r[name][key] for r in runs
+              if name in r and key in r[name]]
+    return statistics.median(values) if values else None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="flag micro_perf regressions vs a baseline")
+    parser.add_argument("baseline")
+    parser.add_argument("current", nargs="+")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default: 10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 if any benchmark regressed")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    runs = [load(p) for p in args.current]
+
+    regressions = []
+    width = max((len(n) for n in baseline), default=4)
+    print(f"{'benchmark':<{width}}  {'base ns/op':>12} "
+          f"{'median ns/op':>12} {'delta':>8}")
+    for name, base in sorted(baseline.items()):
+        for key, label in (("ns_per_op", "ns/op"),
+                           ("allocs_per_op", "allocs/op")):
+            if key not in base:
+                continue
+            current = median_metric(runs, name, key)
+            if current is None:
+                if key == "ns_per_op":
+                    print(f"{name:<{width}}  "
+                          f"{base[key]:>12.4g} {'missing':>12}")
+                continue
+            delta = ((current - base[key]) / base[key] * 100.0
+                     if base[key] > 0 else 0.0)
+            if key == "ns_per_op":
+                print(f"{name:<{width}}  {base[key]:>12.4g} "
+                      f"{current:>12.4g} {delta:>+7.1f}%")
+            if delta > args.threshold:
+                regressions.append((name, label, base[key],
+                                    current, delta))
+
+    new_names = set(runs[0]) - set(baseline) if runs else set()
+    for name in sorted(new_names):
+        print(f"{name:<{width}}  {'(new)':>12}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:")
+        for name, label, base, cur, delta in regressions:
+            print(f"  {name} {label}: {base:.4g} -> {cur:.4g} "
+                  f"({delta:+.1f}%)")
+        if args.strict:
+            sys.exit(1)
+    else:
+        print("\nno regressions beyond "
+              f"{args.threshold:.0f}% threshold")
+
+
+if __name__ == "__main__":
+    main()

@@ -103,5 +103,6 @@ main(int argc, char **argv)
                      util::formatDouble(p.m.inter_message_time, 3)});
         }
     }
+    bench::maybeReportCacheStats(options);
     return 0;
 }

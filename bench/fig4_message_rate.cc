@@ -67,5 +67,6 @@ main(int argc, char **argv)
         for (const auto &row : csv_rows)
             csv.row(row);
     }
+    bench::maybeReportCacheStats(options);
     return 0;
 }

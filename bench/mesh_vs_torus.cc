@@ -43,8 +43,8 @@ main(int argc, char **argv)
         auto run = [&](bool wraparound) {
             machine::MachineConfig config;
             config.wraparound = wraparound;
-            machine::Machine machine(config, named.mapping);
-            return machine.run(options.warmup, options.window);
+            return bench::runCachedMeasurement(options, config,
+                                               named.mapping);
         };
         const auto torus = run(true);
         const auto mesh = run(false);
@@ -78,5 +78,6 @@ main(int argc, char **argv)
         for (const auto &row : csv_rows)
             csv.row(row);
     }
+    bench::maybeReportCacheStats(options);
     return 0;
 }

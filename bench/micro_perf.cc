@@ -14,7 +14,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,7 +34,155 @@
 
 using namespace locsim;
 
+/*
+ * Heap-allocation accounting: every global operator new bumps one
+ * relaxed atomic, so benchmarks can report allocs_per_op alongside
+ * ns/op (the number the arena work in src/util/arena.hh targets).
+ * All replaceable forms are overridden; deletes stay malloc/free
+ * compatible.
+ */
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+static void *
+countedAlloc(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+static void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    void *p = nullptr;
+    if (posix_memalign(&p, align, size ? size : 1) != 0)
+        return nullptr;
+    return p;
+}
+
+void *
+operator new(std::size_t size)
+{
+    if (void *p = countedAlloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    if (void *p = countedAlignedAlloc(
+            size, static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+// GCC pairs the free() below with individual new-expressions it
+// inlined and misdiagnoses mismatched-new-delete; with the global
+// operators replaced malloc/free-compatibly, the pairing is fine.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
 namespace {
+
+std::uint64_t
+heapAllocCount()
+{
+    return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/** Attach an allocs_per_op counter covering the timed loop. */
+void
+reportAllocs(benchmark::State &state, std::uint64_t before)
+{
+    const std::uint64_t after = heapAllocCount();
+    state.counters["allocs_per_op"] = benchmark::Counter(
+        static_cast<double>(after - before) /
+        static_cast<double>(state.iterations()));
+}
 
 void
 BM_CombinedModelBisection(benchmark::State &state)
@@ -83,8 +234,10 @@ BM_NetworkSimCycles(benchmark::State &state)
     traffic.injection_rate = 0.02;
     net::TrafficGenerator gen(network, traffic);
     engine.addClocked(&gen, 1);
+    const std::uint64_t allocs = heapAllocCount();
     for (auto _ : state)
         engine.run(100);
+    reportAllocs(state, allocs);
     state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_NetworkSimCycles)->Unit(benchmark::kMicrosecond);
@@ -119,14 +272,35 @@ BM_FullMachineCycles(benchmark::State &state)
     machine::Machine machine(
         config, workload::Mapping::random(64, 9));
     machine.engine().run(2000); // warm the caches/directories
+    const std::uint64_t allocs = heapAllocCount();
     for (auto _ : state)
         machine.engine().run(200);
+    reportAllocs(state, allocs);
     state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_FullMachineCycles)
     ->Arg(1)
     ->Arg(4)
     ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Build-and-tear-down cost of a full 64-node machine: the allocation
+ * count here is what the network arena (routers, flit rings, credit
+ * pipes from chained slabs) is meant to shrink.
+ */
+void
+BM_MachineConstruction(benchmark::State &state)
+{
+    machine::MachineConfig config;
+    const workload::Mapping mapping = workload::Mapping::random(64, 9);
+    const std::uint64_t allocs = heapAllocCount();
+    for (auto _ : state) {
+        machine::Machine machine(config, mapping);
+        benchmark::DoNotOptimize(&machine);
+    }
+    reportAllocs(state, allocs);
+}
+BENCHMARK(BM_MachineConstruction)->Unit(benchmark::kMicrosecond);
 
 /**
  * Same machine with message-level tracing enabled: measures the cost
@@ -178,6 +352,7 @@ class CollectingReporter : public benchmark::ConsoleReporter
         std::string name;
         double ns_per_op = 0.0;
         std::int64_t iterations = 0;
+        double allocs_per_op = -1.0; //!< <0 = not measured
     };
 
     void
@@ -195,6 +370,9 @@ class CollectingReporter : public benchmark::ConsoleReporter
                     run.real_accumulated_time /
                     static_cast<double>(run.iterations) * 1e9;
             }
+            const auto it = run.counters.find("allocs_per_op");
+            if (it != run.counters.end())
+                entry.allocs_per_op = it->second.value;
             entries.push_back(std::move(entry));
         }
         ConsoleReporter::ReportRuns(runs);
@@ -230,9 +408,13 @@ writeJson(const std::string &path,
         const auto &e = entries[i];
         std::fprintf(file,
                      "    {\"name\": \"%s\", \"ns_per_op\": %.6g, "
-                     "\"iterations\": %lld}%s\n",
+                     "\"iterations\": %lld",
                      escapeJson(e.name).c_str(), e.ns_per_op,
-                     static_cast<long long>(e.iterations),
+                     static_cast<long long>(e.iterations));
+        if (e.allocs_per_op >= 0.0)
+            std::fprintf(file, ", \"allocs_per_op\": %.6g",
+                         e.allocs_per_op);
+        std::fprintf(file, "}%s\n",
                      i + 1 < entries.size() ? "," : "");
     }
     std::fprintf(file, "  ]\n}\n");

@@ -43,8 +43,8 @@ main(int argc, char **argv)
         auto run = [&](const workload::Mapping &mapping) {
             machine::MachineConfig config;
             config.radix = radix;
-            machine::Machine machine(config, mapping);
-            return machine.run(options.warmup, options.window);
+            return bench::runCachedMeasurement(options, config,
+                                               mapping);
         };
         const auto ideal = run(workload::Mapping::identity(nodes));
         const auto random =
@@ -87,5 +87,6 @@ main(int argc, char **argv)
         for (const auto &row : csv_rows)
             csv.row(row);
     }
+    bench::maybeReportCacheStats(options);
     return 0;
 }

@@ -108,5 +108,6 @@ main(int argc, char **argv)
             csv.row(row);
     }
     bench::maybeWriteTrace(points, options);
+    bench::maybeReportCacheStats(options);
     return 0;
 }

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Content-addressed cache keys for simulation runs.
+ *
+ * A simulation's result is a pure function of its full configuration:
+ * topology, node/processor/coherence parameters, workload and its
+ * seeds, thread placement, and the warmup/window cycle budget. The
+ * key canonicalizes all of it into a byte string (via the same
+ * serializer the checkpoints use) and hashes it with SHA-256, so two
+ * harness cells with identical inputs share one cache entry and any
+ * parameter change — however small — misses cleanly.
+ *
+ * kCacheSchemaVersion is folded into the hash. Bump it whenever the
+ * simulator's behavior changes in any observable way (protocol
+ * timing, router arbitration, workload op sequence, Measurement
+ * layout): stale entries then simply stop being found, which is the
+ * only invalidation a content-addressed store needs.
+ */
+
+#ifndef LOCSIM_CACHE_KEY_HH_
+#define LOCSIM_CACHE_KEY_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "machine/machine.hh"
+#include "workload/mapping.hh"
+
+namespace locsim {
+namespace cache {
+
+/** Simulator behavior + payload layout version (see file comment). */
+inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+
+/**
+ * The cache key for "construct Machine(config, mapping), advance
+ * warmup processor cycles, measure a window of `window` cycles":
+ * 64 lowercase hex chars.
+ *
+ * Tracing and sampling knobs are deliberately excluded: runs with
+ * observability attached bypass the cache entirely (the caller
+ * enforces this), and a traced run's Measurement is identical to an
+ * untraced one.
+ */
+std::string simKey(const machine::MachineConfig &config,
+                   const workload::Mapping &mapping,
+                   std::uint64_t warmup, std::uint64_t window);
+
+} // namespace cache
+} // namespace locsim
+
+#endif // LOCSIM_CACHE_KEY_HH_

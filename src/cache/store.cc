@@ -1,0 +1,195 @@
+/**
+ * @file
+ * SimCache implementation.
+ */
+
+#include "cache/store.hh"
+
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace locsim {
+namespace cache {
+
+namespace fs = std::filesystem;
+
+SimCache::SimCache(const std::string &dir) : dir_(dir)
+{
+    if (dir.empty())
+        throw std::runtime_error("cache directory path is empty");
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        throw std::runtime_error("cannot create cache directory '" +
+                                 dir + "': " + ec.message());
+    }
+    // Probe writability now: a read-only cache directory should fail
+    // the run before any simulation time is spent.
+    const fs::path probe = dir_ / ".write-probe";
+    {
+        std::ofstream os(probe, std::ios::binary | std::ios::trunc);
+        os << "probe";
+        if (!os) {
+            throw std::runtime_error("cache directory '" + dir +
+                                     "' is not writable");
+        }
+    }
+    fs::remove(probe, ec);
+}
+
+fs::path
+SimCache::entryPath(const std::string &key) const
+{
+    return dir_ / (key + ".simcache");
+}
+
+std::optional<std::vector<std::uint8_t>>
+SimCache::lookup(const std::string &key) const
+{
+    std::ifstream is(entryPath(key),
+                     std::ios::binary | std::ios::ate);
+    if (!is)
+        return std::nullopt;
+    const std::streamsize size = is.tellg();
+    if (size < 0)
+        return std::nullopt;
+    std::vector<std::uint8_t> bytes(
+        static_cast<std::size_t>(size));
+    is.seekg(0);
+    if (!bytes.empty() &&
+        !is.read(reinterpret_cast<char *>(bytes.data()), size))
+        return std::nullopt;
+    return bytes;
+}
+
+void
+SimCache::remove(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(entryPath(key), ec);
+}
+
+void
+SimCache::storePayload(const std::string &key,
+                       const std::vector<std::uint8_t> &payload)
+{
+    std::uint64_t serial;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        serial = temp_counter_++;
+    }
+    // Write-then-rename: the rename is atomic within a filesystem, so
+    // a concurrent reader (including another process) sees either no
+    // entry or the whole payload, never a prefix.
+    const fs::path temp =
+        dir_ / (key + ".tmp." + std::to_string(serial));
+    {
+        std::ofstream os(temp, std::ios::binary | std::ios::trunc);
+        if (!payload.empty()) {
+            os.write(reinterpret_cast<const char *>(payload.data()),
+                     static_cast<std::streamsize>(payload.size()));
+        }
+        if (!os) {
+            std::error_code ec;
+            fs::remove(temp, ec);
+            throw std::runtime_error(
+                "cache store failed writing temp file for key " +
+                key);
+        }
+    }
+    std::error_code ec;
+    fs::rename(temp, entryPath(key), ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(temp, ec2);
+        throw std::runtime_error("cache store failed renaming key " +
+                                 key + ": " + ec.message());
+    }
+}
+
+std::vector<std::uint8_t>
+SimCache::getOrRun(
+    const std::string &key,
+    const std::function<std::vector<std::uint8_t>()> &compute)
+{
+    for (;;) {
+        std::shared_ptr<InFlight> flight;
+        bool owner = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = in_flight_.find(key);
+            if (it != in_flight_.end()) {
+                flight = it->second;
+            } else {
+                flight = std::make_shared<InFlight>();
+                in_flight_.emplace(key, flight);
+                owner = true;
+            }
+        }
+
+        if (!owner) {
+            std::unique_lock<std::mutex> fl(flight->mutex);
+            flight->done_cv.wait(fl, [&] { return flight->done; });
+            if (!flight->failed) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.dedup_hits;
+                return flight->payload;
+            }
+            // The computing thread threw; loop and race to become the
+            // next owner (or find the entry now on disk).
+            continue;
+        }
+
+        std::vector<std::uint8_t> payload;
+        bool from_disk = false;
+        try {
+            if (auto cached = lookup(key)) {
+                payload = std::move(*cached);
+                from_disk = true;
+            } else {
+                payload = compute();
+                storePayload(key, payload);
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> fl(flight->mutex);
+                flight->done = true;
+                flight->failed = true;
+            }
+            flight->done_cv.notify_all();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                in_flight_.erase(key);
+            }
+            throw;
+        }
+        {
+            std::lock_guard<std::mutex> fl(flight->mutex);
+            flight->done = true;
+            flight->payload = payload;
+        }
+        flight->done_cv.notify_all();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            in_flight_.erase(key);
+            if (from_disk) {
+                ++stats_.hits;
+            } else {
+                ++stats_.misses;
+                ++stats_.stores;
+            }
+        }
+        return payload;
+    }
+}
+
+CacheStats
+SimCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace cache
+} // namespace locsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The persistent simulation artifact store.
+ *
+ * A SimCache maps content hashes (see cache/key.hh) to opaque byte
+ * payloads on disk, one file per entry, with two concurrency
+ * guarantees:
+ *
+ *  - cross-process safety: entries are written to a temporary file
+ *    and atomically renamed into place, so readers never observe a
+ *    partial payload and concurrent writers of the same key simply
+ *    race to produce identical bytes;
+ *  - within-process dedup (singleflight): when several worker threads
+ *    request the same missing key simultaneously, exactly one runs
+ *    the compute function; the rest block and share its result.
+ *
+ * Payloads are opaque bytes; the harness layer decides what they mean
+ * (serialized Measurements, today). A corrupt or truncated entry is
+ * indistinguishable from a miss: the decode failure is the caller's
+ * to handle, typically by deleting and recomputing.
+ */
+
+#ifndef LOCSIM_CACHE_STORE_HH_
+#define LOCSIM_CACHE_STORE_HH_
+
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace locsim {
+namespace cache {
+
+/** Hit/miss accounting for one SimCache over its lifetime. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;       //!< served from disk
+    std::uint64_t misses = 0;     //!< computed (and stored)
+    std::uint64_t stores = 0;     //!< payloads written to disk
+    std::uint64_t dedup_hits = 0; //!< waited on a concurrent compute
+};
+
+/** A content-addressed byte store rooted at one directory. */
+class SimCache
+{
+  public:
+    /**
+     * Open (creating if needed) the store at @p dir.
+     *
+     * @throws std::runtime_error if the directory cannot be created
+     *         or is not writable — probed eagerly so a bad --cache-dir
+     *         fails before hours of simulation, not after.
+     */
+    explicit SimCache(const std::string &dir);
+
+    SimCache(const SimCache &) = delete;
+    SimCache &operator=(const SimCache &) = delete;
+
+    /**
+     * Return the payload for @p key: from disk on a hit, otherwise by
+     * invoking @p compute exactly once per process (concurrent
+     * requests for the same key wait and share) and persisting its
+     * result.
+     *
+     * If compute throws, the exception propagates to the caller that
+     * ran it; waiting threads retry (one of them becomes the next
+     * computer).
+     */
+    std::vector<std::uint8_t>
+    getOrRun(const std::string &key,
+             const std::function<std::vector<std::uint8_t>()> &compute);
+
+    /** Look up @p key on disk without computing. */
+    std::optional<std::vector<std::uint8_t>>
+    lookup(const std::string &key) const;
+
+    /** Remove @p key's entry, if present (corrupt-payload recovery). */
+    void remove(const std::string &key);
+
+    /** Lifetime hit/miss counters (thread-safe snapshot). */
+    CacheStats stats() const;
+
+    const std::filesystem::path &dir() const { return dir_; }
+
+  private:
+    struct InFlight
+    {
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        bool done = false;
+        bool failed = false;
+        std::vector<std::uint8_t> payload;
+    };
+
+    std::filesystem::path entryPath(const std::string &key) const;
+    void storePayload(const std::string &key,
+                      const std::vector<std::uint8_t> &payload);
+
+    std::filesystem::path dir_;
+    mutable std::mutex mutex_; //!< guards stats_ and in_flight_
+    CacheStats stats_;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>>
+        in_flight_;
+    std::uint64_t temp_counter_ = 0;
+};
+
+} // namespace cache
+} // namespace locsim
+
+#endif // LOCSIM_CACHE_STORE_HH_

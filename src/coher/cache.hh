@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "coher/protocol.hh"
+#include "util/serialize.hh"
 
 namespace locsim {
 namespace coher {
@@ -89,6 +90,34 @@ class Cache
 
     /** Count of resident (non-invalid) lines. */
     std::uint32_t residentLines() const;
+
+    /** Serialize all lines (geometry comes from the config). */
+    void
+    saveState(util::Serializer &s) const
+    {
+        s.put<std::uint64_t>(lines_.size());
+        for (const Line &line : lines_) {
+            s.put(line.valid);
+            s.put(line.addr);
+            s.put(line.state);
+            s.put(line.data);
+        }
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        const auto n = d.get<std::uint64_t>();
+        if (n != lines_.size())
+            throw std::runtime_error(
+                "Cache::loadState: geometry mismatch");
+        for (Line &line : lines_) {
+            line.valid = d.getBool();
+            line.addr = d.get<Addr>();
+            line.state = d.get<CacheState>();
+            line.data = d.get<std::uint64_t>();
+        }
+    }
 
   private:
     struct Line

@@ -5,12 +5,88 @@
 
 #include "coher/controller.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace locsim {
 namespace coher {
 
 namespace {
+
+/** Min-heap order (due, seq) for std::push_heap/pop_heap. */
+template <typename Pending>
+bool
+completesLater(const Pending &a, const Pending &b)
+{
+    if (a.due != b.due)
+        return a.due > b.due;
+    return a.seq > b.seq;
+}
+
+void
+saveProtoMsg(util::Serializer &s, const ProtoMsg &m)
+{
+    s.put(m.type);
+    s.put(m.addr);
+    s.put(m.sender);
+    s.put(m.data);
+    s.put(m.requester);
+    s.put(m.critical);
+}
+
+ProtoMsg
+loadProtoMsg(util::Deserializer &d)
+{
+    ProtoMsg m;
+    m.type = d.get<MsgType>();
+    m.addr = d.get<Addr>();
+    m.sender = d.get<sim::NodeId>();
+    m.data = d.get<std::uint64_t>();
+    m.requester = d.get<sim::NodeId>();
+    m.critical = d.get<int>();
+    return m;
+}
+
+void
+saveMemRequest(util::Serializer &s, const MemRequest &req)
+{
+    s.put(req.is_store);
+    s.put(req.addr);
+    s.put(req.store_value);
+    s.put(req.context);
+    s.put(req.wants_reply);
+}
+
+MemRequest
+loadMemRequest(util::Deserializer &d)
+{
+    MemRequest req;
+    req.is_store = d.getBool();
+    req.addr = d.get<Addr>();
+    req.store_value = d.get<std::uint64_t>();
+    req.context = d.get<int>();
+    req.wants_reply = d.getBool();
+    return req;
+}
+
+void
+saveMemResponse(util::Serializer &s, const MemResponse &resp)
+{
+    s.put(resp.context);
+    s.put(resp.load_value);
+    s.put(resp.was_transaction);
+}
+
+MemResponse
+loadMemResponse(util::Deserializer &d)
+{
+    MemResponse resp;
+    resp.context = d.get<int>();
+    resp.load_value = d.get<std::uint64_t>();
+    resp.was_transaction = d.getBool();
+    return resp;
+}
 
 /** Attribution class of a protocol message (net latency breakdown). */
 net::MessageClass
@@ -151,15 +227,64 @@ CacheController::tryFastPath(const MemRequest &req)
 }
 
 void
-CacheController::request(const MemRequest &req, CompletionFn done)
+CacheController::request(const MemRequest &req)
 {
-    LOCSIM_ASSERT(done, "null completion callback");
-    proc_queue_.emplace_back(req, std::move(done));
+    proc_queue_.push_back(req);
+}
+
+void
+CacheController::deliver(const MemResponse &resp, bool wants_reply)
+{
+    if (!wants_reply)
+        return;
+    LOCSIM_ASSERT(client_ != nullptr,
+                  "completion with no MemClient attached");
+    client_->memComplete(resp);
+}
+
+void
+CacheController::queueCompletion(const MemResponse &resp,
+                                 std::uint32_t delay_cycles,
+                                 bool wants_reply)
+{
+    if (!wants_reply)
+        return;
+    PendingCompletion pc;
+    pc.due = engine_.now() + static_cast<sim::Tick>(delay_cycles) *
+                                 ticks_per_cycle_;
+    pc.seq = completion_seq_++;
+    pc.resp = resp;
+    pending_completions_.push_back(pc);
+    std::push_heap(pending_completions_.begin(),
+                   pending_completions_.end(),
+                   completesLater<PendingCompletion>);
+    // Captureless wakeup so Activity-mode fast-forward stops at the
+    // due tick even when every component is otherwise idle.
+    engine_.events().schedule(pc.due, [] {});
+}
+
+void
+CacheController::drainCompletions(sim::Tick now)
+{
+    while (!pending_completions_.empty() &&
+           pending_completions_.front().due <= now) {
+        std::pop_heap(pending_completions_.begin(),
+                      pending_completions_.end(),
+                      completesLater<PendingCompletion>);
+        const MemResponse resp = pending_completions_.back().resp;
+        pending_completions_.pop_back();
+        deliver(resp, true);
+    }
 }
 
 void
 CacheController::tick(sim::Tick now)
 {
+    // Completions first: they only touch processor-side context state,
+    // and must land regardless of controller occupancy (the old
+    // event-queue completions also ignored busy_until_).
+    drainCompletions(now);
+
     // Receive from the network every cycle (dedicated hardware path).
     while (auto msg = network_.receive(node_))
         inbox_.push_back(transport_.take(msg->payload));
@@ -191,16 +316,15 @@ CacheController::tick(sim::Tick now)
         }
         handleProtocolMessage(msg);
     } else if (!proc_queue_.empty()) {
-        auto [req, done] = std::move(proc_queue_.front());
+        const MemRequest req = proc_queue_.front();
         proc_queue_.pop_front();
         busyFor(config_.occupancy);
-        handleProcessorRequest(req, std::move(done));
+        handleProcessorRequest(req);
     }
 }
 
 void
-CacheController::handleProcessorRequest(const MemRequest &req,
-                                        CompletionFn done)
+CacheController::handleProcessorRequest(const MemRequest &req)
 {
     (req.is_store ? stats_.stores : stats_.loads).inc();
 
@@ -217,34 +341,29 @@ CacheController::handleProcessorRequest(const MemRequest &req,
         resp.context = req.context;
         resp.load_value = hit.data;
         resp.was_transaction = false;
-        engine_.events().schedule(
-            engine_.now() + static_cast<sim::Tick>(
-                                config_.hit_latency) *
-                                ticks_per_cycle_,
-            [done = std::move(done), resp] { done(resp); });
+        queueCompletion(resp, config_.hit_latency, req.wants_reply);
         return;
     }
 
     const Addr line = lineOf(req.addr);
     if (auto it = mshrs_.find(line); it != mshrs_.end()) {
-        it->second.deferred.emplace_back(req, std::move(done));
+        it->second.deferred.push_back(req);
         return;
     }
 
     if (homeOf(req.addr) == node_) {
-        homeLocalAccess(req, std::move(done));
+        homeLocalAccess(req);
     } else {
-        startMiss(req, std::move(done));
+        startMiss(req);
     }
 }
 
 void
-CacheController::startMiss(const MemRequest &req, CompletionFn done)
+CacheController::startMiss(const MemRequest &req)
 {
     const Addr line = lineOf(req.addr);
     Mshr mshr;
     mshr.req = req;
-    mshr.done = std::move(done);
     mshr.issued = engine_.now();
     mshrs_.emplace(line, std::move(mshr));
     recordTxnIssue();
@@ -358,12 +477,11 @@ CacheController::invalidateSharers(DirEntry &entry, Addr addr,
 }
 
 void
-CacheController::homeLocalAccess(const MemRequest &req,
-                                 CompletionFn done)
+CacheController::homeLocalAccess(const MemRequest &req)
 {
     const Addr line = lineOf(req.addr);
     if (auto it = home_txns_.find(line); it != home_txns_.end()) {
-        it->second.local_deferred.emplace_back(req, std::move(done));
+        it->second.local_deferred.push_back(req);
         return;
     }
 
@@ -379,12 +497,8 @@ CacheController::homeLocalAccess(const MemRequest &req,
         resp.load_value = value;
         resp.was_transaction = false;
         busyFor(config_.mem_latency);
-        engine_.events().schedule(
-            engine_.now() +
-                static_cast<sim::Tick>(config_.mem_latency +
-                                       extra_cycles) *
-                    ticks_per_cycle_,
-            [done, resp] { done(resp); });
+        queueCompletion(resp, config_.mem_latency + extra_cycles,
+                        req.wants_reply);
     };
 
     if (!req.is_store) {
@@ -403,7 +517,6 @@ CacheController::homeLocalAccess(const MemRequest &req,
         txn.requester = node_;
         txn.waiting_fetch = true;
         txn.local_req = req;
-        txn.local_done = std::move(done);
         txn.issued = engine_.now();
         home_txns_.emplace(line, std::move(txn));
         recordTxnIssue();
@@ -418,7 +531,6 @@ CacheController::homeLocalAccess(const MemRequest &req,
         txn.requester = node_;
         txn.waiting_fetch = true;
         txn.local_req = req;
-        txn.local_done = std::move(done);
         txn.issued = engine_.now();
         home_txns_.emplace(line, std::move(txn));
         recordTxnIssue();
@@ -434,7 +546,6 @@ CacheController::homeLocalAccess(const MemRequest &req,
         txn.requester = node_;
         txn.pending_acks = invs;
         txn.local_req = req;
-        txn.local_done = std::move(done);
         txn.issued = engine_.now();
         home_txns_.emplace(line, std::move(txn));
         recordTxnIssue();
@@ -678,12 +789,8 @@ CacheController::finishLocalTxn(HomeTxn &txn, std::uint64_t value)
     resp.context = txn.local_req.context;
     resp.load_value = value;
     resp.was_transaction = true;
-    auto done = std::move(txn.local_done);
-    engine_.events().schedule(
-        engine_.now() +
-            static_cast<sim::Tick>(config_.mem_latency) *
-                ticks_per_cycle_,
-        [done = std::move(done), resp] { done(resp); });
+    queueCompletion(resp, config_.mem_latency,
+                    txn.local_req.wants_reply);
 }
 
 void
@@ -698,7 +805,7 @@ CacheController::releaseHomeTxn(Addr line)
     home_txns_.erase(it);
     for (auto rit = local_deferred.rbegin();
          rit != local_deferred.rend(); ++rit) {
-        proc_queue_.emplace_front(std::move(*rit));
+        proc_queue_.push_front(*rit);
     }
     for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit)
         inbox_.push_front(*rit);
@@ -734,12 +841,12 @@ CacheController::handleGrant(const ProtoMsg &msg, bool exclusive)
     resp.context = mshr.req.context;
     resp.load_value = value;
     resp.was_transaction = true;
-    mshr.done(resp);
+    deliver(resp, mshr.req.wants_reply);
 
     auto deferred = std::move(mshr.deferred);
     mshrs_.erase(it);
     for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit)
-        proc_queue_.emplace_front(std::move(*rit));
+        proc_queue_.push_front(*rit);
 }
 
 void
@@ -757,6 +864,184 @@ CacheController::quiescent() const
 {
     return mshrs_.empty() && home_txns_.empty() && inbox_.empty() &&
            proc_queue_.empty() && outbox_.empty();
+}
+
+void
+ProtoTransport::saveState(util::Serializer &s) const
+{
+    s.put<std::uint64_t>(slots_.size());
+    for (const ProtoMsg &msg : slots_)
+        saveProtoMsg(s, msg);
+    s.put<std::uint64_t>(free_.size());
+    for (std::uint64_t handle : free_)
+        s.put(handle);
+    s.put<std::uint64_t>(in_flight_);
+}
+
+void
+ProtoTransport::loadState(util::Deserializer &d)
+{
+    slots_.resize(d.get<std::uint64_t>());
+    for (ProtoMsg &msg : slots_)
+        msg = loadProtoMsg(d);
+    free_.resize(d.get<std::uint64_t>());
+    for (std::uint64_t &handle : free_)
+        handle = d.get<std::uint64_t>();
+    in_flight_ = static_cast<std::size_t>(d.get<std::uint64_t>());
+}
+
+void
+CacheController::saveState(util::Serializer &s) const
+{
+    cache_.saveState(s);
+    directory_.saveState(s);
+
+    s.put<std::uint64_t>(inbox_.size());
+    for (const ProtoMsg &msg : inbox_)
+        saveProtoMsg(s, msg);
+
+    s.put<std::uint64_t>(proc_queue_.size());
+    for (const MemRequest &req : proc_queue_)
+        saveMemRequest(s, req);
+
+    s.put<std::uint64_t>(outbox_.size());
+    for (const StagedSend &staged : outbox_) {
+        s.put(staged.ready);
+        net::saveMessage(s, staged.msg);
+    }
+
+    // Map contents sorted by line so the stream is independent of
+    // unordered_map iteration order.
+    {
+        std::vector<Addr> keys;
+        keys.reserve(mshrs_.size());
+        for (const auto &kv : mshrs_)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        s.put<std::uint64_t>(keys.size());
+        for (Addr key : keys) {
+            const Mshr &mshr = mshrs_.at(key);
+            s.put(key);
+            saveMemRequest(s, mshr.req);
+            s.put(mshr.issued);
+            s.put<std::uint64_t>(mshr.deferred.size());
+            for (const MemRequest &req : mshr.deferred)
+                saveMemRequest(s, req);
+        }
+    }
+    {
+        std::vector<Addr> keys;
+        keys.reserve(home_txns_.size());
+        for (const auto &kv : home_txns_)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        s.put<std::uint64_t>(keys.size());
+        for (Addr key : keys) {
+            const HomeTxn &txn = home_txns_.at(key);
+            s.put(key);
+            s.put(txn.kind);
+            s.put(txn.requester);
+            s.put(txn.pending_acks);
+            s.put(txn.waiting_fetch);
+            s.put<std::uint64_t>(txn.deferred.size());
+            for (const ProtoMsg &msg : txn.deferred)
+                saveProtoMsg(s, msg);
+            s.put<std::uint64_t>(txn.local_deferred.size());
+            for (const MemRequest &req : txn.local_deferred)
+                saveMemRequest(s, req);
+            saveMemRequest(s, txn.local_req);
+            s.put(txn.issued);
+        }
+    }
+
+    // The heap vector is serialized verbatim: it is already a valid
+    // heap and its layout is deterministic (same simulation history).
+    s.put<std::uint64_t>(pending_completions_.size());
+    for (const PendingCompletion &pc : pending_completions_) {
+        s.put(pc.due);
+        s.put(pc.seq);
+        saveMemResponse(s, pc.resp);
+    }
+    s.put(completion_seq_);
+
+    s.put(busy_until_);
+    s.put(last_txn_issue_);
+    stats_.saveState(s);
+}
+
+void
+CacheController::loadState(util::Deserializer &d)
+{
+    cache_.loadState(d);
+    directory_.loadState(d);
+
+    inbox_.clear();
+    for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n; ++i)
+        inbox_.push_back(loadProtoMsg(d));
+
+    proc_queue_.clear();
+    for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n; ++i)
+        proc_queue_.push_back(loadMemRequest(d));
+
+    outbox_.clear();
+    for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n;
+         ++i) {
+        StagedSend staged;
+        staged.ready = d.get<sim::Tick>();
+        staged.msg = net::loadMessage(d);
+        outbox_.push_back(staged);
+    }
+
+    mshrs_.clear();
+    for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n;
+         ++i) {
+        const Addr key = d.get<Addr>();
+        Mshr mshr;
+        mshr.req = loadMemRequest(d);
+        mshr.issued = d.get<sim::Tick>();
+        for (std::uint64_t j = 0, m = d.get<std::uint64_t>(); j < m;
+             ++j)
+            mshr.deferred.push_back(loadMemRequest(d));
+        mshrs_.emplace(key, std::move(mshr));
+    }
+
+    home_txns_.clear();
+    for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n;
+         ++i) {
+        const Addr key = d.get<Addr>();
+        HomeTxn txn;
+        txn.kind = d.get<HomeTxn::Kind>();
+        txn.requester = d.get<sim::NodeId>();
+        txn.pending_acks = d.get<int>();
+        txn.waiting_fetch = d.getBool();
+        for (std::uint64_t j = 0, m = d.get<std::uint64_t>(); j < m;
+             ++j)
+            txn.deferred.push_back(loadProtoMsg(d));
+        for (std::uint64_t j = 0, m = d.get<std::uint64_t>(); j < m;
+             ++j)
+            txn.local_deferred.push_back(loadMemRequest(d));
+        txn.local_req = loadMemRequest(d);
+        txn.issued = d.get<sim::Tick>();
+        home_txns_.emplace(key, std::move(txn));
+    }
+
+    pending_completions_.clear();
+    for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n;
+         ++i) {
+        PendingCompletion pc;
+        pc.due = d.get<sim::Tick>();
+        pc.seq = d.get<std::uint64_t>();
+        pc.resp = loadMemResponse(d);
+        pending_completions_.push_back(pc);
+        // Re-arm the wakeup that the serialized event queue dropped
+        // (the queue itself is not checkpointed; see Machine docs).
+        engine_.events().schedule(pc.due, [] {});
+    }
+    completion_seq_ = d.get<std::uint64_t>();
+
+    busy_until_ = d.get<sim::Tick>();
+    last_txn_issue_ = d.get<sim::Tick>();
+    stats_.loadState(d);
 }
 
 } // namespace coher

@@ -31,7 +31,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -44,6 +43,7 @@
 #include "net/network.hh"
 #include "sim/engine.hh"
 #include "stats/stats.hh"
+#include "util/serialize.hh"
 
 namespace locsim {
 namespace coher {
@@ -64,6 +64,10 @@ class ProtoTransport
     /** Messages currently in flight (diagnostics). */
     std::size_t inFlight() const { return in_flight_; }
 
+    /** Serialize the transport (checkpoint support). */
+    void saveState(util::Serializer &s) const;
+    void loadState(util::Deserializer &d);
+
   private:
     std::vector<ProtoMsg> slots_;
     std::vector<std::uint64_t> free_;
@@ -77,6 +81,11 @@ struct MemRequest
     Addr addr = 0;
     std::uint64_t store_value = 0;
     int context = 0;
+    /**
+     * False for fire-and-forget accesses (prefetch): the access runs
+     * the full protocol but no completion is delivered to the client.
+     */
+    bool wants_reply = true;
 };
 
 /** Outcome delivered to the processor when a request completes. */
@@ -86,6 +95,23 @@ struct MemResponse
     std::uint64_t load_value = 0;
     /** True if satisfying the request required network messages. */
     bool was_transaction = false;
+};
+
+/**
+ * Consumer of memory completions (implemented by proc::Processor and
+ * test harnesses). Replaces per-request completion closures: keeping
+ * the controller's pending work as plain data (request + response
+ * records instead of captured std::functions) is what makes
+ * checkpoint/restore possible, and it removes a heap allocation per
+ * completion from the hot path.
+ */
+class MemClient
+{
+  public:
+    virtual ~MemClient() = default;
+
+    /** A request submitted via CacheController::request() finished. */
+    virtual void memComplete(const MemResponse &resp) = 0;
 };
 
 /** Per-controller statistics. */
@@ -108,14 +134,44 @@ struct ControllerStats
     stats::Counter writebacks;
     /** LimitLESS software-directory traps at this home. */
     stats::Counter limitless_traps;
+
+    void
+    saveState(util::Serializer &s) const
+    {
+        loads.saveState(s);
+        stores.saveState(s);
+        hits.saveState(s);
+        transactions.saveState(s);
+        messages_sent.saveState(s);
+        txn_latency.saveState(s);
+        critical_messages.saveState(s);
+        txn_spacing.saveState(s);
+        evictions.saveState(s);
+        writebacks.saveState(s);
+        limitless_traps.saveState(s);
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        loads.loadState(d);
+        stores.loadState(d);
+        hits.loadState(d);
+        transactions.loadState(d);
+        messages_sent.loadState(d);
+        txn_latency.loadState(d);
+        critical_messages.loadState(d);
+        txn_spacing.loadState(d);
+        evictions.loadState(d);
+        writebacks.loadState(d);
+        limitless_traps.loadState(d);
+    }
 };
 
 /** The memory-side controller for one node. */
 class CacheController : public sim::Clocked
 {
   public:
-    using CompletionFn = std::function<void(const MemResponse &)>;
-
     /**
      * @param engine shared simulation engine (for timestamps).
      * @param network fabric this node attaches to.
@@ -139,13 +195,34 @@ class CacheController : public sim::Clocked
     std::optional<MemResponse> tryFastPath(const MemRequest &req);
 
     /**
-     * Submit a processor request. The completion callback fires when
-     * the access is satisfied (possibly the same tick for hits).
-     * At most one request per context may be outstanding.
+     * Attach the completion consumer. Must be set before the first
+     * request with wants_reply completes. Not owned; must outlive the
+     * controller while attached.
      */
-    void request(const MemRequest &req, CompletionFn done);
+    void setClient(MemClient *client) { client_ = client; }
+
+    /**
+     * Submit a processor request. The client's memComplete() fires
+     * when the access is satisfied (never before the controller's
+     * next tick). At most one request per context may be outstanding.
+     */
+    void request(const MemRequest &req);
 
     void tick(sim::Tick now) override;
+
+    /**
+     * Serialize all dynamic state (cache, directory, queues, MSHRs,
+     * home transients, pending completions, stats). Topology/config
+     * state is reconstructed from the configuration, not serialized.
+     */
+    void saveState(util::Serializer &s) const;
+
+    /**
+     * Restore state written by saveState() into a freshly constructed
+     * controller with the same configuration; re-schedules completion
+     * wakeup events into the engine (call after Engine::restoreTime).
+     */
+    void loadState(util::Deserializer &d);
 
     const ControllerStats &stats() const { return stats_; }
     ControllerStats &stats() { return stats_; }
@@ -180,10 +257,9 @@ class CacheController : public sim::Clocked
     struct Mshr
     {
         MemRequest req;
-        CompletionFn done;
         sim::Tick issued = 0;
         /** Requests for the same line arriving while busy. */
-        std::deque<std::pair<MemRequest, CompletionFn>> deferred;
+        std::deque<MemRequest> deferred;
     };
 
     /** Home-side transient for one line. */
@@ -202,20 +278,26 @@ class CacheController : public sim::Clocked
         /** Deferred same-line requests from the network. */
         std::deque<ProtoMsg> deferred;
         /** Deferred same-line local requests. */
-        std::deque<std::pair<MemRequest, CompletionFn>> local_deferred;
+        std::deque<MemRequest> local_deferred;
         /** For Local* kinds: the processor request being served. */
         MemRequest local_req;
-        CompletionFn local_done;
         /** Issue tick of the local transaction (for latency stats). */
         sim::Tick issued = 0;
     };
 
-    void handleProcessorRequest(const MemRequest &req,
-                                CompletionFn done);
+    /** A completion waiting for its due tick (min-heap by due, seq). */
+    struct PendingCompletion
+    {
+        sim::Tick due = 0;
+        std::uint64_t seq = 0;
+        MemResponse resp;
+    };
+
+    void handleProcessorRequest(const MemRequest &req);
     void handleProtocolMessage(const ProtoMsg &msg);
 
     // Requester-side handlers.
-    void startMiss(const MemRequest &req, CompletionFn done);
+    void startMiss(const MemRequest &req);
     void handleGrant(const ProtoMsg &msg, bool exclusive);
     void handleInv(const ProtoMsg &msg);
     void handleFetch(const ProtoMsg &msg, bool invalidate);
@@ -225,7 +307,7 @@ class CacheController : public sim::Clocked
     void homeGetX(const ProtoMsg &msg);
     void homeInvAck(const ProtoMsg &msg);
     void homeFetchReply(const ProtoMsg &msg, bool is_putx);
-    void homeLocalAccess(const MemRequest &req, CompletionFn done);
+    void homeLocalAccess(const MemRequest &req);
     void completeHomeTxn(Addr line, HomeTxn &txn);
     void finishLocalTxn(HomeTxn &txn, std::uint64_t value);
     void releaseHomeTxn(Addr line);
@@ -259,6 +341,24 @@ class CacheController : public sim::Clocked
 
     void busyFor(std::uint32_t cycles);
 
+    /**
+     * Deliver @p resp to the client now (synchronous completion, e.g.
+     * a network grant). No-op when the request asked for no reply.
+     */
+    void deliver(const MemResponse &resp, bool wants_reply);
+
+    /**
+     * Queue @p resp for delivery after @p delay_cycles processor
+     * cycles. A captureless wakeup event keeps fast-forward honest
+     * (the engine must not skip past the due tick); the payload lives
+     * in pending_completions_, which is serializable plain data.
+     */
+    void queueCompletion(const MemResponse &resp,
+                         std::uint32_t delay_cycles, bool wants_reply);
+
+    /** Deliver every queued completion whose due tick has arrived. */
+    void drainCompletions(sim::Tick now);
+
     sim::Engine &engine_;
     net::Network &network_;
     ProtoTransport &transport_;
@@ -270,7 +370,7 @@ class CacheController : public sim::Clocked
     Directory directory_;
 
     std::deque<ProtoMsg> inbox_;
-    std::deque<std::pair<MemRequest, CompletionFn>> proc_queue_;
+    std::deque<MemRequest> proc_queue_;
     struct StagedSend
     {
         sim::Tick ready = 0;
@@ -281,6 +381,12 @@ class CacheController : public sim::Clocked
     std::unordered_map<Addr, Mshr> mshrs_;
     std::unordered_map<Addr, HomeTxn> home_txns_;
 
+    /** Heap of delayed completions ordered by (due, seq). */
+    std::vector<PendingCompletion> pending_completions_;
+    /** Preserves delivery order among same-tick completions. */
+    std::uint64_t completion_seq_ = 0;
+
+    MemClient *client_ = nullptr;
     sim::Tick busy_until_ = 0;
     sim::Tick last_txn_issue_ = sim::kTickNever;
     ProtocolTracer *tracer_ = nullptr;

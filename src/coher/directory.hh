@@ -11,11 +11,13 @@
 #ifndef LOCSIM_COHER_DIRECTORY_HH_
 #define LOCSIM_COHER_DIRECTORY_HH_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "coher/protocol.hh"
+#include "util/serialize.hh"
 
 namespace locsim {
 namespace coher {
@@ -66,6 +68,53 @@ class Directory
 
     /** Number of entries materialized (diagnostics). */
     std::size_t entryCount() const { return entries_.size(); }
+
+    /**
+     * Serialize entries sorted by address so the byte stream is
+     * independent of unordered_map iteration order. Sharer vectors
+     * keep their insertion order — it determines Inv send order, so
+     * it is part of the simulation state.
+     */
+    void
+    saveState(util::Serializer &s) const
+    {
+        std::vector<Addr> keys;
+        keys.reserve(entries_.size());
+        for (const auto &kv : entries_)
+            keys.push_back(kv.first);
+        std::sort(keys.begin(), keys.end());
+        s.put<std::uint64_t>(keys.size());
+        for (Addr key : keys) {
+            const DirEntry &entry = entries_.at(key);
+            s.put(key);
+            s.put(entry.state);
+            s.put<std::uint32_t>(
+                static_cast<std::uint32_t>(entry.sharers.size()));
+            for (sim::NodeId sharer : entry.sharers)
+                s.put(sharer);
+            s.put(entry.owner);
+            s.put(entry.memory);
+        }
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        entries_.clear();
+        const auto n = d.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr key = d.get<Addr>();
+            DirEntry entry;
+            entry.state = d.get<DirState>();
+            const auto sharer_count = d.get<std::uint32_t>();
+            entry.sharers.reserve(sharer_count);
+            for (std::uint32_t j = 0; j < sharer_count; ++j)
+                entry.sharers.push_back(d.get<sim::NodeId>());
+            entry.owner = d.get<sim::NodeId>();
+            entry.memory = d.get<std::uint64_t>();
+            entries_.emplace(key, std::move(entry));
+        }
+    }
 
   private:
     sim::NodeId home_;

@@ -200,8 +200,20 @@ Machine::writeTrace(std::ostream &os) const
 Measurement
 Machine::run(std::uint64_t warmup, std::uint64_t window)
 {
+    advance(warmup);
+    return measure(window);
+}
+
+void
+Machine::advance(std::uint64_t cycles)
+{
+    engine_.run(cycles * config_.net_clock_ratio);
+}
+
+Measurement
+Machine::measure(std::uint64_t window)
+{
     const std::uint64_t ratio = config_.net_clock_ratio;
-    engine_.run(warmup * ratio);
     resetStats();
     const sim::Tick start = engine_.now();
     engine_.run(window * ratio);
@@ -293,6 +305,142 @@ Machine::run(std::uint64_t warmup, std::uint64_t window)
     }
     m.iterations = iterations;
     m.violations = violations;
+    return m;
+}
+
+namespace {
+
+/** Checkpoint framing: magic + layout version. Bump the version on
+ *  any change to the serialized layout of any component. */
+constexpr std::uint32_t kCheckpointMagic = 0x4b43534c; // "LSCK"
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+} // namespace
+
+std::vector<std::uint8_t>
+Machine::saveCheckpoint() const
+{
+    LOCSIM_ASSERT(tracer_ == nullptr && sampler_ == nullptr,
+                  "cannot checkpoint with tracing or sampling on");
+
+    util::Serializer s;
+    s.put(kCheckpointMagic);
+    s.put(kCheckpointVersion);
+    s.put(engine_.now());
+    s.put(engine_.skippedTicks());
+    transport_.saveState(s);
+    network_->saveState(s);
+    for (const auto &controller : controllers_)
+        controller->saveState(s);
+    for (const auto &processor : processors_)
+        processor->saveState(s);
+    for (const auto &program : programs_)
+        program->saveState(s);
+    return s.takeBuffer();
+}
+
+void
+Machine::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
+{
+    LOCSIM_ASSERT(tracer_ == nullptr && sampler_ == nullptr,
+                  "cannot restore with tracing or sampling on");
+    LOCSIM_ASSERT(engine_.now() == 0,
+                  "restoreCheckpoint requires a fresh machine");
+
+    util::Deserializer d(bytes);
+    if (d.get<std::uint32_t>() != kCheckpointMagic)
+        throw std::runtime_error("checkpoint: bad magic");
+    if (d.get<std::uint32_t>() != kCheckpointVersion)
+        throw std::runtime_error("checkpoint: version mismatch");
+
+    const auto now = d.get<sim::Tick>();
+    const auto skipped = d.get<sim::Tick>();
+    // Time first: controllers re-arm their completion wakeups during
+    // loadState, and restoreTime requires an empty event queue.
+    engine_.restoreTime(now, skipped);
+    transport_.loadState(d);
+    network_->loadState(d);
+    for (auto &controller : controllers_)
+        controller->loadState(d);
+    for (auto &processor : processors_)
+        processor->loadState(d);
+    for (auto &program : programs_)
+        program->loadState(d);
+    if (!d.atEnd())
+        throw std::runtime_error("checkpoint: trailing bytes");
+}
+
+void
+saveMeasurement(util::Serializer &s, const Measurement &m)
+{
+    s.putDouble(m.window);
+    s.put(m.transactions);
+    s.put(m.messages);
+    s.putDouble(m.inter_txn_time);
+    s.putDouble(m.txn_latency);
+    s.putDouble(m.txn_rate);
+    s.putDouble(m.inter_message_time);
+    s.putDouble(m.message_latency);
+    s.putDouble(m.message_latency_p50);
+    s.putDouble(m.message_latency_p95);
+    s.putDouble(m.message_rate);
+    s.putDouble(m.source_queue_wait);
+    s.putDouble(m.avg_hops);
+    s.putDouble(m.utilization);
+    s.putDouble(m.avg_flits);
+    s.putDouble(m.messages_per_txn);
+    s.putDouble(m.critical_messages);
+    s.putDouble(m.run_length);
+    s.putDouble(m.switch_overhead);
+    s.putDouble(m.fitted_fixed_overhead);
+    s.putDouble(m.hit_rate);
+    s.put(m.iterations);
+    s.put(m.violations);
+    for (const net::ClassAttribution &attr : m.attribution) {
+        s.put(attr.count);
+        s.putDouble(attr.latency);
+        s.putDouble(attr.serialization);
+        s.putDouble(attr.hops);
+        s.putDouble(attr.contention);
+        s.putDouble(attr.stalls);
+    }
+}
+
+Measurement
+loadMeasurement(util::Deserializer &d)
+{
+    Measurement m;
+    m.window = d.getDouble();
+    m.transactions = d.get<std::uint64_t>();
+    m.messages = d.get<std::uint64_t>();
+    m.inter_txn_time = d.getDouble();
+    m.txn_latency = d.getDouble();
+    m.txn_rate = d.getDouble();
+    m.inter_message_time = d.getDouble();
+    m.message_latency = d.getDouble();
+    m.message_latency_p50 = d.getDouble();
+    m.message_latency_p95 = d.getDouble();
+    m.message_rate = d.getDouble();
+    m.source_queue_wait = d.getDouble();
+    m.avg_hops = d.getDouble();
+    m.utilization = d.getDouble();
+    m.avg_flits = d.getDouble();
+    m.messages_per_txn = d.getDouble();
+    m.critical_messages = d.getDouble();
+    m.run_length = d.getDouble();
+    m.switch_overhead = d.getDouble();
+    m.fitted_fixed_overhead = d.getDouble();
+    m.hit_rate = d.getDouble();
+    m.iterations = d.get<std::uint64_t>();
+    m.violations = d.get<std::uint64_t>();
+    for (net::ClassAttribution &attr : m.attribution) {
+        attr.count = d.get<std::uint64_t>();
+        attr.latency = d.getDouble();
+        attr.serialization = d.getDouble();
+        attr.hops = d.getDouble();
+        attr.contention = d.getDouble();
+        attr.stalls = d.getDouble();
+    }
     return m;
 }
 

@@ -24,6 +24,7 @@
 #include "obs/trace.hh"
 #include "proc/processor.hh"
 #include "sim/engine.hh"
+#include "util/serialize.hh"
 #include "workload/comm_graph.hh"
 #include "workload/graph_app.hh"
 #include "workload/mapping.hh"
@@ -149,6 +150,14 @@ struct Measurement
         attribution{};
 };
 
+/**
+ * Serialize a Measurement bit-exactly (doubles round-trip through
+ * their IEEE-754 bit patterns). This is the payload format of the
+ * content-addressed simulation cache.
+ */
+void saveMeasurement(util::Serializer &s, const Measurement &m);
+Measurement loadMeasurement(util::Deserializer &d);
+
 /** The assembled machine. */
 class Machine
 {
@@ -170,8 +179,39 @@ class Machine
     /**
      * Run @p warmup processor cycles, reset statistics, run
      * @p window processor cycles, and report measurements.
+     * Equivalent to advance(warmup) followed by measure(window).
      */
     Measurement run(std::uint64_t warmup, std::uint64_t window);
+
+    /** Advance @p cycles processor cycles without touching stats. */
+    void advance(std::uint64_t cycles);
+
+    /**
+     * Reset statistics, run @p window processor cycles, and report
+     * measurements over that window.
+     */
+    Measurement measure(std::uint64_t window);
+
+    /**
+     * Serialize the complete simulation state — timeline, transport,
+     * network fabric, every controller, processor, and workload
+     * program — so the run can later be resumed on a freshly
+     * constructed Machine with identical configuration. Restoring and
+     * continuing is bit-identical to never having stopped.
+     *
+     * Requires tracing and sampling off (their state references live
+     * tracks and rate windows that cannot survive a restore).
+     */
+    std::vector<std::uint8_t> saveCheckpoint() const;
+
+    /**
+     * Restore state saved by saveCheckpoint(). Must be called on a
+     * freshly constructed Machine (time still at zero) with the same
+     * configuration and mapping as the saving machine.
+     *
+     * @throws std::runtime_error on a malformed or mismatched image.
+     */
+    void restoreCheckpoint(const std::vector<std::uint8_t> &bytes);
 
     const MachineConfig &config() const { return config_; }
     sim::Engine &engine() { return engine_; }

@@ -100,6 +100,33 @@ class FlitRing : public sim::Rotatable
         mid_ = tail_;
     }
 
+    /**
+     * Serialize the occupied region with its raw monotonic indices,
+     * so a restored ring is index-for-index identical (required for
+     * save -> load -> save byte equality).
+     */
+    void
+    saveState(util::Serializer &s) const
+    {
+        s.put(head_);
+        s.put(mid_);
+        s.put(tail_);
+        for (std::uint64_t i = head_; i != tail_; ++i)
+            saveFlit(s, buf_[i & mask_]);
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        head_ = d.get<std::uint64_t>();
+        mid_ = d.get<std::uint64_t>();
+        tail_ = d.get<std::uint64_t>();
+        LOCSIM_ASSERT(tail_ - head_ <= buf_.size(),
+                      "flit ring checkpoint exceeds capacity");
+        for (std::uint64_t i = head_; i != tail_; ++i)
+            buf_[i & mask_] = loadFlit(d);
+    }
+
   private:
     std::vector<Flit> buf_;
     std::size_t mask_ = 0;
@@ -169,6 +196,26 @@ class CreditPipe : public sim::Rotatable
             const auto v = static_cast<std::size_t>(vc);
             visible_[v] += staged_[v];
             staged_[v] = 0;
+        }
+    }
+
+    void
+    saveState(util::Serializer &s) const
+    {
+        for (int vc = 0; vc < vcs_; ++vc) {
+            const auto v = static_cast<std::size_t>(vc);
+            s.put(staged_[v]);
+            s.put(visible_[v]);
+        }
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        for (int vc = 0; vc < vcs_; ++vc) {
+            const auto v = static_cast<std::size_t>(vc);
+            staged_[v] = d.get<int>();
+            visible_[v] = d.get<int>();
         }
     }
 

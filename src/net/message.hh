@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "sim/types.hh"
+#include "util/serialize.hh"
 
 namespace locsim {
 namespace net {
@@ -97,6 +98,81 @@ struct Credit
 {
     std::uint8_t vc = 0;
 };
+
+// Checkpoint serialization for the wire-level value types. Free
+// functions (not members) so the structs stay plain aggregates.
+
+inline void
+saveMessage(util::Serializer &s, const Message &m)
+{
+    s.put(m.id);
+    s.put(m.src);
+    s.put(m.dst);
+    s.put(m.flits);
+    s.put(m.payload);
+    s.put(m.submit_tick);
+    s.put(m.cls);
+}
+
+inline Message
+loadMessage(util::Deserializer &d)
+{
+    Message m;
+    m.id = d.get<MessageId>();
+    m.src = d.get<sim::NodeId>();
+    m.dst = d.get<sim::NodeId>();
+    m.flits = d.get<std::uint32_t>();
+    m.payload = d.get<std::uint64_t>();
+    m.submit_tick = d.get<sim::Tick>();
+    m.cls = d.get<MessageClass>();
+    return m;
+}
+
+inline void
+saveFlit(util::Serializer &s, const Flit &f)
+{
+    s.put(f.msg);
+    s.put(f.src);
+    s.put(f.dst);
+    s.put(f.seq);
+    s.put(f.head);
+    s.put(f.tail);
+    s.put(f.vc);
+    s.put(f.crossed_dateline);
+    s.put(f.hops);
+    s.put(f.stalls);
+}
+
+inline Flit
+loadFlit(util::Deserializer &d)
+{
+    Flit f;
+    f.msg = d.get<MessageId>();
+    f.src = d.get<sim::NodeId>();
+    f.dst = d.get<sim::NodeId>();
+    f.seq = d.get<std::uint32_t>();
+    f.head = d.getBool();
+    f.tail = d.getBool();
+    f.vc = d.get<std::uint8_t>();
+    f.crossed_dateline = d.getBool();
+    f.hops = d.get<std::uint16_t>();
+    f.stalls = d.get<std::uint16_t>();
+    return f;
+}
+
+inline void
+saveCredit(util::Serializer &s, const Credit &c)
+{
+    s.put(c.vc);
+}
+
+inline Credit
+loadCredit(util::Deserializer &d)
+{
+    Credit c;
+    c.vc = d.get<std::uint8_t>();
+    return c;
+}
 
 } // namespace net
 } // namespace locsim

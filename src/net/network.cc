@@ -6,6 +6,7 @@
 #include "net/network.hh"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "util/logging.hh"
 
@@ -46,21 +47,21 @@ Network::Network(sim::Engine &engine, const NetworkConfig &config)
     // buffer depth; +2 leaves slack for the cycle of latching delay
     // on each side of the credit loop.
     auto make_flit_channel = [&]() {
-        flit_channels_.push_back(std::make_unique<FlitRing>(
-            config_.router.buffer_depth + 2));
-        engine_.addChannel(flit_channels_.back().get());
-        return flit_channels_.back().get();
+        flit_channels_.push_back(
+            arena_.make<FlitRing>(config_.router.buffer_depth + 2));
+        engine_.addChannel(flit_channels_.back());
+        return flit_channels_.back();
     };
     auto make_credit_channel = [&]() {
         credit_channels_.push_back(
-            std::make_unique<CreditPipe>(config_.router.vcs));
-        engine_.addChannel(credit_channels_.back().get());
-        return credit_channels_.back().get();
+            arena_.make<CreditPipe>(config_.router.vcs));
+        engine_.addChannel(credit_channels_.back());
+        return credit_channels_.back();
     };
 
     for (sim::NodeId node = 0; node < n; ++node) {
         routers_.push_back(
-            std::make_unique<Router>(topo_, node, config_.router));
+            arena_.make<Router>(topo_, node, config_.router));
     }
 
     // Wire neighbor links. For each node and each (dim, dir) we create
@@ -423,6 +424,168 @@ Network::bufferedFlits() const
     for (const auto &router : routers_)
         flits += router->bufferedFlits();
     return flits;
+}
+
+namespace {
+
+void
+saveAttribution(util::Serializer &s, const ClassAttribution &attr)
+{
+    s.put(attr.count);
+    s.putDouble(attr.latency);
+    s.putDouble(attr.serialization);
+    s.putDouble(attr.hops);
+    s.putDouble(attr.contention);
+    s.putDouble(attr.stalls);
+}
+
+void
+loadAttribution(util::Deserializer &d, ClassAttribution &attr)
+{
+    attr.count = d.get<std::uint64_t>();
+    attr.latency = d.getDouble();
+    attr.serialization = d.getDouble();
+    attr.hops = d.getDouble();
+    attr.contention = d.getDouble();
+    attr.stalls = d.getDouble();
+}
+
+} // namespace
+
+void
+NetworkStats::saveState(util::Serializer &s) const
+{
+    s.put(messages_sent);
+    s.put(messages_delivered);
+    latency.saveState(s);
+    latency_hist.saveState(s);
+    source_queue.saveState(s);
+    hops.saveState(s);
+    flits.saveState(s);
+    for (const ClassAttribution &attr : attribution)
+        saveAttribution(s, attr);
+}
+
+void
+NetworkStats::loadState(util::Deserializer &d)
+{
+    messages_sent = d.get<std::uint64_t>();
+    messages_delivered = d.get<std::uint64_t>();
+    latency.loadState(d);
+    latency_hist.loadState(d);
+    source_queue.loadState(d);
+    hops.loadState(d);
+    flits.loadState(d);
+    for (ClassAttribution &attr : attribution)
+        loadAttribution(d, attr);
+}
+
+void
+Network::saveState(util::Serializer &s) const
+{
+    LOCSIM_ASSERT(tracer_ == nullptr,
+                  "cannot checkpoint a traced network");
+
+    for (const FlitRing *ring : flit_channels_)
+        ring->saveState(s);
+    for (const CreditPipe *pipe : credit_channels_)
+        pipe->saveState(s);
+    for (const Router *router : routers_)
+        router->saveState(s);
+
+    for (const NodeEndpoint &ep : endpoints_) {
+        s.put<std::uint64_t>(ep.source_queue.size());
+        for (const Message &msg : ep.source_queue)
+            saveMessage(s, msg);
+        s.put(ep.flits_sent);
+        s.put(ep.inject_credits);
+        s.put<std::uint64_t>(ep.delivered.size());
+        for (const Message &msg : ep.delivered)
+            saveMessage(s, msg);
+        std::vector<std::pair<MessageId, std::uint32_t>> arrived(
+            ep.arrived_flits.begin(), ep.arrived_flits.end());
+        std::sort(arrived.begin(), arrived.end());
+        s.put<std::uint64_t>(arrived.size());
+        for (const auto &[id, count] : arrived) {
+            s.put(id);
+            s.put(count);
+        }
+    }
+
+    std::vector<const MessageRecord *> records;
+    records.reserve(records_.size());
+    for (const auto &[id, rec] : records_)
+        records.push_back(&rec);
+    std::sort(records.begin(), records.end(),
+              [](const MessageRecord *a, const MessageRecord *b) {
+                  return a->message.id < b->message.id;
+              });
+    s.put<std::uint64_t>(records.size());
+    for (const MessageRecord *rec : records) {
+        saveMessage(s, rec->message);
+        s.put(rec->inject_start);
+        s.put(rec->delivered);
+        s.put(rec->hops);
+        s.put(rec->head_hops);
+        s.put(rec->head_stalls);
+    }
+
+    s.put(next_id_);
+    s.put(in_flight_);
+    s.put(pending_deliveries_);
+    stats_.saveState(s);
+    s.put(stats_start_);
+    s.put(stats_flit_hops_base_);
+}
+
+void
+Network::loadState(util::Deserializer &d)
+{
+    for (FlitRing *ring : flit_channels_)
+        ring->loadState(d);
+    for (CreditPipe *pipe : credit_channels_)
+        pipe->loadState(d);
+    for (Router *router : routers_)
+        router->loadState(d);
+
+    for (NodeEndpoint &ep : endpoints_) {
+        ep.source_queue.clear();
+        auto count = d.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < count; ++i)
+            ep.source_queue.push_back(loadMessage(d));
+        ep.flits_sent = d.get<std::uint32_t>();
+        ep.inject_credits = d.get<int>();
+        ep.delivered.clear();
+        count = d.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < count; ++i)
+            ep.delivered.push_back(loadMessage(d));
+        ep.arrived_flits.clear();
+        count = d.get<std::uint64_t>();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const auto id = d.get<MessageId>();
+            ep.arrived_flits[id] = d.get<std::uint32_t>();
+        }
+    }
+
+    records_.clear();
+    const auto record_count = d.get<std::uint64_t>();
+    for (std::uint64_t i = 0; i < record_count; ++i) {
+        MessageRecord rec;
+        rec.message = loadMessage(d);
+        rec.inject_start = d.get<sim::Tick>();
+        rec.delivered = d.get<sim::Tick>();
+        rec.hops = d.get<int>();
+        rec.head_hops = d.get<std::uint16_t>();
+        rec.head_stalls = d.get<std::uint16_t>();
+        records_.emplace(rec.message.id, rec);
+    }
+
+    next_id_ = d.get<MessageId>();
+    in_flight_ = d.get<std::uint64_t>();
+    pending_deliveries_ = d.get<std::uint64_t>();
+    stats_.loadState(d);
+    stats_start_ = d.get<sim::Tick>();
+    stats_flit_hops_base_ = d.get<std::uint64_t>();
 }
 
 void

@@ -25,6 +25,8 @@
 #include "sim/engine.hh"
 #include "net/router.hh"
 #include "stats/stats.hh"
+#include "util/arena.hh"
+#include "util/serialize.hh"
 
 namespace locsim {
 namespace net {
@@ -88,6 +90,9 @@ struct NetworkStats
     stats::Accumulator flits;
     /** Latency decomposition sums, indexed by MessageClass. */
     std::array<ClassAttribution, kMessageClassCount> attribution{};
+
+    void saveState(util::Serializer &s) const;
+    void loadState(util::Deserializer &d);
 };
 
 /**
@@ -180,6 +185,18 @@ class Network : public sim::Clocked
      */
     void setTracer(obs::Tracer *tracer);
 
+    /**
+     * Serialize the complete fabric state: every channel and router in
+     * construction order, endpoint queues, in-flight accounting and
+     * statistics. Requires no attached tracer (span ids would dangle
+     * across a restore).
+     */
+    void saveState(util::Serializer &s) const;
+
+    /** Restore state saved by saveState() on an identically configured
+     *  fabric. */
+    void loadState(util::Deserializer &d);
+
   private:
     struct NodeEndpoint
     {
@@ -199,9 +216,18 @@ class Network : public sim::Clocked
     NetworkConfig config_;
     TorusTopology topo_;
 
-    std::vector<std::unique_ptr<Router>> routers_;
-    std::vector<std::unique_ptr<FlitRing>> flit_channels_;
-    std::vector<std::unique_ptr<CreditPipe>> credit_channels_;
+    /**
+     * Backing store for all routers and channels. One fabric allocates
+     * thousands of small objects with identical lifetime; bump
+     * allocation packs them contiguously (construction-order locality
+     * matches tick-order traversal) and frees them in one sweep.
+     * Declared before the pointer vectors so it outlives them.
+     */
+    util::Arena arena_;
+
+    std::vector<Router *> routers_;
+    std::vector<FlitRing *> flit_channels_;
+    std::vector<CreditPipe *> credit_channels_;
 
     // Per-node endpoint channels (indexed by node).
     std::vector<FlitRing *> inject_link_;

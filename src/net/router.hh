@@ -159,6 +159,91 @@ class Router
     const RouterConfig &config() const { return config_; }
     sim::NodeId node() const { return node_; }
 
+    /**
+     * Serialize the router's dynamic state: input-VC buffers with
+     * their wormhole routing state, output VC ownership and credits,
+     * all wake/occupancy masks (staged wakes can be nonzero at a run
+     * boundary), arbitration cache, and per-port statistics. Channel
+     * wiring and decode tables are reconstructed at build time.
+     */
+    void
+    saveState(util::Serializer &s) const
+    {
+        s.put<std::uint64_t>(inputs_.size());
+        for (const InputVc &ivc : inputs_) {
+            s.put(ivc.head);
+            s.put(ivc.tail);
+            for (std::uint32_t i = ivc.head; i != ivc.tail; ++i)
+                saveFlit(s, ivc.slots[i & ivc.mask]);
+            s.put(ivc.routed);
+            s.put(ivc.route_valid);
+            s.put(ivc.out_port);
+            s.put(ivc.out_vc);
+        }
+        s.put<std::uint64_t>(outputs_.size());
+        for (const OutputPort &op : outputs_) {
+            for (int vc = 0; vc < config_.vcs; ++vc) {
+                const auto v = static_cast<std::size_t>(vc);
+                s.put(op.owner[v]);
+                s.put(op.credits[v]);
+            }
+            s.put(op.next_vc);
+        }
+        s.put<std::uint64_t>(buffered_);
+        s.put(flit_wake_staged_);
+        s.put(flit_wake_);
+        s.put(credit_wake_staged_);
+        s.put(credit_wake_);
+        s.put(vc_occupied_);
+        s.put(owned_ports_);
+        s.put(rr_now_);
+        s.put(rr_start_);
+        for (const stats::Counter &counter : output_flits_)
+            counter.saveState(s);
+        alloc_stalls_.saveState(s);
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        if (d.get<std::uint64_t>() != inputs_.size())
+            throw std::runtime_error(
+                "Router::loadState: input unit count mismatch");
+        for (InputVc &ivc : inputs_) {
+            ivc.head = d.get<std::uint32_t>();
+            ivc.tail = d.get<std::uint32_t>();
+            for (std::uint32_t i = ivc.head; i != ivc.tail; ++i)
+                ivc.slots[i & ivc.mask] = loadFlit(d);
+            ivc.routed = d.getBool();
+            ivc.route_valid = d.getBool();
+            ivc.out_port = d.get<int>();
+            ivc.out_vc = d.get<int>();
+        }
+        if (d.get<std::uint64_t>() != outputs_.size())
+            throw std::runtime_error(
+                "Router::loadState: output port count mismatch");
+        for (OutputPort &op : outputs_) {
+            for (int vc = 0; vc < config_.vcs; ++vc) {
+                const auto v = static_cast<std::size_t>(vc);
+                op.owner[v] = d.get<int>();
+                op.credits[v] = d.get<int>();
+            }
+            op.next_vc = d.get<int>();
+        }
+        buffered_ = static_cast<std::size_t>(d.get<std::uint64_t>());
+        flit_wake_staged_ = d.get<std::uint32_t>();
+        flit_wake_ = d.get<std::uint32_t>();
+        credit_wake_staged_ = d.get<std::uint32_t>();
+        credit_wake_ = d.get<std::uint32_t>();
+        vc_occupied_ = d.get<std::uint32_t>();
+        owned_ports_ = d.get<std::uint32_t>();
+        rr_now_ = d.get<sim::Tick>();
+        rr_start_ = d.get<int>();
+        for (stats::Counter &counter : output_flits_)
+            counter.loadState(d);
+        alloc_stalls_.loadState(d);
+    }
+
   private:
     /**
      * One input VC: a private flit buffer (a slice of the router's

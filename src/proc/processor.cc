@@ -31,6 +31,18 @@ Processor::Processor(coher::CacheController &controller,
         ctx.state = ctx.compute_remaining > 0 ? CtxState::Computing
                                               : CtxState::ReadyToIssue;
     }
+    controller_.setClient(this);
+}
+
+void
+Processor::memComplete(const coher::MemResponse &resp)
+{
+    Context &blocked =
+        contexts_[static_cast<std::size_t>(resp.context)];
+    LOCSIM_ASSERT(blocked.state == CtxState::WaitingMem,
+                  "completion for a context that is not waiting");
+    blocked.state = CtxState::ReadyToResume;
+    blocked.resume_value = resp.load_value;
 }
 
 bool
@@ -106,8 +118,8 @@ Processor::issue(int ctx_index)
         // Fire and forget: a hit needs nothing; a miss starts the
         // coherence transaction but the thread does not wait for it.
         if (!controller_.tryFastPath(req)) {
-            controller_.request(req,
-                                [](const coher::MemResponse &) {});
+            req.wants_reply = false;
+            controller_.request(req);
         }
         advance(ctx, 0);
         return;
@@ -120,15 +132,7 @@ Processor::issue(int ctx_index)
     }
 
     ctx.state = CtxState::WaitingMem;
-    controller_.request(req, [this, ctx_index](
-                                 const coher::MemResponse &resp) {
-        Context &blocked =
-            contexts_[static_cast<std::size_t>(ctx_index)];
-        LOCSIM_ASSERT(blocked.state == CtxState::WaitingMem,
-                      "completion for a context that is not waiting");
-        blocked.state = CtxState::ReadyToResume;
-        blocked.resume_value = resp.load_value;
-    });
+    controller_.request(req);
 
     // Block multithreading: switch away if another context can run.
     if (contexts_.size() > 1) {
@@ -176,6 +180,41 @@ Processor::tick(sim::Tick now)
         return;
       }
     }
+}
+
+void
+Processor::saveState(util::Serializer &s) const
+{
+    s.put<std::uint64_t>(contexts_.size());
+    for (const Context &ctx : contexts_) {
+        s.put(ctx.state);
+        s.put(ctx.compute_remaining);
+        saveOp(s, ctx.op);
+        s.put(ctx.resume_value);
+    }
+    s.put(active_);
+    s.put(switch_remaining_);
+    stats_.saveState(s);
+    s.put(now_);
+}
+
+void
+Processor::loadState(util::Deserializer &d)
+{
+    const auto n = d.get<std::uint64_t>();
+    if (n != contexts_.size())
+        throw std::runtime_error(
+            "Processor::loadState: context count mismatch");
+    for (Context &ctx : contexts_) {
+        ctx.state = d.get<CtxState>();
+        ctx.compute_remaining = d.get<std::uint32_t>();
+        ctx.op = loadOp(d);
+        ctx.resume_value = d.get<std::uint64_t>();
+    }
+    active_ = d.get<int>();
+    switch_remaining_ = d.get<std::uint32_t>();
+    stats_.loadState(d);
+    now_ = d.get<sim::Tick>();
 }
 
 } // namespace proc

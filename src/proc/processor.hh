@@ -47,14 +47,37 @@ struct ProcessorStats
     stats::Counter ops;
     /** Non-blocking prefetches issued. */
     stats::Counter prefetches;
+
+    void
+    saveState(util::Serializer &s) const
+    {
+        work_cycles.saveState(s);
+        idle_cycles.saveState(s);
+        switch_cycles.saveState(s);
+        switches.saveState(s);
+        ops.saveState(s);
+        prefetches.saveState(s);
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        work_cycles.loadState(d);
+        idle_cycles.loadState(d);
+        switch_cycles.loadState(d);
+        switches.loadState(d);
+        ops.loadState(d);
+        prefetches.loadState(d);
+    }
 };
 
 /** The processor model for one node. */
-class Processor : public sim::Clocked
+class Processor : public sim::Clocked, public coher::MemClient
 {
   public:
     /**
-     * @param controller this node's memory controller.
+     * @param controller this node's memory controller. The processor
+     *        registers itself as the controller's MemClient.
      * @param config processor knobs.
      * @param programs one thread program per context (not owned; must
      *        outlive the processor).
@@ -64,6 +87,9 @@ class Processor : public sim::Clocked
               std::vector<ThreadProgram *> programs);
 
     void tick(sim::Tick now) override;
+
+    /** Memory completion from the controller: unblock the context. */
+    void memComplete(const coher::MemResponse &resp) override;
 
     /**
      * The processor only marks time when every context is blocked on
@@ -107,6 +133,15 @@ class Processor : public sim::Clocked
 
     /** True if every context is blocked on memory. */
     bool allBlocked() const;
+
+    /**
+     * Serialize dynamic state: per-context run state and current op,
+     * the active context, switch progress, and statistics. Program
+     * pointers are reconstructed at machine build time; the programs
+     * themselves checkpoint separately (ThreadProgram::saveState).
+     */
+    void saveState(util::Serializer &s) const;
+    void loadState(util::Deserializer &d);
 
   private:
     enum class CtxState : std::uint8_t {

@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "coher/protocol.hh"
+#include "util/serialize.hh"
 
 namespace locsim {
 namespace proc {
@@ -61,7 +62,39 @@ class ThreadProgram
 
     /** Next operation, given the previous operation's result. */
     virtual Op next(std::uint64_t previous_result) = 0;
+
+    /**
+     * Checkpoint the generator's dynamic state (position, RNG, ...).
+     * Programs whose next() is a pure function of config may keep the
+     * default no-op. Restored instances must produce the identical op
+     * stream continuation for bit-identical restore-then-extend runs.
+     */
+    virtual void saveState(util::Serializer &s) const { (void)s; }
+
+    /** Restore state written by saveState(). */
+    virtual void loadState(util::Deserializer &d) { (void)d; }
 };
+
+/** Serialize one Op (checkpoint helpers for processor state). */
+inline void
+saveOp(util::Serializer &s, const Op &op)
+{
+    s.put(op.kind);
+    s.put(op.addr);
+    s.put(op.store_value);
+    s.put(op.compute_cycles);
+}
+
+inline Op
+loadOp(util::Deserializer &d)
+{
+    Op op;
+    op.kind = d.get<Op::Kind>();
+    op.addr = d.get<coher::Addr>();
+    op.store_value = d.get<std::uint64_t>();
+    op.compute_cycles = d.get<std::uint32_t>();
+    return op;
+}
 
 } // namespace proc
 } // namespace locsim

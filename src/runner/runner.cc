@@ -74,6 +74,7 @@ ThreadPool::workerLoop()
 {
     for (;;) {
         std::function<void()> job;
+        bool cancelled = false;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             work_ready_.wait(lock, [this] {
@@ -84,12 +85,18 @@ ThreadPool::workerLoop()
             job = std::move(queue_.front());
             queue_.pop_front();
             ++in_progress_;
+            // Fail fast: once a job has thrown, drain the remaining
+            // queue without executing (their result slots keep their
+            // default values; wait() is about to rethrow anyway).
+            cancelled = first_error_ != nullptr;
         }
         std::exception_ptr error;
-        try {
-            job();
-        } catch (...) {
-            error = std::current_exception();
+        if (!cancelled) {
+            try {
+                job();
+            } catch (...) {
+                error = std::current_exception();
+            }
         }
         {
             std::lock_guard<std::mutex> lock(mutex_);

@@ -39,8 +39,11 @@ int defaultThreads();
  *
  * Exceptions thrown by jobs are captured; the first one (in
  * completion order) is rethrown from wait(). Once a job has thrown,
- * remaining queued jobs are still executed (their result slots stay
- * valid), but their exceptions are dropped.
+ * the pool fails fast: jobs still queued are dequeued but not
+ * executed (their result slots keep their default-constructed
+ * values), so a long sweep does not burn hours after its first
+ * failure. Jobs already running are allowed to finish; their
+ * exceptions, if any, are dropped.
  */
 class ThreadPool
 {

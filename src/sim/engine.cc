@@ -133,6 +133,28 @@ Engine::traceRun(Tick start, Tick skipped_before)
 }
 
 void
+Engine::restoreTime(Tick now, Tick skipped)
+{
+    LOCSIM_ASSERT(dirty_channels_.empty(),
+                  "restoreTime with staged channel values");
+    LOCSIM_ASSERT(events_.empty(),
+                  "restoreTime with events pending; restore time "
+                  "before components re-arm their wakeups");
+    now_ = now;
+    skipped_ticks_ = skipped;
+    for (auto &entry : clocked_) {
+        Tick next_due = entry.offset;
+        if (now_ > entry.offset) {
+            next_due = entry.offset +
+                       ((now_ - entry.offset + entry.period - 1) /
+                        entry.period) *
+                           entry.period;
+        }
+        entry.next_due = next_due;
+    }
+}
+
+void
 Engine::run(Tick ticks)
 {
     const Tick start = now_;

@@ -140,6 +140,16 @@ class Engine
     Tick skippedTicks() const { return skipped_ticks_; }
 
     /**
+     * Restore the timeline from a checkpoint: set now()/skippedTicks()
+     * and recompute every registered component's next-due tick exactly
+     * as if the components had been registered at this time (same
+     * formula as addClocked). Preconditions: no staged channel values
+     * and an empty event queue — callers re-schedule wakeups from
+     * their own serialized state afterwards.
+     */
+    void restoreTime(Tick now, Tick skipped);
+
+    /**
      * Attach a structured tracer (nullptr to detach; not owned). The
      * engine emits a "run" span per run()/runUntil() call and a
      * "fast_forward" span per quiescence skip on @p track.

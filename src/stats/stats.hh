@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "util/serialize.hh"
+
 namespace locsim {
 namespace stats {
 
@@ -30,6 +32,12 @@ class Counter
     void inc(std::uint64_t delta = 1) { value_ += delta; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    void saveState(util::Serializer &s) const { s.put(value_); }
+    void loadState(util::Deserializer &d)
+    {
+        value_ = d.get<std::uint64_t>();
+    }
 
   private:
     std::uint64_t value_ = 0;
@@ -68,6 +76,28 @@ class Accumulator
     /** Merge another accumulator into this one (parallel Welford). */
     void merge(const Accumulator &other);
 
+    void
+    saveState(util::Serializer &s) const
+    {
+        s.put(count_);
+        s.putDouble(mean_);
+        s.putDouble(m2_);
+        s.putDouble(sum_);
+        s.putDouble(min_);
+        s.putDouble(max_);
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        count_ = d.get<std::uint64_t>();
+        mean_ = d.getDouble();
+        m2_ = d.getDouble();
+        sum_ = d.getDouble();
+        min_ = d.getDouble();
+        max_ = d.getDouble();
+    }
+
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;
@@ -100,6 +130,32 @@ class Histogram
     double quantile(double q) const;
 
     void reset();
+
+    /** Serialize the dynamic counts (bucket geometry is config). */
+    void
+    saveState(util::Serializer &s) const
+    {
+        s.put<std::uint64_t>(counts_.size());
+        for (std::uint64_t c : counts_)
+            s.put(c);
+        s.put(underflow_);
+        s.put(overflow_);
+        s.put(total_);
+    }
+
+    void
+    loadState(util::Deserializer &d)
+    {
+        const auto n = d.get<std::uint64_t>();
+        if (n != counts_.size())
+            throw std::runtime_error(
+                "Histogram::loadState: bucket count mismatch");
+        for (std::uint64_t &c : counts_)
+            c = d.get<std::uint64_t>();
+        underflow_ = d.get<std::uint64_t>();
+        overflow_ = d.get<std::uint64_t>();
+        total_ = d.get<std::uint64_t>();
+    }
 
   private:
     double lo_;

@@ -81,7 +81,8 @@ OptionParser::parse(int argc, const char *const *argv)
         if (opt.kind == Kind::Flag) {
             if (have_value)
                 LOCSIM_FATAL("flag --", name, " takes no value");
-            opt.value = "1";
+            opt.value.assign(1, '1');
+            opt.parsed = true;
             continue;
         }
         if (!have_value) {
@@ -103,8 +104,18 @@ OptionParser::parse(int argc, const char *const *argv)
                              " expects a number, got '", value, "'");
         }
         opt.value = value;
+        opt.parsed = true;
     }
     return positional;
+}
+
+bool
+OptionParser::wasSet(const std::string &name) const
+{
+    auto it = options_.find(name);
+    LOCSIM_ASSERT(it != options_.end(), "option --", name,
+                  " was never registered");
+    return it->second.parsed;
 }
 
 const OptionParser::Option &

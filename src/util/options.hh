@@ -50,6 +50,13 @@ class OptionParser
     double getDouble(const std::string &name) const;
     bool getFlag(const std::string &name) const;
 
+    /**
+     * True iff @p name appeared on the command line (vs. holding its
+     * default). Lets callers distinguish "--threads 0" (invalid) from
+     * the default 0 meaning "auto".
+     */
+    bool wasSet(const std::string &name) const;
+
     /** Render the usage/help text. */
     std::string usage() const;
 
@@ -61,6 +68,7 @@ class OptionParser
         Kind kind;
         std::string help;
         std::string value; // current (default or parsed) textual value
+        bool parsed = false; // appeared on the command line
     };
 
     const Option &find(const std::string &name, Kind kind) const;

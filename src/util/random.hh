@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/serialize.hh"
+
 namespace locsim {
 namespace util {
 
@@ -80,6 +82,22 @@ class Rng
      * top-level seed.
      */
     Rng split();
+
+    /** Serialize the generator state (checkpoint support). */
+    void
+    saveState(Serializer &s) const
+    {
+        for (std::uint64_t word : s_)
+            s.put(word);
+    }
+
+    /** Restore state written by saveState(). */
+    void
+    loadState(Deserializer &d)
+    {
+        for (std::uint64_t &word : s_)
+            word = d.get<std::uint64_t>();
+    }
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Binary serialization primitives for checkpoints and cached
+ * simulation artifacts.
+ *
+ * The format is deliberately boring: little-endian fixed-width
+ * integers, doubles as their IEEE-754 bit patterns, strings and
+ * containers length-prefixed. No framing, no self-description — the
+ * reader must know the layout, and every persistent consumer embeds a
+ * schema version in its own header (see src/cache and
+ * machine::Machine::saveCheckpoint) so stale bytes are never
+ * misparsed, only discarded.
+ *
+ * Doubles round-trip through std::bit_cast, so a deserialized
+ * Measurement is bit-identical to the one serialized — a requirement
+ * for the cache's "warm output is byte-identical" contract.
+ *
+ * Header-only and dependency-free (no logging) so every layer,
+ * including stats at the bottom of the stack, can serialize itself.
+ * Deserializer errors (truncated or oversized input) throw
+ * std::runtime_error: persistent inputs are untrusted, and callers
+ * such as the simulation cache treat a parse failure as a miss.
+ */
+
+#ifndef LOCSIM_UTIL_SERIALIZE_HH_
+#define LOCSIM_UTIL_SERIALIZE_HH_
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace locsim {
+namespace util {
+
+namespace detail {
+
+/** The wire representation of T: its underlying type for enums
+ *  (evaluated lazily so plain integers are legal), T itself
+ *  otherwise. */
+template <typename T, bool = std::is_enum_v<T>>
+struct Wire
+{
+    using type = std::underlying_type_t<T>;
+};
+
+template <typename T>
+struct Wire<T, false>
+{
+    using type = T;
+};
+
+template <typename T>
+using wire_t = typename Wire<T>::type;
+
+} // namespace detail
+
+/** Appends primitive values to a growable byte buffer. */
+class Serializer
+{
+  public:
+    /** Append an integral or enum value, little-endian. */
+    template <typename T>
+    void
+    put(T value)
+    {
+        static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
+                      "put() takes integral or enum types");
+        using Under = detail::wire_t<T>;
+        const auto bits = static_cast<std::uint64_t>(
+            static_cast<std::make_unsigned_t<Under>>(
+                static_cast<Under>(value)));
+        constexpr std::size_t n = sizeof(Under);
+        for (std::size_t i = 0; i < n; ++i)
+            bytes_.push_back(
+                static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+
+    void put(bool value) { put<std::uint8_t>(value ? 1 : 0); }
+
+    /** Append a double as its IEEE-754 bit pattern (exact). */
+    void
+    putDouble(double value)
+    {
+        put(std::bit_cast<std::uint64_t>(value));
+    }
+
+    /** Append a length-prefixed string. */
+    void
+    putString(const std::string &s)
+    {
+        put<std::uint64_t>(s.size());
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    /** Append raw bytes (caller knows the length). */
+    void
+    putBytes(const void *data, std::size_t size)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        bytes_.insert(bytes_.end(), p, p + size);
+    }
+
+    const std::vector<std::uint8_t> &buffer() const { return bytes_; }
+    std::vector<std::uint8_t> takeBuffer() { return std::move(bytes_); }
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * Reads primitive values back out of a byte buffer. The buffer is
+ * borrowed, not owned; it must outlive the deserializer.
+ */
+class Deserializer
+{
+  public:
+    Deserializer(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Deserializer(const std::vector<std::uint8_t> &bytes)
+        : Deserializer(bytes.data(), bytes.size())
+    {
+    }
+
+    /** Read an integral or enum value written by Serializer::put. */
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_integral_v<T> || std::is_enum_v<T>,
+                      "get() takes integral or enum types");
+        using Under = detail::wire_t<T>;
+        constexpr std::size_t n = sizeof(Under);
+        need(n);
+        std::uint64_t bits = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            bits |= static_cast<std::uint64_t>(data_[pos_ + i])
+                    << (8 * i);
+        pos_ += n;
+        return static_cast<T>(
+            static_cast<Under>(static_cast<std::make_unsigned_t<Under>>(
+                bits)));
+    }
+
+    bool getBool() { return get<std::uint8_t>() != 0; }
+
+    double
+    getDouble()
+    {
+        return std::bit_cast<double>(get<std::uint64_t>());
+    }
+
+    std::string
+    getString()
+    {
+        const auto n =
+            static_cast<std::size_t>(get<std::uint64_t>());
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    void
+    getBytes(void *out, std::size_t size)
+    {
+        need(size);
+        auto *p = static_cast<std::uint8_t *>(out);
+        for (std::size_t i = 0; i < size; ++i)
+            p[i] = data_[pos_ + i];
+        pos_ += size;
+    }
+
+    std::size_t remaining() const { return size_ - pos_; }
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    void
+    need(std::size_t n) const
+    {
+        if (size_ - pos_ < n)
+            throw std::runtime_error(
+                "Deserializer: truncated input");
+    }
+
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace util
+} // namespace locsim
+
+#endif // LOCSIM_UTIL_SERIALIZE_HH_

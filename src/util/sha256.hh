@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal SHA-256 (FIPS 180-4) for content-addressing simulation
+ * artifacts. Self-contained — no external crypto dependency — because
+ * the cache only needs a stable, collision-resistant digest of
+ * canonical configuration bytes, not a vetted TLS stack.
+ */
+
+#ifndef LOCSIM_UTIL_SHA256_HH_
+#define LOCSIM_UTIL_SHA256_HH_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locsim {
+namespace util {
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb `size` bytes. */
+    void update(const void *data, std::size_t size);
+
+    /** Finalize and return the 32-byte digest. Call at most once. */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finalize and return the digest as 64 lowercase hex chars. */
+    std::string hexDigest();
+
+    /** One-shot convenience: hex digest of a byte buffer. */
+    static std::string hashHex(const std::vector<std::uint8_t> &bytes);
+
+  private:
+    void processBlock(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t buffered_ = 0;
+    std::uint64_t total_bytes_ = 0;
+};
+
+} // namespace util
+} // namespace locsim
+
+#endif // LOCSIM_UTIL_SHA256_HH_

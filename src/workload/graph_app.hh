@@ -47,6 +47,26 @@ class GraphNeighborProgram : public proc::ThreadProgram
     std::uint64_t iterations() const { return iteration_; }
     std::uint64_t violations() const { return violations_; }
 
+    void
+    saveState(util::Serializer &s) const override
+    {
+        s.put(step_);
+        s.put(iteration_);
+        s.put(violations_);
+        for (std::uint64_t seen : last_seen_)
+            s.put(seen);
+    }
+
+    void
+    loadState(util::Deserializer &d) override
+    {
+        step_ = d.get<std::uint32_t>();
+        iteration_ = d.get<std::uint64_t>();
+        violations_ = d.get<std::uint64_t>();
+        for (std::uint64_t &seen : last_seen_)
+            seen = d.get<std::uint64_t>();
+    }
+
   private:
     proc::Op makeOp() const;
 

@@ -88,6 +88,26 @@ class TorusNeighborProgram : public proc::ThreadProgram
     /** Coherence-order violations observed (must stay zero). */
     std::uint64_t violations() const { return violations_; }
 
+    void
+    saveState(util::Serializer &s) const override
+    {
+        s.put(pos_);
+        s.put(iteration_);
+        s.put(violations_);
+        for (std::uint64_t seen : last_seen_)
+            s.put(seen);
+    }
+
+    void
+    loadState(util::Deserializer &d) override
+    {
+        pos_ = d.get<std::uint32_t>();
+        iteration_ = d.get<std::uint64_t>();
+        violations_ = d.get<std::uint64_t>();
+        for (std::uint64_t &seen : last_seen_)
+            seen = d.get<std::uint64_t>();
+    }
+
   private:
     proc::Op makeOp() const;
 

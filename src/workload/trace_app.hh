@@ -60,6 +60,20 @@ class TraceProgram : public proc::ThreadProgram
     /** Full passes over the trace completed. */
     std::uint64_t loops() const { return loops_; }
 
+    void
+    saveState(util::Serializer &s) const override
+    {
+        s.put<std::uint64_t>(pos_);
+        s.put(loops_);
+    }
+
+    void
+    loadState(util::Deserializer &d) override
+    {
+        pos_ = static_cast<std::size_t>(d.get<std::uint64_t>());
+        loops_ = d.get<std::uint64_t>();
+    }
+
   private:
     std::vector<proc::Op> ops_;
     std::size_t pos_ = 0;

@@ -51,6 +51,24 @@ class UniformRemoteProgram : public proc::ThreadProgram
     /** Operations completed (loads + stores). */
     std::uint64_t operations() const { return operations_; }
 
+    void
+    saveState(util::Serializer &s) const override
+    {
+        rng_.saveState(s);
+        s.put(until_store_);
+        s.put(operations_);
+        s.put(stores_);
+    }
+
+    void
+    loadState(util::Deserializer &d) override
+    {
+        rng_.loadState(d);
+        until_store_ = d.get<std::uint32_t>();
+        operations_ = d.get<std::uint64_t>();
+        stores_ = d.get<std::uint64_t>();
+    }
+
   private:
     proc::Op makeOp();
 

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <optional>
 #include <sstream>
 
@@ -131,6 +132,24 @@ TEST(ProtoTransportUnit, StoreTakeRoundTrip)
 }
 
 /**
+ * A controller client that records the most recent completion (and
+ * optionally forwards it), standing in for the processor.
+ */
+struct TestClient : MemClient
+{
+    std::optional<MemResponse> last;
+    std::function<void(const MemResponse &)> on_complete;
+
+    void
+    memComplete(const MemResponse &resp) override
+    {
+        last = resp;
+        if (on_complete)
+            on_complete(resp);
+    }
+};
+
+/**
  * Protocol harness: a small torus of controllers with no processors;
  * tests drive requests directly and step the engine.
  */
@@ -152,6 +171,8 @@ struct CoherHarness
             controllers.push_back(std::make_unique<CacheController>(
                 engine, *network, transport, n, pc, 2));
             engine.addClocked(controllers.back().get(), 2);
+            clients.push_back(std::make_unique<TestClient>());
+            controllers.back()->setClient(clients.back().get());
         }
     }
 
@@ -160,7 +181,6 @@ struct CoherHarness
     access(sim::NodeId node, bool is_store, Addr addr,
            std::uint64_t value = 0)
     {
-        std::optional<MemResponse> result;
         MemRequest req;
         req.is_store = is_store;
         req.addr = addr;
@@ -170,13 +190,15 @@ struct CoherHarness
             last_was_txn = false;
             return fast->load_value;
         }
-        controllers[node]->request(
-            req, [&](const MemResponse &resp) { result = resp; });
+        TestClient &client = *clients[node];
+        client.last.reset();
+        controllers[node]->request(req);
         const bool done = engine.runUntil(
-            [&] { return result.has_value(); }, 100000);
+            [&] { return client.last.has_value(); }, 100000);
         EXPECT_TRUE(done) << "request did not complete";
-        last_was_txn = result ? result->was_transaction : false;
-        return result ? result->load_value : ~0ull;
+        last_was_txn =
+            client.last ? client.last->was_transaction : false;
+        return client.last ? client.last->load_value : ~0ull;
     }
 
     std::uint64_t
@@ -195,6 +217,7 @@ struct CoherHarness
     std::unique_ptr<net::Network> network;
     ProtoTransport transport;
     std::vector<std::unique_ptr<CacheController>> controllers;
+    std::vector<std::unique_ptr<TestClient>> clients;
     bool last_was_txn = false;
 };
 
@@ -327,15 +350,18 @@ TEST_F(ProtocolFixture, ConcurrentWritersSerialize)
     // home must serialize them, and the final memory value must be
     // one of the two (the loser's value is overwritten or vice
     // versa -- here the later-serialized one wins).
-    std::optional<MemResponse> r1, r2;
     MemRequest w1{true, addr, 100, 0};
     MemRequest w2{true, addr, 200, 0};
-    controllers[1]->request(w1,
-                            [&](const MemResponse &r) { r1 = r; });
-    controllers[2]->request(w2,
-                            [&](const MemResponse &r) { r2 = r; });
+    clients[1]->last.reset();
+    clients[2]->last.reset();
+    controllers[1]->request(w1);
+    controllers[2]->request(w2);
     ASSERT_TRUE(engine.runUntil(
-        [&] { return r1.has_value() && r2.has_value(); }, 100000));
+        [&] {
+            return clients[1]->last.has_value() &&
+                   clients[2]->last.has_value();
+        },
+        100000));
     // Exactly one node ends up the owner.
     const bool owner1 = controllers[1]->cache().state(addr) ==
                         CacheState::Modified;
@@ -511,6 +537,13 @@ TEST_F(ProtocolFixture, RandomizedStressKeepsInvariants)
     };
     std::vector<NodeDriver> drivers(16);
     std::uint64_t completed = 0;
+    for (sim::NodeId node = 0; node < 16; ++node) {
+        clients[node]->on_complete =
+            [&completed, &drivers, node](const MemResponse &) {
+                ++completed;
+                drivers[node].outstanding = 0;
+            };
+    }
 
     // Issue a few thousand operations with random pacing, at most
     // one outstanding per node (like a single-context processor).
@@ -535,11 +568,7 @@ TEST_F(ProtocolFixture, RandomizedStressKeepsInvariants)
             }
             driver.outstanding = 1;
             ++issued_total;
-            controllers[node]->request(
-                req, [&completed, &driver](const MemResponse &) {
-                    ++completed;
-                    driver.outstanding = 0;
-                });
+            controllers[node]->request(req);
         }
         engine.run(10);
         ASSERT_LT(engine.now(), 2000000u) << "stress run stalled";

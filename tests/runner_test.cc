@@ -58,6 +58,23 @@ TEST(ThreadPool, ReusableAcrossWaves)
     EXPECT_EQ(count.load(), 30);
 }
 
+TEST(ThreadPool, FailsFastAfterFirstException)
+{
+    // One worker makes execution order deterministic: job 0 throws,
+    // so jobs 1..N must be drained without running.
+    ThreadPool pool(1);
+    std::atomic<int> executed{0};
+    pool.submit([] { throw std::runtime_error("first job failed"); });
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&executed] { ++executed; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(executed.load(), 0);
+    // The pool recovers for the next wave.
+    pool.submit([&executed] { ++executed; });
+    pool.wait();
+    EXPECT_EQ(executed.load(), 1);
+}
+
 TEST(ParallelMap, ResultsIndexedByInput)
 {
     const auto results = parallelMap(

@@ -117,6 +117,101 @@ TEST(EventQueue, ClearDropsPending)
     EXPECT_EQ(fired, 0);
 }
 
+TEST(EventQueue, DuplicateTimestampsInterleavedWithOthers)
+{
+    // Schedule a jumbled mix of ticks with heavy duplication; firing
+    // order must be (tick, scheduling order) regardless of the heap's
+    // internal layout.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> order;
+    const Tick ticks[] = {9, 3, 9, 1, 3, 9, 1, 20, 3, 9};
+    for (int i = 0; i < 10; ++i)
+        q.schedule(ticks[i],
+                   [&order, t = ticks[i], i] {
+                       order.push_back({t, i});
+                   });
+    q.runUntil(30);
+    const std::vector<std::pair<Tick, int>> expected = {
+        {1, 3}, {1, 6}, {3, 1}, {3, 4}, {3, 8},
+        {9, 0}, {9, 2}, {9, 5}, {9, 9}, {20, 7}};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, EqualKeyPopOrderStableAtScale)
+{
+    // Enough same-tick events to force many sift-down paths through
+    // the binary heap; the sequence number must keep them FIFO.
+    EventQueue q;
+    std::vector<int> order;
+    constexpr int kEvents = 1000;
+    for (int i = 0; i < kEvents; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    EXPECT_EQ(q.size(), static_cast<std::size_t>(kEvents));
+    EXPECT_EQ(q.runUntil(5), static_cast<std::size_t>(kEvents));
+    for (int i = 0; i < kEvents; ++i)
+        ASSERT_EQ(order[i], i);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder)
+{
+    // Drain in stages, pushing between stages — including pushing a
+    // tick equal to one already pending. Later-scheduled events at an
+    // equal tick fire after the earlier-scheduled ones.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(30, [&] { order.push_back(5); });
+    EXPECT_EQ(q.runUntil(10), 1u);
+    q.schedule(30, [&] { order.push_back(6); });
+    q.schedule(20, [&] { order.push_back(3); });
+    q.schedule(20, [&] { order.push_back(4); });
+    q.schedule(15, [&] { order.push_back(2); });
+    EXPECT_EQ(q.runUntil(29), 3u);
+    EXPECT_EQ(q.runUntil(30), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SurvivesFastForwardOverLargeGaps)
+{
+    // The engine's fast-forward path jumps now() straight to
+    // nextTick() while the machine is quiescent; events separated by
+    // huge gaps must still fire exactly once, in order, and nextTick()
+    // must always report the true next deadline for the skip.
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.schedule(1, [&] { fired.push_back(1); });
+    q.schedule(1'000'000, [&] { fired.push_back(1'000'000); });
+    q.schedule(1'000'000'000, [&] { fired.push_back(1'000'000'000); });
+    EXPECT_EQ(q.runUntil(1), 1u);
+    EXPECT_EQ(q.nextTick(), 1'000'000u);
+    EXPECT_EQ(q.runUntil(q.nextTick()), 1u);
+    // Schedule behind the next deadline mid-flight.
+    q.schedule(2'000'000, [&] { fired.push_back(2'000'000); });
+    EXPECT_EQ(q.nextTick(), 2'000'000u);
+    EXPECT_EQ(q.runUntil(q.nextTick()), 1u);
+    EXPECT_EQ(q.runUntil(q.nextTick()), 1u);
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 1'000'000, 2'000'000,
+                                        1'000'000'000}));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PushDuringPopAtCurrentTickRunsThisSweep)
+{
+    // An event firing at tick t that schedules another event at t must
+    // see it run within the same runUntil(t) sweep, after every event
+    // scheduled before it (the two-phase engine relies on this).
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(4, [&] {
+        order.push_back(0);
+        q.schedule(4, [&] { order.push_back(2); });
+    });
+    q.schedule(4, [&] { order.push_back(1); });
+    EXPECT_EQ(q.runUntil(4), 3u);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 /** Records the ticks at which it was clocked. */
 class TickRecorder : public Clocked
 {

@@ -7,16 +7,24 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
+#include "util/arena.hh"
 #include "util/csv.hh"
 #include "util/logging.hh"
 #include "util/math.hh"
 #include "util/options.hh"
 #include "util/random.hh"
+#include "util/serialize.hh"
+#include "util/sha256.hh"
 #include "util/table.hh"
 
 namespace locsim {
@@ -349,6 +357,165 @@ TEST(Options, UsageMentionsAllOptions)
     EXPECT_NE(usage.find("--count"), std::string::npos);
     EXPECT_NE(usage.find("--fast"), std::string::npos);
     EXPECT_NE(usage.find("default: 5"), std::string::npos);
+}
+
+TEST(Serialize, IntegralWidthsRoundTrip)
+{
+    Serializer s;
+    s.put(std::uint8_t{0xab});
+    s.put(std::uint16_t{0xbeef});
+    s.put(std::uint32_t{0xdeadbeef});
+    s.put(std::uint64_t{0x0123456789abcdefull});
+    s.put(std::int32_t{-12345});
+    s.put(std::int64_t{-1});
+    s.put(true);
+    s.put(false);
+    Deserializer d(s.buffer());
+    EXPECT_EQ(d.get<std::uint8_t>(), 0xab);
+    EXPECT_EQ(d.get<std::uint16_t>(), 0xbeef);
+    EXPECT_EQ(d.get<std::uint32_t>(), 0xdeadbeefu);
+    EXPECT_EQ(d.get<std::uint64_t>(), 0x0123456789abcdefull);
+    EXPECT_EQ(d.get<std::int32_t>(), -12345);
+    EXPECT_EQ(d.get<std::int64_t>(), -1);
+    EXPECT_TRUE(d.getBool());
+    EXPECT_FALSE(d.getBool());
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serialize, EnumsRoundTripViaUnderlyingType)
+{
+    enum class Color : std::uint16_t { Red = 1, Blue = 700 };
+    Serializer s;
+    s.put(Color::Blue);
+    s.put(Color::Red);
+    EXPECT_EQ(s.buffer().size(), 4u); // two uint16 payloads
+    Deserializer d(s.buffer());
+    EXPECT_EQ(d.get<Color>(), Color::Blue);
+    EXPECT_EQ(d.get<Color>(), Color::Red);
+}
+
+TEST(Serialize, DoublesAreBitExact)
+{
+    const double values[] = {0.0, -0.0, 1.0 / 3.0, 6.02214076e23,
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::denorm_min()};
+    Serializer s;
+    for (double v : values)
+        s.putDouble(v);
+    Deserializer d(s.buffer());
+    for (double v : values) {
+        const double got = d.getDouble();
+        std::uint64_t vb, gb;
+        std::memcpy(&vb, &v, sizeof vb);
+        std::memcpy(&gb, &got, sizeof gb);
+        EXPECT_EQ(gb, vb);
+    }
+}
+
+TEST(Serialize, StringsRoundTrip)
+{
+    Serializer s;
+    s.putString("");
+    s.putString("hello");
+    s.putString(std::string("nul\0inside", 10));
+    Deserializer d(s.buffer());
+    EXPECT_EQ(d.getString(), "");
+    EXPECT_EQ(d.getString(), "hello");
+    EXPECT_EQ(d.getString(), std::string("nul\0inside", 10));
+    EXPECT_TRUE(d.atEnd());
+}
+
+TEST(Serialize, TruncatedBufferThrows)
+{
+    Serializer s;
+    s.put(std::uint64_t{7});
+    std::vector<std::uint8_t> bytes = s.buffer();
+    bytes.pop_back();
+    Deserializer d(bytes);
+    EXPECT_THROW(d.get<std::uint64_t>(), std::runtime_error);
+}
+
+TEST(Sha256, KnownVectors)
+{
+    // FIPS 180-2 test vectors.
+    EXPECT_EQ(Sha256::hashHex({}),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    const std::vector<std::uint8_t> abc = {'a', 'b', 'c'};
+    EXPECT_EQ(Sha256::hashHex(abc),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    // Incremental absorption matches one-shot hashing.
+    Sha256 h;
+    h.update("a", 1);
+    h.update("bc", 2);
+    EXPECT_EQ(h.hexDigest(), Sha256::hashHex(abc));
+}
+
+TEST(Arena, MakeConstructsAndCountsObjects)
+{
+    Arena arena;
+    int *a = arena.make<int>(41);
+    double *b = arena.make<double>(2.5);
+    EXPECT_EQ(*a, 41);
+    EXPECT_EQ(*b, 2.5);
+    *a += 1;
+    EXPECT_EQ(*a, 42);
+    EXPECT_EQ(arena.objectCount(), 2u);
+    EXPECT_GE(arena.bytesAllocated(), sizeof(int) + sizeof(double));
+}
+
+TEST(Arena, RunsFinalizersInReverseOrder)
+{
+    struct Tracked
+    {
+        explicit Tracked(std::vector<int> &log, int id)
+            : log_(log), id_(id)
+        {
+        }
+        ~Tracked() { log_.push_back(id_); }
+        std::vector<int> &log_;
+        int id_;
+    };
+    std::vector<int> destroyed;
+    {
+        Arena arena;
+        arena.make<Tracked>(destroyed, 1);
+        arena.make<Tracked>(destroyed, 2);
+        arena.make<Tracked>(destroyed, 3);
+        EXPECT_TRUE(destroyed.empty());
+    }
+    EXPECT_EQ(destroyed, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(Arena, GrowsNewSlabsForLargeAllocations)
+{
+    Arena arena(64); // tiny slabs force chaining
+    for (int i = 0; i < 32; ++i)
+        arena.make<std::uint64_t>(static_cast<std::uint64_t>(i));
+    // An allocation bigger than the slab size gets its own slab.
+    struct Big
+    {
+        std::byte bytes[256];
+    };
+    Big *big = arena.make<Big>();
+    EXPECT_NE(big, nullptr);
+    EXPECT_GT(arena.slabCount(), 1u);
+}
+
+TEST(Rng, SaveLoadResumesIdenticalStream)
+{
+    Rng original(1234);
+    for (int i = 0; i < 17; ++i)
+        original.next();
+    Serializer s;
+    original.saveState(s);
+    Rng restored(0);
+    Deserializer d(s.buffer());
+    restored.loadState(d);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(restored.next(), original.next());
 }
 
 } // namespace
