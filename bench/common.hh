@@ -55,6 +55,12 @@ struct HarnessOptions
     std::uint64_t window = 20000;
     /** Worker threads for independent simulations (0 = all cores). */
     int threads = 0;
+    /**
+     * Intra-simulation shards per machine (0 = MachineConfig auto:
+     * LOCSIM_SHARDS when set, else sequential). Results are
+     * bit-identical for every value; this is purely an execution knob.
+     */
+    int shards = 0;
     /** --log-level / --trace-out / --trace-detail / --sample-period. */
     util::ObservabilityOptions obs;
     /** --attribution: add latency-decomposition columns. */
@@ -103,6 +109,11 @@ parseHarnessOptions(int argc, const char *const *argv,
                 "worker threads for independent simulations "
                 "(0 = all cores)",
                 0);
+    opts.addInt("shards",
+                "intra-simulation shards per machine, bit-identical "
+                "results at any count (0 = LOCSIM_SHARDS or "
+                "sequential)",
+                0);
     opts.addFlag("attribution",
                  "report the latency decomposition (serialization, "
                  "hops, contention) per message");
@@ -128,6 +139,12 @@ parseHarnessOptions(int argc, const char *const *argv,
         LOCSIM_FATAL("--threads must be a positive integer, got ",
                      out.threads,
                      " (omit the flag to use all cores)");
+    }
+    out.shards = opts.getInt("shards");
+    if (opts.wasSet("shards") && out.shards <= 0) {
+        LOCSIM_FATAL("--shards must be a positive integer, got ",
+                     out.shards,
+                     " (omit the flag for sequential execution)");
     }
     out.attribution = opts.getFlag("attribution");
     out.obs = util::applyObservabilityOptions(opts);
@@ -163,10 +180,16 @@ parseHarnessOptions(int argc, const char *const *argv,
  */
 inline machine::Measurement
 runCachedMeasurement(const HarnessOptions &options,
-                     const machine::MachineConfig &config,
+                     const machine::MachineConfig &base_config,
                      const workload::Mapping &mapping,
                      std::shared_ptr<obs::Tracer> *out_tracer = nullptr)
 {
+    // --shards is an execution knob with bit-identical results, so it
+    // is applied here (after key derivation inputs are fixed — simKey
+    // ignores it) rather than in each harness's config construction.
+    machine::MachineConfig config = base_config;
+    if (options.shards != 0)
+        config.shards = options.shards;
     if (!options.cacheUsable()) {
         machine::Machine machine(config, mapping);
         const machine::Measurement m =

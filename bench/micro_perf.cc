@@ -222,11 +222,11 @@ BM_ExpectedGainSweep(benchmark::State &state)
 BENCHMARK(BM_ExpectedGainSweep);
 
 void
-BM_NetworkSimCycles(benchmark::State &state)
+BM_NetworkSimCycles(benchmark::State &state, int radix)
 {
     sim::Engine engine;
     net::NetworkConfig config;
-    config.radix = 8;
+    config.radix = radix;
     config.dims = 2;
     net::Network network(engine, config);
     engine.addClocked(&network, 1);
@@ -240,7 +240,12 @@ BM_NetworkSimCycles(benchmark::State &state)
     reportAllocs(state, allocs);
     state.SetItemsProcessed(state.iterations() * 100);
 }
-BENCHMARK(BM_NetworkSimCycles)->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_NetworkSimCycles, 8x8, 8)
+    ->Name("BM_NetworkSimCycles")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_NetworkSimCycles, 16x16, 16)
+    ->Name("BM_NetworkSimCycles/16x16")
+    ->Unit(benchmark::kMicrosecond);
 
 void
 BM_TorusRouting(benchmark::State &state)
@@ -265,22 +270,43 @@ BM_TorusRouting(benchmark::State &state)
 BENCHMARK(BM_TorusRouting);
 
 void
-BM_FullMachineCycles(benchmark::State &state)
+BM_FullMachineCycles(benchmark::State &state, int radix, int contexts,
+                     int shards)
 {
     machine::MachineConfig config;
-    config.contexts = static_cast<int>(state.range(0));
-    machine::Machine machine(
-        config, workload::Mapping::random(64, 9));
-    machine.engine().run(2000); // warm the caches/directories
+    config.radix = radix;
+    config.contexts = contexts;
+    config.shards = shards;
+    const std::uint32_t nodes =
+        static_cast<std::uint32_t>(radix) *
+        static_cast<std::uint32_t>(radix);
+    machine::Machine machine(config,
+                             workload::Mapping::random(nodes, 9));
+    machine.advance(1000); // warm the caches/directories
     const std::uint64_t allocs = heapAllocCount();
     for (auto _ : state)
-        machine.engine().run(200);
+        machine.advance(100); // 200 network cycles
     reportAllocs(state, allocs);
     state.SetItemsProcessed(state.iterations() * 200);
 }
-BENCHMARK(BM_FullMachineCycles)
-    ->Arg(1)
-    ->Arg(4)
+BENCHMARK_CAPTURE(BM_FullMachineCycles, 1, 8, 1, 1)
+    ->Name("BM_FullMachineCycles/1")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_FullMachineCycles, 4, 8, 4, 1)
+    ->Name("BM_FullMachineCycles/4")
+    ->Unit(benchmark::kMicrosecond);
+// The sharded-execution headline: one 16x16 machine, sequentially and
+// split over 2/4 lockstep shards. Results are bit-identical; only the
+// wall clock moves (and only when cores are available — see
+// docs/SHARDING.md for when K > 1 loses).
+BENCHMARK_CAPTURE(BM_FullMachineCycles, 16x16, 16, 1, 1)
+    ->Name("BM_FullMachineCycles/16x16")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_FullMachineCycles, 16x16s2, 16, 1, 2)
+    ->Name("BM_FullMachineCycles/16x16/shards:2")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_FullMachineCycles, 16x16s4, 16, 1, 4)
+    ->Name("BM_FullMachineCycles/16x16/shards:4")
     ->Unit(benchmark::kMicrosecond);
 
 /**
@@ -318,9 +344,9 @@ BM_FullMachineCyclesTraced(benchmark::State &state)
     config.trace.max_events = 1u << 24;
     machine::Machine machine(
         config, workload::Mapping::random(64, 9));
-    machine.engine().run(2000); // warm the caches/directories
+    machine.advance(1000); // warm the caches/directories
     for (auto _ : state)
-        machine.engine().run(200);
+        machine.advance(100); // 200 network cycles
     state.SetItemsProcessed(state.iterations() * 200);
 }
 BENCHMARK(BM_FullMachineCyclesTraced)

@@ -68,13 +68,12 @@ main(int argc, char **argv)
     engine.addClocked(&network, 1);
     const net::TorusTopology &topo = network.topology();
 
-    coher::ProtoTransport transport;
     coher::ProtocolConfig protocol;
     std::vector<std::unique_ptr<coher::CacheController>> controllers;
     for (sim::NodeId node = 0; node < topo.nodeCount(); ++node) {
         controllers.push_back(
             std::make_unique<coher::CacheController>(
-                engine, network, transport, node, protocol, 2));
+                engine, network, node, protocol, 2));
         engine.addClocked(controllers.back().get(), 2);
     }
 

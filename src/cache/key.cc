@@ -70,6 +70,11 @@ simKey(const machine::MachineConfig &config,
     // results attributed to the other.
     s.put(config.reference_stepping);
 
+    // Deliberately absent: MachineConfig::shards (and the runner
+    // thread count). They partition execution, not the simulated
+    // machine — results are bit-identical for every value, so every
+    // shard count must find the same entry (cache_test asserts this).
+
     // Workload.
     s.put(config.workload);
     s.put(config.app.compute_cycles);

@@ -29,8 +29,11 @@
 namespace locsim {
 namespace cache {
 
-/** Simulator behavior + payload layout version (see file comment). */
-inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+/** Simulator behavior + payload layout version (see file comment).
+ *  Version 2: message ids became per-source sequence numbers (the
+ *  sharded-execution rework); byte-identical results, but a bumped
+ *  version keeps pre-rework entries from being trusted untested. */
+inline constexpr std::uint32_t kCacheSchemaVersion = 2;
 
 /**
  * The cache key for "construct Machine(config, mapping), advance
@@ -41,6 +44,11 @@ inline constexpr std::uint32_t kCacheSchemaVersion = 1;
  * observability attached bypass the cache entirely (the caller
  * enforces this), and a traced run's Measurement is identical to an
  * untraced one.
+ *
+ * Execution knobs that cannot change results are excluded too:
+ * MachineConfig::shards and the runner thread count never enter the
+ * key, so a result computed sequentially is found by a sharded run
+ * and vice versa (sharding is bit-identical by construction).
  */
 std::string simKey(const machine::MachineConfig &config,
                    const workload::Mapping &mapping,

@@ -113,38 +113,12 @@ classOf(MsgType type)
 
 } // namespace
 
-std::uint64_t
-ProtoTransport::store(const ProtoMsg &msg)
-{
-    ++in_flight_;
-    if (!free_.empty()) {
-        const std::uint64_t handle = free_.back();
-        free_.pop_back();
-        slots_[handle] = msg;
-        return handle;
-    }
-    slots_.push_back(msg);
-    return slots_.size() - 1;
-}
-
-ProtoMsg
-ProtoTransport::take(std::uint64_t handle)
-{
-    LOCSIM_ASSERT(handle < slots_.size(), "bad protocol handle");
-    LOCSIM_ASSERT(in_flight_ > 0, "take with nothing in flight");
-    --in_flight_;
-    free_.push_back(handle);
-    return slots_[handle];
-}
-
 CacheController::CacheController(sim::Engine &engine,
                                  net::Network &network,
-                                 ProtoTransport &transport,
                                  sim::NodeId node,
                                  const ProtocolConfig &config,
                                  std::uint32_t ticks_per_cycle)
-    : engine_(engine), network_(network), transport_(transport),
-      node_(node), config_(config),
+    : engine_(engine), network_(network), node_(node), config_(config),
       ticks_per_cycle_(ticks_per_cycle), cache_(config.cache_bytes),
       directory_(node)
 {
@@ -181,7 +155,7 @@ CacheController::send(sim::NodeId dst, MsgType type, Addr addr,
     msg.dst = dst;
     msg.flits = carriesData(type) ? config_.data_flits
                                   : config_.control_flits;
-    msg.payload = transport_.store(proto);
+    msg.payload = packProtoMsg(proto);
     msg.cls = classOf(type);
 
     StagedSend staged;
@@ -287,7 +261,7 @@ CacheController::tick(sim::Tick now)
 
     // Receive from the network every cycle (dedicated hardware path).
     while (auto msg = network_.receive(node_))
-        inbox_.push_back(transport_.take(msg->payload));
+        inbox_.push_back(unpackProtoMsg(msg->payload));
 
     // Launch staged sends whose delay has elapsed (FIFO per node).
     while (!outbox_.empty() && outbox_.front().ready <= now) {
@@ -864,30 +838,6 @@ CacheController::quiescent() const
 {
     return mshrs_.empty() && home_txns_.empty() && inbox_.empty() &&
            proc_queue_.empty() && outbox_.empty();
-}
-
-void
-ProtoTransport::saveState(util::Serializer &s) const
-{
-    s.put<std::uint64_t>(slots_.size());
-    for (const ProtoMsg &msg : slots_)
-        saveProtoMsg(s, msg);
-    s.put<std::uint64_t>(free_.size());
-    for (std::uint64_t handle : free_)
-        s.put(handle);
-    s.put<std::uint64_t>(in_flight_);
-}
-
-void
-ProtoTransport::loadState(util::Deserializer &d)
-{
-    slots_.resize(d.get<std::uint64_t>());
-    for (ProtoMsg &msg : slots_)
-        msg = loadProtoMsg(d);
-    free_.resize(d.get<std::uint64_t>());
-    for (std::uint64_t &handle : free_)
-        handle = d.get<std::uint64_t>();
-    in_flight_ = static_cast<std::size_t>(d.get<std::uint64_t>());
 }
 
 void

@@ -48,32 +48,6 @@
 namespace locsim {
 namespace coher {
 
-/**
- * Shared transport that moves ProtoMsg values through net::Message
- * payloads (the network treats payloads as opaque handles).
- */
-class ProtoTransport
-{
-  public:
-    /** Park a protocol message; returns the payload handle. */
-    std::uint64_t store(const ProtoMsg &msg);
-
-    /** Retrieve and release a parked protocol message. */
-    ProtoMsg take(std::uint64_t handle);
-
-    /** Messages currently in flight (diagnostics). */
-    std::size_t inFlight() const { return in_flight_; }
-
-    /** Serialize the transport (checkpoint support). */
-    void saveState(util::Serializer &s) const;
-    void loadState(util::Deserializer &d);
-
-  private:
-    std::vector<ProtoMsg> slots_;
-    std::vector<std::uint64_t> free_;
-    std::size_t in_flight_ = 0;
-};
-
 /** A processor memory request. */
 struct MemRequest
 {
@@ -173,16 +147,14 @@ class CacheController : public sim::Clocked
 {
   public:
     /**
-     * @param engine shared simulation engine (for timestamps).
+     * @param engine the engine driving this node (for timestamps).
      * @param network fabric this node attaches to.
-     * @param transport shared protocol-message transport.
      * @param node this controller's node id.
      * @param config protocol timing/sizing knobs.
      * @param ticks_per_cycle engine ticks per processor cycle.
      */
     CacheController(sim::Engine &engine, net::Network &network,
-                    ProtoTransport &transport, sim::NodeId node,
-                    const ProtocolConfig &config,
+                    sim::NodeId node, const ProtocolConfig &config,
                     std::uint32_t ticks_per_cycle);
 
     /**
@@ -361,7 +333,6 @@ class CacheController : public sim::Clocked
 
     sim::Engine &engine_;
     net::Network &network_;
-    ProtoTransport &transport_;
     sim::NodeId node_;
     ProtocolConfig config_;
     std::uint32_t ticks_per_cycle_;

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <string>
 
+#include "net/message.hh"
 #include "sim/types.hh"
 
 namespace locsim {
@@ -101,6 +102,41 @@ struct ProtoMsg
      */
     int critical = 0;
 };
+
+/**
+ * Pack a protocol message into a network message's inline payload
+ * words. The encoding is a stable part of the checkpoint format
+ * (in-flight messages serialize their payload words verbatim).
+ */
+inline net::MessagePayload
+packProtoMsg(const ProtoMsg &msg)
+{
+    net::MessagePayload words{};
+    words[0] = msg.addr;
+    words[1] = msg.data;
+    words[2] = static_cast<std::uint64_t>(msg.sender) |
+               (static_cast<std::uint64_t>(msg.requester) << 32);
+    words[3] = static_cast<std::uint64_t>(msg.type) |
+               (static_cast<std::uint64_t>(
+                    static_cast<std::uint32_t>(msg.critical))
+                << 32);
+    return words;
+}
+
+/** Inverse of packProtoMsg. */
+inline ProtoMsg
+unpackProtoMsg(const net::MessagePayload &words)
+{
+    ProtoMsg msg;
+    msg.addr = words[0];
+    msg.data = words[1];
+    msg.sender = static_cast<sim::NodeId>(words[2] & 0xffffffffu);
+    msg.requester = static_cast<sim::NodeId>(words[2] >> 32);
+    msg.type = static_cast<MsgType>(words[3] & 0xffu);
+    msg.critical = static_cast<int>(
+        static_cast<std::int32_t>(words[3] >> 32));
+    return msg;
+}
 
 /** Timing and sizing knobs for the coherence layer. */
 struct ProtocolConfig

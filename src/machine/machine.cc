@@ -1,17 +1,52 @@
 /**
  * @file
- * Machine implementation.
+ * Machine implementation, including the sharded lockstep driver.
  */
 
 #include "machine/machine.hh"
 
+#include <algorithm>
+#include <cstdlib>
 #include <ostream>
 #include <string>
 
+#include "sim/barrier.hh"
 #include "util/logging.hh"
 
 namespace locsim {
 namespace machine {
+
+namespace {
+
+/**
+ * Resolve MachineConfig::shards against the machine size: explicit
+ * values are validated (fatal on nonsense), 0 consults LOCSIM_SHARDS
+ * (clamped to the node count so small test machines still run under
+ * an env-forced shard count), default 1.
+ */
+int
+resolveShards(const MachineConfig &config, sim::NodeId nodes)
+{
+    const int node_count = static_cast<int>(nodes);
+    if (config.shards != 0) {
+        if (config.shards < 1)
+            LOCSIM_FATAL("shards must be positive, got ",
+                         config.shards);
+        if (config.shards > node_count)
+            LOCSIM_FATAL("shards (", config.shards,
+                         ") exceeds the node count (", node_count,
+                         "); each shard needs at least one node");
+        return config.shards;
+    }
+    if (const char *env = std::getenv("LOCSIM_SHARDS")) {
+        const int parsed = std::atoi(env);
+        if (parsed >= 1)
+            return std::min(parsed, node_count);
+    }
+    return 1;
+}
+
+} // namespace
 
 Machine::Machine(const MachineConfig &config,
                  const workload::Mapping &mapping)
@@ -23,85 +58,131 @@ Machine::Machine(const MachineConfig &config,
                   "context count out of range");
     LOCSIM_ASSERT(config.net_clock_ratio >= 1, "bad clock ratio");
 
-    if (config.reference_stepping)
-        engine_.setStepMode(sim::Engine::StepMode::Reference);
+    sim::NodeId nodes = 1;
+    for (int d = 0; d < config.dims; ++d)
+        nodes *= static_cast<sim::NodeId>(config.radix);
+    shards_ = resolveShards(config, nodes);
+
+    engines_.push_back(&engine_);
+    for (int s = 1; s < shards_; ++s) {
+        extra_engines_.push_back(std::make_unique<sim::Engine>());
+        engines_.push_back(extra_engines_.back().get());
+    }
+    if (config.reference_stepping) {
+        for (sim::Engine *engine : engines_)
+            engine->setStepMode(sim::Engine::StepMode::Reference);
+    }
 
     net::NetworkConfig net_config;
     net_config.radix = config.radix;
     net_config.dims = config.dims;
     net_config.wraparound = config.wraparound;
     net_config.router = config.router;
-    network_ = std::make_unique<net::Network>(engine_, net_config);
-    engine_.addClocked(network_.get(), 1);
+    const net::ShardPlan plan =
+        net::ShardPlan::contiguous(nodes, shards_);
+    network_ =
+        std::make_unique<net::Network>(net_config, engines_, plan);
 
     const net::TorusTopology &topo = network_->topology();
     LOCSIM_ASSERT(mapping_.size() == topo.nodeCount(),
                   "mapping size must match the machine size");
 
-    const sim::NodeId nodes = topo.nodeCount();
     controllers_.reserve(nodes);
     processors_.reserve(nodes);
 
     proc::ProcessorConfig proc_config = config.processor;
     proc_config.contexts = config.contexts;
 
-    for (sim::NodeId node = 0; node < nodes; ++node) {
-        controllers_.push_back(std::make_unique<coher::CacheController>(
-            engine_, *network_, transport_, node, config.protocol,
-            config.net_clock_ratio));
-        engine_.addClocked(controllers_.back().get(),
-                           config.net_clock_ratio);
+    // Per shard: the fabric slice first (period 1), then that shard's
+    // node components. Registration order is the intra-tick call order
+    // and must be the same whatever the shard count: network, then
+    // controller/processor in node order.
+    for (int s = 0; s < shards_; ++s) {
+        sim::Engine &shard_engine = *engines_[s];
+        if (shards_ == 1)
+            shard_engine.addClocked(network_.get(), 1);
+        else
+            shard_engine.addClocked(network_->shardClocked(s), 1);
 
-        std::vector<proc::ThreadProgram *> node_programs;
-        const std::uint32_t thread = mapping_.threadAt(node);
-        for (int ctx = 0; ctx < config.contexts; ++ctx) {
-            const auto instance = static_cast<std::uint32_t>(ctx);
-            switch (config.workload) {
-              case WorkloadKind::TorusNeighbor:
-                programs_.push_back(
-                    std::make_unique<workload::TorusNeighborProgram>(
-                        topo, mapping_, instance, thread,
-                        config.app));
-                break;
-              case WorkloadKind::UniformRandom:
-                programs_.push_back(
-                    std::make_unique<workload::UniformRemoteProgram>(
-                        topo, mapping_, instance, thread,
-                        config.uniform_app));
-                break;
-              case WorkloadKind::Graph:
-                LOCSIM_ASSERT(config.graph != nullptr,
-                              "Graph workload needs a CommGraph");
-                programs_.push_back(
-                    std::make_unique<workload::GraphNeighborProgram>(
-                        *config.graph, mapping_, instance, thread,
-                        config.app));
-                break;
+        for (sim::NodeId node = plan.first(s); node < plan.last(s);
+             ++node) {
+            controllers_.push_back(
+                std::make_unique<coher::CacheController>(
+                    shard_engine, *network_, node, config.protocol,
+                    config.net_clock_ratio));
+            shard_engine.addClocked(controllers_.back().get(),
+                                    config.net_clock_ratio);
+
+            std::vector<proc::ThreadProgram *> node_programs;
+            const std::uint32_t thread = mapping_.threadAt(node);
+            for (int ctx = 0; ctx < config.contexts; ++ctx) {
+                const auto instance = static_cast<std::uint32_t>(ctx);
+                switch (config.workload) {
+                  case WorkloadKind::TorusNeighbor:
+                    programs_.push_back(
+                        std::make_unique<
+                            workload::TorusNeighborProgram>(
+                            topo, mapping_, instance, thread,
+                            config.app));
+                    break;
+                  case WorkloadKind::UniformRandom:
+                    programs_.push_back(
+                        std::make_unique<
+                            workload::UniformRemoteProgram>(
+                            topo, mapping_, instance, thread,
+                            config.uniform_app));
+                    break;
+                  case WorkloadKind::Graph:
+                    LOCSIM_ASSERT(config.graph != nullptr,
+                                  "Graph workload needs a CommGraph");
+                    programs_.push_back(
+                        std::make_unique<
+                            workload::GraphNeighborProgram>(
+                            *config.graph, mapping_, instance, thread,
+                            config.app));
+                    break;
+                }
+                node_programs.push_back(programs_.back().get());
             }
-            node_programs.push_back(programs_.back().get());
+            processors_.push_back(std::make_unique<proc::Processor>(
+                *controllers_.back(), proc_config, node_programs));
+            shard_engine.addClocked(processors_.back().get(),
+                                    config.net_clock_ratio);
         }
-        processors_.push_back(std::make_unique<proc::Processor>(
-            *controllers_.back(), proc_config, node_programs));
-        engine_.addClocked(processors_.back().get(),
-                           config.net_clock_ratio);
     }
 
+    if (shards_ > 1)
+        shard_pool_ =
+            std::make_unique<runner::ThreadPool>(shards_ - 1);
+
     if (config.trace.enabled) {
-        tracer_ = std::make_shared<obs::Tracer>(config.trace);
-        engine_.setTracer(tracer_.get(), tracer_->newTrack("engine"));
-        network_->setTracer(tracer_.get());
+        // One tracer shard per simulation shard so emission stays
+        // thread-local; with one shard this produces exactly the old
+        // single-tracer track order.
+        shard_tracers_.reserve(static_cast<std::size_t>(shards_));
         coher_bridges_.reserve(nodes);
-        for (sim::NodeId node = 0; node < nodes; ++node) {
-            coher_bridges_.push_back(
-                std::make_unique<coher::ObsTracerBridge>(
-                    *tracer_, tracer_->newTrack(
-                                  "coher." + std::to_string(node))));
-            controllers_[node]->setTracer(coher_bridges_.back().get());
-            processors_[node]->setTracer(
-                tracer_.get(),
-                tracer_->newTrack("proc." + std::to_string(node)),
-                config.net_clock_ratio);
+        for (int s = 0; s < shards_; ++s) {
+            auto tracer = std::make_shared<obs::Tracer>(config.trace);
+            engines_[s]->setTracer(tracer.get(),
+                                   tracer->newTrack("engine"));
+            network_->setShardTracer(s, tracer.get());
+            for (sim::NodeId node = plan.first(s);
+                 node < plan.last(s); ++node) {
+                coher_bridges_.push_back(
+                    std::make_unique<coher::ObsTracerBridge>(
+                        *tracer,
+                        tracer->newTrack("coher." +
+                                         std::to_string(node))));
+                controllers_[node]->setTracer(
+                    coher_bridges_.back().get());
+                processors_[node]->setTracer(
+                    tracer.get(),
+                    tracer->newTrack("proc." + std::to_string(node)),
+                    config.net_clock_ratio);
+            }
+            shard_tracers_.push_back(std::move(tracer));
         }
+        tracer_ = shard_tracers_.front();
     }
 
     if (config.sample_period > 0) {
@@ -143,7 +224,13 @@ Machine::Machine(const MachineConfig &config,
             });
         if (tracer_ != nullptr)
             sampler_->attachTracer(tracer_.get());
-        engine_.addClocked(sampler_.get(), config.sample_period);
+        if (shards_ == 1) {
+            engine_.addClocked(sampler_.get(), config.sample_period);
+        }
+        // With several shards the driver ticks the sampler itself at
+        // the serial point of each window (it probes whole-fabric
+        // state); next_sample_due_ starts at 0 like the sampler's own
+        // schedule.
     }
 }
 
@@ -194,7 +281,18 @@ Machine::writeTrace(std::ostream &os) const
 {
     LOCSIM_ASSERT(tracer_ != nullptr,
                   "writeTrace requires config.trace.enabled");
-    tracer_->write(os);
+    if (shards_ == 1) {
+        tracer_->write(os);
+        return;
+    }
+    std::vector<const obs::Tracer *> shards;
+    std::vector<std::string> names;
+    for (int s = 0; s < shards_; ++s) {
+        shards.push_back(shard_tracers_[static_cast<std::size_t>(s)]
+                             .get());
+        names.push_back("shard" + std::to_string(s));
+    }
+    obs::writeMergedTrace(os, shards, names);
 }
 
 Measurement
@@ -205,9 +303,130 @@ Machine::run(std::uint64_t warmup, std::uint64_t window)
 }
 
 void
+Machine::runTicks(sim::Tick ticks)
+{
+    if (shards_ == 1) {
+        engine_.run(ticks);
+        return;
+    }
+    if (ticks == 0)
+        return;
+    runSharded(ticks);
+}
+
+void
+Machine::runSharded(sim::Tick ticks)
+{
+    const int shards = shards_;
+    const sim::Tick start = engine_.now();
+    const sim::Tick end = start + ticks;
+    const bool reference = config_.reference_stepping;
+
+    std::vector<sim::Tick> skipped_before(
+        static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s)
+        skipped_before[static_cast<std::size_t>(s)] =
+            engines_[static_cast<std::size_t>(s)]->skippedTicks();
+
+    // One control word, written by lane 0 while every other lane
+    // waits at the decision barrier, read by all lanes after it.
+    struct Control
+    {
+        enum class Op { Step, Skip, Done };
+        Op op = Op::Step;
+        sim::Tick target = 0;
+        bool sample = false;
+    };
+    Control ctl;
+    sim::SpinBarrier barrier(shards);
+
+    // Choose the next move on the shared timeline. Runs only while
+    // the other lanes are parked at the decision barrier, so it may
+    // read every engine freely. Mirrors Engine::run()'s loop: try a
+    // quiescence jump (activity mode, everything idle, next wakeups
+    // strictly in the future), else step one tick.
+    auto decide = [&] {
+        const sim::Tick now = engine_.now();
+        if (now >= end) {
+            ctl.op = Control::Op::Done;
+            return;
+        }
+        ctl.sample = sampler_ != nullptr && now == next_sample_due_;
+        ctl.op = Control::Op::Step;
+        if (reference)
+            return;
+        for (sim::Engine *engine : engines_) {
+            if (!engine->allIdle())
+                return;
+        }
+        sim::Tick target = end;
+        for (sim::Engine *engine : engines_) {
+            const sim::Tick next_event = engine->nextEventTick();
+            if (next_event == sim::kTickNever)
+                continue;
+            if (next_event <= now)
+                return;
+            target = std::min(target, next_event);
+        }
+        if (target <= now)
+            return;
+        ctl.op = Control::Op::Skip;
+        ctl.target = target;
+    };
+
+    auto lane = [&](int s) {
+        sim::Engine &engine = *engines_[static_cast<std::size_t>(s)];
+        for (;;) {
+            if (s == 0)
+                decide();
+            barrier.arrive(); // decision published
+            if (ctl.op == Control::Op::Done)
+                break;
+            if (ctl.op == Control::Op::Skip) {
+                engine.jumpIdleTo(ctl.target);
+                if (s == 0 && sampler_ != nullptr &&
+                    next_sample_due_ < ctl.target) {
+                    // Credit samples skipped by the jump, with the
+                    // same arithmetic Engine::jumpIdleTo applies to
+                    // registered components.
+                    const sim::Tick period = sampler_->period();
+                    const sim::Tick skipped =
+                        (ctl.target - next_sample_due_ + period - 1) /
+                        period;
+                    sampler_->skipIdle(skipped);
+                    next_sample_due_ += skipped * period;
+                }
+                barrier.arrive(); // all shards at ctl.target
+                continue;
+            }
+            engine.beginTick();
+            barrier.arrive(); // phase A complete fabric-wide
+            if (s == 0 && ctl.sample) {
+                // Sample between the phases: every component has run
+                // this tick, no channel has rotated yet — the same
+                // point in the cycle where a registered sampler fires
+                // sequentially (it is always the last Clocked added).
+                // Concurrent finishTick() on other lanes only rotates
+                // channels, which none of the probes read.
+                sampler_->tick(next_sample_due_);
+                next_sample_due_ += sampler_->period();
+            }
+            engine.finishTick();
+            barrier.arrive(); // rotation complete fabric-wide
+        }
+    };
+
+    shard_pool_->parallelRegion(shards, lane);
+
+    for (int s = 0; s < shards; ++s)
+        engines_[static_cast<std::size_t>(s)]->emitRunSpan(
+            start, skipped_before[static_cast<std::size_t>(s)]);
+}
+
+void
 Machine::advance(std::uint64_t cycles)
 {
-    engine_.run(cycles * config_.net_clock_ratio);
+    runTicks(cycles * config_.net_clock_ratio);
 }
 
 Measurement
@@ -216,7 +435,7 @@ Machine::measure(std::uint64_t window)
     const std::uint64_t ratio = config_.net_clock_ratio;
     resetStats();
     const sim::Tick start = engine_.now();
-    engine_.run(window * ratio);
+    runTicks(window * ratio);
     const double elapsed = static_cast<double>(engine_.now() - start);
 
     Measurement m;
@@ -311,9 +530,11 @@ Machine::measure(std::uint64_t window)
 namespace {
 
 /** Checkpoint framing: magic + layout version. Bump the version on
- *  any change to the serialized layout of any component. */
+ *  any change to the serialized layout of any component. Version 2:
+ *  shard-independent images (per-node message sequence numbers in the
+ *  network endpoint block, no transport block). */
 constexpr std::uint32_t kCheckpointMagic = 0x4b43534c; // "LSCK"
-constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::uint32_t kCheckpointVersion = 2;
 
 } // namespace
 
@@ -328,7 +549,6 @@ Machine::saveCheckpoint() const
     s.put(kCheckpointVersion);
     s.put(engine_.now());
     s.put(engine_.skippedTicks());
-    transport_.saveState(s);
     network_->saveState(s);
     for (const auto &controller : controllers_)
         controller->saveState(s);
@@ -356,9 +576,10 @@ Machine::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
     const auto now = d.get<sim::Tick>();
     const auto skipped = d.get<sim::Tick>();
     // Time first: controllers re-arm their completion wakeups during
-    // loadState, and restoreTime requires an empty event queue.
-    engine_.restoreTime(now, skipped);
-    transport_.loadState(d);
+    // loadState, and restoreTime requires an empty event queue. Every
+    // shard engine shares the one timeline.
+    for (sim::Engine *engine : engines_)
+        engine->restoreTime(now, skipped);
     network_->loadState(d);
     for (auto &controller : controllers_)
         controller->loadState(d);

@@ -23,6 +23,7 @@
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "proc/processor.hh"
+#include "runner/runner.hh"
 #include "sim/engine.hh"
 #include "util/serialize.hh"
 #include "workload/comm_graph.hh"
@@ -75,6 +76,21 @@ struct MachineConfig
      * mode exists as the oracle for equivalence tests.
      */
     bool reference_stepping = false;
+
+    /**
+     * Intra-simulation parallelism: partition the torus into this many
+     * contiguous spatial shards, each driven by its own engine on its
+     * own thread, synchronized conservatively every network cycle
+     * (latched channels provide one cycle of lookahead — see
+     * docs/SHARDING.md). Results — statistics, sampled series, and
+     * checkpoints — are bit-identical for every shard count.
+     *
+     * 0 (the default) resolves to the LOCSIM_SHARDS environment
+     * variable when set (clamped to the node count), else 1
+     * (sequential, the unchanged single-engine path). Explicit values
+     * must be in [1, node count]; anything else is fatal.
+     */
+    int shards = 0;
 
     WorkloadKind workload = WorkloadKind::TorusNeighbor;
     workload::TorusAppConfig app;
@@ -193,11 +209,15 @@ class Machine
     Measurement measure(std::uint64_t window);
 
     /**
-     * Serialize the complete simulation state — timeline, transport,
-     * network fabric, every controller, processor, and workload
-     * program — so the run can later be resumed on a freshly
-     * constructed Machine with identical configuration. Restoring and
-     * continuing is bit-identical to never having stopped.
+     * Serialize the complete simulation state — timeline, network
+     * fabric, every controller, processor, and workload program — so
+     * the run can later be resumed on a freshly constructed Machine
+     * with identical configuration. Restoring and continuing is
+     * bit-identical to never having stopped.
+     *
+     * The image is independent of the shard count: a checkpoint taken
+     * at any shards() restores on a machine with any other (identical
+     * machine configuration otherwise), byte-identically.
      *
      * Requires tracing and sampling off (their state references live
      * tracks and rate windows that cannot survive a restore).
@@ -207,14 +227,26 @@ class Machine
     /**
      * Restore state saved by saveCheckpoint(). Must be called on a
      * freshly constructed Machine (time still at zero) with the same
-     * configuration and mapping as the saving machine.
+     * configuration (any shard count) and mapping as the saving
+     * machine.
      *
      * @throws std::runtime_error on a malformed or mismatched image.
      */
     void restoreCheckpoint(const std::vector<std::uint8_t> &bytes);
 
     const MachineConfig &config() const { return config_; }
+
+    /**
+     * Shard 0's engine (the only engine when shards() == 1). On a
+     * sharded machine it reports the shared timeline (now(), skipped
+     * ticks), but must not be run() directly — drive the machine via
+     * advance()/measure() so every shard moves together.
+     */
     sim::Engine &engine() { return engine_; }
+
+    /** Resolved shard count (>= 1; see MachineConfig::shards). */
+    int shards() const { return shards_; }
+
     net::Network &network() { return *network_; }
     coher::CacheController &controller(sim::NodeId node);
 
@@ -247,19 +279,41 @@ class Machine
   private:
     void resetStats();
 
+    /** Advance all shards @p ticks network cycles (engine ticks). */
+    void runTicks(sim::Tick ticks);
+
+    /** The conservative lockstep driver (shards() > 1 only). */
+    void runSharded(sim::Tick ticks);
+
     MachineConfig config_;
     workload::Mapping mapping_;
-    sim::Engine engine_;
+    int shards_ = 1;
+    sim::Engine engine_; //!< shard 0 (the only engine when K == 1)
+    /** Engines for shards 1..K-1 (empty when K == 1). */
+    std::vector<std::unique_ptr<sim::Engine>> extra_engines_;
+    /** All K engines by shard: engines_[0] == &engine_. */
+    std::vector<sim::Engine *> engines_;
     std::unique_ptr<net::Network> network_;
-    coher::ProtoTransport transport_;
     std::vector<std::unique_ptr<coher::CacheController>> controllers_;
     std::vector<std::unique_ptr<proc::ThreadProgram>> programs_;
     std::vector<std::unique_ptr<proc::Processor>> processors_;
 
+    /** Long-lived workers for the shard lanes (K > 1 only). */
+    std::unique_ptr<runner::ThreadPool> shard_pool_;
+
+    /** Per-shard trace shards; tracer_ aliases entry 0. */
+    std::vector<std::shared_ptr<obs::Tracer>> shard_tracers_;
     std::shared_ptr<obs::Tracer> tracer_;
     std::vector<std::unique_ptr<coher::ObsTracerBridge>>
         coher_bridges_;
     std::unique_ptr<obs::MetricsSampler> sampler_;
+    /**
+     * When K > 1 the sampler is driven by the lockstep driver rather
+     * than an engine (it probes whole-fabric state, so it must run at
+     * the serial point of a window); this mirrors its next due tick
+     * with the same arithmetic Engine uses.
+     */
+    sim::Tick next_sample_due_ = 0;
 };
 
 } // namespace machine

@@ -23,6 +23,7 @@
 #define LOCSIM_NET_LINK_HH_
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -55,13 +56,18 @@ class FlitRing : public sim::Rotatable
     }
 
     /** True if no flit is currently visible to the consumer. */
-    bool empty() const { return head_ == mid_; }
+    bool
+    empty() const
+    {
+        return head_.load(std::memory_order_relaxed) == mid_;
+    }
 
     /** Enqueue a flit; becomes visible after the next rotate(). */
     void
     push(const Flit &flit)
     {
-        LOCSIM_ASSERT(tail_ - head_ < buf_.size(),
+        LOCSIM_ASSERT(tail_ - head_.load(std::memory_order_relaxed) <
+                          buf_.size(),
                       "flit link overflow: credit protocol violated");
         buf_[tail_ & mask_] = flit;
         ++tail_;
@@ -74,7 +80,7 @@ class FlitRing : public sim::Rotatable
     front() const
     {
         LOCSIM_ASSERT(!empty(), "front() on empty link");
-        return buf_[head_ & mask_];
+        return buf_[head_.load(std::memory_order_relaxed) & mask_];
     }
 
     /** Dequeue the oldest visible flit. */
@@ -82,20 +88,24 @@ class FlitRing : public sim::Rotatable
     pop()
     {
         LOCSIM_ASSERT(!empty(), "pop() on empty link");
-        const Flit flit = buf_[head_ & mask_];
-        ++head_;
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        const Flit flit = buf_[head & mask_];
+        head_.store(head + 1, std::memory_order_relaxed);
         return flit;
     }
 
     /** Number of flits currently visible to the consumer. */
     std::size_t visibleSize() const
     {
-        return static_cast<std::size_t>(mid_ - head_);
+        return static_cast<std::size_t>(
+            mid_ - head_.load(std::memory_order_relaxed));
     }
 
     void
     rotate() override
     {
+        notifyRemoteWake();
         dirty_ = false;
         mid_ = tail_;
     }
@@ -108,22 +118,25 @@ class FlitRing : public sim::Rotatable
     void
     saveState(util::Serializer &s) const
     {
-        s.put(head_);
+        const std::uint64_t head =
+            head_.load(std::memory_order_relaxed);
+        s.put(head);
         s.put(mid_);
         s.put(tail_);
-        for (std::uint64_t i = head_; i != tail_; ++i)
+        for (std::uint64_t i = head; i != tail_; ++i)
             saveFlit(s, buf_[i & mask_]);
     }
 
     void
     loadState(util::Deserializer &d)
     {
-        head_ = d.get<std::uint64_t>();
+        const auto head = d.get<std::uint64_t>();
+        head_.store(head, std::memory_order_relaxed);
         mid_ = d.get<std::uint64_t>();
         tail_ = d.get<std::uint64_t>();
-        LOCSIM_ASSERT(tail_ - head_ <= buf_.size(),
+        LOCSIM_ASSERT(tail_ - head <= buf_.size(),
                       "flit ring checkpoint exceeds capacity");
-        for (std::uint64_t i = head_; i != tail_; ++i)
+        for (std::uint64_t i = head; i != tail_; ++i)
             buf_[i & mask_] = loadFlit(d);
     }
 
@@ -132,8 +145,12 @@ class FlitRing : public sim::Rotatable
     std::size_t mask_ = 0;
     // Monotonic indices into the ring (masked on access): the ranges
     // [head_, mid_) and [mid_, tail_) are the visible and staged
-    // regions respectively.
-    std::uint64_t head_ = 0;
+    // regions respectively. head_ is atomic (relaxed) because on a
+    // shard-crossing link the producer's overflow assert reads it
+    // while the consumer shard is popping; mid_ is safe plain — it is
+    // written only during the producer's rotation phase, which the
+    // driver's barrier separates from all consumer reads.
+    std::atomic<std::uint64_t> head_{0};
     std::uint64_t mid_ = 0;
     std::uint64_t tail_ = 0;
 };
@@ -191,6 +208,7 @@ class CreditPipe : public sim::Rotatable
     void
     rotate() override
     {
+        notifyRemoteWake();
         dirty_ = false;
         for (int vc = 0; vc < vcs_; ++vc) {
             const auto v = static_cast<std::size_t>(vc);

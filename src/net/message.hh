@@ -10,6 +10,7 @@
 #ifndef LOCSIM_NET_MESSAGE_HH_
 #define LOCSIM_NET_MESSAGE_HH_
 
+#include <array>
 #include <cstdint>
 
 #include "sim/types.hh"
@@ -39,11 +40,17 @@ constexpr std::size_t kMessageClassCount = 5;
 /** Stable lower-case class name for report columns. */
 const char *messageClassName(MessageClass cls);
 
+/** Inline payload words carried by a Message (see below). */
+using MessagePayload = std::array<std::uint64_t, 4>;
+
 /**
  * A network message as submitted by a node.
  *
- * The payload is opaque to the fabric; the coherence layer stores a
- * protocol-message index there.
+ * The payload is opaque to the fabric; the coherence layer packs its
+ * protocol message into the inline words. Carrying the payload by
+ * value (rather than as an index into a shared side table) keeps each
+ * message's state local to whichever spatial shard currently owns it,
+ * which the sharded execution mode requires.
  */
 struct Message
 {
@@ -52,8 +59,8 @@ struct Message
     sim::NodeId dst = sim::kNodeNone;
     /** Message length in flits (>= 1). */
     std::uint32_t flits = 1;
-    /** Opaque payload handle for the client protocol layer. */
-    std::uint64_t payload = 0;
+    /** Opaque payload words for the client protocol layer. */
+    MessagePayload payload{};
     /** Tick at which the client submitted the message. */
     sim::Tick submit_tick = 0;
     /** Attribution class; does not affect routing or arbitration. */
@@ -109,7 +116,8 @@ saveMessage(util::Serializer &s, const Message &m)
     s.put(m.src);
     s.put(m.dst);
     s.put(m.flits);
-    s.put(m.payload);
+    for (std::uint64_t word : m.payload)
+        s.put(word);
     s.put(m.submit_tick);
     s.put(m.cls);
 }
@@ -122,7 +130,8 @@ loadMessage(util::Deserializer &d)
     m.src = d.get<sim::NodeId>();
     m.dst = d.get<sim::NodeId>();
     m.flits = d.get<std::uint32_t>();
-    m.payload = d.get<std::uint64_t>();
+    for (std::uint64_t &word : m.payload)
+        word = d.get<std::uint64_t>();
     m.submit_tick = d.get<sim::Tick>();
     m.cls = d.get<MessageClass>();
     return m;

@@ -6,7 +6,6 @@
 #include "net/network.hh"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "util/logging.hh"
 
@@ -31,31 +30,74 @@ messageClassName(MessageClass cls)
     return "?";
 }
 
+namespace {
+
+sim::NodeId
+nodeCountFor(const NetworkConfig &config)
+{
+    sim::NodeId nodes = 1;
+    for (int d = 0; d < config.dims; ++d)
+        nodes *= static_cast<sim::NodeId>(config.radix);
+    return nodes;
+}
+
+} // namespace
+
 Network::Network(sim::Engine &engine, const NetworkConfig &config)
-    : engine_(engine), config_(config),
-      topo_(config.radix, config.dims, config.wraparound)
+    : Network(config, std::vector<sim::Engine *>{&engine},
+              ShardPlan::contiguous(nodeCountFor(config), 1))
+{
+}
+
+Network::Network(const NetworkConfig &config,
+                 const std::vector<sim::Engine *> &engines,
+                 const ShardPlan &plan)
+    : config_(config),
+      topo_(config.radix, config.dims, config.wraparound),
+      plan_(plan), engines_(engines)
 {
     const sim::NodeId n = topo_.nodeCount();
+    const int K = plan_.shards;
+    LOCSIM_ASSERT(static_cast<int>(engines_.size()) == K,
+                  "shard plan needs one engine per shard");
+    LOCSIM_ASSERT(plan_.bounds.size() ==
+                          static_cast<std::size_t>(K) + 1 &&
+                      plan_.first(0) == 0 && plan_.last(K - 1) == n,
+                  "shard plan does not cover the fabric");
+
     routers_.reserve(n);
     endpoints_.resize(n);
     inject_link_.resize(n);
     inject_credit_.resize(n);
     eject_link_.resize(n);
     eject_credit_.resize(n);
+    shards_.resize(static_cast<std::size_t>(K));
+    for (auto &parity : record_mail_)
+        parity.resize(static_cast<std::size_t>(K) *
+                      static_cast<std::size_t>(K));
+    tracers_.assign(static_cast<std::size_t>(K), nullptr);
+    node_tracks_.assign(n, -1);
+    for (int s = 0; s < K; ++s)
+        shard_ticks_.push_back(std::make_unique<ShardTick>(*this, s));
 
     // Credit flow control bounds link occupancy to the downstream
     // buffer depth; +2 leaves slack for the cycle of latching delay
-    // on each side of the credit loop.
-    auto make_flit_channel = [&]() {
+    // on each side of the credit loop. Each channel registers with
+    // the engine of the shard that PUSHES into it, so its rotation
+    // happens on the producer's thread; cross-shard consumers learn
+    // about new content through the remote wake words bound below.
+    auto make_flit_channel = [&](int owner_shard) {
         flit_channels_.push_back(
             arena_.make<FlitRing>(config_.router.buffer_depth + 2));
-        engine_.addChannel(flit_channels_.back());
+        engines_[static_cast<std::size_t>(owner_shard)]->addChannel(
+            flit_channels_.back());
         return flit_channels_.back();
     };
-    auto make_credit_channel = [&]() {
+    auto make_credit_channel = [&](int owner_shard) {
         credit_channels_.push_back(
             arena_.make<CreditPipe>(config_.router.vcs));
-        engine_.addChannel(credit_channels_.back());
+        engines_[static_cast<std::size_t>(owner_shard)]->addChannel(
+            credit_channels_.back());
         return credit_channels_.back();
     };
 
@@ -85,8 +127,10 @@ Network::Network(sim::Engine &engine, const NetworkConfig &config)
                 const sim::NodeId nbr = topo_.neighbor(node, dim, dir);
                 if (nbr == sim::kNodeNone)
                     continue; // mesh edge: no link in this direction
-                auto *flits = make_flit_channel();
-                auto *credits = make_credit_channel();
+                // Flits are pushed by node's router; credits are
+                // returned by the neighbor's.
+                auto *flits = make_flit_channel(shardOf(node));
+                auto *credits = make_credit_channel(shardOf(nbr));
                 const auto out_port =
                     static_cast<std::size_t>(Router::portFor(dim, dir));
                 const auto in_port = static_cast<std::size_t>(
@@ -97,13 +141,14 @@ Network::Network(sim::Engine &engine, const NetworkConfig &config)
                 wiring[nbr][in_port].credit_up = credits;
             }
         }
-        // Local (node <-> router) channels.
+        // Local (node <-> router) channels; endpoint and router are
+        // always co-sharded.
         const auto local =
             static_cast<std::size_t>(2 * config_.dims);
-        inject_link_[node] = make_flit_channel();
-        inject_credit_[node] = make_credit_channel();
-        eject_link_[node] = make_flit_channel();
-        eject_credit_[node] = make_credit_channel();
+        inject_link_[node] = make_flit_channel(shardOf(node));
+        inject_credit_[node] = make_credit_channel(shardOf(node));
+        eject_link_[node] = make_flit_channel(shardOf(node));
+        eject_credit_[node] = make_credit_channel(shardOf(node));
         wiring[node][local].in = inject_link_[node];
         wiring[node][local].credit_up = inject_credit_[node];
         wiring[node][local].out = eject_link_[node];
@@ -120,9 +165,64 @@ Network::Network(sim::Engine &engine, const NetworkConfig &config)
                                     w.credit_down);
         }
     }
+
+    // Re-bind the wakes of shard-crossing channels to the consumer
+    // router's atomic remote words (connect() above bound them to the
+    // plain staged words, which are only safe within one shard). The
+    // bit is the consumer-side port, mirroring Router::connect.
+    if (K > 1) {
+        for (sim::NodeId node = 0; node < n; ++node) {
+            for (int dim = 0; dim < config_.dims; ++dim) {
+                for (int dir : {+1, -1}) {
+                    const sim::NodeId nbr =
+                        topo_.neighbor(node, dim, dir);
+                    if (nbr == sim::kNodeNone ||
+                        shardOf(nbr) == shardOf(node)) {
+                        continue;
+                    }
+                    const auto out_port = static_cast<std::size_t>(
+                        Router::portFor(dim, dir));
+                    const auto in_port = static_cast<std::size_t>(
+                        Router::portFor(dim, -dir));
+                    // Flit channel node -> nbr wakes nbr's router.
+                    wiring[node][out_port].out->bindRemoteWake(
+                        &routers_[nbr]->remoteFlitWakeWord(),
+                        1u << in_port);
+                    // Its credit return wakes node's router.
+                    wiring[node][out_port].credit_down->bindRemoteWake(
+                        &routers_[node]->remoteCreditWakeWord(),
+                        1u << out_port);
+                }
+            }
+        }
+    }
 }
 
 Network::~Network() = default;
+
+sim::Clocked *
+Network::shardClocked(int s)
+{
+    return shard_ticks_[static_cast<std::size_t>(s)].get();
+}
+
+std::int64_t
+Network::inFlight() const
+{
+    std::int64_t total = 0;
+    for (const ShardState &shard : shards_)
+        total += shard.in_flight;
+    return total;
+}
+
+std::uint64_t
+Network::pendingDeliveries() const
+{
+    std::int64_t total = 0;
+    for (const ShardState &shard : shards_)
+        total += shard.pending_deliveries;
+    return static_cast<std::uint64_t>(total);
+}
 
 MessageId
 Network::send(Message msg)
@@ -133,20 +233,27 @@ Network::send(Message msg)
                   "local transactions must not enter the network");
     LOCSIM_ASSERT(msg.flits >= 1, "message needs at least one flit");
 
-    msg.id = next_id_++;
-    msg.submit_tick = engine_.now();
+    const int s = shardOf(msg.src);
+    ShardState &shard = shards_[static_cast<std::size_t>(s)];
+    NodeEndpoint &ep = endpoints_[msg.src];
+
+    // Ids are per-source sequences with the source node in the high
+    // bits: assignment touches only source-shard state and yields the
+    // same id for the same message at any shard count.
+    msg.id = (static_cast<MessageId>(msg.src) << 40) | ++ep.next_seq;
+    msg.submit_tick = engines_[static_cast<std::size_t>(s)]->now();
 
     MessageRecord record;
     record.message = msg;
     record.hops = topo_.distance(msg.src, msg.dst);
-    records_.emplace(msg.id, record);
+    shard.records.emplace(msg.id, record);
 
-    endpoints_[msg.src].source_queue.push_back(msg);
-    ++stats_.messages_sent;
-    stats_.flits.add(static_cast<double>(msg.flits));
-    ++in_flight_;
-    if (tracer_ != nullptr) {
-        tracer_->asyncBegin(
+    ep.source_queue.push_back(msg);
+    ++shard.stats.messages_sent;
+    shard.stats.flits.add(static_cast<double>(msg.flits));
+    ++shard.in_flight;
+    if (obs::Tracer *tracer = tracerFor(s)) {
+        tracer->asyncBegin(
             node_tracks_[msg.src], msg.submit_tick, msg.id, "msg",
             obs::Category::Net,
             std::move(obs::Args()
@@ -166,10 +273,12 @@ Network::receive(sim::NodeId node)
         return std::nullopt;
     Message msg = delivered.front();
     delivered.pop_front();
-    --pending_deliveries_;
+    ShardState &shard =
+        shards_[static_cast<std::size_t>(shardOf(node))];
+    --shard.pending_deliveries;
     // Accounting for this message is complete; drop the record so
     // long runs do not accumulate unbounded history.
-    records_.erase(msg.id);
+    shard.records.erase(msg.id);
     return msg;
 }
 
@@ -182,11 +291,11 @@ Network::pendingAt(sim::NodeId node) const
 bool
 Network::idle() const
 {
-    return in_flight_ == 0;
+    return inFlight() == 0;
 }
 
 void
-Network::tickInjection(sim::NodeId node)
+Network::tickInjection(sim::NodeId node, sim::Tick now)
 {
     NodeEndpoint &ep = endpoints_[node];
 
@@ -206,15 +315,29 @@ Network::tickInjection(sim::NodeId node)
 
     Message &msg = ep.source_queue.front();
     if (ep.flits_sent == 0) {
-        auto it = records_.find(msg.id);
-        LOCSIM_ASSERT(it != records_.end(), "missing message record");
+        const int s = shardOf(node);
+        auto &records = shards_[static_cast<std::size_t>(s)].records;
+        auto it = records.find(msg.id);
+        LOCSIM_ASSERT(it != records.end(), "missing message record");
         if (it->second.inject_start == sim::kTickNever) {
-            it->second.inject_start = engine_.now();
-            if (tracer_ != nullptr) {
-                tracer_->instant(
-                    node_tracks_[node], engine_.now(), "inject",
+            it->second.inject_start = now;
+            if (obs::Tracer *tracer = tracerFor(s)) {
+                tracer->instant(
+                    node_tracks_[node], now, "inject",
                     obs::Category::Net,
                     std::move(obs::Args().add("msg", msg.id)).str());
+            }
+            // Hand the record to the destination shard (it harvests
+            // the head counters and closes out the message). Posted
+            // into this tick's parity; drained by the destination at
+            // the start of the next tick, at least one cycle before
+            // the head flit can eject there.
+            const int ds = shardOf(msg.dst);
+            if (ds != s) {
+                auto &box = record_mail_[now & 1][static_cast<
+                    std::size_t>(ds * plan_.shards + s)];
+                box.push_back(std::move(it->second));
+                records.erase(it);
             }
         }
     }
@@ -238,7 +361,7 @@ Network::tickInjection(sim::NodeId node)
 }
 
 void
-Network::tickEjection(sim::NodeId node)
+Network::tickEjection(sim::NodeId node, sim::Tick now)
 {
     NodeEndpoint &ep = endpoints_[node];
     FlitRing *link = eject_link_[node];
@@ -257,11 +380,15 @@ Network::tickEjection(sim::NodeId node)
                   flit.seq);
     ++arrived;
 
+    const int s = shardOf(node);
+    ShardState &shard = shards_[static_cast<std::size_t>(s)];
+
     if (flit.head) {
         // Harvest the head flit's attribution counters; body flits
         // follow the opened path and carry none.
-        auto hit = records_.find(flit.msg);
-        LOCSIM_ASSERT(hit != records_.end(), "head for unknown message");
+        auto hit = shard.records.find(flit.msg);
+        LOCSIM_ASSERT(hit != shard.records.end(),
+                      "head for unknown message");
         hit->second.head_hops = flit.hops;
         hit->second.head_stalls = flit.stalls;
     }
@@ -269,8 +396,9 @@ Network::tickEjection(sim::NodeId node)
     if (!flit.tail)
         return;
 
-    auto it = records_.find(flit.msg);
-    LOCSIM_ASSERT(it != records_.end(), "tail for unknown message");
+    auto it = shard.records.find(flit.msg);
+    LOCSIM_ASSERT(it != shard.records.end(),
+                  "tail for unknown message");
     MessageRecord &rec = it->second;
     LOCSIM_ASSERT(arrived == rec.message.flits,
                   "tail arrived before all flits: msg ", flit.msg);
@@ -278,20 +406,20 @@ Network::tickEjection(sim::NodeId node)
                   flit.msg, " for node ", rec.message.dst,
                   " ejected at ", node);
 
-    rec.delivered = engine_.now();
+    rec.delivered = now;
     ep.arrived_flits.erase(flit.msg);
     ep.delivered.push_back(rec.message);
-    ++pending_deliveries_;
+    ++shard.pending_deliveries;
 
-    ++stats_.messages_delivered;
-    --in_flight_;
+    ++shard.stats.messages_delivered;
+    --shard.in_flight;
     const double latency =
         static_cast<double>(rec.delivered - rec.inject_start);
-    stats_.latency.add(latency);
-    stats_.latency_hist.add(latency);
-    stats_.source_queue.add(static_cast<double>(rec.inject_start -
-                                                rec.message.submit_tick));
-    stats_.hops.add(static_cast<double>(rec.hops));
+    shard.stats.latency.add(latency);
+    shard.stats.latency_hist.add(latency);
+    shard.stats.source_queue.add(static_cast<double>(
+        rec.inject_start - rec.message.submit_tick));
+    shard.stats.hops.add(static_cast<double>(rec.hops));
 
     // Latency decomposition (see ClassAttribution): the network_test
     // zero-load identity is T = B + h + 1, so the contention residual
@@ -301,8 +429,8 @@ Network::tickEjection(sim::NodeId node)
     const double measured_hops = static_cast<double>(rec.head_hops);
     const double contention = std::max(
         0.0, latency - serialization - measured_hops - 1.0);
-    ClassAttribution &attr =
-        stats_.attribution[static_cast<std::size_t>(rec.message.cls)];
+    ClassAttribution &attr = shard.stats.attribution[
+        static_cast<std::size_t>(rec.message.cls)];
     ++attr.count;
     attr.latency += latency;
     attr.serialization += serialization;
@@ -310,10 +438,15 @@ Network::tickEjection(sim::NodeId node)
     attr.contention += contention;
     attr.stalls += static_cast<double>(rec.head_stalls);
 
-    if (tracer_ != nullptr) {
-        tracer_->asyncEnd(
-            node_tracks_[rec.message.src], rec.delivered, flit.msg,
-            "msg", obs::Category::Net,
+    if (obs::Tracer *tracer = tracerFor(s)) {
+        // Cross-shard message lifetimes end on the destination
+        // shard's tracer (emission must stay thread-local), so the
+        // span lands on the destination's track there.
+        const int track = shardOf(rec.message.src) == s
+                              ? node_tracks_[rec.message.src]
+                              : node_tracks_[node];
+        tracer->asyncEnd(
+            track, rec.delivered, flit.msg, "msg", obs::Category::Net,
             std::move(obs::Args()
                           .add("latency", latency)
                           .add("hops", static_cast<int>(rec.head_hops))
@@ -324,65 +457,128 @@ Network::tickEjection(sim::NodeId node)
 }
 
 void
-Network::tick(sim::Tick now)
+Network::drainRecordMail(int dst_shard, sim::Tick now)
 {
+    // Records posted during tick t live in parity t&1; at tick t+1
+    // that is the opposite parity from the one being posted into, so
+    // this drain and concurrent posts never touch the same cell.
+    const int K = plan_.shards;
+    auto &parity = record_mail_[(now + 1) & 1];
+    auto &records =
+        shards_[static_cast<std::size_t>(dst_shard)].records;
+    for (int src = 0; src < K; ++src) {
+        auto &box =
+            parity[static_cast<std::size_t>(dst_shard * K + src)];
+        if (box.empty())
+            continue;
+        for (MessageRecord &rec : box)
+            records.emplace(rec.message.id, std::move(rec));
+        box.clear();
+    }
+}
+
+void
+Network::tickShard(int s, sim::Tick now)
+{
+    const sim::NodeId lo = plan_.first(s);
+    const sim::NodeId hi = plan_.last(s);
     // Latch the wake bits staged by last cycle's channel pushes
+    // (including cross-shard pushes, via the routers' remote words)
     // before anything pushes this cycle: injection, ejection credits
     // and router traversal below all stage wakes for the NEXT cycle,
     // matching the channels' one-cycle latching delay.
-    for (auto &router : routers_)
-        router->latchWakes();
-    const sim::NodeId n = topo_.nodeCount();
-    for (sim::NodeId node = 0; node < n; ++node)
-        tickEjection(node);
-    for (sim::NodeId node = 0; node < n; ++node)
-        tickInjection(node);
+    for (sim::NodeId node = lo; node < hi; ++node)
+        routers_[node]->latchWakes();
+    if (plan_.shards > 1)
+        drainRecordMail(s, now);
+    for (sim::NodeId node = lo; node < hi; ++node)
+        tickEjection(node, now);
+    for (sim::NodeId node = lo; node < hi; ++node)
+        tickInjection(node, now);
     // An idle router's tick is a no-op (no buffered flits, nothing
     // visible on its channels, and its arbitration state is derived
     // from `now`), so skipping it cannot change behavior.
-    for (auto &router : routers_) {
-        if (router->busy())
-            router->tick(now);
+    for (sim::NodeId node = lo; node < hi; ++node) {
+        if (routers_[node]->busy())
+            routers_[node]->tick(now);
     }
+}
+
+void
+Network::tick(sim::Tick now)
+{
+    for (int s = 0; s < plan_.shards; ++s)
+        tickShard(s, now);
+}
+
+void
+NetworkStats::reset()
+{
+    messages_sent = 0;
+    messages_delivered = 0;
+    latency.reset();
+    latency_hist.reset();
+    source_queue.reset();
+    hops.reset();
+    flits.reset();
+    attribution.fill({});
+}
+
+void
+NetworkStats::merge(const NetworkStats &other)
+{
+    messages_sent += other.messages_sent;
+    messages_delivered += other.messages_delivered;
+    latency.merge(other.latency);
+    latency_hist.merge(other.latency_hist);
+    source_queue.merge(other.source_queue);
+    hops.merge(other.hops);
+    flits.merge(other.flits);
+    for (std::size_t i = 0; i < attribution.size(); ++i) {
+        const ClassAttribution &o = other.attribution[i];
+        ClassAttribution &a = attribution[i];
+        a.count += o.count;
+        a.latency += o.latency;
+        a.serialization += o.serialization;
+        a.hops += o.hops;
+        a.contention += o.contention;
+        a.stalls += o.stalls;
+    }
+}
+
+const NetworkStats &
+Network::stats() const
+{
+    if (plan_.shards == 1)
+        return shards_[0].stats;
+    // Every per-shard field is a count or an exact sum (integer-valued
+    // samples, see stats::Accumulator), so merging in shard order
+    // reproduces the sequential accumulation bit-for-bit.
+    merged_stats_.reset();
+    for (const ShardState &shard : shards_)
+        merged_stats_.merge(shard.stats);
+    return merged_stats_;
 }
 
 void
 Network::resetStats()
 {
-    stats_.messages_sent = 0;
-    stats_.messages_delivered = 0;
-    stats_.latency.reset();
-    stats_.latency_hist.reset();
-    stats_.source_queue.reset();
-    stats_.hops.reset();
-    stats_.flits.reset();
-    stats_.attribution.fill({});
-    stats_start_ = engine_.now();
-
-    std::uint64_t hops = 0;
-    for (const auto &router : routers_) {
-        const auto &counts = router->outputFlits();
-        for (std::size_t p = 0; p + 1 < counts.size(); ++p)
-            hops += counts[p].value();
-    }
-    stats_flit_hops_base_ = hops;
+    for (ShardState &shard : shards_)
+        shard.stats.reset();
+    stats_start_ = engines_[0]->now();
+    stats_flit_hops_base_ = totalNeighborFlitHops();
 }
 
 double
 Network::channelUtilization() const
 {
-    const sim::Tick elapsed = engine_.now() - stats_start_;
+    const sim::Tick elapsed = engines_[0]->now() - stats_start_;
     if (elapsed == 0)
         return 0.0;
-    std::uint64_t hops = 0;
-    for (const auto &router : routers_) {
-        const auto &counts = router->outputFlits();
-        // Exclude the local (ejection) port: model rho covers network
-        // channels only.
-        for (std::size_t p = 0; p + 1 < counts.size(); ++p)
-            hops += counts[p].value();
-    }
-    hops -= stats_flit_hops_base_;
+    // Exclude the local (ejection) port: model rho covers network
+    // channels only.
+    const std::uint64_t hops =
+        totalNeighborFlitHops() - stats_flit_hops_base_;
     const double channels = static_cast<double>(topo_.nodeCount()) *
                             2.0 * static_cast<double>(config_.dims);
     return static_cast<double>(hops) /
@@ -392,8 +588,20 @@ Network::channelUtilization() const
 const MessageRecord *
 Network::record(MessageId id) const
 {
-    auto it = records_.find(id);
-    return it == records_.end() ? nullptr : &it->second;
+    for (const ShardState &shard : shards_) {
+        auto it = shard.records.find(id);
+        if (it != shard.records.end())
+            return &it->second;
+    }
+    for (const auto &parity : record_mail_) {
+        for (const auto &box : parity) {
+            for (const MessageRecord &rec : box) {
+                if (rec.message.id == id)
+                    return &rec;
+            }
+        }
+    }
+    return nullptr;
 }
 
 std::uint64_t
@@ -483,9 +691,16 @@ NetworkStats::loadState(util::Deserializer &d)
 void
 Network::saveState(util::Serializer &s) const
 {
-    LOCSIM_ASSERT(tracer_ == nullptr,
-                  "cannot checkpoint a traced network");
+    for (const obs::Tracer *tracer : tracers_) {
+        LOCSIM_ASSERT(tracer == nullptr,
+                      "cannot checkpoint a traced network");
+    }
 
+    // Channels and routers serialize in construction order, which
+    // depends only on the topology (never on the shard plan); router
+    // state folds cross-shard wake words into their sequential
+    // staged-word equivalents. The stream is therefore identical for
+    // any shard count and restores at any other.
     for (const FlitRing *ring : flit_channels_)
         ring->saveState(s);
     for (const CreditPipe *pipe : credit_channels_)
@@ -499,6 +714,7 @@ Network::saveState(util::Serializer &s) const
             saveMessage(s, msg);
         s.put(ep.flits_sent);
         s.put(ep.inject_credits);
+        s.put(ep.next_seq);
         s.put<std::uint64_t>(ep.delivered.size());
         for (const Message &msg : ep.delivered)
             saveMessage(s, msg);
@@ -512,10 +728,19 @@ Network::saveState(util::Serializer &s) const
         }
     }
 
+    // Records: the union over shard maps and in-transit mailboxes,
+    // sorted by id so the ordering is shard-count independent.
     std::vector<const MessageRecord *> records;
-    records.reserve(records_.size());
-    for (const auto &[id, rec] : records_)
-        records.push_back(&rec);
+    for (const ShardState &shard : shards_) {
+        for (const auto &[id, rec] : shard.records)
+            records.push_back(&rec);
+    }
+    for (const auto &parity : record_mail_) {
+        for (const auto &box : parity) {
+            for (const MessageRecord &rec : box)
+                records.push_back(&rec);
+        }
+    }
     std::sort(records.begin(), records.end(),
               [](const MessageRecord *a, const MessageRecord *b) {
                   return a->message.id < b->message.id;
@@ -530,10 +755,9 @@ Network::saveState(util::Serializer &s) const
         s.put(rec->head_stalls);
     }
 
-    s.put(next_id_);
-    s.put(in_flight_);
-    s.put(pending_deliveries_);
-    stats_.saveState(s);
+    s.put<std::uint64_t>(static_cast<std::uint64_t>(inFlight()));
+    s.put(pendingDeliveries());
+    stats().saveState(s);
     s.put(stats_start_);
     s.put(stats_flit_hops_base_);
 }
@@ -555,6 +779,7 @@ Network::loadState(util::Deserializer &d)
             ep.source_queue.push_back(loadMessage(d));
         ep.flits_sent = d.get<std::uint32_t>();
         ep.inject_credits = d.get<int>();
+        ep.next_seq = d.get<std::uint64_t>();
         ep.delivered.clear();
         count = d.get<std::uint64_t>();
         for (std::uint64_t i = 0; i < count; ++i)
@@ -567,7 +792,22 @@ Network::loadState(util::Deserializer &d)
         }
     }
 
-    records_.clear();
+    for (ShardState &shard : shards_) {
+        shard.records.clear();
+        shard.in_flight = 0;
+        shard.pending_deliveries = 0;
+        shard.stats.reset();
+    }
+    for (auto &parity : record_mail_) {
+        for (auto &box : parity)
+            box.clear();
+    }
+
+    // Place each record where the current shard plan expects it: a
+    // message not yet injected belongs to its source shard, anything
+    // later to its destination shard. Records that were in-transit
+    // mailbox mail at save time restore directly into the destination
+    // map; the next drain simply finds the mailboxes empty.
     const auto record_count = d.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < record_count; ++i) {
         MessageRecord rec;
@@ -577,13 +817,21 @@ Network::loadState(util::Deserializer &d)
         rec.hops = d.get<int>();
         rec.head_hops = d.get<std::uint16_t>();
         rec.head_stalls = d.get<std::uint16_t>();
-        records_.emplace(rec.message.id, rec);
+        const int s = rec.inject_start == sim::kTickNever
+                          ? shardOf(rec.message.src)
+                          : shardOf(rec.message.dst);
+        shards_[static_cast<std::size_t>(s)].records.emplace(
+            rec.message.id, std::move(rec));
     }
 
-    next_id_ = d.get<MessageId>();
-    in_flight_ = d.get<std::uint64_t>();
-    pending_deliveries_ = d.get<std::uint64_t>();
-    stats_.loadState(d);
+    // Global accounting and statistics restore into shard 0; the
+    // serial-point sums (and the shard-ordered stats merge) are then
+    // identical to the values saved.
+    shards_[0].in_flight =
+        static_cast<std::int64_t>(d.get<std::uint64_t>());
+    shards_[0].pending_deliveries =
+        static_cast<std::int64_t>(d.get<std::uint64_t>());
+    shards_[0].stats.loadState(d);
     stats_start_ = d.get<sim::Tick>();
     stats_flit_hops_base_ = d.get<std::uint64_t>();
 }
@@ -591,16 +839,22 @@ Network::loadState(util::Deserializer &d)
 void
 Network::setTracer(obs::Tracer *tracer)
 {
-    tracer_ = tracer;
-    if (tracer_ != nullptr && node_tracks_.empty()) {
-        node_tracks_.reserve(routers_.size());
-        for (sim::NodeId node = 0; node < topo_.nodeCount(); ++node)
-            node_tracks_.push_back(
-                tracer_->newTrack("net." + std::to_string(node)));
-    }
-    for (sim::NodeId node = 0; node < topo_.nodeCount(); ++node) {
+    for (int s = 0; s < plan_.shards; ++s)
+        setShardTracer(s, tracer);
+}
+
+void
+Network::setShardTracer(int s, obs::Tracer *tracer)
+{
+    tracers_[static_cast<std::size_t>(s)] = tracer;
+    for (sim::NodeId node = plan_.first(s); node < plan_.last(s);
+         ++node) {
+        if (tracer != nullptr && node_tracks_[node] < 0) {
+            node_tracks_[node] =
+                tracer->newTrack("net." + std::to_string(node));
+        }
         routers_[node]->setTracer(
-            tracer_, tracer_ != nullptr ? node_tracks_[node] : 0);
+            tracer, tracer != nullptr ? node_tracks_[node] : 0);
     }
 }
 

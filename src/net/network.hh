@@ -3,11 +3,30 @@
  * The torus network fabric: routers, channels, per-node injection and
  * ejection interfaces, and network-level statistics.
  *
- * The Network is a single Clocked component ticking at the network
- * clock (period 1). Clients (coherence controllers, traffic
- * generators) interact only through send()/receive() on a node's
- * interface; the fabric handles flitization, wormhole transport, and
- * reassembly.
+ * Sequential machines register the Network as a single Clocked
+ * component ticking at the network clock (period 1). Sharded machines
+ * partition the nodes into contiguous spatial shards, each driven by
+ * its own engine: every router, endpoint, and channel belongs to
+ * exactly one shard, and the per-shard adapter returned by
+ * shardClocked() ticks just that shard's slice of the fabric. Clients
+ * (coherence controllers, traffic generators) interact only through
+ * send()/receive() on a node's interface; the fabric handles
+ * flitization, wormhole transport, and reassembly.
+ *
+ * Cross-shard state is limited to three mechanisms, all designed so
+ * results are bit-identical to the sequential fabric for any shard
+ * count (see docs/SHARDING.md for the full argument):
+ *
+ *  - Latched channels crossing a shard boundary deliver their consumer
+ *    wake bits atomically during the rotation phase (see
+ *    Rotatable::bindRemoteWake), never at push time.
+ *  - Message accounting records migrate from the source shard to the
+ *    destination shard through parity-double-buffered mailboxes,
+ *    posted at injection and drained one tick later in fixed source
+ *    order.
+ *  - Statistics accumulate per shard in exactly-summable form and
+ *    merge at serial points (Accumulator's exact sums make the merge
+ *    grouping-independent).
  */
 
 #ifndef LOCSIM_NET_NETWORK_HH_
@@ -39,6 +58,56 @@ struct NetworkConfig
     /** Torus (paper) or mesh (physical Alewife) edges. */
     bool wraparound = true;
     RouterConfig router;     //!< per-router knobs
+};
+
+/**
+ * Spatial partition of the nodes into contiguous shards.
+ *
+ * Shard s owns the node-id range [bounds[s], bounds[s+1]); row-major
+ * node ids make each shard a contiguous band of torus rows, so only
+ * the band-boundary links cross shards.
+ */
+struct ShardPlan
+{
+    int shards = 1;
+    /** shards+1 node-id boundaries; empty means the trivial plan. */
+    std::vector<sim::NodeId> bounds;
+
+    /** Evenly split @p nodes into @p shards contiguous ranges. */
+    static ShardPlan
+    contiguous(sim::NodeId nodes, int shards)
+    {
+        ShardPlan plan;
+        plan.shards = shards;
+        plan.bounds.resize(static_cast<std::size_t>(shards) + 1);
+        for (int s = 0; s <= shards; ++s) {
+            plan.bounds[static_cast<std::size_t>(s)] =
+                static_cast<sim::NodeId>(
+                    (static_cast<std::uint64_t>(nodes) *
+                     static_cast<std::uint64_t>(s)) /
+                    static_cast<std::uint64_t>(shards));
+        }
+        return plan;
+    }
+
+    sim::NodeId first(int s) const
+    {
+        return bounds[static_cast<std::size_t>(s)];
+    }
+    sim::NodeId last(int s) const
+    {
+        return bounds[static_cast<std::size_t>(s) + 1];
+    }
+
+    int
+    shardOf(sim::NodeId node) const
+    {
+        for (int s = 0; s < shards; ++s) {
+            if (node < last(s))
+                return s;
+        }
+        return shards - 1;
+    }
 };
 
 /** Per-message accounting snapshot (also used by tests). */
@@ -91,6 +160,15 @@ struct NetworkStats
     /** Latency decomposition sums, indexed by MessageClass. */
     std::array<ClassAttribution, kMessageClassCount> attribution{};
 
+    /**
+     * Merge another shard's statistics into this one. All fields are
+     * counts or exact sums, so merging the per-shard blocks in shard
+     * order reproduces the sequential accumulation bit-for-bit.
+     */
+    void merge(const NetworkStats &other);
+
+    void reset();
+
     void saveState(util::Serializer &s) const;
     void loadState(util::Deserializer &d);
 };
@@ -98,14 +176,26 @@ struct NetworkStats
 /**
  * The full fabric for one machine.
  *
- * Construction wires every router and registers all channels with the
- * engine; the caller registers the Network itself as a Clocked
- * component with period 1 (the network clock).
+ * Construction wires every router and registers each channel with its
+ * owning (producer-side) shard engine. For a sequential machine the
+ * caller registers the Network itself as a Clocked component with
+ * period 1; a sharded machine registers shardClocked(s) with each
+ * shard engine instead.
  */
 class Network : public sim::Clocked
 {
   public:
+    /** Sequential fabric: one engine, trivial shard plan. */
     Network(sim::Engine &engine, const NetworkConfig &config);
+
+    /**
+     * Sharded fabric: engines[s] drives shard s of @p plan. All
+     * engines must share one timeline (equal now() at every barrier).
+     */
+    Network(const NetworkConfig &config,
+            const std::vector<sim::Engine *> &engines,
+            const ShardPlan &plan);
+
     ~Network() override;
 
     Network(const Network &) = delete;
@@ -113,13 +203,16 @@ class Network : public sim::Clocked
 
     const TorusTopology &topology() const { return topo_; }
     const NetworkConfig &config() const { return config_; }
+    const ShardPlan &shardPlan() const { return plan_; }
 
     /**
      * Submit a message from node @p msg.src.
      *
      * The source queue is unbounded (the closed-loop clients bound
      * their own outstanding transactions); the message id is assigned
-     * by the fabric and returned.
+     * by the fabric and returned. Ids are per-source-endpoint
+     * sequences (source node in the high bits), so assignment is
+     * deterministic for any shard count.
      *
      * @pre msg.src != msg.dst (local transactions never enter the
      *      network, mirroring the machine being modeled).
@@ -133,12 +226,27 @@ class Network : public sim::Clocked
     std::size_t pendingAt(sim::NodeId node) const;
 
     /** Delivered-but-unclaimed messages across all nodes. */
-    std::uint64_t pendingDeliveries() const { return pending_deliveries_; }
+    std::uint64_t pendingDeliveries() const;
 
     /** True if no message is in flight anywhere in the fabric. */
     bool idle() const;
 
+    /** Sequential stepping: tick every shard in order. */
     void tick(sim::Tick now) override;
+
+    /**
+     * Advance shard @p s one network cycle: latch its routers' wakes,
+     * drain its record mailboxes, then eject/inject/route its nodes.
+     * Called concurrently for distinct shards by the sharded driver
+     * (phase A of a tick window).
+     */
+    void tickShard(int s, sim::Tick now);
+
+    /**
+     * The per-shard Clocked adapter the sharded machine registers
+     * with shard engine @p s (period 1, before any node components).
+     */
+    sim::Clocked *shardClocked(int s);
 
     /**
      * The fabric has work while any message is between send() and tail
@@ -147,9 +255,15 @@ class Network : public sim::Clocked
      * every router tick, so deferred absorption is observationally
      * identical to eager absorption.
      */
-    bool busy() const override { return in_flight_ > 0; }
+    bool busy() const override { return inFlight() > 0; }
 
-    const NetworkStats &stats() const { return stats_; }
+    /**
+     * Aggregate statistics. With one shard this is a reference to the
+     * live block; with several the per-shard blocks are merged (in
+     * shard order; bit-identical to sequential accumulation) into a
+     * cached block. Call only at serial points.
+     */
+    const NetworkStats &stats() const;
 
     /** Reset statistics (e.g. after warmup), keeping in-flight state. */
     void resetStats();
@@ -177,24 +291,35 @@ class Network : public sim::Clocked
     std::uint64_t bufferedFlits() const;
 
     /**
-     * Attach a tracer (nullptr to detach; not owned). Allocates one
-     * "net.<node>" track per node on first attach: message lifetimes
-     * run as async spans from send() to tail ejection on the source
-     * node's track, with "inject" instants when the head flit is first
+     * Attach a tracer for every shard (nullptr to detach; not owned).
+     * Allocates one "net.<node>" track per node on first attach:
+     * message lifetimes run as async spans from send() to tail
+     * ejection, with "inject" instants when the head flit is first
      * offered. Routers share the tracks for flit-level detail.
      */
     void setTracer(obs::Tracer *tracer);
 
     /**
+     * Attach shard @p s's tracer (sharded machines give each shard an
+     * independent tracer so emission stays thread-local; the spans for
+     * a cross-shard message begin on the source shard's tracer and end
+     * on the destination's).
+     */
+    void setShardTracer(int s, obs::Tracer *tracer);
+
+    /**
      * Serialize the complete fabric state: every channel and router in
      * construction order, endpoint queues, in-flight accounting and
-     * statistics. Requires no attached tracer (span ids would dangle
-     * across a restore).
+     * statistics. The byte stream is independent of the shard count
+     * (records are sorted by id, per-shard statistics are merged, and
+     * cross-shard wake words fold into their sequential equivalents),
+     * so a checkpoint taken at any K restores at any other K. Requires
+     * no attached tracer (span ids would dangle across a restore).
      */
     void saveState(util::Serializer &s) const;
 
     /** Restore state saved by saveState() on an identically configured
-     *  fabric. */
+     *  fabric (any shard count on either side). */
     void loadState(util::Deserializer &d);
 
   private:
@@ -204,17 +329,63 @@ class Network : public sim::Clocked
         std::deque<Message> source_queue;
         std::uint32_t flits_sent = 0;    //!< of the current message
         int inject_credits = 0;          //!< VC0 credits into router
+        /** Message-id sequence for this source endpoint. */
+        std::uint64_t next_seq = 0;
         // Ejection side.
         std::deque<Message> delivered;
         std::unordered_map<MessageId, std::uint32_t> arrived_flits;
     };
 
-    void tickInjection(sim::NodeId node);
-    void tickEjection(sim::NodeId node);
+    /**
+     * State owned by one shard: accounting records for messages whose
+     * current "location" (source before injection, destination after)
+     * is in the shard, plus this shard's statistics slice. The
+     * in-flight / pending counters are signed because a message's
+     * increment and decrement may land on different shards; only the
+     * serial-point sums are meaningful.
+     */
+    struct ShardState
+    {
+        std::unordered_map<MessageId, MessageRecord> records;
+        NetworkStats stats;
+        std::int64_t in_flight = 0;
+        std::int64_t pending_deliveries = 0;
+    };
 
-    sim::Engine &engine_;
+    /** Clocked adapter driving one shard (see shardClocked()). */
+    class ShardTick : public sim::Clocked
+    {
+      public:
+        ShardTick(Network &net, int shard) : net_(net), shard_(shard) {}
+        void tick(sim::Tick now) override
+        {
+            net_.tickShard(shard_, now);
+        }
+        /** Global: quiescence decisions are whole-fabric decisions. */
+        bool busy() const override { return net_.busy(); }
+
+      private:
+        Network &net_;
+        int shard_;
+    };
+
+    void tickInjection(sim::NodeId node, sim::Tick now);
+    void tickEjection(sim::NodeId node, sim::Tick now);
+    void drainRecordMail(int dst_shard, sim::Tick now);
+
+    int shardOf(sim::NodeId node) const { return plan_.shardOf(node); }
+    std::int64_t inFlight() const;
+    obs::Tracer *tracerFor(int shard) const
+    {
+        return tracers_.empty()
+                   ? nullptr
+                   : tracers_[static_cast<std::size_t>(shard)];
+    }
+
     NetworkConfig config_;
     TorusTopology topo_;
+    ShardPlan plan_;
+    std::vector<sim::Engine *> engines_; //!< engines_[s] drives shard s
 
     /**
      * Backing store for all routers and channels. One fabric allocates
@@ -237,16 +408,29 @@ class Network : public sim::Clocked
 
     std::vector<NodeEndpoint> endpoints_;
 
-    std::unordered_map<MessageId, MessageRecord> records_;
-    MessageId next_id_ = 1;
-    std::uint64_t in_flight_ = 0;
-    std::uint64_t pending_deliveries_ = 0;
+    std::vector<ShardState> shards_;
+    std::vector<std::unique_ptr<ShardTick>> shard_ticks_;
 
-    NetworkStats stats_;
+    /**
+     * Record-migration mailboxes, indexed [tick parity][dst * K + src].
+     * A record posted during tick t (parity t&1) is drained by the
+     * destination shard at the start of tick t+1 — the parities
+     * alternate, so posts and drains never touch the same cell in the
+     * same phase, and barrier separation orders them without atomics.
+     * A pending record implies its message is in flight, so quiescence
+     * skips (which would break the parity arithmetic) cannot occur
+     * with mail outstanding.
+     */
+    std::array<std::vector<std::vector<MessageRecord>>, 2> record_mail_;
+
+    /** Merge target for stats() on sharded fabrics (serial use only). */
+    mutable NetworkStats merged_stats_;
+
     sim::Tick stats_start_ = 0;
     std::uint64_t stats_flit_hops_base_ = 0;
 
-    obs::Tracer *tracer_ = nullptr;
+    /** Per-shard tracers (empty when tracing is off). */
+    std::vector<obs::Tracer *> tracers_;
     std::vector<int> node_tracks_;
 };
 

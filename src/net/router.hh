@@ -26,6 +26,7 @@
 #define LOCSIM_NET_ROUTER_HH_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -115,6 +116,34 @@ class Router
     {
         flit_wake_ |= std::exchange(flit_wake_staged_, 0u);
         credit_wake_ |= std::exchange(credit_wake_staged_, 0u);
+        if (has_remote_wakes_) {
+            flit_wake_ |= remote_flit_wake_.exchange(
+                0u, std::memory_order_relaxed);
+            credit_wake_ |= remote_credit_wake_.exchange(
+                0u, std::memory_order_relaxed);
+        }
+    }
+
+    /**
+     * Cross-shard wake words. In sharded runs, an input channel whose
+     * producer router lives on another shard delivers its wake here
+     * (atomically, during the rotation phase) instead of into the
+     * plain staged words; latchWakes() then drains both. The extra
+     * exchange is gated on has_remote_wakes_ so the sequential path
+     * pays nothing. The Network performs the binding.
+     */
+    std::atomic<std::uint32_t> &
+    remoteFlitWakeWord()
+    {
+        has_remote_wakes_ = true;
+        return remote_flit_wake_;
+    }
+
+    std::atomic<std::uint32_t> &
+    remoteCreditWakeWord()
+    {
+        has_remote_wakes_ = true;
+        return remote_credit_wake_;
     }
 
     /**
@@ -190,9 +219,14 @@ class Router
             s.put(op.next_vc);
         }
         s.put<std::uint64_t>(buffered_);
-        s.put(flit_wake_staged_);
+        // Fold pending cross-shard wakes into the staged words: the
+        // two are drained identically by latchWakes(), and folding
+        // keeps checkpoint bytes independent of the shard count.
+        s.put(flit_wake_staged_ |
+              remote_flit_wake_.load(std::memory_order_relaxed));
         s.put(flit_wake_);
-        s.put(credit_wake_staged_);
+        s.put(credit_wake_staged_ |
+              remote_credit_wake_.load(std::memory_order_relaxed));
         s.put(credit_wake_);
         s.put(vc_occupied_);
         s.put(owned_ports_);
@@ -235,6 +269,8 @@ class Router
         flit_wake_ = d.get<std::uint32_t>();
         credit_wake_staged_ = d.get<std::uint32_t>();
         credit_wake_ = d.get<std::uint32_t>();
+        remote_flit_wake_.store(0u, std::memory_order_relaxed);
+        remote_credit_wake_.store(0u, std::memory_order_relaxed);
         vc_occupied_ = d.get<std::uint32_t>();
         owned_ports_ = d.get<std::uint32_t>();
         rr_now_ = d.get<sim::Tick>();
@@ -331,6 +367,10 @@ class Router
     std::uint32_t flit_wake_ = 0;
     std::uint32_t credit_wake_staged_ = 0;
     std::uint32_t credit_wake_ = 0;
+    /** Cross-shard wake words; see remoteFlitWakeWord(). */
+    std::atomic<std::uint32_t> remote_flit_wake_{0};
+    std::atomic<std::uint32_t> remote_credit_wake_{0};
+    bool has_remote_wakes_ = false;
     /** Input units (port * vcs + vc) with a non-empty flit buffer. */
     std::uint32_t vc_occupied_ = 0;
     /** Output ports with at least one owned (allocated) VC. */

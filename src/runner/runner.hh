@@ -69,6 +69,24 @@ class ThreadPool
      */
     void wait();
 
+    /**
+     * Run @p fn(0..count-1) to completion, one long-lived invocation
+     * per lane: lanes 1..count-1 run on pool workers while lane 0 runs
+     * on the calling thread. Returns (and rethrows the first captured
+     * exception) once every lane has finished.
+     *
+     * This is the entry point for cooperating workers that synchronize
+     * among themselves (e.g. barrier-stepped simulation shards): each
+     * lane is dispatched through the queue exactly once for the whole
+     * region, so the per-job queue/condition-variable round trip
+     * (~1-2 us) is paid once instead of once per synchronization
+     * window. Because the lanes may wait on each other, all of them
+     * must be running concurrently: @p count - 1 must not exceed
+     * threadCount(), and the pool must be otherwise idle.
+     */
+    void parallelRegion(int count,
+                        const std::function<void(int)> &fn);
+
   private:
     void workerLoop();
 

@@ -21,6 +21,7 @@
 #ifndef LOCSIM_SIM_CHANNEL_HH_
 #define LOCSIM_SIM_CHANNEL_HH_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -71,6 +72,25 @@ class Rotatable
     {
         wake_mask_ = mask;
         wake_bit_ = bit;
+        remote_wake_ = nullptr;
+    }
+
+    /**
+     * Bind a *cross-shard* consumer wake word instead of a plain one.
+     * The producer and consumer live on different shard engines, so
+     * the wake must not be delivered at push time (the consumer may
+     * latch its wake words concurrently in the same tick phase).
+     * Instead rotate() — which runs in the barrier-separated rotation
+     * phase — ORs @p bit into the atomic @p mask; the consumer drains
+     * it at the start of the next tick, exactly when a same-shard wake
+     * would become observable. Replaces any bindWake() binding.
+     */
+    void
+    bindRemoteWake(std::atomic<std::uint32_t> *mask, std::uint32_t bit)
+    {
+        remote_wake_ = mask;
+        wake_mask_ = nullptr;
+        wake_bit_ = bit;
     }
 
   protected:
@@ -80,6 +100,19 @@ class Rotatable
     {
         if (wake_mask_ != nullptr)
             *wake_mask_ |= wake_bit_;
+    }
+
+    /**
+     * Called by rotate() implementations *before* clearing dirty_:
+     * delivers the deferred cross-shard wake when values latched.
+     */
+    void
+    notifyRemoteWake()
+    {
+        if (remote_wake_ != nullptr && dirty_) {
+            remote_wake_->fetch_or(wake_bit_,
+                                   std::memory_order_relaxed);
+        }
     }
     /** Record a push; enrols in the engine's dirty list once per cycle. */
     void
@@ -98,6 +131,7 @@ class Rotatable
   private:
     std::vector<Rotatable *> *dirty_list_ = nullptr;
     std::uint32_t *wake_mask_ = nullptr;
+    std::atomic<std::uint32_t> *remote_wake_ = nullptr;
     std::uint32_t wake_bit_ = 0;
 };
 
@@ -165,6 +199,7 @@ class Channel : public Rotatable
     void
     rotate() override
     {
+        notifyRemoteWake();
         dirty_ = false;
         // Invariant: rotation drains the staging queue completely, so
         // when the visible queue is empty the whole staged contents

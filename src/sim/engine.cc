@@ -42,7 +42,7 @@ Engine::addChannel(Rotatable *channel)
 }
 
 void
-Engine::stepOneTick()
+Engine::beginTick()
 {
     // Fire any events due at the current time before components tick,
     // so event effects are visible within this cycle.
@@ -56,12 +56,6 @@ Engine::stepOneTick()
                 entry.next_due = now_ + entry.period;
             }
         }
-        // Dumb stepping: rotate every channel, every tick. Clean
-        // channels are invariant under rotate(), so this differs from
-        // the dirty-list path only in wasted work.
-        for (Rotatable *channel : channels_)
-            channel->rotate();
-        dirty_channels_.clear();
     } else {
         for (auto &entry : clocked_) {
             if (now_ == entry.next_due) {
@@ -69,39 +63,46 @@ Engine::stepOneTick()
                 entry.next_due += entry.period;
             }
         }
+    }
+}
+
+void
+Engine::finishTick()
+{
+    if (mode_ == StepMode::Reference) {
+        // Dumb stepping: rotate every channel, every tick. Clean
+        // channels are invariant under rotate(), so this differs from
+        // the dirty-list path only in wasted work.
+        for (Rotatable *channel : channels_)
+            channel->rotate();
+    } else {
         // Only channels pushed this cycle need rotating. rotate() may
         // not push into other channels, so the list is stable here.
         for (Rotatable *channel : dirty_channels_)
             channel->rotate();
-        dirty_channels_.clear();
     }
+    dirty_channels_.clear();
     ++now_;
 }
 
-void
-Engine::tryFastForward(Tick end)
+bool
+Engine::allIdle() const
 {
     // Values staged outside a tick (e.g. a test pushing a channel by
     // hand before run()) must rotate on schedule, not after a skip.
     if (!dirty_channels_.empty())
-        return;
+        return false;
     for (const auto &entry : clocked_) {
         if (entry.component->busy())
-            return;
+            return false;
     }
+    return true;
+}
 
-    // Everyone is idle: nothing can happen until the next scheduled
-    // event wakes a component (or the run window closes).
-    Tick target = end;
-    const Tick next_event = events_.nextTick();
-    if (next_event != kTickNever) {
-        if (next_event <= now_)
-            return; // due immediately; step normally
-        target = std::min(end, next_event);
-    }
-    if (target <= now_)
-        return;
-
+void
+Engine::jumpIdleTo(Tick target)
+{
+    LOCSIM_ASSERT(target > now_, "jumpIdleTo must move time forward");
     for (auto &entry : clocked_) {
         if (entry.next_due < target) {
             const Tick skipped =
@@ -117,6 +118,27 @@ Engine::tryFastForward(Tick end)
                           "fast_forward", obs::Category::Engine);
     }
     now_ = target;
+}
+
+void
+Engine::tryFastForward(Tick end)
+{
+    if (!allIdle())
+        return;
+
+    // Everyone is idle: nothing can happen until the next scheduled
+    // event wakes a component (or the run window closes).
+    Tick target = end;
+    const Tick next_event = events_.nextTick();
+    if (next_event != kTickNever) {
+        if (next_event <= now_)
+            return; // due immediately; step normally
+        target = std::min(end, next_event);
+    }
+    if (target <= now_)
+        return;
+
+    jumpIdleTo(target);
 }
 
 void

@@ -140,6 +140,53 @@ class Engine
     Tick skippedTicks() const { return skipped_ticks_; }
 
     /**
+     * @name Lockstep stepping (sharded driver interface)
+     *
+     * The sharded machine driver advances K engines over one shared
+     * timeline by splitting a tick into its two phases: beginTick()
+     * fires events and due clocked components at now(); finishTick()
+     * rotates the channels pushed this cycle and advances now(). The
+     * split is safe to run concurrently across engines because latched
+     * channels make intra-cycle tick order irrelevant, and rotation
+     * only touches channels owned by (registered with) this engine.
+     * run() is exactly a loop of beginTick()+finishTick() with
+     * tryFastForward() between iterations.
+     */
+    ///@{
+    /** Phase A: run due events, then tick due clocked components. */
+    void beginTick();
+
+    /** Phase B: rotate dirty channels (all in Reference), ++now(). */
+    void finishTick();
+
+    /**
+     * True when nothing can happen before the next event-queue wakeup:
+     * no staged channel values and every component reports idle.
+     */
+    bool allIdle() const;
+
+    /** Next event-queue wakeup (kTickNever when empty). */
+    Tick nextEventTick() const { return events_.nextTick(); }
+
+    /**
+     * Jump now() to @p target (> now()), crediting skipped component
+     * ticks via skipIdle(). Caller must have established allIdle().
+     */
+    void jumpIdleTo(Tick target);
+
+    /**
+     * Emit the "run" trace span run() would have produced for the
+     * window [@p start, now()). The sharded driver bypasses run(), so
+     * it closes each shard's window explicitly.
+     */
+    void
+    emitRunSpan(Tick start, Tick skipped_before)
+    {
+        traceRun(start, skipped_before);
+    }
+    ///@}
+
+    /**
      * Restore the timeline from a checkpoint: set now()/skippedTicks()
      * and recompute every registered component's next-due tick exactly
      * as if the components had been registered at this time (same
@@ -162,7 +209,11 @@ class Engine
     }
 
   private:
-    void stepOneTick();
+    void stepOneTick()
+    {
+        beginTick();
+        finishTick();
+    }
 
     /** Trace one completed run window (no-op without a tracer). */
     void traceRun(Tick start, Tick skipped_before);

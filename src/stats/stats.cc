@@ -19,9 +19,7 @@ Accumulator::add(double sample)
 {
     ++count_;
     sum_ += sample;
-    const double delta = sample - mean_;
-    mean_ += delta / static_cast<double>(count_);
-    m2_ += delta * (sample - mean_);
+    sum_sq_ += sample * sample;
     min_ = std::min(min_, sample);
     max_ = std::max(max_, sample);
 }
@@ -31,7 +29,11 @@ Accumulator::variance() const
 {
     if (count_ < 2)
         return 0.0;
-    return m2_ / static_cast<double>(count_ - 1);
+    const double n = static_cast<double>(count_);
+    const double centered = sum_sq_ - sum_ * sum_ / n;
+    // Cancellation can leave a tiny negative residual for
+    // near-constant streams; variance is non-negative by definition.
+    return std::max(0.0, centered / static_cast<double>(count_ - 1));
 }
 
 double
@@ -63,18 +65,9 @@ Accumulator::merge(const Accumulator &other)
 {
     if (other.count_ == 0)
         return;
-    if (count_ == 0) {
-        *this = other;
-        return;
-    }
-    const double n1 = static_cast<double>(count_);
-    const double n2 = static_cast<double>(other.count_);
-    const double delta = other.mean_ - mean_;
-    const double total = n1 + n2;
-    mean_ += delta * n2 / total;
-    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
     count_ += other.count_;
     sum_ += other.sum_;
+    sum_sq_ += other.sum_sq_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
 }
@@ -143,6 +136,19 @@ Histogram::reset()
 {
     std::fill(counts_.begin(), counts_.end(), 0);
     underflow_ = overflow_ = total_ = 0;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    LOCSIM_ASSERT(counts_.size() == other.counts_.size() &&
+                      lo_ == other.lo_ && hi_ == other.hi_,
+                  "histogram merge requires identical bucket geometry");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
 }
 
 void

@@ -44,8 +44,19 @@ class Counter
 };
 
 /**
- * Streaming accumulator for mean/variance/min/max using Welford's
- * algorithm (numerically stable for long runs).
+ * Streaming accumulator for mean/variance/min/max over exact running
+ * sums (count, sum, sum of squares).
+ *
+ * The simulator's samples are integer-valued doubles far below 2^53,
+ * so the running sums are computed exactly and the accumulator is a
+ * pure function of the sample *multiset*: splitting a stream across
+ * shards and merging gives bit-identical results to accumulating the
+ * stream sequentially, for any split. The sharded execution mode
+ * depends on this property; a Welford-style recurrence (the previous
+ * implementation) is order-dependent in its low bits and cannot
+ * provide it. The trade-off is that variance() loses precision for
+ * non-integer samples with magnitudes above ~2^26 — no simulator
+ * statistic is in that regime.
  */
 class Accumulator
 {
@@ -57,7 +68,10 @@ class Accumulator
     std::uint64_t count() const { return count_; }
 
     /** Sample mean (0 when empty). */
-    double mean() const { return count_ ? mean_ : 0.0; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
 
     /** Sum of all samples. */
     double sum() const { return sum_; }
@@ -73,16 +87,19 @@ class Accumulator
 
     void reset();
 
-    /** Merge another accumulator into this one (parallel Welford). */
+    /**
+     * Merge another accumulator into this one. Exact sums make the
+     * merge associative and grouping-independent (bit-for-bit) for
+     * integer-valued samples.
+     */
     void merge(const Accumulator &other);
 
     void
     saveState(util::Serializer &s) const
     {
         s.put(count_);
-        s.putDouble(mean_);
-        s.putDouble(m2_);
         s.putDouble(sum_);
+        s.putDouble(sum_sq_);
         s.putDouble(min_);
         s.putDouble(max_);
     }
@@ -91,18 +108,16 @@ class Accumulator
     loadState(util::Deserializer &d)
     {
         count_ = d.get<std::uint64_t>();
-        mean_ = d.getDouble();
-        m2_ = d.getDouble();
         sum_ = d.getDouble();
+        sum_sq_ = d.getDouble();
         min_ = d.getDouble();
         max_ = d.getDouble();
     }
 
   private:
     std::uint64_t count_ = 0;
-    double mean_ = 0.0;
-    double m2_ = 0.0;
     double sum_ = 0.0;
+    double sum_sq_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };
@@ -130,6 +145,12 @@ class Histogram
     double quantile(double q) const;
 
     void reset();
+
+    /**
+     * Merge another histogram into this one (bucket geometries must
+     * match). Counts add exactly, so the merge is grouping-independent.
+     */
+    void merge(const Histogram &other);
 
     /** Serialize the dynamic counts (bucket geometry is config). */
     void

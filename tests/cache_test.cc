@@ -24,6 +24,7 @@
 #include "cache/key.hh"
 #include "cache/store.hh"
 #include "machine/machine.hh"
+#include "util/serialize.hh"
 #include "workload/mapping.hh"
 
 namespace locsim {
@@ -127,6 +128,77 @@ TEST(SimKey, ChangesWithEveryBehavioralField)
         for (std::size_t j = i + 1; j < keys.size(); ++j)
             EXPECT_NE(keys[i], keys[j])
                 << "variants " << i << " and " << j;
+    }
+}
+
+/**
+ * Execution knobs must never enter the key: MachineConfig::shards
+ * partitions execution without changing results (and the runner
+ * thread count never reaches simKey at all), so sequential and
+ * sharded runs of one experiment share a single cache entry.
+ */
+TEST(SimKey, IndependentOfShardCount)
+{
+    const std::string base = baseKey();
+    for (int shards : {1, 2, 4}) {
+        auto config = baseConfig();
+        config.shards = shards;
+        EXPECT_EQ(simKey(config, baseMapping(), 100, 200), base)
+            << shards << " shards";
+    }
+}
+
+/**
+ * The warm-cache consequence, both ways: a payload computed
+ * sequentially is a hit for a sharded run and vice versa, and either
+ * payload equals what the other mode actually computes (sharded
+ * execution is bit-identical, so serving either result for the other
+ * is correct).
+ */
+TEST(SimCache, WarmAcrossShardCounts)
+{
+    auto compute = [](int shards) {
+        auto config = baseConfig();
+        config.shards = shards;
+        machine::Machine machine(config, baseMapping());
+        util::Serializer s;
+        machine::saveMeasurement(s, machine.run(100, 200));
+        return s.takeBuffer();
+    };
+    const std::string key = baseKey();
+
+    {
+        // Sequential warms; the 4-shard run must hit.
+        const fs::path dir = freshDir("warm-seq-then-sharded");
+        SimCache store(dir);
+        const auto seq =
+            store.getOrRun(key, [&] { return compute(1); });
+        bool recomputed = false;
+        const auto sharded = store.getOrRun(key, [&] {
+            recomputed = true;
+            return compute(4);
+        });
+        EXPECT_FALSE(recomputed) << "sharded run missed a warm cache";
+        EXPECT_EQ(sharded, seq);
+        EXPECT_EQ(compute(4), seq)
+            << "sharded payload differs from the cached sequential one";
+        fs::remove_all(dir);
+    }
+    {
+        // Sharded warms; the sequential run must hit.
+        const fs::path dir = freshDir("warm-sharded-then-seq");
+        SimCache store(dir);
+        const auto sharded =
+            store.getOrRun(key, [&] { return compute(4); });
+        bool recomputed = false;
+        const auto seq = store.getOrRun(key, [&] {
+            recomputed = true;
+            return compute(1);
+        });
+        EXPECT_FALSE(recomputed)
+            << "sequential run missed a shard-warmed cache";
+        EXPECT_EQ(seq, sharded);
+        fs::remove_all(dir);
     }
 }
 

@@ -107,28 +107,23 @@ TEST(DirectoryUnit, SharerManagement)
     EXPECT_EQ(dir.find(makeAddr(5, 10)), nullptr);
 }
 
-TEST(ProtoTransportUnit, StoreTakeRoundTrip)
+TEST(ProtoMsgPacking, PackUnpackRoundTrip)
 {
-    ProtoTransport transport;
     ProtoMsg msg;
     msg.type = MsgType::GetX;
     msg.addr = makeAddr(3, 4);
     msg.sender = 7;
+    msg.requester = 11;
     msg.data = 0xdead;
-    const auto h1 = transport.store(msg);
-    msg.type = MsgType::Inv;
-    const auto h2 = transport.store(msg);
-    EXPECT_EQ(transport.inFlight(), 2u);
-    const ProtoMsg out1 = transport.take(h1);
-    EXPECT_EQ(out1.type, MsgType::GetX);
-    EXPECT_EQ(out1.data, 0xdeadu);
-    const ProtoMsg out2 = transport.take(h2);
-    EXPECT_EQ(out2.type, MsgType::Inv);
-    EXPECT_EQ(transport.inFlight(), 0u);
-    // Freed slots are reused.
-    const auto h3 = transport.store(msg);
-    EXPECT_TRUE(h3 == h1 || h3 == h2);
-    transport.take(h3);
+    msg.critical = true;
+    const net::MessagePayload packed = packProtoMsg(msg);
+    const ProtoMsg out = unpackProtoMsg(packed);
+    EXPECT_EQ(out.type, MsgType::GetX);
+    EXPECT_EQ(out.addr, msg.addr);
+    EXPECT_EQ(out.sender, 7u);
+    EXPECT_EQ(out.requester, 11u);
+    EXPECT_EQ(out.data, 0xdeadu);
+    EXPECT_TRUE(out.critical);
 }
 
 /**
@@ -169,7 +164,7 @@ struct CoherHarness
         for (sim::NodeId n = 0; n < network->topology().nodeCount();
              ++n) {
             controllers.push_back(std::make_unique<CacheController>(
-                engine, *network, transport, n, pc, 2));
+                engine, *network, n, pc, 2));
             engine.addClocked(controllers.back().get(), 2);
             clients.push_back(std::make_unique<TestClient>());
             controllers.back()->setClient(clients.back().get());
@@ -215,7 +210,6 @@ struct CoherHarness
 
     sim::Engine engine;
     std::unique_ptr<net::Network> network;
-    ProtoTransport transport;
     std::vector<std::unique_ptr<CacheController>> controllers;
     std::vector<std::unique_ptr<TestClient>> clients;
     bool last_was_txn = false;

@@ -10,11 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "machine/calibration.hh"
 #include "machine/machine.hh"
 #include "model/alewife.hh"
 #include "model/combined_model.hh"
 #include "net/topology.hh"
+#include "util/serialize.hh"
 #include "workload/mapping.hh"
 
 namespace locsim {
@@ -465,6 +468,134 @@ TEST(Machine, RunLengthTracksConfiguredCompute)
     const auto m = runMachine(1, workload::Mapping::identity(64));
     EXPECT_GT(m.run_length, 14.0);
     EXPECT_LT(m.run_length, 24.0);
+}
+
+/** Serialize a Measurement to its exact cache-payload bytes. */
+std::vector<std::uint8_t>
+measurementBytes(const Measurement &m)
+{
+    util::Serializer s;
+    saveMeasurement(s, m);
+    return s.takeBuffer();
+}
+
+/**
+ * The tentpole contract of sharded execution: every Measurement field
+ * — counters, exact-sum means, percentiles, attribution — is byte-
+ * identical whatever the shard count, including a count that does not
+ * divide the machine (ragged last shard) and reference stepping.
+ * Latched channels give one cycle of conservative lookahead, so the
+ * partitioned fabric observes exactly the sequential schedule; any
+ * divergence here is a lost wakeup, a mis-owned channel, or a
+ * stats-merge ordering bug.
+ */
+TEST(Sharded, MeasurementsBitIdenticalAtEveryShardCount)
+{
+    auto run = [](int shards, bool reference) {
+        MachineConfig config;
+        config.contexts = 2;
+        config.shards = shards;
+        config.reference_stepping = reference;
+        Machine machine(config, workload::Mapping::random(64, 29));
+        return measurementBytes(machine.run(1500, 4000));
+    };
+    const std::vector<std::uint8_t> sequential = run(1, false);
+    for (int shards : {2, 3, 4})
+        EXPECT_EQ(sequential, run(shards, false))
+            << shards << " shards";
+    EXPECT_EQ(sequential, run(2, true)) << "2 shards, reference";
+}
+
+/**
+ * Same contract on a machine whose shape stresses the partition
+ * differently: 3-D torus, ratio 1, single context.
+ */
+TEST(Sharded, ThreeDimensionalMachineBitIdentical)
+{
+    auto run = [](int shards) {
+        MachineConfig config;
+        config.radix = 4;
+        config.dims = 3;
+        config.net_clock_ratio = 1;
+        config.shards = shards;
+        Machine machine(config, workload::Mapping::random(64, 31));
+        return measurementBytes(machine.run(1000, 3000));
+    };
+    const std::vector<std::uint8_t> sequential = run(1);
+    for (int shards : {2, 4})
+        EXPECT_EQ(sequential, run(shards)) << shards << " shards";
+}
+
+/**
+ * The metrics sampler's series must match sample-for-sample: at
+ * several shards the lockstep driver ticks the sampler itself (and
+ * credits quiescence skips), and both the timestamps and every probe
+ * value must equal the sequential engine-driven schedule exactly.
+ */
+TEST(Sharded, SamplerSeriesBitIdentical)
+{
+    auto run = [](int shards) {
+        MachineConfig config;
+        config.shards = shards;
+        config.sample_period = 256;
+        Machine machine(config, workload::Mapping::random(64, 37));
+        machine.run(1500, 4000);
+        const obs::MetricsSampler &sampler = *machine.sampler();
+        std::ostringstream out;
+        for (const sim::Tick t : sampler.times())
+            out << t << "\n";
+        for (std::size_t p = 0; p < sampler.probeCount(); ++p) {
+            out << sampler.probeName(p) << "\n";
+            util::Serializer s;
+            for (const double v : sampler.series(p))
+                s.putDouble(v);
+            for (const std::uint8_t byte : s.buffer())
+                out << static_cast<int>(byte) << " ";
+            out << "\n";
+        }
+        return out.str();
+    };
+    const std::string sequential = run(1);
+    for (int shards : {2, 4})
+        EXPECT_EQ(sequential, run(shards)) << shards << " shards";
+}
+
+/**
+ * Tracing at several shards writes one merged stream; it must be
+ * deterministic run to run (emission is thread-local per shard, merge
+ * order is fixed), and the machine must still measure identically
+ * with tracing attached.
+ */
+TEST(Sharded, TracedRunsAreDeterministic)
+{
+    auto run = [] {
+        MachineConfig config;
+        config.shards = 4;
+        config.trace.enabled = true;
+        Machine machine(config, workload::Mapping::random(64, 41));
+        const Measurement m = machine.run(500, 1500);
+        std::ostringstream os;
+        machine.writeTrace(os);
+        return std::make_pair(measurementBytes(m), os.str());
+    };
+    const auto first = run();
+    const auto second = run();
+    EXPECT_EQ(first.first, second.first);
+    EXPECT_EQ(first.second, second.second);
+}
+
+TEST(ShardedDeath, InvalidShardCountsAreFatal)
+{
+    const workload::Mapping mapping = workload::Mapping::identity(64);
+    auto build = [&mapping](int shards) {
+        MachineConfig config;
+        config.shards = shards;
+        Machine machine(config, mapping);
+    };
+    EXPECT_EXIT(build(-2), ::testing::ExitedWithCode(1),
+                "shards must be positive");
+    EXPECT_EXIT(build(65), ::testing::ExitedWithCode(1),
+                "exceeds the node count");
 }
 
 } // namespace

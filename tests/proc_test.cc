@@ -120,7 +120,7 @@ struct Harness
         for (sim::NodeId n = 0; n < 4; ++n) {
             controllers.push_back(
                 std::make_unique<coher::CacheController>(
-                    engine, *network, transport, n, pc, 2));
+                    engine, *network, n, pc, 2));
             engine.addClocked(controllers.back().get(), 2);
         }
         ProcessorConfig config;
@@ -133,7 +133,6 @@ struct Harness
 
     sim::Engine engine;
     std::unique_ptr<net::Network> network;
-    coher::ProtoTransport transport;
     std::vector<std::unique_ptr<coher::CacheController>> controllers;
     std::unique_ptr<Processor> processor;
 };

@@ -75,6 +75,62 @@ TEST(ThreadPool, FailsFastAfterFirstException)
     EXPECT_EQ(executed.load(), 1);
 }
 
+TEST(ParallelRegion, EveryLaneRunsOnceAndCanSynchronize)
+{
+    ThreadPool pool(3);
+    // Lanes wait on each other through an atomic rendezvous: this
+    // deadlocks unless all four run concurrently (lane 0 on the
+    // caller, lanes 1-3 on the pool's workers).
+    std::atomic<int> arrived{0};
+    std::vector<int> calls(4, 0);
+    pool.parallelRegion(4, [&](int lane) {
+        ++calls[static_cast<std::size_t>(lane)];
+        ++arrived;
+        while (arrived.load() < 4) {
+            // spin: released once the last lane arrives
+        }
+    });
+    EXPECT_EQ(calls, std::vector<int>({1, 1, 1, 1}));
+    // The pool is reusable afterwards.
+    pool.parallelRegion(2, [&](int lane) {
+        ++calls[static_cast<std::size_t>(lane)];
+    });
+    EXPECT_EQ(calls, std::vector<int>({2, 2, 1, 1}));
+}
+
+TEST(ParallelRegion, RethrowsLaneExceptions)
+{
+    ThreadPool pool(2);
+    // From a worker lane.
+    EXPECT_THROW(pool.parallelRegion(
+                     2,
+                     [](int lane) {
+                         if (lane == 1)
+                             throw std::runtime_error("worker lane");
+                     }),
+                 std::runtime_error);
+    // From the caller's lane.
+    EXPECT_THROW(pool.parallelRegion(
+                     2,
+                     [](int lane) {
+                         if (lane == 0)
+                             throw std::runtime_error("caller lane");
+                     }),
+                 std::runtime_error);
+}
+
+TEST(ParallelRegion, RejectsMoreLanesThanWorkersCanCarry)
+{
+    ThreadPool pool(2);
+    // 4 lanes need 3 workers (lane 0 rides the caller); only 2 exist,
+    // and lanes that synchronize would deadlock — refuse up front.
+    EXPECT_THROW(pool.parallelRegion(4, [](int) {}),
+                 std::runtime_error);
+    // 3 lanes fit exactly; 0 lanes is a no-op.
+    pool.parallelRegion(3, [](int) {});
+    pool.parallelRegion(0, [](int) { FAIL() << "no lanes to run"; });
+}
+
 TEST(ParallelMap, ResultsIndexedByInput)
 {
     const auto results = parallelMap(

