@@ -3,24 +3,41 @@
 
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [CURRENT2.json ...]
-        [--threshold PCT] [--strict]
+        [--threshold PCT] [--strict] [--assume-cores N]
+    compare_bench.py --self-test
 
 When several CURRENT files are given (repeated runs), the median
 ns_per_op / allocs_per_op per benchmark is compared, which filters the
 run-to-run noise of a loaded CI box. A benchmark regresses when its
 median is more than --threshold percent (default 10) above the
-baseline. Allocation counts are near-deterministic, so any increase
-beyond the threshold is also flagged.
+baseline. Allocation counts are near-deterministic, so they are held
+to a stricter contract: any increase beyond the threshold regresses,
+and a benchmark whose baseline is allocation-free (allocs_per_op == 0)
+regresses on ANY nonzero value — zero-allocation steady state is a
+property, not a quantity, so there is no tolerance band around it.
+
+Baseline entries may carry "multicore_only": true (the sharded
+BM_FullMachineCycles variants). Those measure parallel speedup, which
+does not exist on a single-core host: there the shard barriers only
+add cost and the numbers swing with scheduler behavior. Such entries
+are reported but excluded from regression flagging when the host has
+fewer than 2 usable cores (see docs/PERFORMANCE.md; --assume-cores
+overrides detection, mainly for the self-test).
 
 Exit status: 0 when nothing regressed, or always 0 without --strict
 (report-only mode for informational CI steps); 1 with --strict when at
-least one benchmark regressed; 2 on malformed input.
+least one benchmark regressed; 2 on malformed input. --self-test runs
+the comparison logic against the fixture pair in bench/fixtures/ and
+exits 0/1.
 """
 
 import argparse
 import json
+import os
 import statistics
 import sys
+
+METRICS = (("ns_per_op", "ns/op"), ("allocs_per_op", "allocs/op"))
 
 
 def load(path):
@@ -40,60 +57,161 @@ def median_metric(runs, name, key):
     return statistics.median(values) if values else None
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="flag micro_perf regressions vs a baseline")
-    parser.add_argument("baseline")
-    parser.add_argument("current", nargs="+")
-    parser.add_argument("--threshold", type=float, default=10.0,
-                        help="regression threshold in percent "
-                             "(default: 10)")
-    parser.add_argument("--strict", action="store_true",
-                        help="exit 1 if any benchmark regressed")
-    args = parser.parse_args()
+def compare(baseline, runs, threshold, cores):
+    """Return (lines, regressions, skipped).
 
-    baseline = load(args.baseline)
-    runs = [load(p) for p in args.current]
-
+    lines: printable report rows. regressions: (name, label, base,
+    current, delta) tuples. skipped: names excluded as multicore-only
+    on a single-core host.
+    """
+    lines = []
     regressions = []
+    skipped = []
     width = max((len(n) for n in baseline), default=4)
-    print(f"{'benchmark':<{width}}  {'base ns/op':>12} "
-          f"{'median ns/op':>12} {'delta':>8}")
+    lines.append(f"{'benchmark':<{width}}  {'base ns/op':>12} "
+                 f"{'median ns/op':>12} {'delta':>8}")
     for name, base in sorted(baseline.items()):
-        for key, label in (("ns_per_op", "ns/op"),
-                           ("allocs_per_op", "allocs/op")):
+        gate = True
+        note = ""
+        if base.get("multicore_only") and cores < 2:
+            gate = False
+            note = "  (multi-core only; not gated)"
+            skipped.append(name)
+        for key, label in METRICS:
             if key not in base:
                 continue
             current = median_metric(runs, name, key)
             if current is None:
                 if key == "ns_per_op":
-                    print(f"{name:<{width}}  "
-                          f"{base[key]:>12.4g} {'missing':>12}")
+                    lines.append(f"{name:<{width}}  "
+                                 f"{base[key]:>12.4g} {'missing':>12}")
                 continue
             delta = ((current - base[key]) / base[key] * 100.0
                      if base[key] > 0 else 0.0)
             if key == "ns_per_op":
-                print(f"{name:<{width}}  {base[key]:>12.4g} "
-                      f"{current:>12.4g} {delta:>+7.1f}%")
-            if delta > args.threshold:
+                lines.append(f"{name:<{width}}  {base[key]:>12.4g} "
+                             f"{current:>12.4g} {delta:>+7.1f}%{note}")
+            if not gate:
+                continue
+            if delta > threshold:
                 regressions.append((name, label, base[key],
                                     current, delta))
+            elif (key == "allocs_per_op" and base[key] == 0
+                  and current > 0):
+                # Nonzero-from-zero: the steady state started
+                # allocating. Percentage math cannot see this (the
+                # base is 0), so it is flagged unconditionally.
+                regressions.append((name, label, base[key],
+                                    current, float("inf")))
 
     new_names = set(runs[0]) - set(baseline) if runs else set()
     for name in sorted(new_names):
-        print(f"{name:<{width}}  {'(new)':>12}")
+        lines.append(f"{name:<{width}}  {'(new)':>12}")
+    return lines, regressions, skipped
 
+
+def report(lines, regressions, threshold):
+    for line in lines:
+        print(line)
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
-              f"{args.threshold:.0f}%:")
+              f"{threshold:.0f}%:")
         for name, label, base, cur, delta in regressions:
+            kind = ("now allocates" if delta == float("inf")
+                    else f"{delta:+.1f}%")
             print(f"  {name} {label}: {base:.4g} -> {cur:.4g} "
-                  f"({delta:+.1f}%)")
-        if args.strict:
-            sys.exit(1)
+                  f"({kind})")
     else:
         print("\nno regressions beyond "
-              f"{args.threshold:.0f}% threshold")
+              f"{threshold:.0f}% threshold")
+
+
+def self_test():
+    """Exercise compare() on the committed fixture pair."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    base = load(os.path.join(here, "fixtures", "compare_base.json"))
+    cur = load(os.path.join(here, "fixtures", "compare_current.json"))
+
+    failures = []
+
+    def expect(cond, what):
+        if not cond:
+            failures.append(what)
+
+    # Single-core host: multicore-only entries are not gated.
+    _, regs, skipped = compare(base, [cur], 10.0, cores=1)
+    flagged = {(n, l) for n, l, *_ in regs}
+    expect(("BM_SlowPath", "ns/op") in flagged,
+           "ns/op regression beyond threshold not flagged")
+    expect(("BM_ZeroAlloc", "allocs/op") in flagged,
+           "nonzero-from-zero allocs_per_op not flagged")
+    expect(("BM_WithinNoise", "ns/op") not in flagged,
+           "within-threshold delta wrongly flagged")
+    expect(("BM_ShardedOnly", "ns/op") not in flagged,
+           "multicore-only entry gated on a single-core host")
+    expect(skipped == ["BM_ShardedOnly"],
+           f"unexpected skip list: {skipped}")
+    expect(len(flagged) == 2, f"unexpected regressions: {flagged}")
+
+    # Multi-core host: the sharded entry is gated like any other.
+    _, regs, skipped = compare(base, [cur], 10.0, cores=8)
+    flagged = {(n, l) for n, l, *_ in regs}
+    expect(("BM_ShardedOnly", "ns/op") in flagged,
+           "multicore-only entry not gated on a multi-core host")
+    expect(skipped == [], f"unexpected skip list: {skipped}")
+
+    # Median across repeated runs filters a single noisy file.
+    noisy = {n: dict(b) for n, b in cur.items()}
+    noisy["BM_WithinNoise"] = dict(noisy["BM_WithinNoise"],
+                                   ns_per_op=1.0e9)
+    _, regs, _ = compare(base, [cur, noisy, cur], 10.0, cores=1)
+    expect(("BM_WithinNoise", "ns/op")
+           not in {(n, l) for n, l, *_ in regs},
+           "median did not filter a single noisy run")
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="flag micro_perf regressions vs a baseline")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="*")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default: 10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 if any benchmark regressed")
+    parser.add_argument("--assume-cores", type=int, default=None,
+                        help="override detected core count for the "
+                             "multicore-only gate")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the fixture-based self-test")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if args.baseline is None or not args.current:
+        parser.error("baseline and at least one current file required")
+
+    cores = (args.assume_cores if args.assume_cores is not None
+             else os.cpu_count() or 1)
+    baseline = load(args.baseline)
+    runs = [load(p) for p in args.current]
+
+    lines, regressions, skipped = compare(baseline, runs,
+                                          args.threshold, cores)
+    report(lines, regressions, args.threshold)
+    if skipped:
+        print(f"skipped (multi-core only, {cores} core(s) here): "
+              + ", ".join(skipped))
+    if regressions and args.strict:
+        sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -123,6 +123,13 @@ CacheController::CacheController(sim::Engine &engine,
       directory_(node)
 {
     LOCSIM_ASSERT(ticks_per_cycle >= 1, "bad clock ratio");
+    // Pre-size the work rings past the typical stochastic high-water
+    // mark so steady-state operation never touches the allocator
+    // (rare late capacity doublings would otherwise show up in the
+    // zero-allocation CI gate).
+    inbox_.reserve(16);
+    proc_queue_.reserve(16);
+    outbox_.reserve(16);
 }
 
 void
@@ -320,8 +327,8 @@ CacheController::handleProcessorRequest(const MemRequest &req)
     }
 
     const Addr line = lineOf(req.addr);
-    if (auto it = mshrs_.find(line); it != mshrs_.end()) {
-        it->second.deferred.push_back(req);
+    if (MshrHandle *hp = mshrs_.find(line)) {
+        mshr_pool_.get(*hp).deferred.push_back(req);
         return;
     }
 
@@ -332,14 +339,51 @@ CacheController::handleProcessorRequest(const MemRequest &req)
     }
 }
 
+CacheController::Mshr &
+CacheController::newMshr(Addr line)
+{
+    const MshrHandle h = mshr_pool_.alloc();
+    Mshr &mshr = mshr_pool_.get(h);
+    mshr.req = MemRequest{};
+    mshr.issued = 0;
+    mshr.deferred.clear();
+    // Warm a fresh pool slot's ring at transaction start rather than
+    // on its first deferral: cold-ring allocations then stop with pool
+    // high-water growth instead of trickling in whenever an old slot
+    // first defers (a recycled slot keeps its capacity, so this is a
+    // no-op after the first use).
+    mshr.deferred.reserve(8);
+    mshrs_.insert(line, h);
+    return mshr;
+}
+
+CacheController::HomeTxn &
+CacheController::newHomeTxn(Addr line)
+{
+    const HomeHandle h = home_pool_.alloc();
+    HomeTxn &txn = home_pool_.get(h);
+    txn.kind = HomeTxn::Kind::RemoteRead;
+    txn.requester = sim::kNodeNone;
+    txn.pending_acks = 0;
+    txn.waiting_fetch = false;
+    txn.deferred.clear();
+    txn.local_deferred.clear();
+    // See newMshr(): warm cold rings at transaction start.
+    txn.deferred.reserve(8);
+    txn.local_deferred.reserve(8);
+    txn.local_req = MemRequest{};
+    txn.issued = 0;
+    home_txns_.insert(line, h);
+    return txn;
+}
+
 void
 CacheController::startMiss(const MemRequest &req)
 {
     const Addr line = lineOf(req.addr);
-    Mshr mshr;
+    Mshr &mshr = newMshr(line);
     mshr.req = req;
     mshr.issued = engine_.now();
-    mshrs_.emplace(line, std::move(mshr));
     recordTxnIssue();
     send(homeOf(req.addr),
          req.is_store ? MsgType::GetX : MsgType::GetS, req.addr, 0,
@@ -454,8 +498,8 @@ void
 CacheController::homeLocalAccess(const MemRequest &req)
 {
     const Addr line = lineOf(req.addr);
-    if (auto it = home_txns_.find(line); it != home_txns_.end()) {
-        it->second.local_deferred.push_back(req);
+    if (HomeHandle *hp = home_txns_.find(line)) {
+        home_pool_.get(*hp).local_deferred.push_back(req);
         return;
     }
 
@@ -486,13 +530,12 @@ CacheController::homeLocalAccess(const MemRequest &req)
             return;
         }
         // Recall the remote owner's copy.
-        HomeTxn txn;
+        HomeTxn &txn = newHomeTxn(line);
         txn.kind = HomeTxn::Kind::LocalRead;
         txn.requester = node_;
         txn.waiting_fetch = true;
         txn.local_req = req;
         txn.issued = engine_.now();
-        home_txns_.emplace(line, std::move(txn));
         recordTxnIssue();
         send(entry.owner, MsgType::Fetch, req.addr, 0, node_, 0);
         return;
@@ -500,13 +543,12 @@ CacheController::homeLocalAccess(const MemRequest &req)
 
     // Store.
     if (entry.state == DirState::Exclusive) {
-        HomeTxn txn;
+        HomeTxn &txn = newHomeTxn(line);
         txn.kind = HomeTxn::Kind::LocalWrite;
         txn.requester = node_;
         txn.waiting_fetch = true;
         txn.local_req = req;
         txn.issued = engine_.now();
-        home_txns_.emplace(line, std::move(txn));
         recordTxnIssue();
         send(entry.owner, MsgType::FetchInv, req.addr, 0, node_, 0);
         return;
@@ -515,13 +557,12 @@ CacheController::homeLocalAccess(const MemRequest &req)
     overflowPenalty(entry); // software walks an overflowed list
     const int invs = invalidateSharers(entry, req.addr, node_);
     if (invs > 0) {
-        HomeTxn txn;
+        HomeTxn &txn = newHomeTxn(line);
         txn.kind = HomeTxn::Kind::LocalWrite;
         txn.requester = node_;
         txn.pending_acks = invs;
         txn.local_req = req;
         txn.issued = engine_.now();
-        home_txns_.emplace(line, std::move(txn));
         recordTxnIssue();
         return;
     }
@@ -539,8 +580,8 @@ void
 CacheController::homeGetS(const ProtoMsg &msg)
 {
     const Addr line = lineOf(msg.addr);
-    if (auto it = home_txns_.find(line); it != home_txns_.end()) {
-        it->second.deferred.push_back(msg);
+    if (HomeHandle *hp = home_txns_.find(line)) {
+        home_pool_.get(*hp).deferred.push_back(msg);
         return;
     }
 
@@ -564,11 +605,10 @@ CacheController::homeGetS(const ProtoMsg &msg)
                  msg.sender, config_.mem_latency, 2);
             return;
         }
-        HomeTxn txn;
+        HomeTxn &txn = newHomeTxn(line);
         txn.kind = HomeTxn::Kind::RemoteRead;
         txn.requester = msg.sender;
         txn.waiting_fetch = true;
-        home_txns_.emplace(line, std::move(txn));
         send(entry.owner, MsgType::Fetch, msg.addr, 0, msg.sender, 0);
         return;
     }
@@ -585,8 +625,8 @@ void
 CacheController::homeGetX(const ProtoMsg &msg)
 {
     const Addr line = lineOf(msg.addr);
-    if (auto it = home_txns_.find(line); it != home_txns_.end()) {
-        it->second.deferred.push_back(msg);
+    if (HomeHandle *hp = home_txns_.find(line)) {
+        home_pool_.get(*hp).deferred.push_back(msg);
         return;
     }
 
@@ -608,11 +648,10 @@ CacheController::homeGetX(const ProtoMsg &msg)
                  msg.sender, config_.mem_latency, 2);
             return;
         }
-        HomeTxn txn;
+        HomeTxn &txn = newHomeTxn(line);
         txn.kind = HomeTxn::Kind::RemoteWrite;
         txn.requester = msg.sender;
         txn.waiting_fetch = true;
-        home_txns_.emplace(line, std::move(txn));
         send(entry.owner, MsgType::FetchInv, msg.addr, 0, msg.sender,
              0);
         return;
@@ -621,11 +660,10 @@ CacheController::homeGetX(const ProtoMsg &msg)
     overflowPenalty(entry); // software walks an overflowed list
     const int invs = invalidateSharers(entry, msg.addr, msg.sender);
     if (invs > 0) {
-        HomeTxn txn;
+        HomeTxn &txn = newHomeTxn(line);
         txn.kind = HomeTxn::Kind::RemoteWrite;
         txn.requester = msg.sender;
         txn.pending_acks = invs;
-        home_txns_.emplace(line, std::move(txn));
         return;
     }
 
@@ -669,10 +707,9 @@ void
 CacheController::homeInvAck(const ProtoMsg &msg)
 {
     const Addr line = lineOf(msg.addr);
-    auto it = home_txns_.find(line);
-    LOCSIM_ASSERT(it != home_txns_.end(),
-                  "InvAck with no transaction pending");
-    HomeTxn &txn = it->second;
+    HomeHandle *hp = home_txns_.find(line);
+    LOCSIM_ASSERT(hp != nullptr, "InvAck with no transaction pending");
+    HomeTxn &txn = home_pool_.get(*hp);
     LOCSIM_ASSERT(txn.pending_acks > 0, "unexpected InvAck");
     --txn.pending_acks;
     if (txn.pending_acks == 0 && !txn.waiting_fetch)
@@ -686,12 +723,14 @@ CacheController::homeFetchReply(const ProtoMsg &msg, bool is_putx)
     DirEntry &entry = directory_.entry(msg.addr);
     entry.memory = msg.data;
 
-    auto it = home_txns_.find(line);
-    if (it != home_txns_.end() && it->second.waiting_fetch) {
-        it->second.waiting_fetch = false;
-        if (it->second.pending_acks == 0)
-            completeHomeTxn(line, it->second);
-        return;
+    if (HomeHandle *hp = home_txns_.find(line)) {
+        HomeTxn &txn = home_pool_.get(*hp);
+        if (txn.waiting_fetch) {
+            txn.waiting_fetch = false;
+            if (txn.pending_acks == 0)
+                completeHomeTxn(line, txn);
+            return;
+        }
     }
 
     LOCSIM_ASSERT(is_putx, "FetchReply with no fetch pending");
@@ -770,30 +809,34 @@ CacheController::finishLocalTxn(HomeTxn &txn, std::uint64_t value)
 void
 CacheController::releaseHomeTxn(Addr line)
 {
-    auto it = home_txns_.find(line);
-    LOCSIM_ASSERT(it != home_txns_.end(), "releasing absent txn");
+    HomeHandle *hp = home_txns_.find(line);
+    LOCSIM_ASSERT(hp != nullptr, "releasing absent txn");
+    const HomeHandle h = *hp;
+    HomeTxn &txn = home_pool_.get(h);
     // Requeue deferred work at the front so it is served before new
-    // arrivals, preserving request order per line.
-    auto deferred = std::move(it->second.deferred);
-    auto local_deferred = std::move(it->second.local_deferred);
-    home_txns_.erase(it);
-    for (auto rit = local_deferred.rbegin();
-         rit != local_deferred.rend(); ++rit) {
-        proc_queue_.push_front(*rit);
-    }
-    for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit)
-        inbox_.push_front(*rit);
+    // arrivals, preserving request order per line. The queues are
+    // drained in place (not moved out) so the pooled slot keeps its
+    // capacity when it is recycled.
+    for (std::size_t i = txn.local_deferred.size(); i > 0; --i)
+        proc_queue_.push_front(txn.local_deferred[i - 1]);
+    for (std::size_t i = txn.deferred.size(); i > 0; --i)
+        inbox_.push_front(txn.deferred[i - 1]);
+    txn.deferred.clear();
+    txn.local_deferred.clear();
+    home_txns_.erase(line);
+    home_pool_.free(h);
 }
 
 void
 CacheController::handleGrant(const ProtoMsg &msg, bool exclusive)
 {
     const Addr line = lineOf(msg.addr);
-    auto it = mshrs_.find(line);
-    LOCSIM_ASSERT(it != mshrs_.end(), "grant with no MSHR: ",
+    MshrHandle *hp = mshrs_.find(line);
+    LOCSIM_ASSERT(hp != nullptr, "grant with no MSHR: ",
                   msgTypeName(msg.type), " line ", line, " at node ",
                   node_);
-    Mshr &mshr = it->second;
+    const MshrHandle h = *hp;
+    Mshr &mshr = mshr_pool_.get(h);
     LOCSIM_ASSERT(exclusive == mshr.req.is_store,
                   "grant kind does not match the pending request");
 
@@ -817,10 +860,11 @@ CacheController::handleGrant(const ProtoMsg &msg, bool exclusive)
     resp.was_transaction = true;
     deliver(resp, mshr.req.wants_reply);
 
-    auto deferred = std::move(mshr.deferred);
-    mshrs_.erase(it);
-    for (auto rit = deferred.rbegin(); rit != deferred.rend(); ++rit)
-        proc_queue_.push_front(*rit);
+    for (std::size_t i = mshr.deferred.size(); i > 0; --i)
+        proc_queue_.push_front(mshr.deferred[i - 1]);
+    mshr.deferred.clear();
+    mshrs_.erase(line);
+    mshr_pool_.free(h);
 }
 
 void
@@ -847,58 +891,58 @@ CacheController::saveState(util::Serializer &s) const
     directory_.saveState(s);
 
     s.put<std::uint64_t>(inbox_.size());
-    for (const ProtoMsg &msg : inbox_)
-        saveProtoMsg(s, msg);
+    for (std::size_t i = 0; i < inbox_.size(); ++i)
+        saveProtoMsg(s, inbox_[i]);
 
     s.put<std::uint64_t>(proc_queue_.size());
-    for (const MemRequest &req : proc_queue_)
-        saveMemRequest(s, req);
+    for (std::size_t i = 0; i < proc_queue_.size(); ++i)
+        saveMemRequest(s, proc_queue_[i]);
 
     s.put<std::uint64_t>(outbox_.size());
-    for (const StagedSend &staged : outbox_) {
-        s.put(staged.ready);
-        net::saveMessage(s, staged.msg);
+    for (std::size_t i = 0; i < outbox_.size(); ++i) {
+        s.put(outbox_[i].ready);
+        net::saveMessage(s, outbox_[i].msg);
     }
 
     // Map contents sorted by line so the stream is independent of
-    // unordered_map iteration order.
+    // hash-table iteration order.
     {
         std::vector<Addr> keys;
         keys.reserve(mshrs_.size());
-        for (const auto &kv : mshrs_)
-            keys.push_back(kv.first);
+        mshrs_.forEach(
+            [&](const Addr &k, const MshrHandle &) { keys.push_back(k); });
         std::sort(keys.begin(), keys.end());
         s.put<std::uint64_t>(keys.size());
         for (Addr key : keys) {
-            const Mshr &mshr = mshrs_.at(key);
+            const Mshr &mshr = mshr_pool_.get(*mshrs_.find(key));
             s.put(key);
             saveMemRequest(s, mshr.req);
             s.put(mshr.issued);
             s.put<std::uint64_t>(mshr.deferred.size());
-            for (const MemRequest &req : mshr.deferred)
-                saveMemRequest(s, req);
+            for (std::size_t i = 0; i < mshr.deferred.size(); ++i)
+                saveMemRequest(s, mshr.deferred[i]);
         }
     }
     {
         std::vector<Addr> keys;
         keys.reserve(home_txns_.size());
-        for (const auto &kv : home_txns_)
-            keys.push_back(kv.first);
+        home_txns_.forEach(
+            [&](const Addr &k, const HomeHandle &) { keys.push_back(k); });
         std::sort(keys.begin(), keys.end());
         s.put<std::uint64_t>(keys.size());
         for (Addr key : keys) {
-            const HomeTxn &txn = home_txns_.at(key);
+            const HomeTxn &txn = home_pool_.get(*home_txns_.find(key));
             s.put(key);
             s.put(txn.kind);
             s.put(txn.requester);
             s.put(txn.pending_acks);
             s.put(txn.waiting_fetch);
             s.put<std::uint64_t>(txn.deferred.size());
-            for (const ProtoMsg &msg : txn.deferred)
-                saveProtoMsg(s, msg);
+            for (std::size_t i = 0; i < txn.deferred.size(); ++i)
+                saveProtoMsg(s, txn.deferred[i]);
             s.put<std::uint64_t>(txn.local_deferred.size());
-            for (const MemRequest &req : txn.local_deferred)
-                saveMemRequest(s, req);
+            for (std::size_t i = 0; i < txn.local_deferred.size(); ++i)
+                saveMemRequest(s, txn.local_deferred[i]);
             saveMemRequest(s, txn.local_req);
             s.put(txn.issued);
         }
@@ -943,23 +987,24 @@ CacheController::loadState(util::Deserializer &d)
     }
 
     mshrs_.clear();
+    mshr_pool_.clear();
     for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n;
          ++i) {
         const Addr key = d.get<Addr>();
-        Mshr mshr;
+        Mshr &mshr = newMshr(key);
         mshr.req = loadMemRequest(d);
         mshr.issued = d.get<sim::Tick>();
         for (std::uint64_t j = 0, m = d.get<std::uint64_t>(); j < m;
              ++j)
             mshr.deferred.push_back(loadMemRequest(d));
-        mshrs_.emplace(key, std::move(mshr));
     }
 
     home_txns_.clear();
+    home_pool_.clear();
     for (std::uint64_t i = 0, n = d.get<std::uint64_t>(); i < n;
          ++i) {
         const Addr key = d.get<Addr>();
-        HomeTxn txn;
+        HomeTxn &txn = newHomeTxn(key);
         txn.kind = d.get<HomeTxn::Kind>();
         txn.requester = d.get<sim::NodeId>();
         txn.pending_acks = d.get<int>();
@@ -972,7 +1017,6 @@ CacheController::loadState(util::Deserializer &d)
             txn.local_deferred.push_back(loadMemRequest(d));
         txn.local_req = loadMemRequest(d);
         txn.issued = d.get<sim::Tick>();
-        home_txns_.emplace(key, std::move(txn));
     }
 
     pending_completions_.clear();

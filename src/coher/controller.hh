@@ -30,10 +30,8 @@
 #define LOCSIM_COHER_CONTROLLER_HH_
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "coher/cache.hh"
@@ -43,6 +41,9 @@
 #include "net/network.hh"
 #include "sim/engine.hh"
 #include "stats/stats.hh"
+#include "util/flat_map.hh"
+#include "util/pool.hh"
+#include "util/ring_queue.hh"
 #include "util/serialize.hh"
 
 namespace locsim {
@@ -225,16 +226,20 @@ class CacheController : public sim::Clocked
     }
 
   private:
-    /** Requester-side outstanding miss. */
+    /**
+     * Requester-side outstanding miss. Lives in a generation-checked
+     * pool: a recycled MSHR keeps its deferred queue's capacity, so
+     * steady-state transaction turnover never touches the allocator.
+     */
     struct Mshr
     {
         MemRequest req;
         sim::Tick issued = 0;
         /** Requests for the same line arriving while busy. */
-        std::deque<MemRequest> deferred;
+        util::RingQueue<MemRequest> deferred;
     };
 
-    /** Home-side transient for one line. */
+    /** Home-side transient for one line (pooled, like Mshr). */
     struct HomeTxn
     {
         enum class Kind {
@@ -248,14 +253,19 @@ class CacheController : public sim::Clocked
         int pending_acks = 0;
         bool waiting_fetch = false;
         /** Deferred same-line requests from the network. */
-        std::deque<ProtoMsg> deferred;
+        util::RingQueue<ProtoMsg> deferred;
         /** Deferred same-line local requests. */
-        std::deque<MemRequest> local_deferred;
+        util::RingQueue<MemRequest> local_deferred;
         /** For Local* kinds: the processor request being served. */
         MemRequest local_req;
         /** Issue tick of the local transaction (for latency stats). */
         sim::Tick issued = 0;
     };
+
+    using MshrPool = util::Pool<Mshr>;
+    using MshrHandle = MshrPool::Handle;
+    using HomePool = util::Pool<HomeTxn>;
+    using HomeHandle = HomePool::Handle;
 
     /** A completion waiting for its due tick (min-heap by due, seq). */
     struct PendingCompletion
@@ -267,6 +277,14 @@ class CacheController : public sim::Clocked
 
     void handleProcessorRequest(const MemRequest &req);
     void handleProtocolMessage(const ProtoMsg &msg);
+
+    /**
+     * Allocate a pooled transaction for @p line and register its
+     * handle. Pool slots recycle without destruction, so every field
+     * is reset here (the deferred queues keep their capacity).
+     */
+    Mshr &newMshr(Addr line);
+    HomeTxn &newHomeTxn(Addr line);
 
     // Requester-side handlers.
     void startMiss(const MemRequest &req);
@@ -340,17 +358,25 @@ class CacheController : public sim::Clocked
     Cache cache_;
     Directory directory_;
 
-    std::deque<ProtoMsg> inbox_;
-    std::deque<MemRequest> proc_queue_;
+    util::RingQueue<ProtoMsg> inbox_;
+    util::RingQueue<MemRequest> proc_queue_;
     struct StagedSend
     {
         sim::Tick ready = 0;
         net::Message msg;
     };
-    std::deque<StagedSend> outbox_;
+    util::RingQueue<StagedSend> outbox_;
 
-    std::unordered_map<Addr, Mshr> mshrs_;
-    std::unordered_map<Addr, HomeTxn> home_txns_;
+    /**
+     * Outstanding transactions: pooled objects (stable addresses,
+     * recycled with their queue capacity) indexed by line address
+     * through flat hash maps of handles. Rehashing moves only the
+     * 8-byte handles, never a transaction.
+     */
+    MshrPool mshr_pool_;
+    HomePool home_pool_;
+    util::FlatMap<Addr, MshrHandle> mshrs_;
+    util::FlatMap<Addr, HomeHandle> home_txns_;
 
     /** Heap of delayed completions ordered by (due, seq). */
     std::vector<PendingCompletion> pending_completions_;

@@ -322,8 +322,8 @@ Machine::runSharded(sim::Tick ticks)
     const sim::Tick end = start + ticks;
     const bool reference = config_.reference_stepping;
 
-    std::vector<sim::Tick> skipped_before(
-        static_cast<std::size_t>(shards));
+    std::vector<sim::Tick> &skipped_before = shard_skipped_scratch_;
+    skipped_before.resize(static_cast<std::size_t>(shards));
     for (int s = 0; s < shards; ++s)
         skipped_before[static_cast<std::size_t>(s)] =
             engines_[static_cast<std::size_t>(s)]->skippedTicks();

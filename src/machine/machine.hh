@@ -301,6 +301,10 @@ class Machine
     /** Long-lived workers for the shard lanes (K > 1 only). */
     std::unique_ptr<runner::ThreadPool> shard_pool_;
 
+    /** Per-shard skipped-tick snapshot reused across runSharded()
+     *  calls so the hot path stays allocation-free. */
+    std::vector<sim::Tick> shard_skipped_scratch_;
+
     /** Per-shard trace shards; tracer_ aliases entry 0. */
     std::vector<std::shared_ptr<obs::Tracer>> shard_tracers_;
     std::shared_ptr<obs::Tracer> tracer_;

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Structure-of-arrays storage for the torus fabric's latched links.
+ *
+ * The previous fabric kept one heap object per link (FlitRing /
+ * CreditPipe, arena-packed but still pointer-chased) and registered
+ * each with its shard engine as an independent Rotatable, so the
+ * rotation phase made one virtual call per dirty link. This file
+ * flattens all links of one kind into dense-id SoA arrays:
+ *
+ *  - FlitLinkStore: every flit link shares one uniform power-of-two
+ *    ring capacity, so the flit slabs, head/mid/tail index arrays and
+ *    wake bindings are contiguous arrays indexed by ChannelId. The
+ *    advance pass walks arrays instead of chasing Link*.
+ *  - CreditLinkStore: per-VC staged/visible counters in one
+ *    contiguous int array with stride = VC count.
+ *  - LinkRotator: one Rotatable per (store, shard). Channels mark
+ *    themselves dirty in per-rotator 64-bit words; rotation drains
+ *    whole words with countr_zero, publishing dirty channels in
+ *    ascending-id batches over the SoA arrays instead of one virtual
+ *    rotate() per link.
+ *
+ * Rotation order across channels is immaterial (each channel's
+ * publish touches only its own state, and cross-shard wake delivery
+ * is a commutative fetch_or), so batch rotation is bit-identical to
+ * the per-channel scheme. Serialization layouts are byte-identical
+ * to the old FlitRing/CreditPipe streams.
+ *
+ * Every channel belongs to exactly one shard (its producer's); a
+ * rotator only ever publishes channels of its own shard, keeping the
+ * rotation phase race-free under the sharded driver's barriers.
+ */
+
+#ifndef LOCSIM_NET_LINK_FABRIC_HH_
+#define LOCSIM_NET_LINK_FABRIC_HH_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/message.hh"
+#include "sim/channel.hh"
+#include "util/logging.hh"
+#include "util/serialize.hh"
+
+namespace locsim {
+namespace net {
+
+/** Dense index naming one link within a store. */
+using ChannelId = std::uint32_t;
+inline constexpr ChannelId kNoChannel = 0xffffffffu;
+
+/**
+ * The per-shard Rotatable that batch-rotates one store's channels.
+ * @tparam Store exposes publishChannel(ChannelId).
+ */
+template <typename Store>
+class LinkRotator final : public sim::Rotatable
+{
+  public:
+    explicit LinkRotator(Store &store) : store_(store) {}
+
+    /** Grow the dirty bitset to cover channel @p id (build time). */
+    void
+    ensure(ChannelId id)
+    {
+        const std::size_t words = (static_cast<std::size_t>(id) >> 6) + 1;
+        if (dirty_words_.size() < words)
+            dirty_words_.resize(words, 0);
+    }
+
+    /** Record a push on channel @p id; enrols this rotator in the
+     *  engine's dirty list on the first mark of the cycle. */
+    void
+    markChannel(ChannelId id)
+    {
+        const std::size_t word = static_cast<std::size_t>(id) >> 6;
+        const std::uint64_t bit = 1ull << (id & 63u);
+        if (dirty_words_[word] & bit)
+            return;
+        if (dirty_words_[word] == 0)
+            touched_.push_back(static_cast<std::uint32_t>(word));
+        dirty_words_[word] |= bit;
+        markDirty();
+    }
+
+    void
+    rotate() override
+    {
+        dirty_ = false;
+        for (const std::uint32_t word : touched_) {
+            std::uint64_t bits = std::exchange(dirty_words_[word], 0);
+            const ChannelId base = static_cast<ChannelId>(word) << 6;
+            while (bits != 0) {
+                const int b = std::countr_zero(bits);
+                bits &= bits - 1;
+                store_.publishChannel(base + static_cast<ChannelId>(b));
+            }
+        }
+        touched_.clear();
+    }
+
+  private:
+    Store &store_;
+    /** One dirty bit per channel id (ids of other shards stay 0). */
+    std::vector<std::uint64_t> dirty_words_;
+    /** Indices of nonzero dirty words, in first-touch order. */
+    std::vector<std::uint32_t> touched_;
+};
+
+/**
+ * Per-channel wake binding (see sim::Rotatable's wake contract),
+ * packed into 12 bytes: one pointer with its low bit tagging whether
+ * the target is a plain word (same-shard, written at push time) or an
+ * atomic word (cross-shard, fetch_or'd at publish time). Wake words
+ * are 4-byte aligned, so the tag bit is free.
+ */
+struct WakeBinding
+{
+    std::uintptr_t tagged = 0;
+    std::uint32_t bit = 0;
+
+    void
+    bindLocal(std::uint32_t *word, std::uint32_t b)
+    {
+        tagged = reinterpret_cast<std::uintptr_t>(word);
+        bit = b;
+    }
+
+    void
+    bindRemote(std::atomic<std::uint32_t> *word, std::uint32_t b)
+    {
+        tagged = reinterpret_cast<std::uintptr_t>(word) | 1u;
+        bit = b;
+    }
+
+    /** Deliver the push-time (same-shard) wake, if bound. */
+    void
+    wakeOnPush() const
+    {
+        if (tagged != 0 && (tagged & 1u) == 0)
+            *reinterpret_cast<std::uint32_t *>(tagged) |= bit;
+    }
+
+    /** Deliver the publish-time (cross-shard) wake, if bound. */
+    void
+    wakeOnPublish() const
+    {
+        if ((tagged & 1u) != 0) {
+            reinterpret_cast<std::atomic<std::uint32_t> *>(tagged & ~std::uintptr_t{1})
+                ->fetch_or(bit, std::memory_order_relaxed);
+        }
+    }
+};
+
+/**
+ * All flit links of one fabric, flattened. Same latching semantics as
+ * the old FlitRing: pushes land in [mid, tail) and become visible
+ * ([head, mid)) when the owning shard's rotator publishes the channel.
+ */
+class FlitLinkStore
+{
+  public:
+    /**
+     * @param max_occupancy uniform ring bound per link (credit flow
+     *        control bounds occupancy, so one size fits every link).
+     * @param shards rotator count; channels name their owner on add().
+     */
+    FlitLinkStore(int max_occupancy, int shards)
+    {
+        std::size_t cap = 4;
+        while (cap < static_cast<std::size_t>(max_occupancy))
+            cap <<= 1;
+        cap_ = cap;
+        mask_ = static_cast<std::uint32_t>(cap - 1);
+        shift_ = static_cast<unsigned>(std::countr_zero(cap));
+        rotators_.reserve(static_cast<std::size_t>(shards));
+        for (int s = 0; s < shards; ++s) {
+            rotators_.push_back(
+                std::make_unique<LinkRotator<FlitLinkStore>>(*this));
+        }
+    }
+
+    /** Create one link owned by shard @p owner; returns its id. */
+    ChannelId
+    add(int owner)
+    {
+        const auto id = static_cast<ChannelId>(ctl_.size());
+        ctl_.emplace_back();
+        ctl_.back().owner = static_cast<std::uint16_t>(owner);
+        buf_.resize(buf_.size() + cap_);
+        rotators_[static_cast<std::size_t>(owner)]->ensure(id);
+        return id;
+    }
+
+    std::size_t channelCount() const { return ctl_.size(); }
+
+    /** The Rotatable to register with shard @p s's engine. */
+    sim::Rotatable *rotator(int s)
+    {
+        return rotators_[static_cast<std::size_t>(s)].get();
+    }
+
+    void
+    bindWake(ChannelId id, std::uint32_t *mask, std::uint32_t bit)
+    {
+        ctl_[id].wake.bindLocal(mask, bit);
+    }
+
+    void
+    bindRemoteWake(ChannelId id, std::atomic<std::uint32_t> *mask,
+                   std::uint32_t bit)
+    {
+        ctl_[id].wake.bindRemote(mask, bit);
+    }
+
+    /** True if no flit is currently visible to the consumer. */
+    bool
+    empty(ChannelId id) const
+    {
+        const Ctl &c = ctl_[id];
+        return headOf(c) == c.mid;
+    }
+
+    /** Flits currently visible to the consumer. */
+    std::uint32_t
+    visibleCount(ChannelId id) const
+    {
+        const Ctl &c = ctl_[id];
+        return c.mid - headOf(c);
+    }
+
+    /** Enqueue a flit; visible after the owner's next rotation. */
+    void
+    push(ChannelId id, const Flit &flit)
+    {
+        stage(id) = flit;
+    }
+
+    /**
+     * Reserve the next staged slot of @p id and return it for the
+     * caller to fill in place (same bookkeeping as push(), minus one
+     * 32-byte flit copy on the switch-traversal hot path). The slot
+     * stays invisible to the consumer until rotation, so in-place
+     * mutation after stage() is race-free.
+     */
+    Flit &
+    stage(ChannelId id)
+    {
+        Ctl &c = ctl_[id];
+        LOCSIM_ASSERT(c.tail - headOf(c) < cap_,
+                      "flit link overflow: credit protocol violated");
+        Flit &staged = buf_[slot(id, c.tail)];
+        ++c.tail;
+        rotators_[c.owner]->markChannel(id);
+        c.wake.wakeOnPush();
+        return staged;
+    }
+
+    /** Peek the oldest visible flit. */
+    const Flit &
+    front(ChannelId id) const
+    {
+        LOCSIM_ASSERT(!empty(id), "front() on empty link");
+        return buf_[slot(id, headOf(ctl_[id]))];
+    }
+
+    /**
+     * Batch-drain view: snapshot the head cursor, read the visible
+     * flits with at(), then retire them all with one consume() — one
+     * cursor load and one store per port-drain instead of per flit.
+     */
+    std::uint32_t headCursor(ChannelId id) const
+    {
+        return headOf(ctl_[id]);
+    }
+
+    const Flit &
+    at(ChannelId id, std::uint32_t index) const
+    {
+        return buf_[slot(id, index)];
+    }
+
+    /** Retire @p count flits starting at the current head cursor. */
+    void
+    consume(ChannelId id, std::uint32_t count)
+    {
+        Ctl &c = ctl_[id];
+        const std::uint32_t head = headOf(c);
+        LOCSIM_ASSERT(c.mid - head >= count,
+                      "consume() past the visible region");
+        std::atomic_ref<std::uint32_t>(c.head).store(
+            head + count, std::memory_order_relaxed);
+    }
+
+    /** Dequeue the oldest visible flit. */
+    Flit
+    pop(ChannelId id)
+    {
+        LOCSIM_ASSERT(!empty(id), "pop() on empty link");
+        Ctl &c = ctl_[id];
+        const std::uint32_t head = headOf(c);
+        const Flit flit = buf_[slot(id, head)];
+        std::atomic_ref<std::uint32_t>(c.head).store(
+            head + 1, std::memory_order_relaxed);
+        return flit;
+    }
+
+    /** Publish staged flits of @p id (rotation phase only). */
+    void
+    publishChannel(ChannelId id)
+    {
+        Ctl &c = ctl_[id];
+        c.wake.wakeOnPublish();
+        c.mid = c.tail;
+    }
+
+    /**
+     * Serialize one channel, byte-identical to the old FlitRing
+     * stream: raw monotonic indices plus the occupied flits. The
+     * cursors are stored as 32-bit in memory but widen back to the
+     * stream's 64-bit fields (a link carries at most one flit per
+     * cycle, so cursors stay far below 2^32 for any realistic run).
+     */
+    void
+    saveChannel(util::Serializer &s, ChannelId id) const
+    {
+        const Ctl &c = ctl_[id];
+        const std::uint32_t head = headOf(c);
+        s.put(static_cast<std::uint64_t>(head));
+        s.put(static_cast<std::uint64_t>(c.mid));
+        s.put(static_cast<std::uint64_t>(c.tail));
+        for (std::uint32_t i = head; i != c.tail; ++i)
+            saveFlit(s, buf_[slot(id, i)]);
+    }
+
+    void
+    loadChannel(util::Deserializer &d, ChannelId id)
+    {
+        Ctl &c = ctl_[id];
+        c.head = static_cast<std::uint32_t>(d.get<std::uint64_t>());
+        c.mid = static_cast<std::uint32_t>(d.get<std::uint64_t>());
+        c.tail = static_cast<std::uint32_t>(d.get<std::uint64_t>());
+        LOCSIM_ASSERT(c.tail - c.head <= cap_,
+                      "flit ring checkpoint exceeds capacity");
+        for (std::uint32_t i = c.head; i != c.tail; ++i)
+            buf_[slot(id, i)] = loadFlit(d);
+    }
+
+  private:
+    /**
+     * Per-channel control block: ring indices ([head, mid) visible,
+     * [mid, tail) staged; monotonic 32-bit, differences are wrap-
+     * safe), wake binding and owning shard packed into 32 bytes so
+     * every link operation touches half a cache line of control state
+     * plus the flit slab.
+     */
+    struct Ctl
+    {
+        std::uint32_t head = 0;
+        std::uint32_t mid = 0;
+        std::uint32_t tail = 0;
+        std::uint16_t owner = 0;
+        WakeBinding wake;
+    };
+
+    std::size_t
+    slot(ChannelId id, std::uint32_t index) const
+    {
+        return (static_cast<std::size_t>(id) << shift_) +
+               static_cast<std::size_t>(index & mask_);
+    }
+
+    /**
+     * head is written by the consumer shard while the producer-side
+     * overflow assert reads it, so cross-shard accesses go through
+     * std::atomic_ref (relaxed), mirroring the old atomic member.
+     */
+    static std::uint32_t
+    headOf(const Ctl &c)
+    {
+        return std::atomic_ref<const std::uint32_t>(c.head).load(
+            std::memory_order_relaxed);
+    }
+
+    std::size_t cap_ = 0;
+    std::uint32_t mask_ = 0;
+    unsigned shift_ = 0;
+
+    std::vector<Ctl> ctl_;
+    std::vector<Flit> buf_;
+
+    std::vector<std::unique_ptr<LinkRotator<FlitLinkStore>>> rotators_;
+};
+
+/**
+ * All credit-return links, flattened: staged/visible counters per VC
+ * in one contiguous array of stride vcs.
+ */
+class CreditLinkStore
+{
+  public:
+    static constexpr int kMaxVcs = 8;
+
+    CreditLinkStore(int vcs, int shards) : vcs_(vcs)
+    {
+        LOCSIM_ASSERT(vcs >= 1 && vcs <= kMaxVcs, "VC count range");
+        rotators_.reserve(static_cast<std::size_t>(shards));
+        for (int s = 0; s < shards; ++s) {
+            rotators_.push_back(
+                std::make_unique<LinkRotator<CreditLinkStore>>(*this));
+        }
+    }
+
+    ChannelId
+    add(int owner)
+    {
+        const auto id = static_cast<ChannelId>(meta_.size());
+        counts_.resize(counts_.size() +
+                           2 * static_cast<std::size_t>(vcs_),
+                       0);
+        meta_.emplace_back();
+        meta_.back().owner = static_cast<std::uint16_t>(owner);
+        rotators_[static_cast<std::size_t>(owner)]->ensure(id);
+        return id;
+    }
+
+    std::size_t channelCount() const { return meta_.size(); }
+
+    sim::Rotatable *rotator(int s)
+    {
+        return rotators_[static_cast<std::size_t>(s)].get();
+    }
+
+    void
+    bindWake(ChannelId id, std::uint32_t *mask, std::uint32_t bit)
+    {
+        meta_[id].wake.bindLocal(mask, bit);
+    }
+
+    void
+    bindRemoteWake(ChannelId id, std::atomic<std::uint32_t> *mask,
+                   std::uint32_t bit)
+    {
+        meta_[id].wake.bindRemote(mask, bit);
+    }
+
+    /** Return one credit for (id, vc); visible after rotation. */
+    void
+    push(ChannelId id, int vc)
+    {
+        ++counts_[stagedBase(id) + static_cast<std::size_t>(vc)];
+        const Meta &m = meta_[id];
+        rotators_[m.owner]->markChannel(id);
+        m.wake.wakeOnPush();
+    }
+
+    /** Drain and return all visible credits for (id, vc). */
+    int
+    take(ChannelId id, int vc)
+    {
+        int &count =
+            counts_[visibleBase(id) + static_cast<std::size_t>(vc)];
+        return std::exchange(count, 0);
+    }
+
+    /** Drain and return all visible credits of @p id across VCs. */
+    int
+    takeAll(ChannelId id)
+    {
+        int total = 0;
+        int *vis = counts_.data() + visibleBase(id);
+        for (int vc = 0; vc < vcs_; ++vc)
+            total += std::exchange(vis[vc], 0);
+        return total;
+    }
+
+    void
+    publishChannel(ChannelId id)
+    {
+        const Meta &m = meta_[id];
+        m.wake.wakeOnPublish();
+        int *st = counts_.data() + stagedBase(id);
+        int *vis = st + vcs_;
+        for (int vc = 0; vc < vcs_; ++vc) {
+            vis[vc] += st[vc];
+            st[vc] = 0;
+        }
+    }
+
+    /** Byte-identical to the old CreditPipe stream. */
+    void
+    saveChannel(util::Serializer &s, ChannelId id) const
+    {
+        const std::size_t st = stagedBase(id);
+        const std::size_t vis = visibleBase(id);
+        for (int vc = 0; vc < vcs_; ++vc) {
+            s.put(counts_[st + static_cast<std::size_t>(vc)]);
+            s.put(counts_[vis + static_cast<std::size_t>(vc)]);
+        }
+    }
+
+    void
+    loadChannel(util::Deserializer &d, ChannelId id)
+    {
+        const std::size_t st = stagedBase(id);
+        const std::size_t vis = visibleBase(id);
+        for (int vc = 0; vc < vcs_; ++vc) {
+            counts_[st + static_cast<std::size_t>(vc)] = d.get<int>();
+            counts_[vis + static_cast<std::size_t>(vc)] = d.get<int>();
+        }
+    }
+
+  private:
+    struct Meta
+    {
+        WakeBinding wake;
+        std::uint16_t owner = 0;
+    };
+
+    /** Per-channel layout: [staged x vcs][visible x vcs], so one
+     *  credit operation touches a single cache line of counters. */
+    std::size_t
+    stagedBase(ChannelId id) const
+    {
+        return 2 * static_cast<std::size_t>(id) *
+               static_cast<std::size_t>(vcs_);
+    }
+
+    std::size_t
+    visibleBase(ChannelId id) const
+    {
+        return stagedBase(id) + static_cast<std::size_t>(vcs_);
+    }
+
+    int vcs_;
+    std::vector<int> counts_;
+    std::vector<Meta> meta_;
+
+    std::vector<std::unique_ptr<LinkRotator<CreditLinkStore>>>
+        rotators_;
+};
+
+} // namespace net
+} // namespace locsim
+
+#endif // LOCSIM_NET_LINK_FABRIC_HH_

@@ -75,22 +75,20 @@ struct Message
  * virtual channel assigned on the link the flit is currently
  * traversing (rewritten at every hop).
  */
+/**
+ * Packed to 24 bytes (flags and VC share one byte, the sequence
+ * number is 16-bit): flits are copied and buffered on every link
+ * traversal, so the struct size directly scales the fabric's
+ * cache footprint. The checkpoint wire format is unchanged
+ * (saveFlit/loadFlit widen back to the original field types).
+ */
 struct Flit
 {
     MessageId msg = 0;
     sim::NodeId src = sim::kNodeNone;
     sim::NodeId dst = sim::kNodeNone;
-    std::uint32_t seq = 0;    //!< flit index within the message
-    bool head = false;
-    bool tail = false;
-    std::uint8_t vc = 0;      //!< VC on the current link
-    /**
-     * Dateline state for the head flit: true once the packet has
-     * crossed the wrap-around link of the ring it is currently
-     * traversing (forces the high virtual channel; Dally's dateline
-     * scheme for deadlock-free wormhole tori).
-     */
-    bool crossed_dateline = false;
+    /** Flit index within the message (length asserted <= 65535). */
+    std::uint16_t seq = 0;
     /**
      * Head-flit counters for latency attribution: network links
      * traversed and router cycles spent waiting for an output VC.
@@ -98,6 +96,16 @@ struct Flit
      */
     std::uint16_t hops = 0;
     std::uint16_t stalls = 0;
+    bool head : 1 = false;
+    bool tail : 1 = false;
+    /**
+     * Dateline state for the head flit: true once the packet has
+     * crossed the wrap-around link of the ring it is currently
+     * traversing (forces the high virtual channel; Dally's dateline
+     * scheme for deadlock-free wormhole tori).
+     */
+    bool crossed_dateline : 1 = false;
+    std::uint8_t vc : 5 = 0;  //!< VC on the current link
 };
 
 /** A credit returned upstream: one buffer slot freed on (port, vc). */
@@ -143,11 +151,11 @@ saveFlit(util::Serializer &s, const Flit &f)
     s.put(f.msg);
     s.put(f.src);
     s.put(f.dst);
-    s.put(f.seq);
-    s.put(f.head);
-    s.put(f.tail);
-    s.put(f.vc);
-    s.put(f.crossed_dateline);
+    s.put(static_cast<std::uint32_t>(f.seq));
+    s.put(static_cast<bool>(f.head));
+    s.put(static_cast<bool>(f.tail));
+    s.put(static_cast<std::uint8_t>(f.vc));
+    s.put(static_cast<bool>(f.crossed_dateline));
     s.put(f.hops);
     s.put(f.stalls);
 }
@@ -159,10 +167,10 @@ loadFlit(util::Deserializer &d)
     f.msg = d.get<MessageId>();
     f.src = d.get<sim::NodeId>();
     f.dst = d.get<sim::NodeId>();
-    f.seq = d.get<std::uint32_t>();
+    f.seq = static_cast<std::uint16_t>(d.get<std::uint32_t>());
     f.head = d.getBool();
     f.tail = d.getBool();
-    f.vc = d.get<std::uint8_t>();
+    f.vc = d.get<std::uint8_t>() & 0x1fu;
     f.crossed_dateline = d.getBool();
     f.hops = d.get<std::uint16_t>();
     f.stalls = d.get<std::uint16_t>();

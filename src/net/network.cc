@@ -54,7 +54,12 @@ Network::Network(const NetworkConfig &config,
                  const ShardPlan &plan)
     : config_(config),
       topo_(config.radix, config.dims, config.wraparound),
-      plan_(plan), engines_(engines)
+      plan_(plan), engines_(engines),
+      // Credit flow control bounds link occupancy to the downstream
+      // buffer depth; +2 leaves slack for the cycle of latching delay
+      // on each side of the credit loop.
+      flit_store_(config.router.buffer_depth + 2, plan.shards),
+      credit_store_(config.router.vcs, plan.shards)
 {
     const sim::NodeId n = topo_.nodeCount();
     const int K = plan_.shards;
@@ -65,13 +70,37 @@ Network::Network(const NetworkConfig &config,
                       plan_.first(0) == 0 && plan_.last(K - 1) == n,
                   "shard plan does not cover the fabric");
 
+    // Each shard engine rotates its slice of the link stores through
+    // one batch rotator per store: channels register with the rotator
+    // of the shard that PUSHES into them, so publication happens on
+    // the producer's thread; cross-shard consumers learn about new
+    // content through the remote wake words bound below.
+    for (int s = 0; s < K; ++s) {
+        engines_[static_cast<std::size_t>(s)]->addChannel(
+            flit_store_.rotator(s));
+        engines_[static_cast<std::size_t>(s)]->addChannel(
+            credit_store_.rotator(s));
+    }
+
     routers_.reserve(n);
     endpoints_.resize(n);
+    // Pre-size the endpoint rings and per-shard accounting containers
+    // past the typical stochastic high-water mark so uncongested runs
+    // reach a zero-allocation steady state quickly instead of paying
+    // rare capacity doublings deep into a run. Capacity growth is
+    // amortized state only — checkpoint bytes serialize contents, not
+    // capacity — so this changes no observable behavior.
+    for (NodeEndpoint &ep : endpoints_) {
+        ep.source_queue.reserve(32);
+        ep.delivered.reserve(32);
+    }
     inject_link_.resize(n);
     inject_credit_.resize(n);
     eject_link_.resize(n);
     eject_credit_.resize(n);
     shards_.resize(static_cast<std::size_t>(K));
+    for (ShardState &shard : shards_)
+        shard.records.reserve(static_cast<std::size_t>(n) * 8);
     for (auto &parity : record_mail_)
         parity.resize(static_cast<std::size_t>(K) *
                       static_cast<std::size_t>(K));
@@ -80,30 +109,44 @@ Network::Network(const NetworkConfig &config,
     for (int s = 0; s < K; ++s)
         shard_ticks_.push_back(std::make_unique<ShardTick>(*this, s));
 
-    // Credit flow control bounds link occupancy to the downstream
-    // buffer depth; +2 leaves slack for the cycle of latching delay
-    // on each side of the credit loop. Each channel registers with
-    // the engine of the shard that PUSHES into it, so its rotation
-    // happens on the producer's thread; cross-shard consumers learn
-    // about new content through the remote wake words bound below.
     auto make_flit_channel = [&](int owner_shard) {
-        flit_channels_.push_back(
-            arena_.make<FlitRing>(config_.router.buffer_depth + 2));
-        engines_[static_cast<std::size_t>(owner_shard)]->addChannel(
-            flit_channels_.back());
-        return flit_channels_.back();
+        const ChannelId id = flit_store_.add(owner_shard);
+        flit_channels_.push_back(id);
+        return id;
     };
     auto make_credit_channel = [&](int owner_shard) {
-        credit_channels_.push_back(
-            arena_.make<CreditPipe>(config_.router.vcs));
-        engines_[static_cast<std::size_t>(owner_shard)]->addChannel(
-            credit_channels_.back());
-        return credit_channels_.back();
+        const ChannelId id = credit_store_.add(owner_shard);
+        credit_channels_.push_back(id);
+        return id;
     };
 
+    // Router state slabs, sized once before router construction (the
+    // routers keep raw pointers into them).
+    const int ports = 2 * config_.dims + 1;
+    const int units = ports * config_.router.vcs;
+    const std::size_t vc_cap = Router::vcRingCapacity(config_.router);
+    input_units_.resize(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(units));
+    output_ports_.resize(static_cast<std::size_t>(n) *
+                         static_cast<std::size_t>(ports));
+    vc_slab_.resize(static_cast<std::size_t>(n) *
+                    static_cast<std::size_t>(units) * vc_cap);
+
     for (sim::NodeId node = 0; node < n; ++node) {
-        routers_.push_back(
-            arena_.make<Router>(topo_, node, config_.router));
+        Router::RouterSlices slices;
+        slices.inputs = input_units_.data() +
+                        static_cast<std::size_t>(node) *
+                            static_cast<std::size_t>(units);
+        slices.outputs = output_ports_.data() +
+                         static_cast<std::size_t>(node) *
+                             static_cast<std::size_t>(ports);
+        slices.vc_slots = vc_slab_.data() +
+                          static_cast<std::size_t>(node) *
+                              static_cast<std::size_t>(units) * vc_cap;
+        routers_.push_back(arena_.make<Router>(topo_, node,
+                                               config_.router,
+                                               flit_store_,
+                                               credit_store_, slices));
     }
 
     // Wire neighbor links. For each node and each (dim, dir) we create
@@ -112,14 +155,13 @@ Network::Network(const NetworkConfig &config,
     // the neighbor on the port of the opposite direction.
     struct PortWiring
     {
-        FlitRing *in = nullptr;
-        FlitRing *out = nullptr;
-        CreditPipe *credit_up = nullptr;
-        CreditPipe *credit_down = nullptr;
+        ChannelId in = kNoChannel;
+        ChannelId out = kNoChannel;
+        ChannelId credit_up = kNoChannel;
+        ChannelId credit_down = kNoChannel;
     };
     std::vector<std::vector<PortWiring>> wiring(
-        n, std::vector<PortWiring>(
-               static_cast<std::size_t>(2 * config_.dims + 1)));
+        n, std::vector<PortWiring>(static_cast<std::size_t>(ports)));
 
     for (sim::NodeId node = 0; node < n; ++node) {
         for (int dim = 0; dim < config_.dims; ++dim) {
@@ -129,8 +171,9 @@ Network::Network(const NetworkConfig &config,
                     continue; // mesh edge: no link in this direction
                 // Flits are pushed by node's router; credits are
                 // returned by the neighbor's.
-                auto *flits = make_flit_channel(shardOf(node));
-                auto *credits = make_credit_channel(shardOf(nbr));
+                const ChannelId flits = make_flit_channel(shardOf(node));
+                const ChannelId credits =
+                    make_credit_channel(shardOf(nbr));
                 const auto out_port =
                     static_cast<std::size_t>(Router::portFor(dim, dir));
                 const auto in_port = static_cast<std::size_t>(
@@ -158,7 +201,7 @@ Network::Network(const NetworkConfig &config,
     }
 
     for (sim::NodeId node = 0; node < n; ++node) {
-        for (int port = 0; port < 2 * config_.dims + 1; ++port) {
+        for (int port = 0; port < ports; ++port) {
             const auto &w =
                 wiring[node][static_cast<std::size_t>(port)];
             routers_[node]->connect(port, w.in, w.out, w.credit_up,
@@ -185,11 +228,13 @@ Network::Network(const NetworkConfig &config,
                     const auto in_port = static_cast<std::size_t>(
                         Router::portFor(dim, -dir));
                     // Flit channel node -> nbr wakes nbr's router.
-                    wiring[node][out_port].out->bindRemoteWake(
+                    flit_store_.bindRemoteWake(
+                        wiring[node][out_port].out,
                         &routers_[nbr]->remoteFlitWakeWord(),
                         1u << in_port);
                     // Its credit return wakes node's router.
-                    wiring[node][out_port].credit_down->bindRemoteWake(
+                    credit_store_.bindRemoteWake(
+                        wiring[node][out_port].credit_down,
                         &routers_[node]->remoteCreditWakeWord(),
                         1u << out_port);
                 }
@@ -232,6 +277,8 @@ Network::send(Message msg)
     LOCSIM_ASSERT(msg.src != msg.dst,
                   "local transactions must not enter the network");
     LOCSIM_ASSERT(msg.flits >= 1, "message needs at least one flit");
+    LOCSIM_ASSERT(msg.flits <= 65535,
+                  "flit sequence numbers are 16-bit");
 
     const int s = shardOf(msg.src);
     ShardState &shard = shards_[static_cast<std::size_t>(s)];
@@ -243,10 +290,13 @@ Network::send(Message msg)
     msg.id = (static_cast<MessageId>(msg.src) << 40) | ++ep.next_seq;
     msg.submit_tick = engines_[static_cast<std::size_t>(s)]->now();
 
-    MessageRecord record;
+    // Pool slots are recycled without destruction; reset every field.
+    const RecordHandle h = shard.record_pool.alloc();
+    MessageRecord &record = shard.record_pool.get(h);
+    record = MessageRecord{};
     record.message = msg;
     record.hops = topo_.distance(msg.src, msg.dst);
-    shard.records.emplace(msg.id, record);
+    shard.records.insert(msg.id, h);
 
     ep.source_queue.push_back(msg);
     ++shard.stats.messages_sent;
@@ -278,7 +328,11 @@ Network::receive(sim::NodeId node)
     --shard.pending_deliveries;
     // Accounting for this message is complete; drop the record so
     // long runs do not accumulate unbounded history.
-    shard.records.erase(msg.id);
+    if (const RecordHandle *hp = shard.records.find(msg.id)) {
+        const RecordHandle h = *hp;
+        shard.records.erase(msg.id);
+        shard.record_pool.free(h);
+    }
     return msg;
 }
 
@@ -302,11 +356,11 @@ Network::tickInjection(sim::NodeId node, sim::Tick now)
     if (ep.source_queue.empty())
         return;
 
-    // Collect returned injection credits. Credits bank up in the pipe
+    // Collect returned injection credits. Credits bank up in the link
     // while the node has nothing to send, so collecting them lazily
     // (only when a message wants to inject) is equivalent to
     // collecting every cycle.
-    ep.inject_credits += inject_credit_[node]->takeAll();
+    ep.inject_credits += credit_store_.takeAll(inject_credit_[node]);
     LOCSIM_ASSERT(ep.inject_credits <= config_.router.buffer_depth,
                   "injection credit overflow at node ", node);
 
@@ -316,11 +370,12 @@ Network::tickInjection(sim::NodeId node, sim::Tick now)
     Message &msg = ep.source_queue.front();
     if (ep.flits_sent == 0) {
         const int s = shardOf(node);
-        auto &records = shards_[static_cast<std::size_t>(s)].records;
-        auto it = records.find(msg.id);
-        LOCSIM_ASSERT(it != records.end(), "missing message record");
-        if (it->second.inject_start == sim::kTickNever) {
-            it->second.inject_start = now;
+        ShardState &shard = shards_[static_cast<std::size_t>(s)];
+        RecordHandle *hp = shard.records.find(msg.id);
+        LOCSIM_ASSERT(hp != nullptr, "missing message record");
+        MessageRecord &rec = shard.record_pool.get(*hp);
+        if (rec.inject_start == sim::kTickNever) {
+            rec.inject_start = now;
             if (obs::Tracer *tracer = tracerFor(s)) {
                 tracer->instant(
                     node_tracks_[node], now, "inject",
@@ -331,13 +386,16 @@ Network::tickInjection(sim::NodeId node, sim::Tick now)
             // the head counters and closes out the message). Posted
             // into this tick's parity; drained by the destination at
             // the start of the next tick, at least one cycle before
-            // the head flit can eject there.
+            // the head flit can eject there. The record travels by
+            // value and its source-shard pool slot is recycled.
             const int ds = shardOf(msg.dst);
             if (ds != s) {
                 auto &box = record_mail_[now & 1][static_cast<
                     std::size_t>(ds * plan_.shards + s)];
-                box.push_back(std::move(it->second));
-                records.erase(it);
+                box.push_back(rec);
+                const RecordHandle h = *hp;
+                shard.records.erase(msg.id);
+                shard.record_pool.free(h);
             }
         }
     }
@@ -346,11 +404,11 @@ Network::tickInjection(sim::NodeId node, sim::Tick now)
     flit.msg = msg.id;
     flit.src = msg.src;
     flit.dst = msg.dst;
-    flit.seq = ep.flits_sent;
+    flit.seq = static_cast<std::uint16_t>(ep.flits_sent);
     flit.head = ep.flits_sent == 0;
     flit.tail = ep.flits_sent + 1 == msg.flits;
     flit.vc = 0;
-    inject_link_[node]->push(flit);
+    flit_store_.push(inject_link_[node], flit);
     --ep.inject_credits;
     ++ep.flits_sent;
 
@@ -364,21 +422,28 @@ void
 Network::tickEjection(sim::NodeId node, sim::Tick now)
 {
     NodeEndpoint &ep = endpoints_[node];
-    FlitRing *link = eject_link_[node];
+    const ChannelId link = eject_link_[node];
 
     // The node drains one flit per network cycle (an 8-bit channel
     // delivers one flit per cycle, Section 3.1).
-    if (link->empty())
+    if (flit_store_.empty(link))
         return;
-    Flit flit = link->pop();
-    eject_credit_[node]->push(flit.vc);
+    Flit flit = flit_store_.pop(link);
+    credit_store_.push(eject_credit_[node], flit.vc);
 
-    auto &arrived = ep.arrived_flits[flit.msg];
-    LOCSIM_ASSERT(flit.seq == arrived,
+    // Wormhole ejection delivers one message head-to-tail at a time
+    // (the ejection output VC is owned until the tail), so the
+    // reassembly cursor is two scalars rather than a map.
+    if (ep.arrived_count == 0)
+        ep.arrived_msg = flit.msg;
+    LOCSIM_ASSERT(ep.arrived_msg == flit.msg,
+                  "interleaved ejection at node ", node, ": msg ",
+                  flit.msg, " while reassembling ", ep.arrived_msg);
+    LOCSIM_ASSERT(flit.seq == ep.arrived_count,
                   "flit reordering within a wormhole message: msg ",
-                  flit.msg, " expected seq ", arrived, " got ",
-                  flit.seq);
-    ++arrived;
+                  flit.msg, " expected seq ", ep.arrived_count,
+                  " got ", flit.seq);
+    ++ep.arrived_count;
 
     const int s = shardOf(node);
     ShardState &shard = shards_[static_cast<std::size_t>(s)];
@@ -386,28 +451,27 @@ Network::tickEjection(sim::NodeId node, sim::Tick now)
     if (flit.head) {
         // Harvest the head flit's attribution counters; body flits
         // follow the opened path and carry none.
-        auto hit = shard.records.find(flit.msg);
-        LOCSIM_ASSERT(hit != shard.records.end(),
-                      "head for unknown message");
-        hit->second.head_hops = flit.hops;
-        hit->second.head_stalls = flit.stalls;
+        RecordHandle *hp = shard.records.find(flit.msg);
+        LOCSIM_ASSERT(hp != nullptr, "head for unknown message");
+        MessageRecord &hrec = shard.record_pool.get(*hp);
+        hrec.head_hops = flit.hops;
+        hrec.head_stalls = flit.stalls;
     }
 
     if (!flit.tail)
         return;
 
-    auto it = shard.records.find(flit.msg);
-    LOCSIM_ASSERT(it != shard.records.end(),
-                  "tail for unknown message");
-    MessageRecord &rec = it->second;
-    LOCSIM_ASSERT(arrived == rec.message.flits,
+    RecordHandle *hp = shard.records.find(flit.msg);
+    LOCSIM_ASSERT(hp != nullptr, "tail for unknown message");
+    MessageRecord &rec = shard.record_pool.get(*hp);
+    LOCSIM_ASSERT(ep.arrived_count == rec.message.flits,
                   "tail arrived before all flits: msg ", flit.msg);
     LOCSIM_ASSERT(rec.message.dst == node, "message misrouted: msg ",
                   flit.msg, " for node ", rec.message.dst,
                   " ejected at ", node);
 
     rec.delivered = now;
-    ep.arrived_flits.erase(flit.msg);
+    ep.arrived_count = 0;
     ep.delivered.push_back(rec.message);
     ++shard.pending_deliveries;
 
@@ -464,15 +528,17 @@ Network::drainRecordMail(int dst_shard, sim::Tick now)
     // this drain and concurrent posts never touch the same cell.
     const int K = plan_.shards;
     auto &parity = record_mail_[(now + 1) & 1];
-    auto &records =
-        shards_[static_cast<std::size_t>(dst_shard)].records;
+    ShardState &shard = shards_[static_cast<std::size_t>(dst_shard)];
     for (int src = 0; src < K; ++src) {
         auto &box =
             parity[static_cast<std::size_t>(dst_shard * K + src)];
         if (box.empty())
             continue;
-        for (MessageRecord &rec : box)
-            records.emplace(rec.message.id, std::move(rec));
+        for (MessageRecord &rec : box) {
+            const RecordHandle h = shard.record_pool.alloc();
+            shard.record_pool.get(h) = rec;
+            shard.records.insert(rec.message.id, h);
+        }
         box.clear();
     }
 }
@@ -589,9 +655,8 @@ const MessageRecord *
 Network::record(MessageId id) const
 {
     for (const ShardState &shard : shards_) {
-        auto it = shard.records.find(id);
-        if (it != shard.records.end())
-            return &it->second;
+        if (const RecordHandle *hp = shard.records.find(id))
+            return &shard.record_pool.get(*hp);
     }
     for (const auto &parity : record_mail_) {
         for (const auto &box : parity) {
@@ -607,11 +672,13 @@ Network::record(MessageId id) const
 std::uint64_t
 Network::totalNeighborFlitHops() const
 {
+    // Exclude the local (ejection) port: model rho covers network
+    // channels only.
+    const int neighbor_ports = 2 * config_.dims;
     std::uint64_t hops = 0;
-    for (const auto &router : routers_) {
-        const auto &counts = router->outputFlits();
-        for (std::size_t p = 0; p + 1 < counts.size(); ++p)
-            hops += counts[p].value();
+    for (const Router *router : routers_) {
+        for (int p = 0; p < neighbor_ports; ++p)
+            hops += router->outputFlits(p).value();
     }
     return hops;
 }
@@ -701,39 +768,41 @@ Network::saveState(util::Serializer &s) const
     // state folds cross-shard wake words into their sequential
     // staged-word equivalents. The stream is therefore identical for
     // any shard count and restores at any other.
-    for (const FlitRing *ring : flit_channels_)
-        ring->saveState(s);
-    for (const CreditPipe *pipe : credit_channels_)
-        pipe->saveState(s);
+    for (const ChannelId id : flit_channels_)
+        flit_store_.saveChannel(s, id);
+    for (const ChannelId id : credit_channels_)
+        credit_store_.saveChannel(s, id);
     for (const Router *router : routers_)
         router->saveState(s);
 
     for (const NodeEndpoint &ep : endpoints_) {
         s.put<std::uint64_t>(ep.source_queue.size());
-        for (const Message &msg : ep.source_queue)
-            saveMessage(s, msg);
+        for (std::size_t i = 0; i < ep.source_queue.size(); ++i)
+            saveMessage(s, ep.source_queue[i]);
         s.put(ep.flits_sent);
         s.put(ep.inject_credits);
         s.put(ep.next_seq);
         s.put<std::uint64_t>(ep.delivered.size());
-        for (const Message &msg : ep.delivered)
-            saveMessage(s, msg);
-        std::vector<std::pair<MessageId, std::uint32_t>> arrived(
-            ep.arrived_flits.begin(), ep.arrived_flits.end());
-        std::sort(arrived.begin(), arrived.end());
-        s.put<std::uint64_t>(arrived.size());
-        for (const auto &[id, count] : arrived) {
-            s.put(id);
-            s.put(count);
+        for (std::size_t i = 0; i < ep.delivered.size(); ++i)
+            saveMessage(s, ep.delivered[i]);
+        // The reassembly cursor serializes as the (sorted) list of
+        // in-progress messages it replaces: zero or one entry.
+        const std::uint64_t arrived = ep.arrived_count > 0 ? 1 : 0;
+        s.put<std::uint64_t>(arrived);
+        if (arrived != 0) {
+            s.put(ep.arrived_msg);
+            s.put(ep.arrived_count);
         }
     }
 
-    // Records: the union over shard maps and in-transit mailboxes,
+    // Records: the union over shard pools and in-transit mailboxes,
     // sorted by id so the ordering is shard-count independent.
     std::vector<const MessageRecord *> records;
     for (const ShardState &shard : shards_) {
-        for (const auto &[id, rec] : shard.records)
-            records.push_back(&rec);
+        shard.records.forEach(
+            [&](const MessageId &, const RecordHandle &h) {
+                records.push_back(&shard.record_pool.get(h));
+            });
     }
     for (const auto &parity : record_mail_) {
         for (const auto &box : parity) {
@@ -765,10 +834,10 @@ Network::saveState(util::Serializer &s) const
 void
 Network::loadState(util::Deserializer &d)
 {
-    for (FlitRing *ring : flit_channels_)
-        ring->loadState(d);
-    for (CreditPipe *pipe : credit_channels_)
-        pipe->loadState(d);
+    for (const ChannelId id : flit_channels_)
+        flit_store_.loadChannel(d, id);
+    for (const ChannelId id : credit_channels_)
+        credit_store_.loadChannel(d, id);
     for (Router *router : routers_)
         router->loadState(d);
 
@@ -784,16 +853,23 @@ Network::loadState(util::Deserializer &d)
         count = d.get<std::uint64_t>();
         for (std::uint64_t i = 0; i < count; ++i)
             ep.delivered.push_back(loadMessage(d));
-        ep.arrived_flits.clear();
         count = d.get<std::uint64_t>();
-        for (std::uint64_t i = 0; i < count; ++i) {
-            const auto id = d.get<MessageId>();
-            ep.arrived_flits[id] = d.get<std::uint32_t>();
+        if (count > 1) {
+            throw std::runtime_error(
+                "Network::loadState: more than one message "
+                "mid-ejection at a node");
+        }
+        ep.arrived_msg = 0;
+        ep.arrived_count = 0;
+        if (count == 1) {
+            ep.arrived_msg = d.get<MessageId>();
+            ep.arrived_count = d.get<std::uint32_t>();
         }
     }
 
     for (ShardState &shard : shards_) {
         shard.records.clear();
+        shard.record_pool.clear();
         shard.in_flight = 0;
         shard.pending_deliveries = 0;
         shard.stats.reset();
@@ -820,8 +896,10 @@ Network::loadState(util::Deserializer &d)
         const int s = rec.inject_start == sim::kTickNever
                           ? shardOf(rec.message.src)
                           : shardOf(rec.message.dst);
-        shards_[static_cast<std::size_t>(s)].records.emplace(
-            rec.message.id, std::move(rec));
+        ShardState &shard = shards_[static_cast<std::size_t>(s)];
+        const RecordHandle h = shard.record_pool.alloc();
+        shard.record_pool.get(h) = rec;
+        shard.records.insert(rec.message.id, h);
     }
 
     // Global accounting and statistics restore into shard 0; the

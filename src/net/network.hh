@@ -13,6 +13,14 @@
  * send()/receive() on a node's interface; the fabric handles
  * flitization, wormhole transport, and reassembly.
  *
+ * Data layout: all link channels live in two structure-of-arrays
+ * stores (FlitLinkStore / CreditLinkStore) indexed by dense channel
+ * ids, all router input-VC / output-port state lives in Network-owned
+ * slabs sliced per router, and message accounting records live in
+ * per-shard generation-checked pools indexed by a flat hash map. The
+ * steady-state loop therefore walks contiguous arrays and recycles
+ * pooled records without touching the allocator.
+ *
  * Cross-shard state is limited to three mechanisms, all designed so
  * results are bit-identical to the sequential fabric for any shard
  * count (see docs/SHARDING.md for the full argument):
@@ -21,9 +29,9 @@
  *    wake bits atomically during the rotation phase (see
  *    Rotatable::bindRemoteWake), never at push time.
  *  - Message accounting records migrate from the source shard to the
- *    destination shard through parity-double-buffered mailboxes,
- *    posted at injection and drained one tick later in fixed source
- *    order.
+ *    destination shard through parity-double-buffered mailboxes
+ *    (by value: pool handles never cross shards), posted at injection
+ *    and drained one tick later in fixed source order.
  *  - Statistics accumulate per shard in exactly-summable form and
  *    merge at serial points (Accumulator's exact sums make the merge
  *    grouping-independent).
@@ -34,17 +42,19 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/trace.hh"
 #include "sim/engine.hh"
+#include "net/link_fabric.hh"
 #include "net/router.hh"
 #include "stats/stats.hh"
 #include "util/arena.hh"
+#include "util/flat_map.hh"
+#include "util/pool.hh"
+#include "util/ring_queue.hh"
 #include "util/serialize.hh"
 
 namespace locsim {
@@ -176,11 +186,11 @@ struct NetworkStats
 /**
  * The full fabric for one machine.
  *
- * Construction wires every router and registers each channel with its
- * owning (producer-side) shard engine. For a sequential machine the
- * caller registers the Network itself as a Clocked component with
- * period 1; a sharded machine registers shardClocked(s) with each
- * shard engine instead.
+ * Construction wires every router and registers each store's per-shard
+ * rotator with its shard engine. For a sequential machine the caller
+ * registers the Network itself as a Clocked component with period 1; a
+ * sharded machine registers shardClocked(s) with each shard engine
+ * instead.
  */
 class Network : public sim::Clocked
 {
@@ -326,27 +336,41 @@ class Network : public sim::Clocked
     struct NodeEndpoint
     {
         // Injection side.
-        std::deque<Message> source_queue;
+        util::RingQueue<Message> source_queue;
         std::uint32_t flits_sent = 0;    //!< of the current message
         int inject_credits = 0;          //!< VC0 credits into router
         /** Message-id sequence for this source endpoint. */
         std::uint64_t next_seq = 0;
         // Ejection side.
-        std::deque<Message> delivered;
-        std::unordered_map<MessageId, std::uint32_t> arrived_flits;
+        util::RingQueue<Message> delivered;
+        /**
+         * Reassembly cursor. Ejection drains a single FIFO whose
+         * flits are pushed by a single output VC owned head-to-tail
+         * by one packet, so at most one message is ever mid-ejection
+         * at a node: two scalars replace the per-message map
+         * (arrived_count == 0 means no message is in progress).
+         */
+        MessageId arrived_msg = 0;
+        std::uint32_t arrived_count = 0;
     };
+
+    using RecordPool = util::Pool<MessageRecord>;
+    using RecordHandle = RecordPool::Handle;
 
     /**
      * State owned by one shard: accounting records for messages whose
      * current "location" (source before injection, destination after)
-     * is in the shard, plus this shard's statistics slice. The
+     * is in the shard, plus this shard's statistics slice. Records
+     * live in a per-shard pool (recycled across messages; the id map
+     * holds handles, so rehashing never moves a record). The
      * in-flight / pending counters are signed because a message's
      * increment and decrement may land on different shards; only the
      * serial-point sums are meaningful.
      */
     struct ShardState
     {
-        std::unordered_map<MessageId, MessageRecord> records;
+        RecordPool record_pool;
+        util::FlatMap<MessageId, RecordHandle> records;
         NetworkStats stats;
         std::int64_t in_flight = 0;
         std::int64_t pending_deliveries = 0;
@@ -388,23 +412,41 @@ class Network : public sim::Clocked
     std::vector<sim::Engine *> engines_; //!< engines_[s] drives shard s
 
     /**
-     * Backing store for all routers and channels. One fabric allocates
-     * thousands of small objects with identical lifetime; bump
-     * allocation packs them contiguously (construction-order locality
-     * matches tick-order traversal) and frees them in one sweep.
-     * Declared before the pointer vectors so it outlives them.
+     * The SoA link fabric: all flit and credit links, indexed by the
+     * dense ChannelIds recorded in the id vectors below (construction
+     * order, which the serialization stream follows). Each store
+     * registers one batch rotator per shard with that shard's engine.
+     */
+    FlitLinkStore flit_store_;
+    CreditLinkStore credit_store_;
+
+    /**
+     * Backing store for the routers. One fabric allocates many small
+     * objects with identical lifetime; bump allocation packs them
+     * contiguously (construction-order locality matches tick-order
+     * traversal) and frees them in one sweep. Declared before the
+     * pointer vector so it outlives it.
      */
     util::Arena arena_;
 
     std::vector<Router *> routers_;
-    std::vector<FlitRing *> flit_channels_;
-    std::vector<CreditPipe *> credit_channels_;
+    std::vector<ChannelId> flit_channels_;
+    std::vector<ChannelId> credit_channels_;
+
+    /**
+     * Fabric-wide router state slabs, sliced per router (see
+     * Router::RouterSlices). Sized once before router construction;
+     * routers hold raw pointers into them.
+     */
+    std::vector<Router::InputVc> input_units_;
+    std::vector<Router::OutputPort> output_ports_;
+    std::vector<Flit> vc_slab_;
 
     // Per-node endpoint channels (indexed by node).
-    std::vector<FlitRing *> inject_link_;
-    std::vector<CreditPipe *> inject_credit_;
-    std::vector<FlitRing *> eject_link_;
-    std::vector<CreditPipe *> eject_credit_;
+    std::vector<ChannelId> inject_link_;
+    std::vector<ChannelId> inject_credit_;
+    std::vector<ChannelId> eject_link_;
+    std::vector<ChannelId> eject_credit_;
 
     std::vector<NodeEndpoint> endpoints_;
 
@@ -419,7 +461,8 @@ class Network : public sim::Clocked
      * same phase, and barrier separation orders them without atomics.
      * A pending record implies its message is in flight, so quiescence
      * skips (which would break the parity arithmetic) cannot occur
-     * with mail outstanding.
+     * with mail outstanding. Records travel by value: pool handles
+     * are shard-local names and never cross shards.
      */
     std::array<std::vector<std::vector<MessageRecord>>, 2> record_mail_;
 

@@ -13,46 +13,48 @@ namespace locsim {
 namespace net {
 
 Router::Router(const TorusTopology &topo, sim::NodeId node,
-               const RouterConfig &config)
-    : topo_(topo), node_(node), config_(config)
+               const RouterConfig &config, FlitLinkStore &flits,
+               CreditLinkStore &credits, const RouterSlices &slices)
+    : topo_(topo), node_(node), config_(config), flit_store_(flits),
+      credit_store_(credits), inputs_(slices.inputs),
+      outputs_(slices.outputs)
 {
     LOCSIM_ASSERT(config_.vcs >= 2,
                   "torus wormhole routing needs >= 2 virtual channels");
     LOCSIM_ASSERT(config_.buffer_depth >= 1, "buffer depth must be >= 1");
+    LOCSIM_ASSERT(config_.buffer_depth <= 32767,
+                  "credit counts are 16-bit");
 
     const int ports = portCount();
     LOCSIM_ASSERT(ports * config_.vcs < 32,
                   "activity masks hold one bit per input unit");
-    LOCSIM_ASSERT(config_.vcs <= CreditPipe::kMaxVcs,
+    LOCSIM_ASSERT(ports <= kMaxPorts, "per-port arrays are fixed-size");
+    LOCSIM_ASSERT(config_.vcs <= CreditLinkStore::kMaxVcs,
                   "per-port VC state uses fixed-size arrays");
-    inputs_.resize(static_cast<std::size_t>(ports * config_.vcs));
-    std::size_t vc_cap = 2;
-    while (vc_cap < static_cast<std::size_t>(config_.buffer_depth))
-        vc_cap <<= 1;
-    vc_buf_.resize(vc_cap * inputs_.size());
-    for (std::size_t unit = 0; unit < inputs_.size(); ++unit) {
-        inputs_[unit].slots = vc_buf_.data() + unit * vc_cap;
-        inputs_[unit].mask = static_cast<std::uint32_t>(vc_cap - 1);
+    const std::size_t vc_cap = vcRingCapacity(config_);
+    const int units = unitCount();
+    for (int unit = 0; unit < units; ++unit) {
+        const auto u = static_cast<std::size_t>(unit);
+        inputs_[u] = InputVc{};
+        inputs_[u].slots = slices.vc_slots + u * vc_cap;
+        inputs_[u].mask = static_cast<std::uint32_t>(vc_cap - 1);
+        unit_port_[u] = static_cast<std::int8_t>(unit / config_.vcs);
+        unit_vc_[u] = static_cast<std::int8_t>(unit % config_.vcs);
     }
-    outputs_.resize(static_cast<std::size_t>(ports));
-    for (auto &out : outputs_)
-        out.owner.fill(-1);
-    for (int unit = 0; unit < ports * config_.vcs; ++unit) {
-        unit_port_[static_cast<std::size_t>(unit)] =
-            static_cast<std::int8_t>(unit / config_.vcs);
-        unit_vc_[static_cast<std::size_t>(unit)] =
-            static_cast<std::int8_t>(unit % config_.vcs);
+    for (int p = 0; p < ports; ++p) {
+        const auto i = static_cast<std::size_t>(p);
+        outputs_[i] = OutputPort{};
+        outputs_[i].owner.fill(-1);
     }
-    in_links_.assign(static_cast<std::size_t>(ports), nullptr);
-    out_links_.assign(static_cast<std::size_t>(ports), nullptr);
-    credit_up_.assign(static_cast<std::size_t>(ports), nullptr);
-    credit_down_.assign(static_cast<std::size_t>(ports), nullptr);
-    output_flits_.resize(static_cast<std::size_t>(ports));
+    in_links_.fill(kNoChannel);
+    out_links_.fill(kNoChannel);
+    credit_up_.fill(kNoChannel);
+    credit_down_.fill(kNoChannel);
 }
 
 void
-Router::connect(int port, FlitChannel *in, FlitChannel *out,
-                CreditChannel *credit_up, CreditChannel *credit_down)
+Router::connect(int port, ChannelId in, ChannelId out,
+                ChannelId credit_up, ChannelId credit_down)
 {
     LOCSIM_ASSERT(port >= 0 && port < portCount(), "bad port index");
     const auto p = static_cast<std::size_t>(port);
@@ -62,45 +64,46 @@ Router::connect(int port, FlitChannel *in, FlitChannel *out,
     credit_down_[p] = credit_down;
     // Input channels wake this router at push time so tick() visits
     // only the ports that actually carry something.
-    if (in != nullptr)
-        in->bindWake(&flit_wake_staged_, 1u << port);
-    if (credit_down != nullptr)
-        credit_down->bindWake(&credit_wake_staged_, 1u << port);
+    if (in != kNoChannel)
+        flit_store_.bindWake(in, &flit_wake_staged_, 1u << port);
+    if (credit_down != kNoChannel) {
+        credit_store_.bindWake(credit_down, &credit_wake_staged_,
+                               1u << port);
+    }
     // The consumer downstream of `out` exposes buffer_depth slots per
     // VC; start with full credit.
-    if (out != nullptr) {
+    if (out != kNoChannel) {
         for (int v = 0; v < config_.vcs; ++v)
             outputs_[p].credits[static_cast<std::size_t>(v)] =
-                config_.buffer_depth;
+                static_cast<std::int16_t>(config_.buffer_depth);
     }
-}
-
-Router::InputVc &
-Router::inputVc(int port, int vc)
-{
-    return inputs_[static_cast<std::size_t>(port * config_.vcs + vc)];
 }
 
 void
 Router::receiveCredits()
 {
-    // Visit only the ports whose credit pipes woke us; the wake
-    // contract guarantees every other credit pipe is empty.
+    // Visit only the ports whose credit links woke us; the wake
+    // contract guarantees every other credit link is empty.
     std::uint32_t ports = std::exchange(credit_wake_, 0u);
     while (ports != 0) {
         const int port = std::countr_zero(ports);
         ports &= ports - 1;
-        CreditChannel *ch = credit_down_[static_cast<std::size_t>(port)];
-        auto &credits = outputs_[static_cast<std::size_t>(port)].credits;
+        const ChannelId ch = credit_down_[static_cast<std::size_t>(port)];
+        OutputPort &out = outputs_[static_cast<std::size_t>(port)];
         for (int vc = 0; vc < config_.vcs; ++vc) {
-            const int taken = ch->take(vc);
+            const int taken = credit_store_.take(ch, vc);
             if (taken == 0)
                 continue;
-            int &count = credits[static_cast<std::size_t>(vc)];
-            count += taken;
+            std::int16_t &count =
+                out.credits[static_cast<std::size_t>(vc)];
+            count = static_cast<std::int16_t>(count + taken);
             LOCSIM_ASSERT(count <= config_.buffer_depth,
                           "credit overflow on node ", node_, " port ",
                           port);
+            // Credits for an owned VC may unblock this port (credits
+            // for a released VC need no re-arm: a later claim arms it).
+            if (out.owner[static_cast<std::size_t>(vc)] != -1)
+                ready_ports_ |= 1u << port;
         }
     }
 }
@@ -112,9 +115,13 @@ Router::receiveFlits()
     while (ports != 0) {
         const int port = std::countr_zero(ports);
         ports &= ports - 1;
-        FlitChannel *ch = in_links_[static_cast<std::size_t>(port)];
-        while (!ch->empty()) {
-            Flit flit = ch->pop();
+        const ChannelId ch = in_links_[static_cast<std::size_t>(port)];
+        // Batch drain: one head-cursor load and one store per port
+        // instead of per flit.
+        const std::uint32_t n = flit_store_.visibleCount(ch);
+        const std::uint32_t head = flit_store_.headCursor(ch);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const Flit &flit = flit_store_.at(ch, head + i);
             LOCSIM_ASSERT(flit.vc < config_.vcs, "flit VC range");
             const int unit = port * config_.vcs + flit.vc;
             InputVc &ivc = inputs_[static_cast<std::size_t>(unit)];
@@ -127,7 +134,15 @@ Router::receiveFlits()
             ivc.bufPush(flit);
             vc_occupied_ |= 1u << unit;
             ++buffered_;
+            if (ivc.routed) {
+                // A body flit joined a unit that holds its output VC:
+                // that port may forward again.
+                ready_ports_ |= 1u << ivc.out_port;
+            } else {
+                alloc_pending_ |= 1u << unit;
+            }
         }
+        flit_store_.consume(ch, n);
     }
 }
 
@@ -138,7 +153,7 @@ Router::computeRoute(int port, InputVc &ivc)
     LOCSIM_ASSERT(head.head, "routing a non-head flit");
 
     if (head.dst == node_) {
-        ivc.out_port = localPort();
+        ivc.out_port = static_cast<std::int8_t>(localPort());
         ivc.out_vc = 0;
         ivc.route_valid = true;
         return;
@@ -149,7 +164,7 @@ Router::computeRoute(int port, InputVc &ivc)
     bool crossed = false;
     if (port != localPort() && port / 2 == step.dim)
         crossed = head.crossed_dateline;
-    ivc.out_port = portFor(step.dim, step.dir);
+    ivc.out_port = static_cast<std::int8_t>(portFor(step.dim, step.dir));
     ivc.out_vc = (crossed || step.wraps) ? 1 : 0;
     ivc.route_valid = true;
 }
@@ -157,7 +172,13 @@ Router::computeRoute(int port, InputVc &ivc)
 void
 Router::routeAndAllocate(sim::Tick now)
 {
-    const int units = portCount() * config_.vcs;
+    // The scan start below is a pure function of `now`, so skipping
+    // idle cycles entirely (including the rr cache update) leaves
+    // arbitration state exactly as if the scan had run and found
+    // nothing.
+    if (alloc_pending_ == 0)
+        return;
+    const int units = unitCount();
     // Rotate the scan start so no input unit starves under contention.
     // The start advances once per network cycle; deriving it from the
     // tick (routers are clocked at period 1) makes it independent of
@@ -170,9 +191,11 @@ Router::routeAndAllocate(sim::Tick now)
     }
     rr_now_ = now;
     rr_start_ = start;
-    // Visit only units with buffered flits, in the same rotated order
-    // (start, start+1, ..., wrapping) as a full scan would.
-    std::uint32_t pending = vc_occupied_;
+    // Visit only units whose head packet still needs an output VC, in
+    // the same rotated order (start, start+1, ..., wrapping) as a full
+    // scan would; routed and empty units are no-ops in that scan, so
+    // pruning them cannot change the allocation outcome.
+    std::uint32_t pending = alloc_pending_;
     if (start != 0) {
         pending = ((pending >> start) | (pending << (units - start))) &
                   ((1u << units) - 1u);
@@ -202,10 +225,13 @@ Router::routeAndAllocate(sim::Tick now)
         // next cycle.
         OutputPort &out =
             outputs_[static_cast<std::size_t>(ivc.out_port)];
-        int &owner = out.owner[static_cast<std::size_t>(ivc.out_vc)];
+        std::int8_t &owner =
+            out.owner[static_cast<std::size_t>(ivc.out_vc)];
         if (owner == -1) {
-            owner = unit;
+            owner = static_cast<std::int8_t>(unit);
             owned_ports_ |= 1u << ivc.out_port;
+            ready_ports_ |= 1u << ivc.out_port;
+            alloc_pending_ &= ~(1u << unit);
             ivc.routed = true;
         } else {
             // Output VC held by another packet: the head flit stalls
@@ -237,16 +263,27 @@ Router::switchTraversal(sim::Tick now)
     // (2 * dims + 1), so a mask avoids a heap allocation per call.
     std::uint32_t input_port_used = 0;
 
-    // Visit only output ports with an owned VC, in ascending port
-    // order (the same order a full scan visits them).
-    std::uint32_t owned = owned_ports_;
-    while (owned != 0) {
-        const int port = std::countr_zero(owned);
-        owned &= owned - 1;
+    // Visit only output ports that might forward, in ascending port
+    // order (the same order a full scan visits them). A port whose
+    // owned VCs are all blocked on credits or upstream flits is
+    // dropped from the ready set until one of those events re-arms it;
+    // skipped ports forward nothing and mark nothing, so pruning them
+    // cannot change which flits move.
+    std::uint32_t scan = owned_ports_ & ready_ports_;
+    if (scan == 0)
+        return;
+    while (scan != 0) {
+        const int port = std::countr_zero(scan);
+        scan &= scan - 1;
         OutputPort &out = outputs_[static_cast<std::size_t>(port)];
-        FlitChannel *link = out_links_[static_cast<std::size_t>(port)];
-        if (link == nullptr)
+        const ChannelId link = out_links_[static_cast<std::size_t>(port)];
+        if (link == kNoChannel)
             continue;
+        bool forwarded = false;
+        // Blocked only by the one-flit-per-input-port rule this cycle;
+        // could forward next cycle without any new event, so the port
+        // must stay armed.
+        bool retry = false;
         // One flit per output port per cycle: round-robin over VCs.
         int vc = out.next_vc;
         for (int i = 0; i < config_.vcs;
@@ -257,15 +294,21 @@ Router::switchTraversal(sim::Tick now)
             const int in_port =
                 unit_port_[static_cast<std::size_t>(owner)];
             const int in_vc = unit_vc_[static_cast<std::size_t>(owner)];
-            if (input_port_used & (1u << in_port))
+            if (input_port_used & (1u << in_port)) {
+                retry = true;
                 continue;
+            }
             InputVc &ivc = inputVc(in_port, in_vc);
             if (ivc.bufEmpty())
-                continue;
+                continue; // re-armed by receiveFlits
             if (out.credits[static_cast<std::size_t>(vc)] <= 0)
-                continue;
+                continue; // re-armed by receiveCredits
 
-            Flit flit = ivc.bufFront();
+            // Copy the flit straight into its staged link slot and
+            // rewrite link-level fields in place (one 32-byte copy per
+            // hop instead of buffer -> stack -> link).
+            Flit &flit = flit_store_.stage(link);
+            flit = ivc.bufFront();
             ivc.bufPop();
             --buffered_;
             if (ivc.bufEmpty())
@@ -273,10 +316,10 @@ Router::switchTraversal(sim::Tick now)
             input_port_used |= 1u << in_port;
 
             // Return a credit upstream for the freed buffer slot.
-            CreditChannel *up =
+            const ChannelId up =
                 credit_up_[static_cast<std::size_t>(in_port)];
-            if (up != nullptr)
-                up->push(in_vc);
+            if (up != kNoChannel)
+                credit_store_.push(up, in_vc);
 
             // Rewrite link-level VC and dateline state.
             const bool to_neighbor = port != localPort();
@@ -289,7 +332,6 @@ Router::switchTraversal(sim::Tick now)
             flit.vc = static_cast<std::uint8_t>(vc);
 
             --out.credits[static_cast<std::size_t>(vc)];
-            link->push(flit);
             output_flits_[static_cast<std::size_t>(port)].inc();
             if (tracer_ != nullptr) {
                 tracer_->instant(
@@ -300,7 +342,7 @@ Router::switchTraversal(sim::Tick now)
                                   .add("port", port)
                                   .add("vc", vc))
                         .str());
-                if (up != nullptr) {
+                if (up != kNoChannel) {
                     tracer_->instant(
                         trace_track_, now, "credit",
                         obs::Category::Net,
@@ -317,6 +359,10 @@ Router::switchTraversal(sim::Tick now)
                 ivc.route_valid = false;
                 ivc.out_port = -1;
                 ivc.out_vc = -1;
+                // The next packet's head flit (if already buffered)
+                // needs an output VC of its own.
+                if (!ivc.bufEmpty())
+                    alloc_pending_ |= 1u << owner;
                 bool any_owner = false;
                 for (int v = 0; v < config_.vcs; ++v) {
                     if (out.owner[static_cast<std::size_t>(v)] != -1) {
@@ -327,9 +373,13 @@ Router::switchTraversal(sim::Tick now)
                 if (!any_owner)
                     owned_ports_ &= ~(1u << port);
             }
-            out.next_vc = vc + 1 == config_.vcs ? 0 : vc + 1;
+            out.next_vc = static_cast<std::int8_t>(
+                vc + 1 == config_.vcs ? 0 : vc + 1);
+            forwarded = true;
             break;
         }
+        if (!forwarded && !retry)
+            ready_ports_ &= ~(1u << port);
     }
 }
 

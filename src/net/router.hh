@@ -18,8 +18,13 @@
  *  - Per-packet output VC ownership (wormhole): a head flit claims an
  *    output VC; the tail releases it.
  *
- * All ports communicate through latched sim::Channel objects, so the
- * order in which routers tick within a cycle is immaterial.
+ * All ports communicate through latched links, so the order in which
+ * routers tick within a cycle is immaterial. Links live in the
+ * Network's FlitLinkStore/CreditLinkStore and are named by dense
+ * ChannelIds; the router's own input-VC and output-port state lives
+ * in Network-owned slabs (one contiguous array per kind across all
+ * routers), handed to each router as a RouterSlices view. The router
+ * object itself is just wiring, masks and statistics.
  */
 
 #ifndef LOCSIM_NET_ROUTER_HH_
@@ -29,11 +34,10 @@
 #include <atomic>
 #include <cstdint>
 #include <utility>
-#include <vector>
 
 #include "obs/trace.hh"
 #include "sim/channel.hh"
-#include "net/link.hh"
+#include "net/link_fabric.hh"
 #include "net/message.hh"
 #include "net/topology.hh"
 #include "stats/stats.hh"
@@ -56,20 +60,101 @@ struct RouterConfig
 /**
  * One switch of the torus fabric.
  *
- * The Network wires up channels between routers; the router itself
- * only knows its node id, the topology, and its port channels.
+ * The Network wires up link channels between routers and owns the
+ * flat state slabs; the router itself only knows its node id, the
+ * topology, its slab slices and its channel ids.
  */
 class Router
 {
   public:
-    using FlitChannel = FlitRing;
-    using CreditChannel = CreditPipe;
+    /** The activity masks hold one bit per input unit (port * vc). */
+    static constexpr int kMaxPorts = 16;
+
+    /**
+     * One input VC: a private flit buffer (a slice of the fabric-wide
+     * contiguous ring slab, power-of-two sized for buffer_depth;
+     * credit flow control guarantees it never overflows) plus the
+     * wormhole routing state of the packet at its head. Ring indices
+     * are monotonic and masked on access.
+     */
+    struct InputVc
+    {
+        Flit *slots = nullptr;       //!< into the Network's vc slab
+        std::uint32_t mask = 0;      //!< ring capacity - 1
+        std::uint32_t head = 0;
+        std::uint32_t tail = 0;
+
+        bool bufEmpty() const { return head == tail; }
+        std::uint32_t bufSize() const { return tail - head; }
+        const Flit &bufFront() const { return slots[head & mask]; }
+        Flit &bufFrontMut() { return slots[head & mask]; }
+        void bufPush(const Flit &flit)
+        {
+            slots[tail & mask] = flit;
+            ++tail;
+        }
+        void bufPop() { ++head; }
+
+        bool routed = false;      //!< head holds its output VC
+        /**
+         * out_port/out_vc hold a valid route for the head packet.
+         * The route is a pure function of the head flit and the input
+         * port, so it stays cached across failed allocation retries
+         * and is only invalidated when the tail flit departs.
+         *
+         * Narrow types throughout (ports and VC indices are bounded
+         * well below 127): the switch phases walk every unit's state
+         * each busy cycle, so InputVc packs into 24 bytes.
+         */
+        bool route_valid = false;
+        std::int8_t out_port = -1;
+        std::int8_t out_vc = -1;
+    };
+
+    /** Packed like InputVc: all of a router's output-port state fits
+     *  in about two cache lines. Checkpoint streams still carry the
+     *  original int-width fields. */
+    struct OutputPort
+    {
+        /** Encoded owner input (port * vcs + vc), or -1 if free. */
+        std::array<std::int8_t, CreditLinkStore::kMaxVcs> owner{};
+        /** Credits available per output VC. */
+        std::array<std::int16_t, CreditLinkStore::kMaxVcs> credits{};
+        /** Round-robin pointer over output VCs. */
+        std::int8_t next_vc = 0;
+    };
+
+    /**
+     * This router's views into the Network-owned state slabs:
+     * @p inputs has unitCount() entries, @p outputs portCount()
+     * entries, and @p vc_slots unitCount() * vcRingCapacity() flits.
+     */
+    struct RouterSlices
+    {
+        InputVc *inputs = nullptr;
+        OutputPort *outputs = nullptr;
+        Flit *vc_slots = nullptr;
+    };
 
     Router(const TorusTopology &topo, sim::NodeId node,
-           const RouterConfig &config);
+           const RouterConfig &config, FlitLinkStore &flits,
+           CreditLinkStore &credits, const RouterSlices &slices);
 
     /** Number of ports including injection/ejection. */
     int portCount() const { return 2 * topo_.dims() + 1; }
+
+    /** Input units (port, vc pairs) of one router. */
+    int unitCount() const { return portCount() * config_.vcs; }
+
+    /** Per-input-VC ring slots (power of two >= buffer_depth). */
+    static std::size_t
+    vcRingCapacity(const RouterConfig &config)
+    {
+        std::size_t cap = 2;
+        while (cap < static_cast<std::size_t>(config.buffer_depth))
+            cap <<= 1;
+        return cap;
+    }
 
     /** Port index for (dim, dir): outgoing or incoming neighbor. */
     static int
@@ -85,7 +170,7 @@ class Router
      * Connect the channels for one port.
      *
      * @param port port index.
-     * @param in flits arriving into this router (may be null for the
+     * @param in flits arriving into this router (kNoChannel for the
      *        ejection side of the local port pair; the local port uses
      *        @p in for injection and @p out for ejection).
      * @param out flits leaving this router.
@@ -93,8 +178,8 @@ class Router
      *        @p in.
      * @param credit_down credits arriving for @p out.
      */
-    void connect(int port, FlitChannel *in, FlitChannel *out,
-                 CreditChannel *credit_up, CreditChannel *credit_down);
+    void connect(int port, ChannelId in, ChannelId out,
+                 ChannelId credit_up, ChannelId credit_down);
 
     /**
      * Advance one network cycle. @p now is the engine tick; internal
@@ -158,10 +243,11 @@ class Router
         return buffered_ > 0 || flit_wake_ != 0 || credit_wake_ != 0;
     }
 
-    /** Flits forwarded per neighbor output port (for utilization). */
-    const std::vector<stats::Counter> &outputFlits() const
+    /** Flits forwarded through output @p port (for utilization). */
+    const stats::Counter &
+    outputFlits(int port) const
     {
-        return output_flits_;
+        return output_flits_[static_cast<std::size_t>(port)];
     }
 
     /** Failed output-VC claims (head flit blocked this cycle). */
@@ -198,25 +284,29 @@ class Router
     void
     saveState(util::Serializer &s) const
     {
-        s.put<std::uint64_t>(inputs_.size());
-        for (const InputVc &ivc : inputs_) {
+        const int units = unitCount();
+        s.put<std::uint64_t>(static_cast<std::uint64_t>(units));
+        for (int u = 0; u < units; ++u) {
+            const InputVc &ivc = inputs_[static_cast<std::size_t>(u)];
             s.put(ivc.head);
             s.put(ivc.tail);
             for (std::uint32_t i = ivc.head; i != ivc.tail; ++i)
                 saveFlit(s, ivc.slots[i & ivc.mask]);
             s.put(ivc.routed);
             s.put(ivc.route_valid);
-            s.put(ivc.out_port);
-            s.put(ivc.out_vc);
+            s.put(static_cast<int>(ivc.out_port));
+            s.put(static_cast<int>(ivc.out_vc));
         }
-        s.put<std::uint64_t>(outputs_.size());
-        for (const OutputPort &op : outputs_) {
+        const int ports = portCount();
+        s.put<std::uint64_t>(static_cast<std::uint64_t>(ports));
+        for (int p = 0; p < ports; ++p) {
+            const OutputPort &op = outputs_[static_cast<std::size_t>(p)];
             for (int vc = 0; vc < config_.vcs; ++vc) {
                 const auto v = static_cast<std::size_t>(vc);
-                s.put(op.owner[v]);
-                s.put(op.credits[v]);
+                s.put(static_cast<int>(op.owner[v]));
+                s.put(static_cast<int>(op.credits[v]));
             }
-            s.put(op.next_vc);
+            s.put(static_cast<int>(op.next_vc));
         }
         s.put<std::uint64_t>(buffered_);
         // Fold pending cross-shard wakes into the staged words: the
@@ -232,37 +322,46 @@ class Router
         s.put(owned_ports_);
         s.put(rr_now_);
         s.put(rr_start_);
-        for (const stats::Counter &counter : output_flits_)
-            counter.saveState(s);
+        for (int p = 0; p < ports; ++p)
+            output_flits_[static_cast<std::size_t>(p)].saveState(s);
         alloc_stalls_.saveState(s);
     }
 
     void
     loadState(util::Deserializer &d)
     {
-        if (d.get<std::uint64_t>() != inputs_.size())
+        const int units = unitCount();
+        if (d.get<std::uint64_t>() !=
+            static_cast<std::uint64_t>(units)) {
             throw std::runtime_error(
                 "Router::loadState: input unit count mismatch");
-        for (InputVc &ivc : inputs_) {
+        }
+        for (int u = 0; u < units; ++u) {
+            InputVc &ivc = inputs_[static_cast<std::size_t>(u)];
             ivc.head = d.get<std::uint32_t>();
             ivc.tail = d.get<std::uint32_t>();
             for (std::uint32_t i = ivc.head; i != ivc.tail; ++i)
                 ivc.slots[i & ivc.mask] = loadFlit(d);
             ivc.routed = d.getBool();
             ivc.route_valid = d.getBool();
-            ivc.out_port = d.get<int>();
-            ivc.out_vc = d.get<int>();
+            ivc.out_port = static_cast<std::int8_t>(d.get<int>());
+            ivc.out_vc = static_cast<std::int8_t>(d.get<int>());
         }
-        if (d.get<std::uint64_t>() != outputs_.size())
+        const int ports = portCount();
+        if (d.get<std::uint64_t>() !=
+            static_cast<std::uint64_t>(ports)) {
             throw std::runtime_error(
                 "Router::loadState: output port count mismatch");
-        for (OutputPort &op : outputs_) {
+        }
+        for (int p = 0; p < ports; ++p) {
+            OutputPort &op = outputs_[static_cast<std::size_t>(p)];
             for (int vc = 0; vc < config_.vcs; ++vc) {
                 const auto v = static_cast<std::size_t>(vc);
-                op.owner[v] = d.get<int>();
-                op.credits[v] = d.get<int>();
+                op.owner[v] = static_cast<std::int8_t>(d.get<int>());
+                op.credits[v] =
+                    static_cast<std::int16_t>(d.get<int>());
             }
-            op.next_vc = d.get<int>();
+            op.next_vc = static_cast<std::int8_t>(d.get<int>());
         }
         buffered_ = static_cast<std::size_t>(d.get<std::uint64_t>());
         flit_wake_staged_ = d.get<std::uint32_t>();
@@ -273,61 +372,26 @@ class Router
         remote_credit_wake_.store(0u, std::memory_order_relaxed);
         vc_occupied_ = d.get<std::uint32_t>();
         owned_ports_ = d.get<std::uint32_t>();
+        // Rebuild the derived scan masks. ready_ports_ may be a
+        // superset of what a never-checkpointed run would hold;
+        // scanning an extra blocked port forwards nothing and marks
+        // nothing, so the superset is observationally identical and
+        // self-corrects on the first traversal.
+        ready_ports_ = owned_ports_;
+        alloc_pending_ = 0;
+        for (int u = 0; u < units; ++u) {
+            const InputVc &ivc = inputs_[static_cast<std::size_t>(u)];
+            if (!ivc.routed && !ivc.bufEmpty())
+                alloc_pending_ |= 1u << u;
+        }
         rr_now_ = d.get<sim::Tick>();
         rr_start_ = d.get<int>();
-        for (stats::Counter &counter : output_flits_)
-            counter.loadState(d);
+        for (int p = 0; p < ports; ++p)
+            output_flits_[static_cast<std::size_t>(p)].loadState(d);
         alloc_stalls_.loadState(d);
     }
 
   private:
-    /**
-     * One input VC: a private flit buffer (a slice of the router's
-     * contiguous ring storage, power-of-two sized for buffer_depth;
-     * credit flow control guarantees it never overflows) plus the
-     * wormhole routing state of the packet at its head. Ring indices
-     * are monotonic and masked on access.
-     */
-    struct InputVc
-    {
-        Flit *slots = nullptr;       //!< into Router::vc_buf_
-        std::uint32_t mask = 0;      //!< ring capacity - 1
-        std::uint32_t head = 0;
-        std::uint32_t tail = 0;
-
-        bool bufEmpty() const { return head == tail; }
-        std::uint32_t bufSize() const { return tail - head; }
-        const Flit &bufFront() const { return slots[head & mask]; }
-        Flit &bufFrontMut() { return slots[head & mask]; }
-        void bufPush(const Flit &flit)
-        {
-            slots[tail & mask] = flit;
-            ++tail;
-        }
-        void bufPop() { ++head; }
-
-        bool routed = false;      //!< head holds its output VC
-        /**
-         * out_port/out_vc hold a valid route for the head packet.
-         * The route is a pure function of the head flit and the input
-         * port, so it stays cached across failed allocation retries
-         * and is only invalidated when the tail flit departs.
-         */
-        bool route_valid = false;
-        int out_port = -1;
-        int out_vc = -1;
-    };
-
-    struct OutputPort
-    {
-        /** Encoded owner input (port * vcs + vc), or -1 if free. */
-        std::array<int, CreditPipe::kMaxVcs> owner{};
-        /** Credits available per output VC. */
-        std::array<int, CreditPipe::kMaxVcs> credits{};
-        /** Round-robin pointer over output VCs. */
-        int next_vc = 0;
-    };
-
     void receiveCredits();
     void receiveFlits();
     void routeAndAllocate(sim::Tick now);
@@ -336,20 +400,32 @@ class Router
     /** Compute route for the head flit of (port, vc). */
     void computeRoute(int port, InputVc &ivc);
 
-    InputVc &inputVc(int port, int vc);
+    InputVc &
+    inputVc(int port, int vc)
+    {
+        return inputs_[static_cast<std::size_t>(
+            port * config_.vcs + vc)];
+    }
 
     const TorusTopology &topo_;
     sim::NodeId node_;
     RouterConfig config_;
 
-    std::vector<InputVc> inputs_;        // [port][vc] flattened
-    std::vector<OutputPort> outputs_;    // [port]
-    std::vector<Flit> vc_buf_;           // all input VC rings, contiguous
+    FlitLinkStore &flit_store_;
+    CreditLinkStore &credit_store_;
 
-    std::vector<FlitChannel *> in_links_;
-    std::vector<FlitChannel *> out_links_;
-    std::vector<CreditChannel *> credit_up_;
-    std::vector<CreditChannel *> credit_down_;
+    InputVc *inputs_ = nullptr;     // [port][vc] flattened slab slice
+    OutputPort *outputs_ = nullptr; // [port] slab slice
+
+    /**
+     * Channel ids per port. portCount() is bounded by kMaxPorts (the
+     * constructor asserts ports * vcs < 32 with vcs >= 2), so fixed
+     * arrays avoid four heap vectors per router.
+     */
+    std::array<ChannelId, kMaxPorts> in_links_;
+    std::array<ChannelId, kMaxPorts> out_links_;
+    std::array<ChannelId, kMaxPorts> credit_up_;
+    std::array<ChannelId, kMaxPorts> credit_down_;
 
     /** Flits currently held in input VC buffers (kept incrementally). */
     std::size_t buffered_ = 0;
@@ -357,11 +433,12 @@ class Router
     /**
      * Activity bitmasks, one bit per port (wake words) or per input
      * unit / output port (occupancy). The wake words are written by
-     * the input channels at push time (Channel::bindWake) and latched
-     * by latchWakes(); tick() then visits only ports whose channels
-     * actually carry something, and the allocation / traversal phases
-     * visit only units with buffered flits / ports with owned VCs.
-     * The constructor asserts port * VC counts fit in 32 bits.
+     * the input channels at push time (store wake bindings) and
+     * latched by latchWakes(); tick() then visits only ports whose
+     * channels actually carry something, and the allocation /
+     * traversal phases visit only units with buffered flits / ports
+     * with owned VCs. The constructor asserts port * VC counts fit in
+     * 32 bits.
      */
     std::uint32_t flit_wake_staged_ = 0;
     std::uint32_t flit_wake_ = 0;
@@ -375,6 +452,24 @@ class Router
     std::uint32_t vc_occupied_ = 0;
     /** Output ports with at least one owned (allocated) VC. */
     std::uint32_t owned_ports_ = 0;
+
+    /**
+     * Event-armed scan pruning. Under congestion most owned output
+     * VCs are blocked on credits or upstream body flits for many
+     * cycles, so re-scanning them every cycle dominates the traversal
+     * phase. Instead, a port is scanned only while its ready bit is
+     * set; the bit is cleared when a scan proves the port cannot
+     * forward until new input arrives, and re-armed by exactly the
+     * events that could unblock it: a credit arrival (receiveCredits),
+     * a flit arrival into a routed unit (receiveFlits), or a fresh VC
+     * claim (routeAndAllocate). alloc_pending_ likewise narrows the
+     * allocation scan to units whose head packet still needs an
+     * output VC. Both masks are derived state: they are never
+     * serialized (checkpoint bytes are unchanged) and are rebuilt
+     * conservatively in loadState().
+     */
+    std::uint32_t ready_ports_ = 0;
+    std::uint32_t alloc_pending_ = 0;
 
     /**
      * Unit index -> (port, vc) decode tables: the hot phases decode
@@ -393,7 +488,7 @@ class Router
     sim::Tick rr_now_ = 0;
     int rr_start_ = 0;
 
-    std::vector<stats::Counter> output_flits_;
+    std::array<stats::Counter, kMaxPorts> output_flits_;
     stats::Counter alloc_stalls_;
 
     /** Non-null only when flit-level tracing is on (null sink). */

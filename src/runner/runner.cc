@@ -71,31 +71,6 @@ ThreadPool::wait()
 }
 
 void
-ThreadPool::parallelRegion(int count, const std::function<void(int)> &fn)
-{
-    if (count <= 0)
-        return;
-    if (count - 1 > threadCount()) {
-        throw std::runtime_error(
-            "parallelRegion: lanes exceed pool size (lanes wait on "
-            "each other, so all must run concurrently)");
-    }
-    for (int lane = 1; lane < count; ++lane)
-        submit([&fn, lane] { fn(lane); });
-    // Lane 0 runs here: the caller participates instead of blocking,
-    // so a K-lane region needs only K-1 pool workers.
-    std::exception_ptr error;
-    try {
-        fn(0);
-    } catch (...) {
-        error = std::current_exception();
-    }
-    wait();
-    if (error)
-        std::rethrow_exception(error);
-}
-
-void
 ThreadPool::workerLoop()
 {
     for (;;) {

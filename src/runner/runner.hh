@@ -20,13 +20,15 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/ring_queue.hh"
 
 namespace locsim {
 namespace runner {
@@ -83,9 +85,37 @@ class ThreadPool
      * window. Because the lanes may wait on each other, all of them
      * must be running concurrently: @p count - 1 must not exceed
      * threadCount(), and the pool must be otherwise idle.
+     *
+     * Templated so the (often large) lane closure is captured by
+     * pointer: the per-lane job handed to submit() is then a 16-byte
+     * trivially-copyable capture that fits std::function's inline
+     * buffer, keeping the hot sharded-run path allocation-free.
      */
-    void parallelRegion(int count,
-                        const std::function<void(int)> &fn);
+    template <typename Fn>
+    void
+    parallelRegion(int count, Fn &&fn)
+    {
+        if (count <= 0)
+            return;
+        if (count - 1 > threadCount()) {
+            throw std::runtime_error(
+                "parallelRegion: lanes exceed pool size (lanes wait "
+                "on each other, so all must run concurrently)");
+        }
+        for (int lane = 1; lane < count; ++lane)
+            submit([&fn, lane] { fn(lane); });
+        // Lane 0 runs here: the caller participates instead of
+        // blocking, so a K-lane region needs only K-1 pool workers.
+        std::exception_ptr error;
+        try {
+            fn(0);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        wait();
+        if (error)
+            std::rethrow_exception(error);
+    }
 
   private:
     void workerLoop();
@@ -93,7 +123,7 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable work_ready_;
     std::condition_variable all_done_;
-    std::deque<std::function<void()>> queue_;
+    util::RingQueue<std::function<void()>> queue_;
     std::size_t in_progress_ = 0;
     bool stopping_ = false;
     std::exception_ptr first_error_;

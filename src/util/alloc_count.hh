@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Heap-allocation accounting by global operator-new replacement.
+ *
+ * Including this header replaces every replaceable allocation form
+ * with a counting wrapper (one relaxed atomic increment per
+ * allocation; deletes stay malloc/free compatible), and provides
+ * locsim::util::heapAllocCount() to read the running total. The
+ * micro_perf benchmarks report it as allocs_per_op and the
+ * steady-state allocation tests assert it stays flat across warm
+ * simulation windows.
+ *
+ * The definitions are non-inline replacements of global operators:
+ * include this header in EXACTLY ONE translation unit of an
+ * executable (it is a tool for dedicated benchmark/test binaries,
+ * not a library header).
+ */
+
+#ifndef LOCSIM_UTIL_ALLOC_COUNT_HH_
+#define LOCSIM_UTIL_ALLOC_COUNT_HH_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace locsim {
+namespace util {
+namespace alloc_count_detail {
+
+inline std::atomic<std::uint64_t> g_heap_allocs{0};
+
+inline void *
+countedAlloc(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(size ? size : 1);
+}
+
+inline void *
+countedAlignedAlloc(std::size_t size, std::size_t align)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (align < sizeof(void *))
+        align = sizeof(void *);
+    void *p = nullptr;
+    if (posix_memalign(&p, align, size ? size : 1) != 0)
+        return nullptr;
+    return p;
+}
+
+} // namespace alloc_count_detail
+
+/** Total heap allocations since process start. */
+inline std::uint64_t
+heapAllocCount()
+{
+    return alloc_count_detail::g_heap_allocs.load(
+        std::memory_order_relaxed);
+}
+
+} // namespace util
+} // namespace locsim
+
+void *
+operator new(std::size_t size)
+{
+    if (void *p = locsim::util::alloc_count_detail::countedAlloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void *
+operator new(std::size_t size, const std::nothrow_t &) noexcept
+{
+    return locsim::util::alloc_count_detail::countedAlloc(size);
+}
+
+void *
+operator new[](std::size_t size, const std::nothrow_t &) noexcept
+{
+    return locsim::util::alloc_count_detail::countedAlloc(size);
+}
+
+void *
+operator new(std::size_t size, std::align_val_t align)
+{
+    if (void *p = locsim::util::alloc_count_detail::countedAlignedAlloc(
+            size, static_cast<std::size_t>(align)))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size, std::align_val_t align)
+{
+    return ::operator new(size, align);
+}
+
+// GCC pairs the free() below with individual new-expressions it
+// inlined and misdiagnoses mismatched-new-delete; with the global
+// operators replaced malloc/free-compatibly, the pairing is fine.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif // LOCSIM_UTIL_ALLOC_COUNT_HH_

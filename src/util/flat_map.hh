@@ -1,0 +1,202 @@
+/**
+ * @file
+ * An open-addressing hash map over trivially-copyable keys/values.
+ *
+ * std::unordered_map allocates one node per insert, which puts an
+ * allocator round-trip on every transaction the simulator starts
+ * (message records, MSHR/home-transient indices). FlatMap stores
+ * keys, values and occupancy flags in three parallel flat arrays
+ * with linear probing, so inserts after warmup touch no allocator:
+ * only a new size *peak* rehashes.
+ *
+ * Deletion uses backward-shift compaction (no tombstones), so lookup
+ * cost stays bounded by the probe-sequence invariant regardless of
+ * the insert/erase history. References returned by find() are
+ * invalidated by insert (rehash) and erase (shifting) — callers store
+ * trivially-copyable values (pool handles) and re-find after
+ * mutation, exactly as they would re-find an unordered_map iterator.
+ *
+ * Iteration order is unspecified (like unordered_map); serialization
+ * paths must collect and sort keys, which they already do.
+ */
+
+#ifndef LOCSIM_UTIL_FLAT_MAP_HH_
+#define LOCSIM_UTIL_FLAT_MAP_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace locsim {
+namespace util {
+
+/** splitmix64: a strong, cheap mix for integer keys. */
+inline std::uint64_t
+mixHash64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+template <typename K, typename V>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+
+    /** Pre-size so the map holds @p expected entries without rehash. */
+    explicit FlatMap(std::size_t expected) { rehash(expected * 2); }
+
+    /** Grow so @p expected entries fit without rehash (never shrinks). */
+    void
+    reserve(std::size_t expected)
+    {
+        if (expected * 2 > slots())
+            rehash(expected * 2);
+    }
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    /** Pointer to the value for @p key, or nullptr. Invalidated by
+     *  insert/erase. */
+    V *
+    find(const K &key)
+    {
+        if (count_ == 0)
+            return nullptr;
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask_) {
+            if (!used_[i])
+                return nullptr;
+            if (keys_[i] == key)
+                return &values_[i];
+        }
+    }
+    const V *
+    find(const K &key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    /**
+     * Insert (key, value); the key must not be present. Returns a
+     * reference valid until the next insert/erase.
+     */
+    V &
+    insert(const K &key, V value)
+    {
+        if ((count_ + 1) * 2 > slots())
+            rehash(slots() * 2);
+        for (std::size_t i = indexOf(key);; i = (i + 1) & mask_) {
+            if (!used_[i]) {
+                used_[i] = 1;
+                keys_[i] = key;
+                values_[i] = value;
+                ++count_;
+                return values_[i];
+            }
+            LOCSIM_ASSERT(!(keys_[i] == key),
+                          "FlatMap::insert: key already present");
+        }
+    }
+
+    /** Remove @p key if present; returns true when an entry existed. */
+    bool
+    erase(const K &key)
+    {
+        if (count_ == 0)
+            return false;
+        std::size_t i = indexOf(key);
+        for (;; i = (i + 1) & mask_) {
+            if (!used_[i])
+                return false;
+            if (keys_[i] == key)
+                break;
+        }
+        // Backward-shift compaction: move later probe-chain entries
+        // up until a hole or an entry already at its home slot.
+        std::size_t hole = i;
+        for (std::size_t j = (i + 1) & mask_;; j = (j + 1) & mask_) {
+            if (!used_[j])
+                break;
+            const std::size_t home = indexOf(keys_[j]);
+            // Entry j may fill the hole only if its home position is
+            // cyclically outside (hole, j].
+            const bool movable =
+                ((j - home) & mask_) >= ((j - hole) & mask_);
+            if (movable) {
+                keys_[hole] = keys_[j];
+                values_[hole] = values_[j];
+                hole = j;
+            }
+        }
+        used_[hole] = 0;
+        --count_;
+        return true;
+    }
+
+    /** Drop all entries; capacity is retained. */
+    void
+    clear()
+    {
+        std::fill(used_.begin(), used_.end(), 0);
+        count_ = 0;
+    }
+
+    /** Call @p fn(key, value) for every entry (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < used_.size(); ++i) {
+            if (used_[i])
+                fn(keys_[i], values_[i]);
+        }
+    }
+
+  private:
+    std::size_t slots() const { return keys_.size(); }
+
+    std::size_t
+    indexOf(const K &key) const
+    {
+        return static_cast<std::size_t>(
+                   mixHash64(static_cast<std::uint64_t>(key))) &
+               mask_;
+    }
+
+    void
+    rehash(std::size_t min_slots)
+    {
+        std::size_t cap = 16;
+        while (cap < min_slots)
+            cap <<= 1;
+        std::vector<K> old_keys = std::move(keys_);
+        std::vector<V> old_values = std::move(values_);
+        std::vector<std::uint8_t> old_used = std::move(used_);
+        keys_.assign(cap, K{});
+        values_.assign(cap, V{});
+        used_.assign(cap, 0);
+        mask_ = cap - 1;
+        count_ = 0;
+        for (std::size_t i = 0; i < old_used.size(); ++i) {
+            if (old_used[i])
+                insert(old_keys[i], old_values[i]);
+        }
+    }
+
+    std::vector<K> keys_;
+    std::vector<V> values_;
+    std::vector<std::uint8_t> used_;
+    std::size_t mask_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace util
+} // namespace locsim
+
+#endif // LOCSIM_UTIL_FLAT_MAP_HH_

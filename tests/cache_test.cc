@@ -77,6 +77,21 @@ TEST(SimKey, IsDeterministic)
               std::string::npos);
 }
 
+/**
+ * Pin the exact key bytes across refactors: data-layout work (pool
+ * handles, SoA slabs, packed structs) must not leak into the
+ * serialized identity of an experiment, or every cached result
+ * silently invalidates. If this test fails, either the serialization
+ * genuinely changed (bump kCacheSchemaVersion and re-pin) or an
+ * internal representation leaked into simKey (fix that instead).
+ */
+TEST(SimKey, StableAcrossDataLayoutRefactors)
+{
+    EXPECT_EQ(baseKey(),
+              "91155b522af60fa59e500a1d9a660832094b9b58"
+              "024bcb4823a7bd43b2b7d173");
+}
+
 TEST(SimKey, ChangesWithEveryBehavioralField)
 {
     const std::string base = baseKey();

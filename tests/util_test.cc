@@ -1,7 +1,8 @@
 /**
  * @file
  * Unit tests for the util library: RNG, math helpers, tables, CSV,
- * and option parsing.
+ * option parsing, and the allocation-free steady-state containers
+ * (Pool, RingQueue, FlatMap).
  */
 
 #include <gtest/gtest.h>
@@ -19,10 +20,13 @@
 
 #include "util/arena.hh"
 #include "util/csv.hh"
+#include "util/flat_map.hh"
 #include "util/logging.hh"
 #include "util/math.hh"
 #include "util/options.hh"
+#include "util/pool.hh"
 #include "util/random.hh"
+#include "util/ring_queue.hh"
 #include "util/serialize.hh"
 #include "util/sha256.hh"
 #include "util/table.hh"
@@ -516,6 +520,236 @@ TEST(Rng, SaveLoadResumesIdenticalStream)
     restored.loadState(d);
     for (int i = 0; i < 100; ++i)
         EXPECT_EQ(restored.next(), original.next());
+}
+
+TEST(Pool, AllocGetFreeRoundTrips)
+{
+    Pool<int> pool;
+    auto a = pool.alloc();
+    auto b = pool.alloc();
+    pool.get(a) = 17;
+    pool.get(b) = 42;
+    EXPECT_EQ(pool.get(a), 17);
+    EXPECT_EQ(pool.get(b), 42);
+    EXPECT_EQ(pool.liveCount(), 2u);
+    EXPECT_TRUE(pool.valid(a));
+    pool.free(a);
+    EXPECT_FALSE(pool.valid(a));
+    EXPECT_TRUE(pool.valid(b));
+    EXPECT_EQ(pool.liveCount(), 1u);
+}
+
+TEST(Pool, RecyclesSlotsWithoutGrowingCapacity)
+{
+    Pool<std::vector<int>> pool;
+    auto h = pool.alloc();
+    pool.get(h).resize(100);
+    pool.free(h);
+    const std::size_t cap = pool.capacity();
+    for (int i = 0; i < 1000; ++i) {
+        auto r = pool.alloc();
+        // Recycle-without-destroy: the previous user's capacity
+        // survives, so warm slots never reallocate.
+        EXPECT_GE(pool.get(r).capacity(), 100u) << "iteration " << i;
+        pool.free(r);
+    }
+    EXPECT_EQ(pool.capacity(), cap);
+}
+
+TEST(Pool, StaleHandleIsInvalidAfterRecycle)
+{
+    Pool<int> pool;
+    auto h = pool.alloc();
+    pool.free(h);
+    auto r = pool.alloc();
+    // The freelist hands the same slot back with a bumped generation.
+    EXPECT_EQ(r.index, h.index);
+    EXPECT_NE(r.gen, h.gen);
+    EXPECT_FALSE(pool.valid(h));
+    EXPECT_TRUE(pool.valid(r));
+}
+
+TEST(Pool, ReferencesSurviveGrowthAcrossChunks)
+{
+    Pool<int> pool;
+    auto first = pool.alloc();
+    pool.get(first) = 7;
+    int *addr = &pool.get(first);
+    // Force several chunk allocations (512 slots per chunk).
+    std::vector<Pool<int>::Handle> handles;
+    for (int i = 0; i < 2000; ++i)
+        handles.push_back(pool.alloc());
+    EXPECT_EQ(&pool.get(first), addr);
+    EXPECT_EQ(pool.get(first), 7);
+    EXPECT_EQ(pool.liveCount(), 2001u);
+}
+
+TEST(PoolDeathTest, StaleHandleGetAsserts)
+{
+    Pool<int> pool;
+    auto h = pool.alloc();
+    pool.free(h);
+    pool.alloc();
+    EXPECT_DEATH(pool.get(h), "stale pool handle");
+}
+
+TEST(RingQueue, FifoOrderAndIndexedAccess)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 10; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 10u);
+    for (std::size_t i = 0; i < q.size(); ++i)
+        EXPECT_EQ(q[i], static_cast<int>(i));
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, DequeSemanticsAtBothEnds)
+{
+    RingQueue<int> q;
+    q.push_back(2);
+    q.push_front(1);
+    q.push_back(3);
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 3);
+    q.pop_back();
+    EXPECT_EQ(q.back(), 2);
+    q.pop_front();
+    EXPECT_EQ(q.front(), 2);
+}
+
+TEST(RingQueue, WrapsWithoutReallocatingWhenWarm)
+{
+    RingQueue<int> q;
+    q.reserve(16);
+    const std::size_t cap = q.capacity();
+    EXPECT_GE(cap, 16u);
+    // Stream far more elements than capacity through the warm ring;
+    // occupancy never exceeds 4, so the buffer must not grow.
+    int next_in = 0, next_out = 0;
+    for (int i = 0; i < 1000; ++i) {
+        q.push_back(next_in++);
+        if (q.size() > 4) {
+            EXPECT_EQ(q.front(), next_out++);
+            q.pop_front();
+        }
+    }
+    EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingQueue, ReserveGrowsButNeverShrinks)
+{
+    RingQueue<int> q;
+    q.push_back(1);
+    q.push_back(2);
+    q.reserve(100);
+    const std::size_t cap = q.capacity();
+    EXPECT_GE(cap, 100u);
+    // Contents survive the grow.
+    EXPECT_EQ(q.front(), 1);
+    EXPECT_EQ(q.back(), 2);
+    q.reserve(10);
+    EXPECT_EQ(q.capacity(), cap);
+}
+
+TEST(RingQueue, ClearRetainsCapacity)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 50; ++i)
+        q.push_back(i);
+    const std::size_t cap = q.capacity();
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), cap);
+    q.push_back(9);
+    EXPECT_EQ(q.front(), 9);
+}
+
+TEST(FlatMap, InsertFindEraseRoundTrips)
+{
+    FlatMap<std::uint64_t, int> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(1), nullptr);
+    map.insert(1, 10);
+    map.insert(2, 20);
+    ASSERT_NE(map.find(1), nullptr);
+    EXPECT_EQ(*map.find(1), 10);
+    EXPECT_EQ(*map.find(2), 20);
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_TRUE(map.erase(1));
+    EXPECT_EQ(map.find(1), nullptr);
+    EXPECT_FALSE(map.erase(1));
+    EXPECT_EQ(*map.find(2), 20);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, SurvivesRandomizedInsertEraseChurn)
+{
+    // Backward-shift deletion is the subtle part: compare against a
+    // reference map across a long random insert/erase interleaving.
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::set<std::uint64_t> reference;
+    Rng rng(99);
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t key = rng.nextBounded(512);
+        if (reference.count(key)) {
+            EXPECT_TRUE(map.erase(key));
+            reference.erase(key);
+        } else {
+            map.insert(key, key * 3);
+            reference.insert(key);
+        }
+        EXPECT_EQ(map.size(), reference.size());
+    }
+    for (std::uint64_t key = 0; key < 512; ++key) {
+        auto *found = map.find(key);
+        if (reference.count(key)) {
+            ASSERT_NE(found, nullptr) << "key " << key;
+            EXPECT_EQ(*found, key * 3);
+        } else {
+            EXPECT_EQ(found, nullptr) << "key " << key;
+        }
+    }
+}
+
+TEST(FlatMap, ForEachVisitsEveryEntryOnce)
+{
+    FlatMap<std::uint64_t, int> map;
+    for (std::uint64_t key = 0; key < 100; ++key)
+        map.insert(key, static_cast<int>(key));
+    std::set<std::uint64_t> seen;
+    map.forEach([&](std::uint64_t key, int value) {
+        EXPECT_EQ(value, static_cast<int>(key));
+        EXPECT_TRUE(seen.insert(key).second) << "duplicate " << key;
+    });
+    EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(FlatMap, ReservePreventsRehashUpToExpected)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.insert(1000, 1);
+    int *before = map.find(1000);
+    map.reserve(64);
+    // reserve() itself may rehash (invalidate), but inserts up to the
+    // reserved count afterwards must not.
+    int *stable = map.find(1000);
+    for (std::uint64_t key = 0; key < 63; ++key)
+        map.insert(key, static_cast<int>(key));
+    EXPECT_EQ(map.find(1000), stable);
+    EXPECT_EQ(*map.find(1000), 1);
+    (void)before;
+}
+
+TEST(FlatMapDeathTest, DuplicateInsertAsserts)
+{
+    FlatMap<std::uint64_t, int> map;
+    map.insert(5, 1);
+    EXPECT_DEATH(map.insert(5, 2), "already present");
 }
 
 } // namespace
