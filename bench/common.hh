@@ -21,6 +21,7 @@
 
 #include "cache/key.hh"
 #include "cache/store.hh"
+#include "machine/batch.hh"
 #include "machine/calibration.hh"
 #include "machine/machine.hh"
 #include "model/alewife.hh"
@@ -61,6 +62,12 @@ struct HarnessOptions
      * bit-identical for every value; this is purely an execution knob.
      */
     int shards = 0;
+    /**
+     * Same-shape sweep cells to advance per lockstep batch (1 =
+     * unbatched). Like --shards, purely an execution knob: every
+     * cell's results are bit-identical at any batch size.
+     */
+    int batch = 1;
     /** --log-level / --trace-out / --trace-detail / --sample-period. */
     util::ObservabilityOptions obs;
     /** --attribution: add latency-decomposition columns. */
@@ -114,6 +121,10 @@ parseHarnessOptions(int argc, const char *const *argv,
                 "results at any count (0 = LOCSIM_SHARDS or "
                 "sequential)",
                 0);
+    opts.addInt("batch",
+                "same-shape sweep cells per lockstep batch, "
+                "bit-identical results at any size (1 = unbatched)",
+                1);
     opts.addFlag("attribution",
                  "report the latency decomposition (serialization, "
                  "hops, contention) per message");
@@ -146,8 +157,19 @@ parseHarnessOptions(int argc, const char *const *argv,
                      out.shards,
                      " (omit the flag for sequential execution)");
     }
+    out.batch = opts.getInt("batch");
+    if (opts.wasSet("batch") && out.batch <= 0) {
+        LOCSIM_FATAL("--batch must be a positive integer, got ",
+                     out.batch,
+                     " (omit the flag for unbatched execution)");
+    }
     out.attribution = opts.getFlag("attribution");
     out.obs = util::applyObservabilityOptions(opts);
+    if (out.batch > 1 && !out.obs.trace_out.empty()) {
+        LOCSIM_FATAL("--batch is incompatible with --trace-out "
+                     "(batch lanes share engines and cannot trace); "
+                     "drop one of the flags");
+    }
     if (out.quick) {
         out.warmup = 2000;
         out.window = 6000;
@@ -328,6 +350,13 @@ summarizeAttribution(const machine::Measurement &m)
  * pool; every simulation owns its full machine state, and results are
  * collected by grid index, so the output is identical to the old
  * sequential loop for any thread count.
+ *
+ * With --batch K > 1 the grid is packed into lockstep batches of up
+ * to K cells (machine::MachineBatch): the sweep's cells all share the
+ * 8^2 torus shape, so any K of them can advance through one hot loop.
+ * Each lane's measurement is bit-identical to a solo run, and cache
+ * keys are per cell, so warm entries from unbatched runs hit and
+ * entries stored by batched runs serve unbatched ones.
  */
 inline std::vector<SimPoint>
 runValidationSims(const std::vector<int> &context_counts,
@@ -345,23 +374,105 @@ runValidationSims(const std::vector<int> &context_counts,
         for (const auto &named : family)
             grid.push_back({contexts, &named});
     }
-    return runner::parallelMap(
+    if (options.batch <= 1) {
+        return runner::parallelMap(
+            grid.size(),
+            [&](std::size_t i) {
+                const Cell &cell = grid[i];
+                machine::MachineConfig config;
+                config.contexts = cell.contexts;
+                applyObservability(config, options);
+                SimPoint point;
+                point.mapping = cell.named->name;
+                point.contexts = cell.contexts;
+                point.distance = cell.named->avg_distance;
+                // Cached cells return the recorded measurement
+                // without simulating; the shard (tracing runs only,
+                // which bypass the cache) is merged in grid order by
+                // maybeWriteTrace.
+                point.m = runCachedMeasurement(options, config,
+                                               cell.named->mapping,
+                                               &point.tracer);
+                return point;
+            },
+            options.threads);
+    }
+    // Batched: probe the cache per cell, advance the misses of each
+    // chunk as lanes of one MachineBatch, then record them under
+    // their per-cell keys. parseHarnessOptions already rejected
+    // --trace-out, so no cell needs a tracer.
+    return runner::batchMap(
         grid.size(),
-        [&](std::size_t i) {
-            const Cell &cell = grid[i];
-            machine::MachineConfig config;
-            config.contexts = cell.contexts;
-            applyObservability(config, options);
-            SimPoint point;
-            point.mapping = cell.named->name;
-            point.contexts = cell.contexts;
-            point.distance = cell.named->avg_distance;
-            // Cached cells return the recorded measurement without
-            // simulating; the shard (tracing runs only, which bypass
-            // the cache) is merged in grid order by maybeWriteTrace.
-            point.m = runCachedMeasurement(
-                options, config, cell.named->mapping, &point.tracer);
-            return point;
+        // Every cell of this sweep shares the 8^2 torus shape (only
+        // contexts and mapping vary), so one group covers the grid.
+        [](std::size_t) { return 0; }, options.batch,
+        [&](const std::vector<std::size_t> &chunk) {
+            std::vector<SimPoint> points(chunk.size());
+            struct Miss
+            {
+                std::size_t slot; //!< index into points / chunk
+                std::string key;  //!< empty when the cache is off
+            };
+            std::vector<Miss> misses;
+            std::vector<machine::BatchLaneSpec> specs;
+            locsim::cache::SimCache *store =
+                options.cacheUsable() ? options.sim_cache.get()
+                                      : nullptr;
+            for (std::size_t j = 0; j < chunk.size(); ++j) {
+                const Cell &cell = grid[chunk[j]];
+                machine::MachineConfig config;
+                config.contexts = cell.contexts;
+                applyObservability(config, options);
+                if (options.shards != 0)
+                    config.shards = options.shards;
+                SimPoint &point = points[j];
+                point.mapping = cell.named->name;
+                point.contexts = cell.contexts;
+                point.distance = cell.named->avg_distance;
+                std::string key;
+                if (store != nullptr) {
+                    key = locsim::cache::simKey(config,
+                                                cell.named->mapping,
+                                                options.warmup,
+                                                options.window);
+                    if (auto payload = store->lookup(key)) {
+                        try {
+                            util::Deserializer d(*payload);
+                            point.m = machine::loadMeasurement(d);
+                            if (!d.atEnd())
+                                throw std::runtime_error(
+                                    "trailing payload bytes");
+                            // Count the hit (and re-store the bytes
+                            // if another process removed the entry
+                            // since the probe).
+                            store->getOrRun(
+                                key, [&] { return *payload; });
+                            continue;
+                        } catch (const std::exception &) {
+                            store->remove(key);
+                        }
+                    }
+                }
+                misses.push_back({j, key});
+                specs.push_back({config, cell.named->mapping});
+            }
+            if (!specs.empty()) {
+                machine::MachineBatch batch(specs);
+                const std::vector<machine::Measurement> results =
+                    batch.run(options.warmup, options.window);
+                for (std::size_t k = 0; k < misses.size(); ++k) {
+                    points[misses[k].slot].m = results[k];
+                    if (store != nullptr) {
+                        util::Serializer s;
+                        machine::saveMeasurement(s, results[k]);
+                        std::vector<std::uint8_t> bytes =
+                            s.takeBuffer();
+                        store->getOrRun(misses[k].key,
+                                        [&] { return bytes; });
+                    }
+                }
+            }
+            return points;
         },
         options.threads);
 }

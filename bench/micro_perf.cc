@@ -14,8 +14,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -129,6 +131,67 @@ BENCHMARK_CAPTURE(BM_NetworkSimCycles, 8x8, 8)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK_CAPTURE(BM_NetworkSimCycles, 16x16, 16)
     ->Name("BM_NetworkSimCycles/16x16")
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * Aggregate throughput of K independent 8x8 network simulations
+ * advanced as lanes of one batch: one engine and one pair of
+ * lane-striped link stores carry all K networks, so the clocked scan
+ * and dirty-word rotation run once over the whole batch. Lanes differ
+ * only by traffic seed. K = 1 is the solo baseline; items processed
+ * count aggregate lane-cycles, so the K = 8 entry's items/second
+ * divided by K = 1's is the batching speedup compare_bench.py gates
+ * (as aggregate_speedup on the BENCH_seed.json baseline).
+ */
+void
+BM_BatchedSimCycles(benchmark::State &state, int lanes)
+{
+    sim::Engine engine;
+    net::NetworkConfig config;
+    config.radix = 8;
+    config.dims = 2;
+    net::LinkStores stores(config.router.buffer_depth + 2,
+                           config.router.vcs, /*shards=*/1, lanes);
+    const std::vector<sim::Engine *> engines{&engine};
+    stores.registerRotators(engines);
+    std::vector<std::unique_ptr<net::Network>> networks;
+    std::vector<std::unique_ptr<net::TrafficGenerator>> generators;
+    for (int l = 0; l < lanes; ++l) {
+        stores.beginLane(l);
+        networks.push_back(
+            std::make_unique<net::Network>(engine, config, &stores));
+        engine.addClocked(networks.back().get(), 1);
+        net::TrafficConfig traffic;
+        traffic.injection_rate = 0.02;
+        traffic.seed = static_cast<std::uint64_t>(l) + 1;
+        generators.push_back(std::make_unique<net::TrafficGenerator>(
+            *networks.back(), traffic));
+        engine.addClocked(generators.back().get(), 1);
+    }
+    // Warm to allocation steady state (see BM_NetworkSimCycles).
+    for (int i = 0; i < 50; ++i) {
+        const std::uint64_t before = heapAllocCount();
+        engine.run(2000);
+        if (heapAllocCount() == before)
+            break;
+    }
+    const std::uint64_t allocs = heapAllocCount();
+    for (auto _ : state)
+        engine.run(100);
+    reportAllocs(state, allocs);
+    state.SetItemsProcessed(state.iterations() * 100 * lanes);
+}
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 1, 1)
+    ->Name("BM_BatchedSimCycles/1")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 2, 2)
+    ->Name("BM_BatchedSimCycles/2")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 4, 4)
+    ->Name("BM_BatchedSimCycles/4")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 8, 8)
+    ->Name("BM_BatchedSimCycles/8")
     ->Unit(benchmark::kMicrosecond);
 
 void

@@ -48,8 +48,22 @@ resolveShards(const MachineConfig &config, sim::NodeId nodes)
 
 } // namespace
 
+int
+Machine::resolveShardCount(const MachineConfig &config,
+                           sim::NodeId nodes)
+{
+    return resolveShards(config, nodes);
+}
+
 Machine::Machine(const MachineConfig &config,
                  const workload::Mapping &mapping)
+    : Machine(config, mapping, nullptr)
+{
+}
+
+Machine::Machine(const MachineConfig &config,
+                 const workload::Mapping &mapping,
+                 const BatchContext *batch)
     : config_(config), mapping_(mapping)
 {
     LOCSIM_ASSERT(config.contexts >= 1 &&
@@ -61,12 +75,24 @@ Machine::Machine(const MachineConfig &config,
     sim::NodeId nodes = 1;
     for (int d = 0; d < config.dims; ++d)
         nodes *= static_cast<sim::NodeId>(config.radix);
-    shards_ = resolveShards(config, nodes);
 
-    engines_.push_back(&engine_);
-    for (int s = 1; s < shards_; ++s) {
-        extra_engines_.push_back(std::make_unique<sim::Engine>());
-        engines_.push_back(extra_engines_.back().get());
+    if (batch != nullptr) {
+        batched_ = true;
+        engines_ = batch->engines;
+        shards_ = static_cast<int>(engines_.size());
+        LOCSIM_ASSERT(batch->stores != nullptr,
+                      "batch context needs link stores");
+        LOCSIM_ASSERT(resolveShards(config, nodes) == shards_,
+                      "batch engine count does not match the lane's "
+                      "resolved shard count");
+        LOCSIM_ASSERT(!config.trace.enabled,
+                      "batched machines cannot trace");
+    } else {
+        shards_ = resolveShards(config, nodes);
+        for (int s = 0; s < shards_; ++s) {
+            owned_engines_.push_back(std::make_unique<sim::Engine>());
+            engines_.push_back(owned_engines_.back().get());
+        }
     }
     if (config.reference_stepping) {
         for (sim::Engine *engine : engines_)
@@ -80,8 +106,9 @@ Machine::Machine(const MachineConfig &config,
     net_config.router = config.router;
     const net::ShardPlan plan =
         net::ShardPlan::contiguous(nodes, shards_);
-    network_ =
-        std::make_unique<net::Network>(net_config, engines_, plan);
+    network_ = std::make_unique<net::Network>(
+        net_config, engines_, plan,
+        batch != nullptr ? batch->stores : nullptr);
 
     const net::TorusTopology &topo = network_->topology();
     LOCSIM_ASSERT(mapping_.size() == topo.nodeCount(),
@@ -151,7 +178,7 @@ Machine::Machine(const MachineConfig &config,
         }
     }
 
-    if (shards_ > 1)
+    if (shards_ > 1 && !batched_)
         shard_pool_ =
             std::make_unique<runner::ThreadPool>(shards_ - 1);
 
@@ -225,7 +252,8 @@ Machine::Machine(const MachineConfig &config,
         if (tracer_ != nullptr)
             sampler_->attachTracer(tracer_.get());
         if (shards_ == 1) {
-            engine_.addClocked(sampler_.get(), config.sample_period);
+            engines_.front()->addClocked(sampler_.get(),
+                                         config.sample_period);
         }
         // With several shards the driver ticks the sampler itself at
         // the serial point of each window (it probes whole-fabric
@@ -305,8 +333,13 @@ Machine::run(std::uint64_t warmup, std::uint64_t window)
 void
 Machine::runTicks(sim::Tick ticks)
 {
+    if (batched_) {
+        LOCSIM_FATAL(
+            "batched machine driven directly; lanes share engines, "
+            "so run/advance/measure must go through the MachineBatch");
+    }
     if (shards_ == 1) {
-        engine_.run(ticks);
+        engines_.front()->run(ticks);
         return;
     }
     if (ticks == 0)
@@ -314,13 +347,39 @@ Machine::runTicks(sim::Tick ticks)
     runSharded(ticks);
 }
 
+bool
+Machine::serialSampleDue(sim::Tick now) const
+{
+    return sampler_ != nullptr && now == next_sample_due_;
+}
+
+void
+Machine::serialSampleTick(sim::Tick now)
+{
+    LOCSIM_ASSERT(serialSampleDue(now), "sampler tick when not due");
+    sampler_->tick(next_sample_due_);
+    next_sample_due_ += sampler_->period();
+}
+
+void
+Machine::serialSampleSkip(sim::Tick target)
+{
+    if (sampler_ == nullptr || next_sample_due_ >= target)
+        return;
+    // Credit samples skipped by a quiescence jump, with the same
+    // arithmetic Engine::jumpIdleTo applies to registered components.
+    const sim::Tick period = sampler_->period();
+    const sim::Tick skipped =
+        (target - next_sample_due_ + period - 1) / period;
+    sampler_->skipIdle(skipped);
+    next_sample_due_ += skipped * period;
+}
+
 void
 Machine::runSharded(sim::Tick ticks)
 {
     const int shards = shards_;
-    const sim::Tick start = engine_.now();
-    const sim::Tick end = start + ticks;
-    const bool reference = config_.reference_stepping;
+    const sim::Tick start = engines_.front()->now();
 
     std::vector<sim::Tick> &skipped_before = shard_skipped_scratch_;
     skipped_before.resize(static_cast<std::size_t>(shards));
@@ -328,95 +387,8 @@ Machine::runSharded(sim::Tick ticks)
         skipped_before[static_cast<std::size_t>(s)] =
             engines_[static_cast<std::size_t>(s)]->skippedTicks();
 
-    // One control word, written by lane 0 while every other lane
-    // waits at the decision barrier, read by all lanes after it.
-    struct Control
-    {
-        enum class Op { Step, Skip, Done };
-        Op op = Op::Step;
-        sim::Tick target = 0;
-        bool sample = false;
-    };
-    Control ctl;
-    sim::SpinBarrier barrier(shards);
-
-    // Choose the next move on the shared timeline. Runs only while
-    // the other lanes are parked at the decision barrier, so it may
-    // read every engine freely. Mirrors Engine::run()'s loop: try a
-    // quiescence jump (activity mode, everything idle, next wakeups
-    // strictly in the future), else step one tick.
-    auto decide = [&] {
-        const sim::Tick now = engine_.now();
-        if (now >= end) {
-            ctl.op = Control::Op::Done;
-            return;
-        }
-        ctl.sample = sampler_ != nullptr && now == next_sample_due_;
-        ctl.op = Control::Op::Step;
-        if (reference)
-            return;
-        for (sim::Engine *engine : engines_) {
-            if (!engine->allIdle())
-                return;
-        }
-        sim::Tick target = end;
-        for (sim::Engine *engine : engines_) {
-            const sim::Tick next_event = engine->nextEventTick();
-            if (next_event == sim::kTickNever)
-                continue;
-            if (next_event <= now)
-                return;
-            target = std::min(target, next_event);
-        }
-        if (target <= now)
-            return;
-        ctl.op = Control::Op::Skip;
-        ctl.target = target;
-    };
-
-    auto lane = [&](int s) {
-        sim::Engine &engine = *engines_[static_cast<std::size_t>(s)];
-        for (;;) {
-            if (s == 0)
-                decide();
-            barrier.arrive(); // decision published
-            if (ctl.op == Control::Op::Done)
-                break;
-            if (ctl.op == Control::Op::Skip) {
-                engine.jumpIdleTo(ctl.target);
-                if (s == 0 && sampler_ != nullptr &&
-                    next_sample_due_ < ctl.target) {
-                    // Credit samples skipped by the jump, with the
-                    // same arithmetic Engine::jumpIdleTo applies to
-                    // registered components.
-                    const sim::Tick period = sampler_->period();
-                    const sim::Tick skipped =
-                        (ctl.target - next_sample_due_ + period - 1) /
-                        period;
-                    sampler_->skipIdle(skipped);
-                    next_sample_due_ += skipped * period;
-                }
-                barrier.arrive(); // all shards at ctl.target
-                continue;
-            }
-            engine.beginTick();
-            barrier.arrive(); // phase A complete fabric-wide
-            if (s == 0 && ctl.sample) {
-                // Sample between the phases: every component has run
-                // this tick, no channel has rotated yet — the same
-                // point in the cycle where a registered sampler fires
-                // sequentially (it is always the last Clocked added).
-                // Concurrent finishTick() on other lanes only rotates
-                // channels, which none of the probes read.
-                sampler_->tick(next_sample_due_);
-                next_sample_due_ += sampler_->period();
-            }
-            engine.finishTick();
-            barrier.arrive(); // rotation complete fabric-wide
-        }
-    };
-
-    shard_pool_->parallelRegion(shards, lane);
+    sim::runLockstep(engines_, *shard_pool_, ticks,
+                     config_.reference_stepping, this);
 
     for (int s = 0; s < shards; ++s)
         engines_[static_cast<std::size_t>(s)]->emitRunSpan(
@@ -432,11 +404,28 @@ Machine::advance(std::uint64_t cycles)
 Measurement
 Machine::measure(std::uint64_t window)
 {
-    const std::uint64_t ratio = config_.net_clock_ratio;
+    beginMeasurement();
+    runTicks(window * config_.net_clock_ratio);
+    return collectMeasurement();
+}
+
+void
+Machine::beginMeasurement()
+{
     resetStats();
-    const sim::Tick start = engine_.now();
-    runTicks(window * ratio);
-    const double elapsed = static_cast<double>(engine_.now() - start);
+    measure_start_ = engines_.front()->now();
+}
+
+Measurement
+Machine::collectMeasurement() const
+{
+    const std::uint64_t ratio = config_.net_clock_ratio;
+    const sim::Tick elapsed_ticks =
+        engines_.front()->now() - measure_start_;
+    // runTicks advances exactly window * ratio ticks, so the window
+    // in processor cycles is recoverable from the timeline.
+    const std::uint64_t window = elapsed_ticks / ratio;
+    const double elapsed = static_cast<double>(elapsed_ticks);
 
     Measurement m;
     m.window = elapsed;
@@ -532,9 +521,12 @@ namespace {
 /** Checkpoint framing: magic + layout version. Bump the version on
  *  any change to the serialized layout of any component. Version 2:
  *  shard-independent images (per-node message sequence numbers in the
- *  network endpoint block, no transport block). */
+ *  network endpoint block, no transport block). Version 3: drop the
+ *  skipped-ticks field — it is an execution-strategy diagnostic (a
+ *  batched lane skips less than the same run solo), and serializing
+ *  it made otherwise-identical images differ. */
 constexpr std::uint32_t kCheckpointMagic = 0x4b43534c; // "LSCK"
-constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint32_t kCheckpointVersion = 3;
 
 } // namespace
 
@@ -547,8 +539,7 @@ Machine::saveCheckpoint() const
     util::Serializer s;
     s.put(kCheckpointMagic);
     s.put(kCheckpointVersion);
-    s.put(engine_.now());
-    s.put(engine_.skippedTicks());
+    s.put(engines_.front()->now());
     network_->saveState(s);
     for (const auto &controller : controllers_)
         controller->saveState(s);
@@ -559,27 +550,19 @@ Machine::saveCheckpoint() const
     return s.takeBuffer();
 }
 
-void
-Machine::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
+sim::Tick
+Machine::parseCheckpointHeader(util::Deserializer &d)
 {
-    LOCSIM_ASSERT(tracer_ == nullptr && sampler_ == nullptr,
-                  "cannot restore with tracing or sampling on");
-    LOCSIM_ASSERT(engine_.now() == 0,
-                  "restoreCheckpoint requires a fresh machine");
-
-    util::Deserializer d(bytes);
     if (d.get<std::uint32_t>() != kCheckpointMagic)
         throw std::runtime_error("checkpoint: bad magic");
     if (d.get<std::uint32_t>() != kCheckpointVersion)
         throw std::runtime_error("checkpoint: version mismatch");
+    return d.get<sim::Tick>();
+}
 
-    const auto now = d.get<sim::Tick>();
-    const auto skipped = d.get<sim::Tick>();
-    // Time first: controllers re-arm their completion wakeups during
-    // loadState, and restoreTime requires an empty event queue. Every
-    // shard engine shares the one timeline.
-    for (sim::Engine *engine : engines_)
-        engine->restoreTime(now, skipped);
+void
+Machine::restoreComponents(util::Deserializer &d)
+{
     network_->loadState(d);
     for (auto &controller : controllers_)
         controller->loadState(d);
@@ -589,6 +572,28 @@ Machine::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
         program->loadState(d);
     if (!d.atEnd())
         throw std::runtime_error("checkpoint: trailing bytes");
+}
+
+void
+Machine::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
+{
+    LOCSIM_ASSERT(tracer_ == nullptr && sampler_ == nullptr,
+                  "cannot restore with tracing or sampling on");
+    LOCSIM_ASSERT(engines_.front()->now() == 0,
+                  "restoreCheckpoint requires a fresh machine");
+    LOCSIM_ASSERT(!batched_,
+                  "restore batched lanes through the MachineBatch");
+
+    util::Deserializer d(bytes);
+    const sim::Tick now = parseCheckpointHeader(d);
+    // Time first: controllers re-arm their completion wakeups during
+    // loadState, and restoreTime requires an empty event queue. Every
+    // shard engine shares the one timeline. The skipped-ticks
+    // diagnostic restarts at zero: it describes this run, not the
+    // saved one.
+    for (sim::Engine *engine : engines_)
+        engine->restoreTime(now, 0);
+    restoreComponents(d);
 }
 
 void

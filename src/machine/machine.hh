@@ -25,6 +25,7 @@
 #include "proc/processor.hh"
 #include "runner/runner.hh"
 #include "sim/engine.hh"
+#include "sim/lockstep.hh"
 #include "util/serialize.hh"
 #include "workload/comm_graph.hh"
 #include "workload/graph_app.hh"
@@ -174,17 +175,43 @@ struct Measurement
 void saveMeasurement(util::Serializer &s, const Measurement &m);
 Measurement loadMeasurement(util::Deserializer &d);
 
+/**
+ * Shared execution context for one lane of a machine batch (see
+ * machine/batch.hh): the shard engines every lane registers its
+ * components with, and the lane-striped link stores every lane's
+ * fabric allocates channels from. A machine built with a context does
+ * not own engines and must be driven through its MachineBatch, never
+ * through its own run()/advance()/measure().
+ */
+struct BatchContext
+{
+    std::vector<sim::Engine *> engines; //!< one per shard, shared
+    net::LinkStores *stores = nullptr;  //!< lane-striped, shared
+};
+
 /** The assembled machine. */
-class Machine
+class Machine : private sim::LockstepSerial
 {
   public:
     /**
      * @param config machine knobs.
      * @param mapping thread placement (copied).
+     * @param batch shared batch context, or null for a solo machine
+     *        that owns its engines and link stores.
      */
     Machine(const MachineConfig &config,
             const workload::Mapping &mapping);
+    Machine(const MachineConfig &config,
+            const workload::Mapping &mapping,
+            const BatchContext *batch);
     ~Machine();
+
+    /**
+     * The shard count @p config resolves to on a machine of @p nodes
+     * nodes (explicit value, LOCSIM_SHARDS, or 1; fatal on nonsense).
+     */
+    static int resolveShardCount(const MachineConfig &config,
+                                 sim::NodeId nodes);
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -242,7 +269,7 @@ class Machine
      * ticks), but must not be run() directly — drive the machine via
      * advance()/measure() so every shard moves together.
      */
-    sim::Engine &engine() { return engine_; }
+    sim::Engine &engine() { return *engines_.front(); }
 
     /** Resolved shard count (>= 1; see MachineConfig::shards). */
     int shards() const { return shards_; }
@@ -277,6 +304,8 @@ class Machine
     program(sim::NodeId node, int context) const;
 
   private:
+    friend class MachineBatch;
+
     void resetStats();
 
     /** Advance all shards @p ticks network cycles (engine ticks). */
@@ -285,13 +314,63 @@ class Machine
     /** The conservative lockstep driver (shards() > 1 only). */
     void runSharded(sim::Tick ticks);
 
+    /**
+     * @name Split measurement (batch driver interface)
+     * measure() == beginMeasurement() + runTicks() +
+     * collectMeasurement(); the batch driver advances all lanes
+     * between the two halves.
+     */
+    ///@{
+    void beginMeasurement();
+    Measurement collectMeasurement() const;
+    ///@}
+
+    /**
+     * @name Serial-point sampler stepping (lockstep driver hooks)
+     * With several shards the sampler is ticked at the serial point
+     * of the lockstep window rather than by an engine; these apply
+     * the same due/credit arithmetic Engine uses for Clocked
+     * components, against next_sample_due_.
+     */
+    ///@{
+    bool serialSampleDue(sim::Tick now) const;
+    void serialSampleTick(sim::Tick now);
+    void serialSampleSkip(sim::Tick target);
+    ///@}
+
+    // sim::LockstepSerial: this machine's serial work is its sampler.
+    bool serialDue(sim::Tick now) const override
+    {
+        return serialSampleDue(now);
+    }
+    void serialTick(sim::Tick now) override { serialSampleTick(now); }
+    void serialSkip(sim::Tick target) override
+    {
+        serialSampleSkip(target);
+    }
+
+    /**
+     * @name Split checkpoint restore (batch driver interface)
+     * Lanes of a batch share engines, and restoreTime() must run
+     * once per engine before ANY lane's components re-arm their
+     * event-queue wakeups — so header parsing / timeline restore and
+     * component restore are separable steps.
+     */
+    ///@{
+    /** Validate framing, return the checkpoint's timeline position. */
+    static sim::Tick parseCheckpointHeader(util::Deserializer &d);
+    /** Restore everything after the header; throws on trailing bytes. */
+    void restoreComponents(util::Deserializer &d);
+    ///@}
+
     MachineConfig config_;
     workload::Mapping mapping_;
     int shards_ = 1;
-    sim::Engine engine_; //!< shard 0 (the only engine when K == 1)
-    /** Engines for shards 1..K-1 (empty when K == 1). */
-    std::vector<std::unique_ptr<sim::Engine>> extra_engines_;
-    /** All K engines by shard: engines_[0] == &engine_. */
+    /** True when engines/link stores belong to a MachineBatch. */
+    bool batched_ = false;
+    /** Engines this solo machine owns (empty when batched). */
+    std::vector<std::unique_ptr<sim::Engine>> owned_engines_;
+    /** All K engines by shard (aliases owned_engines_ or the batch's). */
     std::vector<sim::Engine *> engines_;
     std::unique_ptr<net::Network> network_;
     std::vector<std::unique_ptr<coher::CacheController>> controllers_;
@@ -318,6 +397,9 @@ class Machine
      * with the same arithmetic Engine uses.
      */
     sim::Tick next_sample_due_ = 0;
+
+    /** Timeline position of the last beginMeasurement(). */
+    sim::Tick measure_start_ = 0;
 };
 
 } // namespace machine

@@ -43,23 +43,31 @@ nodeCountFor(const NetworkConfig &config)
 
 } // namespace
 
-Network::Network(sim::Engine &engine, const NetworkConfig &config)
+Network::Network(sim::Engine &engine, const NetworkConfig &config,
+                 LinkStores *shared)
     : Network(config, std::vector<sim::Engine *>{&engine},
-              ShardPlan::contiguous(nodeCountFor(config), 1))
+              ShardPlan::contiguous(nodeCountFor(config), 1), shared)
 {
 }
 
 Network::Network(const NetworkConfig &config,
                  const std::vector<sim::Engine *> &engines,
-                 const ShardPlan &plan)
+                 const ShardPlan &plan, LinkStores *shared)
     : config_(config),
       topo_(config.radix, config.dims, config.wraparound),
       plan_(plan), engines_(engines),
       // Credit flow control bounds link occupancy to the downstream
       // buffer depth; +2 leaves slack for the cycle of latching delay
       // on each side of the credit loop.
-      flit_store_(config.router.buffer_depth + 2, plan.shards),
-      credit_store_(config.router.vcs, plan.shards)
+      owned_stores_(shared != nullptr
+                        ? nullptr
+                        : std::make_unique<LinkStores>(
+                              config.router.buffer_depth + 2,
+                              config.router.vcs, plan.shards)),
+      flit_store_(shared != nullptr ? shared->flits
+                                    : owned_stores_->flits),
+      credit_store_(shared != nullptr ? shared->credits
+                                      : owned_stores_->credits)
 {
     const sim::NodeId n = topo_.nodeCount();
     const int K = plan_.shards;
@@ -74,12 +82,16 @@ Network::Network(const NetworkConfig &config,
     // one batch rotator per store: channels register with the rotator
     // of the shard that PUSHES into them, so publication happens on
     // the producer's thread; cross-shard consumers learn about new
-    // content through the remote wake words bound below.
-    for (int s = 0; s < K; ++s) {
-        engines_[static_cast<std::size_t>(s)]->addChannel(
-            flit_store_.rotator(s));
-        engines_[static_cast<std::size_t>(s)]->addChannel(
-            credit_store_.rotator(s));
+    // content through the remote wake words bound below. A batched
+    // fabric's rotators are shared across lanes, so the batch owner
+    // registers them exactly once itself.
+    if (shared == nullptr) {
+        for (int s = 0; s < K; ++s) {
+            engines_[static_cast<std::size_t>(s)]->addChannel(
+                flit_store_.rotator(s));
+            engines_[static_cast<std::size_t>(s)]->addChannel(
+                credit_store_.rotator(s));
+        }
     }
 
     routers_.reserve(n);

@@ -195,8 +195,14 @@ struct NetworkStats
 class Network : public sim::Clocked
 {
   public:
-    /** Sequential fabric: one engine, trivial shard plan. */
-    Network(sim::Engine &engine, const NetworkConfig &config);
+    /**
+     * Sequential fabric: one engine, trivial shard plan. A non-null
+     * @p shared points at an externally owned lane-striped LinkStores
+     * (batched execution); the caller must have selected this fabric's
+     * lane with beginLane() and registers the rotators itself.
+     */
+    Network(sim::Engine &engine, const NetworkConfig &config,
+            LinkStores *shared = nullptr);
 
     /**
      * Sharded fabric: engines[s] drives shard s of @p plan. All
@@ -204,7 +210,7 @@ class Network : public sim::Clocked
      */
     Network(const NetworkConfig &config,
             const std::vector<sim::Engine *> &engines,
-            const ShardPlan &plan);
+            const ShardPlan &plan, LinkStores *shared = nullptr);
 
     ~Network() override;
 
@@ -414,11 +420,15 @@ class Network : public sim::Clocked
     /**
      * The SoA link fabric: all flit and credit links, indexed by the
      * dense ChannelIds recorded in the id vectors below (construction
-     * order, which the serialization stream follows). Each store
-     * registers one batch rotator per shard with that shard's engine.
+     * order, which the serialization stream follows). A solo fabric
+     * owns its stores and registers one batch rotator per shard with
+     * that shard's engine; a batched fabric borrows the batch owner's
+     * lane-striped stores (owned_stores_ stays null) and leaves
+     * rotator registration to the owner.
      */
-    FlitLinkStore flit_store_;
-    CreditLinkStore credit_store_;
+    std::unique_ptr<LinkStores> owned_stores_;
+    FlitLinkStore &flit_store_;
+    CreditLinkStore &credit_store_;
 
     /**
      * Backing store for the routers. One fabric allocates many small

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Batched lockstep multi-simulation tests.
+ *
+ * The tentpole contract of machine::MachineBatch: batching is an
+ * execution detail, invisible to results. Every lane's Measurement,
+ * sampled series, and checkpoint image must be byte-identical to the
+ * same configuration run solo, at every batch size and shard count;
+ * cache entries written by batched runs must serve solo runs and vice
+ * versa; and malformed batches (empty, mixed shapes, tracing) must
+ * die with a clear message, like the --shards validation they mirror.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "cache/key.hh"
+#include "cache/store.hh"
+#include "machine/batch.hh"
+#include "machine/machine.hh"
+#include "obs/sampler.hh"
+#include "util/serialize.hh"
+#include "workload/mapping.hh"
+
+namespace locsim {
+namespace machine {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Serialize a Measurement to its exact cache-payload bytes. */
+std::vector<std::uint8_t>
+measurementBytes(const Measurement &m)
+{
+    util::Serializer s;
+    saveMeasurement(s, m);
+    return s.takeBuffer();
+}
+
+/** A small 4^2 validation machine; cheap enough for K x shard grids. */
+MachineConfig
+smallConfig(int contexts = 1, int shards = 1)
+{
+    MachineConfig config;
+    config.radix = 4;
+    config.dims = 2;
+    config.contexts = contexts;
+    config.shards = shards;
+    return config;
+}
+
+/** Lane specs sharing the 4^2 shape but varying everything else. */
+std::vector<BatchLaneSpec>
+laneSpecs(int lanes, int shards)
+{
+    std::vector<BatchLaneSpec> specs;
+    for (int l = 0; l < lanes; ++l) {
+        const workload::Mapping mapping =
+            (l % 2 == 0) ? workload::Mapping::random(
+                               16, static_cast<std::uint64_t>(7 + l))
+                         : workload::Mapping::identity(16);
+        specs.push_back({smallConfig(1 + l % 3, shards), mapping});
+    }
+    return specs;
+}
+
+/** Unique fresh directory under the system temp dir. */
+fs::path
+freshDir(const std::string &tag)
+{
+    static std::atomic<int> serial{0};
+    const fs::path dir = fs::temp_directory_path() /
+                         ("locsim_batch_test_" + tag + "_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(serial++));
+    fs::remove_all(dir);
+    return dir;
+}
+
+/**
+ * The headline: at K in {1, 2, 4, 8} and 1 or 2 shards, every lane's
+ * Measurement is byte-identical to the same spec run solo (itself
+ * shard-count-invariant, locked in by machine_test.cc). Any
+ * divergence means lanes leaked state into each other — a mis-strided
+ * channel id, a shared RNG, a stats merge crossing lanes.
+ */
+TEST(Batch, LanesBitIdenticalToSoloAtEverySizeAndShardCount)
+{
+    constexpr std::uint64_t kWarmup = 800, kWindow = 2500;
+    // Solo oracles for the largest spec set; smaller K reuse a prefix.
+    const std::vector<BatchLaneSpec> all = laneSpecs(8, 1);
+    std::vector<std::vector<std::uint8_t>> solo;
+    for (const BatchLaneSpec &spec : all) {
+        Machine machine(spec.config, spec.mapping);
+        solo.push_back(measurementBytes(machine.run(kWarmup, kWindow)));
+    }
+    for (int shards : {1, 2}) {
+        for (int lanes : {1, 2, 4, 8}) {
+            MachineBatch batch(laneSpecs(lanes, shards));
+            const std::vector<Measurement> results =
+                batch.run(kWarmup, kWindow);
+            ASSERT_EQ(results.size(), static_cast<std::size_t>(lanes));
+            for (int l = 0; l < lanes; ++l) {
+                EXPECT_EQ(measurementBytes(results[l]),
+                          solo[static_cast<std::size_t>(l)])
+                    << "lane " << l << " of " << lanes << " at "
+                    << shards << " shard(s)";
+            }
+        }
+    }
+}
+
+/** Same contract under reference stepping (rotate-all-every-tick). */
+TEST(Batch, ReferenceSteppingLanesBitIdenticalToSolo)
+{
+    auto specs = laneSpecs(3, 1);
+    for (auto &spec : specs)
+        spec.config.reference_stepping = true;
+    std::vector<std::vector<std::uint8_t>> solo;
+    for (const BatchLaneSpec &spec : specs) {
+        Machine machine(spec.config, spec.mapping);
+        solo.push_back(measurementBytes(machine.run(500, 1500)));
+    }
+    MachineBatch batch(specs);
+    const std::vector<Measurement> results = batch.run(500, 1500);
+    for (std::size_t l = 0; l < specs.size(); ++l)
+        EXPECT_EQ(measurementBytes(results[l]), solo[l]) << "lane " << l;
+}
+
+/**
+ * Per-lane metrics samplers may differ in period and must reproduce
+ * their solo series exactly — timestamps and probe values — even
+ * though the batch drives every sampler from the shared lockstep
+ * schedule (and credits quiescence skips to each lane).
+ */
+TEST(Batch, SamplerSeriesBitIdenticalToSolo)
+{
+    auto seriesDump = [](Machine &machine) {
+        const obs::MetricsSampler &sampler = *machine.sampler();
+        std::ostringstream out;
+        for (const sim::Tick t : sampler.times())
+            out << t << "\n";
+        for (std::size_t p = 0; p < sampler.probeCount(); ++p) {
+            out << sampler.probeName(p) << "\n";
+            util::Serializer s;
+            for (const double v : sampler.series(p))
+                s.putDouble(v);
+            for (const std::uint8_t byte : s.buffer())
+                out << static_cast<int>(byte) << " ";
+            out << "\n";
+        }
+        return out.str();
+    };
+    for (int shards : {1, 2}) {
+        auto specs = laneSpecs(3, shards);
+        specs[0].config.sample_period = 128;
+        specs[1].config.sample_period = 0; // no sampler on this lane
+        specs[2].config.sample_period = 192;
+        std::vector<std::string> solo(specs.size());
+        for (std::size_t l = 0; l < specs.size(); ++l) {
+            if (specs[l].config.sample_period == 0)
+                continue;
+            Machine machine(specs[l].config, specs[l].mapping);
+            machine.run(800, 2500);
+            solo[l] = seriesDump(machine);
+        }
+        MachineBatch batch(specs);
+        batch.run(800, 2500);
+        for (std::size_t l = 0; l < specs.size(); ++l) {
+            if (specs[l].config.sample_period == 0)
+                continue;
+            EXPECT_EQ(seriesDump(batch.lane(static_cast<int>(l))),
+                      solo[l])
+                << "lane " << l << " at " << shards << " shard(s)";
+        }
+    }
+}
+
+/**
+ * Cache interplay, forward direction: payload bytes produced by a
+ * batched lane are byte-for-byte what a solo run of the same spec
+ * would store, and cache::simKey sees no difference (batch, like
+ * shards, is an execution knob outside the key). So a cache warmed by
+ * a batched sweep serves a later solo run as a pure hit.
+ */
+TEST(Batch, BatchedRunWarmsCacheForSoloRun)
+{
+    constexpr std::uint64_t kWarmup = 500, kWindow = 1500;
+    const std::vector<BatchLaneSpec> specs = laneSpecs(3, 1);
+    MachineBatch batch(specs);
+    const std::vector<Measurement> results =
+        batch.run(kWarmup, kWindow);
+
+    const fs::path dir = freshDir("warm");
+    cache::SimCache store(dir.string());
+    std::vector<std::string> keys;
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        keys.push_back(cache::simKey(specs[l].config, specs[l].mapping,
+                                     kWarmup, kWindow));
+        const std::vector<std::uint8_t> bytes =
+            measurementBytes(results[l]);
+        store.getOrRun(keys.back(), [&] { return bytes; });
+    }
+    // Solo runs of the same specs must hit, and the recorded
+    // measurement must equal what the solo machine computes.
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        bool computed = false;
+        const std::vector<std::uint8_t> payload =
+            store.getOrRun(keys[l], [&] {
+                computed = true;
+                return std::vector<std::uint8_t>{};
+            });
+        EXPECT_FALSE(computed) << "lane " << l << " missed";
+        Machine machine(specs[l].config, specs[l].mapping);
+        EXPECT_EQ(payload,
+                  measurementBytes(machine.run(kWarmup, kWindow)))
+            << "lane " << l;
+    }
+    EXPECT_EQ(store.stats().hits, specs.size());
+    fs::remove_all(dir);
+}
+
+/**
+ * Cache interplay, reverse direction: entries stored by solo runs are
+ * exactly what a batched sweep of the same specs would produce, so a
+ * batched run over a solo-warmed cache needs no simulation at all.
+ */
+TEST(Batch, SoloRunWarmsCacheForBatchedRun)
+{
+    constexpr std::uint64_t kWarmup = 500, kWindow = 1500;
+    const std::vector<BatchLaneSpec> specs = laneSpecs(2, 1);
+    const fs::path dir = freshDir("solo");
+    cache::SimCache store(dir.string());
+    for (const BatchLaneSpec &spec : specs) {
+        Machine machine(spec.config, spec.mapping);
+        const std::vector<std::uint8_t> bytes =
+            measurementBytes(machine.run(kWarmup, kWindow));
+        store.getOrRun(cache::simKey(spec.config, spec.mapping,
+                                     kWarmup, kWindow),
+                       [&] { return bytes; });
+    }
+    MachineBatch batch(specs);
+    const std::vector<Measurement> results =
+        batch.run(kWarmup, kWindow);
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        const auto payload = store.lookup(cache::simKey(
+            specs[l].config, specs[l].mapping, kWarmup, kWindow));
+        ASSERT_TRUE(payload.has_value()) << "lane " << l;
+        EXPECT_EQ(*payload, measurementBytes(results[l]))
+            << "lane " << l;
+    }
+    fs::remove_all(dir);
+}
+
+/**
+ * Checkpoint interplay: a lane checkpointed mid-batch under 2 shards
+ * produces the exact image a solo run of the same spec saves at the
+ * same tick (checkpoint images carry no execution-strategy state),
+ * and restoring that image into a fresh solo machine and extending it
+ * reproduces the straight solo run byte for byte.
+ */
+TEST(Batch, MidBatchLaneCheckpointMatchesSoloAndRestores)
+{
+    constexpr std::uint64_t kHalf = 900, kWindow = 2000;
+    const std::vector<BatchLaneSpec> specs = laneSpecs(3, 2);
+
+    MachineBatch batch(specs);
+    batch.advance(kHalf);
+    std::vector<std::vector<std::uint8_t>> lane_images;
+    for (int l = 0; l < batch.lanes(); ++l)
+        lane_images.push_back(batch.lane(l).saveCheckpoint());
+
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        // Same image as a solo run paused at the same point...
+        Machine solo(specs[l].config, specs[l].mapping);
+        solo.advance(kHalf);
+        EXPECT_EQ(lane_images[l], solo.saveCheckpoint())
+            << "lane " << l;
+        // ...and restoring it solo extends to the solo oracle.
+        const std::vector<std::uint8_t> oracle =
+            measurementBytes(solo.measure(kWindow));
+        Machine restored(specs[l].config, specs[l].mapping);
+        restored.restoreCheckpoint(lane_images[l]);
+        EXPECT_EQ(measurementBytes(restored.measure(kWindow)), oracle)
+            << "lane " << l;
+    }
+
+    // Round trip: a fresh batch restored from the mid-run images
+    // continues to the same oracles as well.
+    MachineBatch resumed(specs);
+    resumed.restoreCheckpoints(lane_images);
+    const std::vector<Measurement> results = resumed.measure(kWindow);
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        Machine solo(specs[l].config, specs[l].mapping);
+        solo.advance(kHalf);
+        EXPECT_EQ(measurementBytes(results[l]),
+                  measurementBytes(solo.measure(kWindow)))
+            << "lane " << l;
+    }
+}
+
+/** Mixed-position images must be refused, not silently misrestored. */
+TEST(Batch, RestoreRejectsImagesAtDifferentTicks)
+{
+    const std::vector<BatchLaneSpec> specs = laneSpecs(2, 1);
+    std::vector<std::vector<std::uint8_t>> images;
+    {
+        MachineBatch batch(specs);
+        batch.advance(500);
+        images.push_back(batch.lane(0).saveCheckpoint());
+    }
+    {
+        MachineBatch batch(specs);
+        batch.advance(700);
+        images.push_back(batch.lane(1).saveCheckpoint());
+    }
+    MachineBatch target(specs);
+    EXPECT_THROW(target.restoreCheckpoints(images), std::runtime_error);
+}
+
+using BatchDeath = ::testing::Test;
+
+TEST(BatchDeath, RejectsEmptyBatch)
+{
+    EXPECT_EXIT(MachineBatch(std::vector<BatchLaneSpec>{}),
+                ::testing::ExitedWithCode(1),
+                "batch needs at least one lane");
+}
+
+TEST(BatchDeath, RejectsMixedTopologyShapes)
+{
+    auto specs = laneSpecs(2, 1);
+    specs[1].config.radix = 8;
+    specs[1].mapping = workload::Mapping::identity(64);
+    EXPECT_EXIT(MachineBatch batch(specs),
+                ::testing::ExitedWithCode(1),
+                "batch lanes must share one topology shape");
+}
+
+TEST(BatchDeath, RejectsMixedClockRatios)
+{
+    auto specs = laneSpecs(2, 1);
+    specs[1].config.net_clock_ratio = 1;
+    EXPECT_EXIT(MachineBatch batch(specs),
+                ::testing::ExitedWithCode(1),
+                "batch lanes must share one network clock ratio");
+}
+
+TEST(BatchDeath, RejectsMixedSteppingModes)
+{
+    auto specs = laneSpecs(2, 1);
+    specs[1].config.reference_stepping = true;
+    EXPECT_EXIT(MachineBatch batch(specs),
+                ::testing::ExitedWithCode(1),
+                "batch lanes must share one stepping mode");
+}
+
+TEST(BatchDeath, RejectsMixedShardCounts)
+{
+    auto specs = laneSpecs(2, 1);
+    specs[1].config.shards = 2;
+    EXPECT_EXIT(MachineBatch batch(specs),
+                ::testing::ExitedWithCode(1),
+                "batch lanes must resolve to one shard count");
+}
+
+TEST(BatchDeath, RejectsTracedLanes)
+{
+    auto specs = laneSpecs(2, 1);
+    specs[1].config.trace.enabled = true;
+    EXPECT_EXIT(MachineBatch batch(specs),
+                ::testing::ExitedWithCode(1),
+                "tracing is incompatible with batched execution");
+}
+
+TEST(BatchDeath, RejectsDirectRunOfBatchedLane)
+{
+    const std::vector<BatchLaneSpec> specs = laneSpecs(2, 1);
+    MachineBatch batch(specs);
+    EXPECT_EXIT(batch.lane(0).advance(100),
+                ::testing::ExitedWithCode(1),
+                "batched machine driven directly");
+}
+
+} // namespace
+} // namespace machine
+} // namespace locsim
