@@ -198,5 +198,6 @@ main(int argc, char **argv)
                     "which is why it could drop\nEquation 4.\n");
     }
     bench::maybeReportCacheStats(options);
+    bench::maybeWriteRunReport(options);
     return 0;
 }

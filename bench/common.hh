@@ -10,6 +10,7 @@
 #ifndef LOCSIM_BENCH_COMMON_HH_
 #define LOCSIM_BENCH_COMMON_HH_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -27,6 +28,10 @@
 #include "model/alewife.hh"
 #include "model/combined_model.hh"
 #include "model/locality.hh"
+#include "obs/build_info.hh"
+#include "obs/counters.hh"
+#include "obs/profiler.hh"
+#include "obs/report.hh"
 #include "obs/trace.hh"
 #include "runner/runner.hh"
 #include "util/logging.hh"
@@ -45,6 +50,8 @@ struct SimPoint
     machine::Measurement m;
     /** Trace shard for this simulation (null unless --trace-out). */
     std::shared_ptr<obs::Tracer> tracer;
+    /** Content-address key of this simulation (run-manifest record). */
+    std::string sim_key;
 };
 
 /** Standard options shared by every harness. */
@@ -85,6 +92,19 @@ struct HarnessOptions
      * one store (and one stats block).
      */
     std::shared_ptr<locsim::cache::SimCache> sim_cache;
+
+    /**
+     * The host-side phase profiler, created iff --run-report is set
+     * (shards x batch slot grid). Shared so every machine the harness
+     * builds can borrow a raw pointer that provably outlives it.
+     */
+    std::shared_ptr<obs::Profiler> profiler;
+
+    /** Tool name and argv, recorded for the run manifest. */
+    std::string tool;
+    std::vector<std::string> argv;
+    /** Harness start, for the manifest's wall_seconds. */
+    std::chrono::steady_clock::time_point start_time;
 
     /**
      * True when results may be served from / stored to the cache:
@@ -135,9 +155,19 @@ parseHarnessOptions(int argc, const char *const *argv,
     opts.addFlag("no-cache", "bypass the simulation cache");
     opts.addFlag("cache-stats",
                  "print cache hit/miss counters to stderr");
+    opts.addFlag("build-info",
+                 "print build provenance (git SHA, compiler, flags) "
+                 "and exit");
     util::addObservabilityOptions(opts);
     opts.parse(argc, argv);
+    if (opts.getFlag("build-info")) {
+        obs::printBuildInfo(std::cout);
+        std::exit(0);
+    }
     HarnessOptions out;
+    out.tool = name;
+    out.argv.assign(argv, argv + argc);
+    out.start_time = std::chrono::steady_clock::now();
     out.csv_path = opts.getString("csv");
     out.quick = opts.getFlag("quick");
     out.warmup = static_cast<std::uint64_t>(opts.getInt("warmup"));
@@ -189,6 +219,23 @@ parseHarnessOptions(int argc, const char *const *argv,
             LOCSIM_FATAL("--cache-dir rejected: ", e.what());
         }
     }
+    if (!out.obs.run_report.empty()) {
+        // Slot-grid guess: explicit --shards, else LOCSIM_SHARDS,
+        // else 1. Profiler::slot clamps, so an off guess degrades to
+        // coarser attribution, never out-of-bounds.
+        int shard_guess = out.shards;
+        if (shard_guess <= 0) {
+            if (const char *env = std::getenv("LOCSIM_SHARDS")) {
+                const int parsed = std::atoi(env);
+                if (parsed >= 1)
+                    shard_guess = parsed;
+            }
+        }
+        out.profiler = std::make_shared<obs::Profiler>(
+            shard_guess > 0 ? shard_guess : 1, out.batch);
+        if (out.sim_cache != nullptr)
+            out.sim_cache->setProfileSlot(&out.profiler->hostSlot());
+    }
     return out;
 }
 
@@ -212,6 +259,7 @@ runCachedMeasurement(const HarnessOptions &options,
     machine::MachineConfig config = base_config;
     if (options.shards != 0)
         config.shards = options.shards;
+    config.profiler = options.profiler.get();
     if (!options.cacheUsable()) {
         machine::Machine machine(config, mapping);
         const machine::Measurement m =
@@ -311,6 +359,61 @@ maybeWriteTrace(const std::vector<SimPoint> &points,
 }
 
 /**
+ * Write the --run-report JSON manifest: invocation, build, host,
+ * harness config, per-simulation cache keys, the process counter
+ * registry (with the cache's stats folded in), and the phase
+ * profiler's breakdown. Writes to the file only, never stdout, so
+ * byte-identity checks on harness output are unaffected. No-op
+ * without --run-report. Call once, after the last simulation and
+ * after every Machine has been destroyed (machines publish their
+ * counters on teardown).
+ */
+inline void
+maybeWriteRunReport(const HarnessOptions &options,
+                    const std::vector<SimPoint> &points = {})
+{
+    if (options.obs.run_report.empty())
+        return;
+    obs::RunReport report(options.tool);
+    report.setArgv(options.argv);
+    report.addConfig("quick", options.quick);
+    report.addConfig("warmup",
+                     static_cast<std::uint64_t>(options.warmup));
+    report.addConfig("window",
+                     static_cast<std::uint64_t>(options.window));
+    report.addConfig("threads",
+                     static_cast<long long>(options.threads));
+    report.addConfig("shards", static_cast<long long>(options.shards));
+    report.addConfig("batch", static_cast<long long>(options.batch));
+    report.addConfig("attribution", options.attribution);
+    report.addConfig("sample_period",
+                     static_cast<long long>(options.obs.sample_period));
+    report.addConfig("cache_dir", options.cache_dir);
+    report.addConfig("cache_enabled", options.sim_cache != nullptr);
+    for (const SimPoint &p : points) {
+        report.addSimulation(p.mapping + ".p" +
+                                 std::to_string(p.contexts),
+                             p.sim_key);
+    }
+    obs::CounterRegistry &counters = obs::CounterRegistry::process();
+    if (options.sim_cache != nullptr) {
+        const locsim::cache::CacheStats s = options.sim_cache->stats();
+        counters.set("cache.hits", s.hits);
+        counters.set("cache.misses", s.misses);
+        counters.set("cache.stores", s.stores);
+        counters.set("cache.dedup_hits", s.dedup_hits);
+    }
+    report.setCounters(counters.snapshot());
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - options.start_time)
+            .count();
+    report.setProfile(options.profiler.get(), wall);
+    report.writeFile(options.obs.run_report);
+    LOCSIM_INFORM("wrote run manifest to ", options.obs.run_report);
+}
+
+/**
  * Mean latency decomposition per delivered message, summed over all
  * message classes of a measurement.
  */
@@ -386,6 +489,9 @@ runValidationSims(const std::vector<int> &context_counts,
                 point.mapping = cell.named->name;
                 point.contexts = cell.contexts;
                 point.distance = cell.named->avg_distance;
+                point.sim_key = locsim::cache::simKey(
+                    config, cell.named->mapping, options.warmup,
+                    options.window);
                 // Cached cells return the recorded measurement
                 // without simulating; the shard (tracing runs only,
                 // which bypass the cache) is merged in grid order by
@@ -425,16 +531,16 @@ runValidationSims(const std::vector<int> &context_counts,
                 applyObservability(config, options);
                 if (options.shards != 0)
                     config.shards = options.shards;
+                config.profiler = options.profiler.get();
                 SimPoint &point = points[j];
                 point.mapping = cell.named->name;
                 point.contexts = cell.contexts;
                 point.distance = cell.named->avg_distance;
-                std::string key;
+                point.sim_key = locsim::cache::simKey(
+                    config, cell.named->mapping, options.warmup,
+                    options.window);
+                const std::string &key = point.sim_key;
                 if (store != nullptr) {
-                    key = locsim::cache::simKey(config,
-                                                cell.named->mapping,
-                                                options.warmup,
-                                                options.window);
                     if (auto payload = store->lookup(key)) {
                         try {
                             util::Deserializer d(*payload);

@@ -40,6 +40,15 @@ shortfall without gating it (the honest-miss escape, mirroring how
 docs/PERFORMANCE.md records targets that measurement did not bear
 out; see its Batched execution section).
 
+With --explain BASE_MANIFEST CURRENT_MANIFEST (two --run-report JSON
+files, e.g. from `micro_perf --run-report`), a fired gate is followed
+by a host-time phase attribution: both manifests' profile.phases
+sections are normalized to shares of profiled time and the phases
+whose share grew the most are called out — "router_scan went from 40%
+to 55%" localizes a regression to the router scan before anyone opens
+a profiler. Manifests with profiling disabled are reported as such
+and skipped.
+
 Exit status: 0 when nothing regressed, or always 0 without --strict
 (report-only mode for informational CI steps); 1 with --strict when at
 least one benchmark regressed; 2 on malformed input. --self-test runs
@@ -150,6 +159,58 @@ def compare(baseline, runs, threshold, cores):
     return lines, regressions, skipped
 
 
+def load_manifest_phases(path):
+    """Read profile.phases from a --run-report manifest.
+
+    Returns {phase_name: ns} or None when the manifest has profiling
+    disabled (still exit 2 on unreadable/malformed files, matching
+    load()).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        profile = doc["profile"]
+    except (OSError, ValueError, KeyError) as e:
+        print(f"compare_bench: cannot read manifest {path}: {e}",
+              file=sys.stderr)
+        sys.exit(2)
+    if not profile.get("enabled") or "phases" not in profile:
+        return None
+    return {name: entry["ns"]
+            for name, entry in profile["phases"].items()}
+
+
+def explain(base_phases, cur_phases):
+    """Attribute a regression to host phases.
+
+    Returns printable lines: per-phase share-of-profiled-time before
+    and after, sorted by share growth, with the largest shift called
+    out. Shares (not raw ns) so the comparison survives differing
+    iteration counts and host speeds.
+    """
+    base_total = sum(base_phases.values()) or 1
+    cur_total = sum(cur_phases.values()) or 1
+    deltas = []
+    for name in sorted(set(base_phases) | set(cur_phases)):
+        b = base_phases.get(name, 0) / base_total * 100.0
+        c = cur_phases.get(name, 0) / cur_total * 100.0
+        deltas.append((c - b, name, b, c))
+    deltas.sort(key=lambda d: -d[0])
+    lines = ["phase attribution (share of profiled host time):"]
+    for d, name, b, c in deltas:
+        lines.append(f"  {name:<18} {b:6.1f}% -> {c:6.1f}%  "
+                     f"({d:+.1f} pts)")
+    top = deltas[0]
+    if top[0] > 0.5:
+        lines.append(f"largest shift: {top[1]} (+{top[0]:.1f} points "
+                     f"of profiled time) — look there first")
+    else:
+        lines.append("no phase's share moved meaningfully; the "
+                     "regression is spread evenly (or outside the "
+                     "instrumented phases)")
+    return lines
+
+
 def report(lines, regressions, threshold):
     for line in lines:
         print(line)
@@ -218,6 +279,24 @@ def self_test():
            not in {(n, l) for n, l, *_ in regs},
            "median did not filter a single noisy run")
 
+    # --explain: the fixture manifests shift time into router_scan;
+    # the attribution must rank it first and call it out.
+    base_phases = load_manifest_phases(
+        os.path.join(here, "fixtures", "manifest_base.json"))
+    cur_phases = load_manifest_phases(
+        os.path.join(here, "fixtures", "manifest_current.json"))
+    expect(base_phases is not None and cur_phases is not None,
+           "fixture manifests did not load")
+    explain_lines = explain(base_phases, cur_phases)
+    expect(any("largest shift: router_scan" in l
+               for l in explain_lines),
+           f"router_scan growth not attributed: {explain_lines}")
+    # A disabled-profile manifest is detected, not crashed on.
+    disabled = load_manifest_phases(
+        os.path.join(here, "fixtures", "manifest_disabled.json"))
+    expect(disabled is None,
+           "profiling-disabled manifest not reported as None")
+
     if failures:
         for f in failures:
             print(f"self-test FAILED: {f}")
@@ -239,6 +318,11 @@ def main():
     parser.add_argument("--assume-cores", type=int, default=None,
                         help="override detected core count for the "
                              "multicore-only gate")
+    parser.add_argument("--explain", nargs=2,
+                        metavar=("BASE_MANIFEST", "CURRENT_MANIFEST"),
+                        help="on regression, attribute the shift to "
+                             "host phases using two --run-report "
+                             "manifests")
     parser.add_argument("--self-test", action="store_true",
                         help="run the fixture-based self-test")
     args = parser.parse_args()
@@ -259,6 +343,16 @@ def main():
     if skipped:
         print(f"skipped (multi-core only, {cores} core(s) here): "
               + ", ".join(skipped))
+    if regressions and args.explain:
+        base_phases = load_manifest_phases(args.explain[0])
+        cur_phases = load_manifest_phases(args.explain[1])
+        print()
+        if base_phases is None or cur_phases is None:
+            print("cannot explain: a manifest has profiling disabled "
+                  "(rerun with --run-report and --profile)")
+        else:
+            for line in explain(base_phases, cur_phases):
+                print(line)
     if regressions and args.strict:
         sys.exit(1)
 

@@ -104,5 +104,6 @@ main(int argc, char **argv)
         }
     }
     bench::maybeReportCacheStats(options);
+    bench::maybeWriteRunReport(options, points);
     return 0;
 }

@@ -68,5 +68,6 @@ main(int argc, char **argv)
             csv.row(row);
     }
     bench::maybeReportCacheStats(options);
+    bench::maybeWriteRunReport(options, points);
     return 0;
 }

@@ -94,5 +94,6 @@ main(int argc, char **argv)
     }
     bench::maybeWriteTrace(points, options);
     bench::maybeReportCacheStats(options);
+    bench::maybeWriteRunReport(options, points);
     return 0;
 }

@@ -84,5 +84,6 @@ main(int argc, char **argv)
         for (const auto &row : csv_rows)
             csv.row(row);
     }
+    bench::maybeWriteRunReport(options);
     return 0;
 }

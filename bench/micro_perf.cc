@@ -14,9 +14,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <utility>
@@ -30,7 +32,12 @@
 #include "model/locality.hh"
 #include "net/network.hh"
 #include "net/traffic.hh"
+#include "obs/build_info.hh"
+#include "obs/counters.hh"
+#include "obs/profiler.hh"
+#include "obs/report.hh"
 #include "sim/engine.hh"
+#include "util/options.hh"
 #include "util/random.hh"
 #include "workload/mapping.hh"
 
@@ -47,6 +54,19 @@ using namespace locsim;
 using locsim::util::heapAllocCount;
 
 namespace {
+
+/*
+ * --profile / --run-report state (set in main before benchmarks run).
+ * The network and batched-lane benchmarks attach a fresh profiler per
+ * run when enabled, so the tables and manifest reflect the *last* run
+ * of each family (the 16x16 network, the 8-lane batch) — the
+ * configurations whose phase splits the docs discuss.
+ */
+bool g_profile_enabled = false;
+std::unique_ptr<obs::Profiler> g_net_profiler;
+std::unique_ptr<obs::Profiler> g_batch_profiler;
+std::string g_net_profile_title;
+std::string g_batch_profile_title;
 
 /** Attach an allocs_per_op counter covering the timed loop. */
 void
@@ -104,6 +124,14 @@ BM_NetworkSimCycles(benchmark::State &state, int radix)
     config.dims = 2;
     net::Network network(engine, config);
     engine.addClocked(&network, 1);
+    if (g_profile_enabled) {
+        g_net_profiler = std::make_unique<obs::Profiler>(1, 1);
+        g_net_profile_title =
+            "BM_NetworkSimCycles (radix " + std::to_string(radix) +
+            ")";
+        engine.setProfiler(&g_net_profiler->slot(0, 0));
+        network.setProfiler(g_net_profiler.get(), 0);
+    }
     net::TrafficConfig traffic;
     traffic.injection_rate = 0.02;
     net::TrafficGenerator gen(network, traffic);
@@ -154,12 +182,21 @@ BM_BatchedSimCycles(benchmark::State &state, int lanes)
                            config.router.vcs, /*shards=*/1, lanes);
     const std::vector<sim::Engine *> engines{&engine};
     stores.registerRotators(engines);
+    if (g_profile_enabled) {
+        g_batch_profiler = std::make_unique<obs::Profiler>(1, lanes);
+        g_batch_profile_title =
+            "BM_BatchedSimCycles (" + std::to_string(lanes) +
+            " lanes)";
+        engine.setProfiler(&g_batch_profiler->slot(0, 0));
+    }
     std::vector<std::unique_ptr<net::Network>> networks;
     std::vector<std::unique_ptr<net::TrafficGenerator>> generators;
     for (int l = 0; l < lanes; ++l) {
         stores.beginLane(l);
         networks.push_back(
             std::make_unique<net::Network>(engine, config, &stores));
+        if (g_profile_enabled)
+            networks.back()->setProfiler(g_batch_profiler.get(), l);
         engine.addClocked(networks.back().get(), 1);
         net::TrafficConfig traffic;
         traffic.injection_rate = 0.02;
@@ -407,8 +444,10 @@ writeJson(const std::string &path,
 int
 main(int argc, char **argv)
 {
-    // Peel off our --json flag before google-benchmark sees argv.
+    // Peel off our own flags (--json, --profile, --run-report,
+    // --build-info) before google-benchmark sees argv.
     std::string json_path;
+    std::string report_path;
     std::vector<char *> args;
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -420,8 +459,29 @@ main(int argc, char **argv)
             json_path = arg.substr(7);
             continue;
         }
+        if (arg == "--run-report" && i + 1 < argc) {
+            report_path = argv[++i];
+            continue;
+        }
+        if (arg.rfind("--run-report=", 0) == 0) {
+            report_path = arg.substr(13);
+            continue;
+        }
+        if (arg == "--profile") {
+            g_profile_enabled = true;
+            continue;
+        }
+        if (arg == "--build-info") {
+            obs::printBuildInfo(std::cout);
+            return 0;
+        }
         args.push_back(argv[i]);
     }
+    if (!report_path.empty()) {
+        util::requireWritableParent(report_path, "--run-report");
+        g_profile_enabled = true; // the manifest carries the profile
+    }
+    const auto start_time = std::chrono::steady_clock::now();
     int filtered_argc = static_cast<int>(args.size());
     benchmark::Initialize(&filtered_argc, args.data());
     if (benchmark::ReportUnrecognizedArguments(filtered_argc,
@@ -434,5 +494,38 @@ main(int argc, char **argv)
 
     if (!json_path.empty() && !writeJson(json_path, reporter.entries))
         return 1;
+
+    if (g_profile_enabled) {
+        if (g_net_profiler != nullptr)
+            obs::writeProfileTable(std::cout, *g_net_profiler,
+                                   g_net_profile_title);
+        if (g_batch_profiler != nullptr)
+            obs::writeProfileTable(std::cout, *g_batch_profiler,
+                                   g_batch_profile_title);
+    }
+
+    if (!report_path.empty()) {
+        obs::RunReport report("micro_perf");
+        report.setArgv(argc, argv);
+        report.addConfig("json", json_path);
+        report.addConfig("benchmarks",
+                         static_cast<long long>(
+                             reporter.entries.size()));
+        auto &registry = obs::CounterRegistry::process();
+        registry.set("host.heap_allocs", heapAllocCount());
+        report.setCounters(registry.snapshot());
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_time)
+                .count();
+        // Prefer the batched grid (per-lane breakdown) when both ran.
+        const obs::Profiler *profiler = g_batch_profiler != nullptr
+                                            ? g_batch_profiler.get()
+                                            : g_net_profiler.get();
+        report.setProfile(profiler, wall);
+        report.writeFile(report_path);
+        std::fprintf(stderr, "micro_perf: wrote run manifest to %s\n",
+                     report_path.c_str());
+    }
     return 0;
 }

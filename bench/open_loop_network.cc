@@ -12,14 +12,21 @@
  * point stable.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "model/network_model.hh"
 #include "net/network.hh"
 #include "net/traffic.hh"
+#include "obs/build_info.hh"
+#include "obs/counters.hh"
+#include "obs/profiler.hh"
+#include "obs/report.hh"
 #include "sim/engine.hh"
 #include "util/csv.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "util/table.hh"
 
@@ -37,7 +44,7 @@ struct OpenLoopPoint
 };
 
 OpenLoopPoint
-runOne(double rate, sim::Tick cycles)
+runOne(double rate, sim::Tick cycles, obs::Profiler *profiler)
 {
     sim::Engine engine;
     net::NetworkConfig config;
@@ -45,6 +52,10 @@ runOne(double rate, sim::Tick cycles)
     config.dims = 2;
     net::Network network(engine, config);
     engine.addClocked(&network, 1);
+    if (profiler != nullptr) {
+        engine.setProfiler(&profiler->slot(0, 0));
+        network.setProfiler(profiler, 0);
+    }
 
     net::TrafficConfig traffic;
     traffic.injection_rate = rate;
@@ -85,9 +96,26 @@ main(int argc, char **argv)
     opts.addString("csv", "write results here", "");
     opts.addInt("cycles", "measurement window in network cycles",
                 20000);
+    opts.addFlag("build-info",
+                 "print build provenance (git SHA, compiler, flags) "
+                 "and exit");
+    util::addObservabilityOptions(opts);
     opts.parse(argc, argv);
+    if (opts.getFlag("build-info")) {
+        obs::printBuildInfo(std::cout);
+        return 0;
+    }
+    const util::ObservabilityOptions obs_opts =
+        util::applyObservabilityOptions(opts);
     const auto cycles =
         static_cast<sim::Tick>(opts.getInt("cycles"));
+    const auto start_time = std::chrono::steady_clock::now();
+
+    // This harness runs one engine/network pair at a time, so a 1x1
+    // profiler grid captures the whole run.
+    std::unique_ptr<obs::Profiler> profiler;
+    if (!obs_opts.run_report.empty())
+        profiler = std::make_unique<obs::Profiler>(1, 1);
 
     std::printf("=== Open-loop network: Agarwal model vs flit-level "
                 "simulation ===\n");
@@ -99,7 +127,7 @@ main(int argc, char **argv)
     std::vector<OpenLoopPoint> points;
     for (double rate :
          {0.002, 0.005, 0.01, 0.02, 0.03, 0.04, 0.05, 0.06}) {
-        points.push_back(runOne(rate, cycles));
+        points.push_back(runOne(rate, cycles, profiler.get()));
         const OpenLoopPoint &p = points.back();
         table.newRow()
             .cell(p.rate, 3)
@@ -125,6 +153,21 @@ main(int argc, char **argv)
             csv.rowDoubles({p.rate, p.rho_sim, p.rho_model,
                             p.latency_sim, p.latency_model});
         }
+    }
+
+    if (!obs_opts.run_report.empty()) {
+        obs::RunReport report("open_loop_network");
+        report.setArgv(argc, argv);
+        report.addConfig("cycles", static_cast<long long>(cycles));
+        report.setCounters(
+            obs::CounterRegistry::process().snapshot());
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_time)
+                .count();
+        report.setProfile(profiler.get(), wall);
+        report.writeFile(obs_opts.run_report);
+        LOCSIM_INFORM("wrote run manifest to ", obs_opts.run_report);
     }
     return 0;
 }

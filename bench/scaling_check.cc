@@ -88,5 +88,6 @@ main(int argc, char **argv)
             csv.row(row);
     }
     bench::maybeReportCacheStats(options);
+    bench::maybeWriteRunReport(options);
     return 0;
 }

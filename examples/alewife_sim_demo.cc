@@ -14,14 +14,21 @@
  * --log-level controls verbosity.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
+#include "cache/key.hh"
 #include "machine/calibration.hh"
 #include "machine/machine.hh"
 #include "model/alewife.hh"
 #include "model/combined_model.hh"
+#include "obs/build_info.hh"
+#include "obs/counters.hh"
+#include "obs/profiler.hh"
+#include "obs/report.hh"
 #include "obs/sampler.hh"
 #include "util/logging.hh"
 #include "util/options.hh"
@@ -45,10 +52,18 @@ main(int argc, char **argv)
     opts.addInt("window", "measurement window processor cycles",
                 20000);
     opts.addInt("seed", "seed for random mappings", 12345);
+    opts.addFlag("build-info",
+                 "print build provenance (git SHA, compiler, flags) "
+                 "and exit");
     util::addObservabilityOptions(opts);
     opts.parse(argc, argv);
+    if (opts.getFlag("build-info")) {
+        obs::printBuildInfo(std::cout);
+        return 0;
+    }
     const util::ObservabilityOptions obs =
         util::applyObservabilityOptions(opts);
+    const auto start_time = std::chrono::steady_clock::now();
 
     net::TorusTopology topo(8, 2);
     const std::string which = opts.getString("mapping");
@@ -73,7 +88,20 @@ main(int argc, char **argv)
     config.trace.detail = obs.flit_detail ? obs::TraceDetail::Flit
                                           : obs::TraceDetail::Message;
     config.sample_period = static_cast<sim::Tick>(obs.sample_period);
-    machine::Machine machine(config, chosen->mapping);
+
+    // --run-report: profile the run on a (resolved shards) x 1 grid.
+    std::unique_ptr<obs::Profiler> profiler;
+    if (!obs.run_report.empty()) {
+        const int shards = machine::Machine::resolveShardCount(
+            config, topo.nodeCount());
+        profiler = std::make_unique<obs::Profiler>(shards, 1);
+        config.profiler = profiler.get();
+    }
+    // Heap-held so the machine can be destroyed (publishing its
+    // process counters) before the run manifest snapshots them.
+    auto machine_ptr =
+        std::make_unique<machine::Machine>(config, chosen->mapping);
+    machine::Machine &machine = *machine_ptr;
 
     std::printf("simulating 64-node radix-8 2-D torus, %d context(s), "
                 "mapping '%s' (d = %.2f)...\n",
@@ -128,6 +156,38 @@ main(int argc, char **argv)
                          obs.trace_out, "'");
         machine.writeTrace(trace_os);
         LOCSIM_INFORM("wrote trace to ", obs.trace_out);
+    }
+
+    if (!obs.run_report.empty()) {
+        const int shards = machine.shards();
+        machine_ptr.reset(); // publish the machine's counters
+        const auto warmup =
+            static_cast<std::uint64_t>(opts.getInt("warmup"));
+        const auto window =
+            static_cast<std::uint64_t>(opts.getInt("window"));
+        obs::RunReport report("alewife_sim_demo");
+        report.setArgv(argc, argv);
+        report.addConfig("mapping", chosen->name);
+        report.addConfig("contexts",
+                         static_cast<long long>(config.contexts));
+        report.addConfig("warmup", static_cast<long long>(warmup));
+        report.addConfig("window", static_cast<long long>(window));
+        report.addConfig("seed", opts.getInt("seed"));
+        report.addConfig("shards", static_cast<long long>(shards));
+        report.addConfig("sample_period",
+                         static_cast<long long>(config.sample_period));
+        report.addSimulation(
+            chosen->name + ".p" + std::to_string(config.contexts),
+            cache::simKey(config, chosen->mapping, warmup, window));
+        report.setCounters(
+            obs::CounterRegistry::process().snapshot());
+        const double wall =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_time)
+                .count();
+        report.setProfile(profiler.get(), wall);
+        report.writeFile(obs.run_report);
+        LOCSIM_INFORM("wrote run manifest to ", obs.run_report);
     }
     return 0;
 }

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/profiler.hh"
+
 namespace locsim {
 namespace cache {
 
@@ -47,6 +49,8 @@ SimCache::entryPath(const std::string &key) const
 std::optional<std::vector<std::uint8_t>>
 SimCache::lookup(const std::string &key) const
 {
+    obs::ScopedPhase profile(profile_slot_, obs::Phase::CacheProbe);
+
     std::ifstream is(entryPath(key),
                      std::ios::binary | std::ios::ate);
     if (!is)
@@ -74,6 +78,8 @@ void
 SimCache::storePayload(const std::string &key,
                        const std::vector<std::uint8_t> &payload)
 {
+    obs::ScopedPhase profile(profile_slot_, obs::Phase::CacheStore);
+
     std::uint64_t serial;
     {
         std::lock_guard<std::mutex> lock(mutex_);

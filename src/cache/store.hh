@@ -35,6 +35,11 @@
 #include <vector>
 
 namespace locsim {
+
+namespace obs {
+class PhaseSlot;
+}
+
 namespace cache {
 
 /** Hit/miss accounting for one SimCache over its lifetime. */
@@ -88,6 +93,14 @@ class SimCache
 
     const std::filesystem::path &dir() const { return dir_; }
 
+    /**
+     * Attach a phase-profiler slot (nullptr to detach; not owned).
+     * Disk probes record Phase::CacheProbe and payload writes
+     * Phase::CacheStore — host-side I/O time, separable from
+     * simulation time in the run manifest.
+     */
+    void setProfileSlot(obs::PhaseSlot *slot) { profile_slot_ = slot; }
+
   private:
     struct InFlight
     {
@@ -108,6 +121,7 @@ class SimCache
     std::unordered_map<std::string, std::shared_ptr<InFlight>>
         in_flight_;
     std::uint64_t temp_counter_ = 0;
+    obs::PhaseSlot *profile_slot_ = nullptr;
 };
 
 } // namespace cache

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 
 namespace locsim {
@@ -261,6 +262,8 @@ CacheController::drainCompletions(sim::Tick now)
 void
 CacheController::tick(sim::Tick now)
 {
+    obs::ScopedPhase profile(profile_slot_, obs::Phase::Coherence);
+
     // Completions first: they only touch processor-side context state,
     // and must land regardless of controller occupancy (the old
     // event-queue completions also ignored busy_until_).

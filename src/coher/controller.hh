@@ -206,6 +206,12 @@ class CacheController : public sim::Clocked
      */
     void setTracer(ProtocolTracer *tracer) { tracer_ = tracer; }
 
+    /**
+     * Attach a phase-profiler slot (nullptr to detach; not owned).
+     * tick() records Phase::Coherence; null costs one branch.
+     */
+    void setProfiler(obs::PhaseSlot *slot) { profile_slot_ = slot; }
+
     const Cache &cache() const { return cache_; }
     const Directory &directory() const { return directory_; }
     sim::NodeId node() const { return node_; }
@@ -387,6 +393,7 @@ class CacheController : public sim::Clocked
     sim::Tick busy_until_ = 0;
     sim::Tick last_txn_issue_ = sim::kTickNever;
     ProtocolTracer *tracer_ = nullptr;
+    obs::PhaseSlot *profile_slot_ = nullptr;
 
     ControllerStats stats_;
 };

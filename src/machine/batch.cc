@@ -7,6 +7,7 @@
 
 #include <stdexcept>
 
+#include "obs/counters.hh"
 #include "util/logging.hh"
 
 namespace locsim {
@@ -106,12 +107,23 @@ MachineBatch::MachineBatch(const std::vector<BatchLaneSpec> &specs)
         shard_pool_ =
             std::make_unique<runner::ThreadPool>(shards - 1);
 
+    // Lanes share engines, so the shared phases (dispatch, rotation,
+    // quiescence, barrier waits) are wired once from the head lane's
+    // profiler; per-lane machines attach only their own components.
+    profiler_ = head.profiler;
+    if (profiler_ != nullptr) {
+        for (int s = 0; s < shards; ++s)
+            engines_[static_cast<std::size_t>(s)]->setProfiler(
+                &profiler_->slot(s, 0));
+    }
+
     BatchContext context;
     context.engines = engines_;
     context.stores = stores_.get();
     machines_.reserve(specs.size());
     for (int l = 0; l < lanes; ++l) {
         stores_->beginLane(l);
+        context.lane = l;
         machines_.push_back(std::make_unique<Machine>(
             specs[static_cast<std::size_t>(l)].config,
             specs[static_cast<std::size_t>(l)].mapping, &context));
@@ -127,7 +139,18 @@ MachineBatch::MachineBatch(const std::vector<BatchLaneSpec> &specs)
     }
 }
 
-MachineBatch::~MachineBatch() = default;
+MachineBatch::~MachineBatch()
+{
+    // The lanes' shared engines: skipped ticks are published once for
+    // the whole batch (the per-lane Machine dtors skip them).
+    sim::Tick skipped = 0;
+    for (const sim::Engine *engine : engines_)
+        skipped += engine->skippedTicks();
+    obs::CounterRegistry::process().add(
+        "sim.skipped_ticks", static_cast<std::uint64_t>(skipped));
+    // Machines must release the shared engines/stores before they do.
+    machines_.clear();
+}
 
 void
 MachineBatch::runTicks(sim::Tick ticks)
@@ -142,7 +165,8 @@ MachineBatch::runTicks(sim::Tick ticks)
         return;
     // Trace spans need not be emitted around the lockstep window:
     // batched lanes cannot trace.
-    sim::runLockstep(engines_, *shard_pool_, ticks, reference_, this);
+    sim::runLockstep(engines_, *shard_pool_, ticks, reference_, this,
+                     profiler_);
 }
 
 bool

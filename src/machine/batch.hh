@@ -108,6 +108,8 @@ class MachineBatch : private sim::LockstepSerial
     std::vector<std::unique_ptr<Machine>> machines_;
     bool reference_ = false;
     std::uint32_t ratio_ = 1;
+    /** Head lane's profiler (shared-phase wiring; may be null). */
+    obs::Profiler *profiler_ = nullptr;
 };
 
 } // namespace machine

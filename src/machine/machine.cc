@@ -10,6 +10,7 @@
 #include <ostream>
 #include <string>
 
+#include "obs/counters.hh"
 #include "sim/barrier.hh"
 #include "util/logging.hh"
 
@@ -78,6 +79,7 @@ Machine::Machine(const MachineConfig &config,
 
     if (batch != nullptr) {
         batched_ = true;
+        lane_ = batch->lane;
         engines_ = batch->engines;
         shards_ = static_cast<int>(engines_.size());
         LOCSIM_ASSERT(batch->stores != nullptr,
@@ -182,6 +184,29 @@ Machine::Machine(const MachineConfig &config,
         shard_pool_ =
             std::make_unique<runner::ThreadPool>(shards_ - 1);
 
+    if (config.profiler != nullptr) {
+        // Shared phases (dispatch, rotation, quiescence) belong to
+        // the shard, not the lane: a solo machine owns its engines and
+        // wires them here; batched lanes share engines, which the
+        // MachineBatch wires once itself. Per-component phases
+        // (router scan, coherence) carry this machine's lane so
+        // batched lanes stay separable.
+        if (!batched_) {
+            for (int s = 0; s < shards_; ++s) {
+                engines_[static_cast<std::size_t>(s)]->setProfiler(
+                    &config.profiler->slot(s, 0));
+            }
+        }
+        network_->setProfiler(config.profiler, lane_);
+        for (int s = 0; s < shards_; ++s) {
+            for (sim::NodeId node = plan.first(s); node < plan.last(s);
+                 ++node) {
+                controllers_[node]->setProfiler(
+                    &config.profiler->slot(s, lane_));
+            }
+        }
+    }
+
     if (config.trace.enabled) {
         // One tracer shard per simulation shard so emission stays
         // thread-local; with one shard this produces exactly the old
@@ -262,7 +287,23 @@ Machine::Machine(const MachineConfig &config,
     }
 }
 
-Machine::~Machine() = default;
+Machine::~Machine()
+{
+    // Publish execution diagnostics into the process counter registry
+    // on teardown (off every hot path). Batched lanes share engines,
+    // so their skipped-tick totals are published once by the
+    // MachineBatch instead.
+    obs::CounterRegistry &counters = obs::CounterRegistry::process();
+    if (!batched_) {
+        sim::Tick skipped = 0;
+        for (const sim::Engine *engine : engines_)
+            skipped += engine->skippedTicks();
+        counters.add("sim.skipped_ticks",
+                     static_cast<std::uint64_t>(skipped));
+    }
+    counters.add("net.alloc_stalls", network_->totalAllocStalls());
+    counters.add("net.remote_wakes", network_->totalRemoteWakes());
+}
 
 double
 Machine::mappingDistance() const
@@ -388,7 +429,8 @@ Machine::runSharded(sim::Tick ticks)
             engines_[static_cast<std::size_t>(s)]->skippedTicks();
 
     sim::runLockstep(engines_, *shard_pool_, ticks,
-                     config_.reference_stepping, this);
+                     config_.reference_stepping, this,
+                     config_.profiler);
 
     for (int s = 0; s < shards; ++s)
         engines_[static_cast<std::size_t>(s)]->emitRunSpan(
@@ -533,6 +575,12 @@ constexpr std::uint32_t kCheckpointVersion = 3;
 std::vector<std::uint8_t>
 Machine::saveCheckpoint() const
 {
+    obs::ScopedPhase profile(
+        config_.profiler != nullptr
+            ? &config_.profiler->slot(0, lane_)
+            : nullptr,
+        obs::Phase::CheckpointSave);
+
     LOCSIM_ASSERT(tracer_ == nullptr && sampler_ == nullptr,
                   "cannot checkpoint with tracing or sampling on");
 
@@ -577,6 +625,12 @@ Machine::restoreComponents(util::Deserializer &d)
 void
 Machine::restoreCheckpoint(const std::vector<std::uint8_t> &bytes)
 {
+    obs::ScopedPhase profile(
+        config_.profiler != nullptr
+            ? &config_.profiler->slot(0, lane_)
+            : nullptr,
+        obs::Phase::CheckpointRestore);
+
     LOCSIM_ASSERT(tracer_ == nullptr && sampler_ == nullptr,
                   "cannot restore with tracing or sampling on");
     LOCSIM_ASSERT(engines_.front()->now() == 0,

@@ -20,6 +20,7 @@
 
 #include "coher/controller.hh"
 #include "net/network.hh"
+#include "obs/profiler.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "proc/processor.hh"
@@ -115,6 +116,17 @@ struct MachineConfig
      * message latency (T_m), buffered flits, and allocation stalls.
      */
     sim::Tick sample_period = 0;
+
+    /**
+     * Host-side phase profiler (off by default; not owned, must
+     * outlive the machine). When set, the machine wires phase slots
+     * through every layer: engine dispatch/rotation/quiescence and
+     * lockstep barrier waits on slot (shard, 0), router scans and
+     * coherence ticks on slot (shard, lane), checkpoint save/restore
+     * on slot (0, lane). A host-only observer: it never influences
+     * simulated results and is excluded from the simulation cache key.
+     */
+    obs::Profiler *profiler = nullptr;
 };
 
 /**
@@ -187,6 +199,7 @@ struct BatchContext
 {
     std::vector<sim::Engine *> engines; //!< one per shard, shared
     net::LinkStores *stores = nullptr;  //!< lane-striped, shared
+    int lane = 0; //!< this machine's lane index (profiler column)
 };
 
 /** The assembled machine. */
@@ -368,6 +381,8 @@ class Machine : private sim::LockstepSerial
     int shards_ = 1;
     /** True when engines/link stores belong to a MachineBatch. */
     bool batched_ = false;
+    /** Batch lane index (0 for solo machines; profiler column). */
+    int lane_ = 0;
     /** Engines this solo machine owns (empty when batched). */
     std::vector<std::unique_ptr<sim::Engine>> owned_engines_;
     /** All K engines by shard (aliases owned_engines_ or the batch's). */

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hh"
 #include "util/logging.hh"
 
 namespace locsim {
@@ -118,6 +119,7 @@ Network::Network(const NetworkConfig &config,
                       static_cast<std::size_t>(K));
     tracers_.assign(static_cast<std::size_t>(K), nullptr);
     node_tracks_.assign(n, -1);
+    profile_slots_.assign(static_cast<std::size_t>(K), nullptr);
     for (int s = 0; s < K; ++s)
         shard_ticks_.push_back(std::make_unique<ShardTick>(*this, s));
 
@@ -558,6 +560,10 @@ Network::drainRecordMail(int dst_shard, sim::Tick now)
 void
 Network::tickShard(int s, sim::Tick now)
 {
+    obs::ScopedPhase profile(
+        profile_slots_[static_cast<std::size_t>(s)],
+        obs::Phase::RouterScan);
+
     const sim::NodeId lo = plan_.first(s);
     const sim::NodeId hi = plan_.last(s);
     // Latch the wake bits staged by last cycle's channel pushes
@@ -702,6 +708,15 @@ Network::totalAllocStalls() const
     for (const auto &router : routers_)
         stalls += router->allocStalls().value();
     return stalls;
+}
+
+std::uint64_t
+Network::totalRemoteWakes() const
+{
+    std::uint64_t wakes = 0;
+    for (const auto &router : routers_)
+        wakes += router->remoteWakes();
+    return wakes;
 }
 
 std::uint64_t
@@ -931,6 +946,15 @@ Network::setTracer(obs::Tracer *tracer)
 {
     for (int s = 0; s < plan_.shards; ++s)
         setShardTracer(s, tracer);
+}
+
+void
+Network::setProfiler(obs::Profiler *profiler, int lane)
+{
+    for (int s = 0; s < plan_.shards; ++s) {
+        profile_slots_[static_cast<std::size_t>(s)] =
+            profiler != nullptr ? &profiler->slot(s, lane) : nullptr;
+    }
 }
 
 void

@@ -58,6 +58,12 @@
 #include "util/serialize.hh"
 
 namespace locsim {
+
+namespace obs {
+class PhaseSlot;
+class Profiler;
+}
+
 namespace net {
 
 /** Network-wide configuration. */
@@ -303,6 +309,9 @@ class Network : public sim::Clocked
     /** Cumulative failed output-VC claims across all routers. */
     std::uint64_t totalAllocStalls() const;
 
+    /** Cumulative cross-shard wake drains (0 on sequential runs). */
+    std::uint64_t totalRemoteWakes() const;
+
     /** Flits currently buffered in all routers (sampler probe). */
     std::uint64_t bufferedFlits() const;
 
@@ -322,6 +331,14 @@ class Network : public sim::Clocked
      * on the destination's).
      */
     void setShardTracer(int s, obs::Tracer *tracer);
+
+    /**
+     * Attach a phase profiler (nullptr to detach; not owned). Each
+     * shard's router scan (tickShard) records Phase::RouterScan on
+     * slot (shard, @p lane) — per-component attribution, so batched
+     * lanes separate even though they share engines.
+     */
+    void setProfiler(obs::Profiler *profiler, int lane);
 
     /**
      * Serialize the complete fabric state: every channel and router in
@@ -485,6 +502,9 @@ class Network : public sim::Clocked
     /** Per-shard tracers (empty when tracing is off). */
     std::vector<obs::Tracer *> tracers_;
     std::vector<int> node_tracks_;
+
+    /** Per-shard profiler slots (all null when profiling is off). */
+    std::vector<obs::PhaseSlot *> profile_slots_;
 };
 
 } // namespace net

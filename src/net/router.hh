@@ -32,6 +32,7 @@
 
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <utility>
 
@@ -202,10 +203,14 @@ class Router
         flit_wake_ |= std::exchange(flit_wake_staged_, 0u);
         credit_wake_ |= std::exchange(credit_wake_staged_, 0u);
         if (has_remote_wakes_) {
-            flit_wake_ |= remote_flit_wake_.exchange(
+            const std::uint32_t flits = remote_flit_wake_.exchange(
                 0u, std::memory_order_relaxed);
-            credit_wake_ |= remote_credit_wake_.exchange(
+            const std::uint32_t credits = remote_credit_wake_.exchange(
                 0u, std::memory_order_relaxed);
+            flit_wake_ |= flits;
+            credit_wake_ |= credits;
+            remote_wakes_ += static_cast<std::uint64_t>(
+                std::popcount(flits) + std::popcount(credits));
         }
     }
 
@@ -252,6 +257,14 @@ class Router
 
     /** Failed output-VC claims (head flit blocked this cycle). */
     const stats::Counter &allocStalls() const { return alloc_stalls_; }
+
+    /**
+     * Cross-shard wake bits drained by latchWakes() (popcount of the
+     * remote wake words). An execution diagnostic for the counter
+     * registry — 0 in sequential runs, shard-count-dependent and not
+     * part of the simulated result, hence never serialized.
+     */
+    std::uint64_t remoteWakes() const { return remote_wakes_; }
 
     /**
      * Attach a tracer for flit-level detail (nullptr to detach; not
@@ -448,6 +461,8 @@ class Router
     std::atomic<std::uint32_t> remote_flit_wake_{0};
     std::atomic<std::uint32_t> remote_credit_wake_{0};
     bool has_remote_wakes_ = false;
+    /** See remoteWakes(); host diagnostic, excluded from saveState. */
+    std::uint64_t remote_wakes_ = 0;
     /** Input units (port * vcs + vc) with a non-empty flit buffer. */
     std::uint32_t vc_occupied_ = 0;
     /** Output ports with at least one owned (allocated) VC. */

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Build provenance for run manifests and --build-info: the git
+ * revision the build was configured from, the compiler, the flags,
+ * and the feature macros that change behavior. Values are baked in
+ * at CMake configure time (build_info.cc.in -> build_info.cc in the
+ * build tree), so a source tree without git reports "unknown" and a
+ * SHA can be one configure stale after a commit — provenance for
+ * humans and CI artifacts, not a cryptographic identity.
+ */
+
+#ifndef LOCSIM_OBS_BUILD_INFO_HH_
+#define LOCSIM_OBS_BUILD_INFO_HH_
+
+#include <iosfwd>
+
+namespace locsim {
+namespace obs {
+
+/** Abbreviated git revision at configure time ("unknown" without). */
+const char *buildGitSha();
+
+/** Compiler id and version (e.g. "GNU 13.2.0"). */
+const char *buildCompiler();
+
+/** Base CXX flags plus the active build type's flags. */
+const char *buildFlags();
+
+/** CMAKE_BUILD_TYPE (e.g. "Release"). */
+const char *buildType();
+
+/** True when LOCSIM_ASSERT is live (NDEBUG not defined). */
+bool buildAssertionsEnabled();
+
+/**
+ * Print the provenance block (one "key: value" line each) — the
+ * --build-info output, mirroring the manifest's "build" object.
+ */
+void printBuildInfo(std::ostream &os);
+
+} // namespace obs
+} // namespace locsim
+
+#endif // LOCSIM_OBS_BUILD_INFO_HH_

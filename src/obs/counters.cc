@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CounterRegistry implementation.
+ */
+
+#include "obs/counters.hh"
+
+namespace locsim {
+namespace obs {
+
+CounterRegistry &
+CounterRegistry::process()
+{
+    static CounterRegistry registry;
+    return registry;
+}
+
+void
+CounterRegistry::add(const std::string &name, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+void
+CounterRegistry::set(const std::string &name, std::uint64_t value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] = value;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+CounterRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {counters_.begin(), counters_.end()};
+}
+
+void
+CounterRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+}
+
+} // namespace obs
+} // namespace locsim

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Phase-name table for the host-side profiler.
+ */
+
+#include "obs/profiler.hh"
+
+namespace locsim {
+namespace obs {
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::EngineDispatch:
+        return "engine_dispatch";
+      case Phase::RouterScan:
+        return "router_scan";
+      case Phase::LinkRotation:
+        return "link_rotation";
+      case Phase::Coherence:
+        return "coherence";
+      case Phase::BarrierWait:
+        return "barrier_wait";
+      case Phase::Quiescence:
+        return "quiescence";
+      case Phase::CheckpointSave:
+        return "checkpoint_save";
+      case Phase::CheckpointRestore:
+        return "checkpoint_restore";
+      case Phase::CacheProbe:
+        return "cache_probe";
+      case Phase::CacheStore:
+        return "cache_store";
+    }
+    return "unknown";
+}
+
+} // namespace obs
+} // namespace locsim

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.hh"
 #include "obs/trace.hh"
 #include "sim/channel.hh"
 #include "util/logging.hh"
@@ -44,6 +45,11 @@ Engine::addChannel(Rotatable *channel)
 void
 Engine::beginTick()
 {
+    // Inclusive of the component ticks dispatched below: RouterScan /
+    // Coherence scopes recorded by components nest inside this one.
+    obs::ScopedPhase profile(profile_slot_,
+                             obs::Phase::EngineDispatch);
+
     // Fire any events due at the current time before components tick,
     // so event effects are visible within this cycle.
     events_.runUntil(now_);
@@ -69,6 +75,8 @@ Engine::beginTick()
 void
 Engine::finishTick()
 {
+    obs::ScopedPhase profile(profile_slot_, obs::Phase::LinkRotation);
+
     if (mode_ == StepMode::Reference) {
         // Dumb stepping: rotate every channel, every tick. Clean
         // channels are invariant under rotate(), so this differs from
@@ -102,6 +110,8 @@ Engine::allIdle() const
 void
 Engine::jumpIdleTo(Tick target)
 {
+    obs::ScopedPhase profile(profile_slot_, obs::Phase::Quiescence);
+
     LOCSIM_ASSERT(target > now_, "jumpIdleTo must move time forward");
     for (auto &entry : clocked_) {
         if (entry.next_due < target) {

@@ -41,6 +41,7 @@
 namespace locsim {
 
 namespace obs {
+class PhaseSlot;
 class Tracer;
 }
 
@@ -208,6 +209,15 @@ class Engine
         trace_track_ = track;
     }
 
+    /**
+     * Attach a phase-profiler slot (nullptr to detach; not owned).
+     * beginTick() records Phase::EngineDispatch (inclusive of the
+     * component ticks it dispatches), finishTick() LinkRotation, and
+     * jumpIdleTo() Quiescence. With a null slot each scope costs one
+     * predictable branch — the same discipline as the tracer.
+     */
+    void setProfiler(obs::PhaseSlot *slot) { profile_slot_ = slot; }
+
   private:
     void stepOneTick()
     {
@@ -241,6 +251,7 @@ class Engine
     Tick skipped_ticks_ = 0;
     obs::Tracer *tracer_ = nullptr;
     int trace_track_ = 0;
+    obs::PhaseSlot *profile_slot_ = nullptr;
 };
 
 } // namespace sim

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/profiler.hh"
 #include "sim/barrier.hh"
 #include "sim/engine.hh"
 #include "sim/types.hh"
@@ -69,11 +70,16 @@ class LockstepSerial
  *        of runner); must have at least engines.size()-1 workers.
  * @param reference step every tick (the Reference-mode oracle).
  * @param serial optional serial-point hook; may be null.
+ * @param profiler optional phase profiler; when set, each lane
+ *        records Phase::BarrierWait on its shard's slot around every
+ *        barrier arrival — the per-shard barrier-wait share is the
+ *        run manifest's imbalance signal.
  */
 template <typename Pool>
 void
 runLockstep(const std::vector<Engine *> &engines, Pool &pool,
-            Tick ticks, bool reference, LockstepSerial *serial)
+            Tick ticks, bool reference, LockstepSerial *serial,
+            obs::Profiler *profiler = nullptr)
 {
     const int shards = static_cast<int>(engines.size());
     const Tick start = engines.front()->now();
@@ -127,21 +133,30 @@ runLockstep(const std::vector<Engine *> &engines, Pool &pool,
 
     auto lane = [&](int s) {
         Engine &engine = *engines[static_cast<std::size_t>(s)];
+        obs::PhaseSlot *slot =
+            profiler != nullptr ? &profiler->slot(s, 0) : nullptr;
         for (;;) {
             if (s == 0)
                 decide();
-            barrier.arrive(); // decision published
+            {
+                obs::ScopedPhase wait(slot, obs::Phase::BarrierWait);
+                barrier.arrive(); // decision published
+            }
             if (ctl.op == Control::Op::Done)
                 break;
             if (ctl.op == Control::Op::Skip) {
                 engine.jumpIdleTo(ctl.target);
                 if (s == 0 && serial != nullptr)
                     serial->serialSkip(ctl.target);
+                obs::ScopedPhase wait(slot, obs::Phase::BarrierWait);
                 barrier.arrive(); // all shards at ctl.target
                 continue;
             }
             engine.beginTick();
-            barrier.arrive(); // phase A complete fabric-wide
+            {
+                obs::ScopedPhase wait(slot, obs::Phase::BarrierWait);
+                barrier.arrive(); // phase A complete fabric-wide
+            }
             if (s == 0 && ctl.sample) {
                 // Serial work between the phases: every component has
                 // run this tick, no channel has rotated yet — the same
@@ -153,7 +168,10 @@ runLockstep(const std::vector<Engine *> &engines, Pool &pool,
                 serial->serialTick(ctl.now);
             }
             engine.finishTick();
-            barrier.arrive(); // rotation complete fabric-wide
+            {
+                obs::ScopedPhase wait(slot, obs::Phase::BarrierWait);
+                barrier.arrive(); // rotation complete fabric-wide
+            }
         }
     };
 

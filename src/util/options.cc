@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 
 #include "util/logging.hh"
@@ -199,6 +200,25 @@ addObservabilityOptions(OptionParser &parser)
                   "metrics sample cadence in network cycles "
                   "(0: sampler off)",
                   0);
+    parser.addString("run-report",
+                     "write a JSON run manifest here (config, build, "
+                     "counters, phase profile; empty: off)",
+                     "");
+}
+
+void
+requireWritableParent(const std::string &path, const std::string &flag)
+{
+    namespace fs = std::filesystem;
+    const fs::path parent = fs::path(path).parent_path();
+    if (parent.empty())
+        return; // current directory
+    std::error_code ec;
+    if (!fs::is_directory(parent, ec)) {
+        LOCSIM_FATAL(flag, " path '", path,
+                     "': parent directory '", parent.string(),
+                     "' does not exist");
+    }
 }
 
 ObservabilityOptions
@@ -218,6 +238,13 @@ applyObservabilityOptions(const OptionParser &parser)
     obs.sample_period = parser.getInt("sample-period");
     if (obs.sample_period < 0)
         LOCSIM_FATAL("--sample-period must be >= 0");
+    obs.run_report = parser.getString("run-report");
+    // Output paths fail now (a typo'd directory would otherwise be
+    // discovered only when the artifact is written, after the run).
+    if (!obs.trace_out.empty())
+        requireWritableParent(obs.trace_out, "--trace-out");
+    if (!obs.run_report.empty())
+        requireWritableParent(obs.run_report, "--run-report");
     return obs;
 }
 

@@ -92,21 +92,34 @@ struct ObservabilityOptions
     bool flit_detail = false;
     /** --sample-period: metrics cadence in ticks; 0 disables. */
     long long sample_period = 0;
+    /** --run-report: JSON run-manifest path; empty means off. */
+    std::string run_report;
 };
 
 /**
- * Register --log-level, --trace-out, --trace-detail, and
- * --sample-period on @p parser (one shared definition so every binary
- * spells them identically).
+ * Register --log-level, --trace-out, --trace-detail, --sample-period,
+ * and --run-report on @p parser (one shared definition so every
+ * binary spells them identically).
  */
 void addObservabilityOptions(OptionParser &parser);
 
 /**
  * Read back the options registered by addObservabilityOptions() and
  * apply --log-level globally (setLogLevel). Call after parse().
+ * Output paths (--trace-out, --run-report) are validated here: a
+ * missing parent directory is fatal at parse time, before any
+ * simulation time is spent.
  */
 ObservabilityOptions
 applyObservabilityOptions(const OptionParser &parser);
+
+/**
+ * Fatal unless @p path could be created: its parent directory must
+ * exist. Used for output artifacts (--trace-out, --run-report) so
+ * typos fail before the run, not after; @p flag names the offender.
+ */
+void requireWritableParent(const std::string &path,
+                           const std::string &flag);
 
 } // namespace util
 } // namespace locsim

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON syntax validator shared by the
+ * observability tests — enough to reject malformed output (unbalanced
+ * structure, bad escapes, raw control bytes, trailing garbage)
+ * without a JSON library. Both the tracer and the run-report writer
+ * emit ASCII-only JSON, so bytes >= 0x80 are rejected outright rather
+ * than UTF-8-validated.
+ */
+
+#ifndef LOCSIM_TESTS_JSON_CHECKER_HH_
+#define LOCSIM_TESTS_JSON_CHECKER_HH_
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+namespace locsim {
+namespace testing {
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+                const char esc = s_[pos_];
+                if (esc == 'u') {
+                    for (int i = 1; i <= 4; ++i) {
+                        if (pos_ + i >= s_.size() ||
+                            std::isxdigit(static_cast<unsigned char>(
+                                s_[pos_ + i])) == 0)
+                            return false;
+                    }
+                    pos_ += 4;
+                } else if (std::string("\"\\/bfnrt").find(esc) ==
+                           std::string::npos) {
+                    return false;
+                }
+                ++pos_;
+                continue;
+            }
+            // Raw control bytes are invalid; bytes >= 0x80 would need
+            // UTF-8 validation, so reject them outright — see the
+            // file comment.
+            if (c < 0x20 || c >= 0x80)
+                return false;
+            ++pos_;
+        }
+        return false;
+    }
+
+    bool number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) !=
+                    0 ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_])) != 0)
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace testing
+} // namespace locsim
+
+#endif // LOCSIM_TESTS_JSON_CHECKER_HH_
