@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cache/key.hh"
+#include "cache/prefix.hh"
 #include "cache/store.hh"
 #include "machine/batch.hh"
 #include "machine/calibration.hh"
@@ -85,6 +86,17 @@ struct HarnessOptions
     bool no_cache = false;
     /** --cache-stats: print hit/miss counters to stderr at exit. */
     bool cache_stats = false;
+    /** --no-prefix-cache: run warmups from clock 0 even when cached. */
+    bool no_prefix_cache = false;
+    /** --prefix-rung-stride: intermediate prefix-image stride. */
+    std::uint64_t prefix_rung_stride = 0;
+
+    /**
+     * The prefix-checkpoint planner (see cache/prefix.hh), created iff
+     * a cache is configured and --no-prefix-cache is absent. Shared
+     * for the same reason as sim_cache: one planner, one stats block.
+     */
+    std::shared_ptr<locsim::cache::PrefixPlanner> prefix_planner;
 
     /**
      * The simulation cache selected by the flags, or null. Shared so
@@ -117,6 +129,18 @@ struct HarnessOptions
     {
         return sim_cache != nullptr && obs.trace_out.empty() &&
                obs.sample_period == 0;
+    }
+
+    /**
+     * True when cache misses should warm through the prefix planner
+     * (restore a stored warmup image instead of re-simulating it).
+     * Implies cacheUsable(): prefix reuse is a refinement of the
+     * result cache, never a path around its gating.
+     */
+    bool
+    prefixUsable() const
+    {
+        return prefix_planner != nullptr && cacheUsable();
     }
 };
 
@@ -155,6 +179,15 @@ parseHarnessOptions(int argc, const char *const *argv,
     opts.addFlag("no-cache", "bypass the simulation cache");
     opts.addFlag("cache-stats",
                  "print cache hit/miss counters to stderr");
+    opts.addFlag("no-prefix-cache",
+                 "disable prefix-checkpoint warmup reuse (on by "
+                 "default when --cache-dir is set; results are "
+                 "bit-identical either way)");
+    opts.addInt("prefix-rung-stride",
+                "additionally store prefix images every N processor "
+                "cycles below the warmup, so near-miss warmups share "
+                "a ladder (0 = warmup boundaries only)",
+                0);
     opts.addFlag("build-info",
                  "print build provenance (git SHA, compiler, flags) "
                  "and exit");
@@ -170,8 +203,24 @@ parseHarnessOptions(int argc, const char *const *argv,
     out.start_time = std::chrono::steady_clock::now();
     out.csv_path = opts.getString("csv");
     out.quick = opts.getFlag("quick");
-    out.warmup = static_cast<std::uint64_t>(opts.getInt("warmup"));
-    out.window = static_cast<std::uint64_t>(opts.getInt("window"));
+    // Validate on the raw ints: the uint64 cast below would turn a
+    // negative value into an astronomically long simulation instead
+    // of the diagnostic the typo deserves. A zero window measures
+    // nothing and a zero warmup measures transient cold-start state;
+    // both are always a mistyped flag, so fail before any simulation
+    // (the --trace-out path-validation convention).
+    const int warmup_arg = opts.getInt("warmup");
+    const int window_arg = opts.getInt("window");
+    if (warmup_arg <= 0) {
+        LOCSIM_FATAL("--warmup must be a positive cycle count, got ",
+                     warmup_arg);
+    }
+    if (window_arg <= 0) {
+        LOCSIM_FATAL("--window must be a positive cycle count, got ",
+                     window_arg);
+    }
+    out.warmup = static_cast<std::uint64_t>(warmup_arg);
+    out.window = static_cast<std::uint64_t>(window_arg);
     out.threads = opts.getInt("threads");
     // 0 is the "all cores" default; an explicit non-positive count is
     // always a mistake (a shell expansion gone wrong), so reject it
@@ -200,9 +249,13 @@ parseHarnessOptions(int argc, const char *const *argv,
                      "(batch lanes share engines and cannot trace); "
                      "drop one of the flags");
     }
+    // --quick shortens the *defaults*; an explicit --warmup/--window
+    // always wins (previously --quick silently overwrote both).
     if (out.quick) {
-        out.warmup = 2000;
-        out.window = 6000;
+        if (!opts.wasSet("warmup"))
+            out.warmup = 2000;
+        if (!opts.wasSet("window"))
+            out.window = 6000;
     }
     out.cache_dir = opts.getString("cache-dir");
     if (out.cache_dir.empty()) {
@@ -211,6 +264,17 @@ parseHarnessOptions(int argc, const char *const *argv,
     }
     out.no_cache = opts.getFlag("no-cache");
     out.cache_stats = opts.getFlag("cache-stats");
+    out.no_prefix_cache = opts.getFlag("no-prefix-cache");
+    const int rung_stride = opts.getInt("prefix-rung-stride");
+    if (opts.wasSet("prefix-rung-stride") && rung_stride <= 0) {
+        LOCSIM_FATAL(
+            "--prefix-rung-stride must be a positive cycle count, "
+            "got ",
+            rung_stride, " (omit the flag for warmup-boundary-only "
+            "prefix images)");
+    }
+    out.prefix_rung_stride =
+        static_cast<std::uint64_t>(rung_stride > 0 ? rung_stride : 0);
     if (!out.cache_dir.empty() && !out.no_cache) {
         try {
             out.sim_cache = std::make_shared<locsim::cache::SimCache>(
@@ -218,6 +282,13 @@ parseHarnessOptions(int argc, const char *const *argv,
         } catch (const std::exception &e) {
             LOCSIM_FATAL("--cache-dir rejected: ", e.what());
         }
+    }
+    if (out.sim_cache != nullptr && !out.no_prefix_cache) {
+        locsim::cache::PrefixOptions prefix_options;
+        prefix_options.rung_stride = out.prefix_rung_stride;
+        out.prefix_planner =
+            std::make_shared<locsim::cache::PrefixPlanner>(
+                *out.sim_cache, prefix_options);
     }
     if (!out.obs.run_report.empty()) {
         // Slot-grid guess: explicit --shards, else LOCSIM_SHARDS,
@@ -237,6 +308,30 @@ parseHarnessOptions(int argc, const char *const *argv,
             out.sim_cache->setProfileSlot(&out.profiler->hostSlot());
     }
     return out;
+}
+
+/**
+ * Simulate (config, warmup, window) for a cache miss: through the
+ * prefix planner when enabled (restore the shared warmup image, or
+ * produce and store it exactly once, then measure only the window),
+ * else a straight fresh-machine run. Bit-identical either way —
+ * measure() resets statistics at the warmup boundary, so the recorded
+ * Measurement depends only on the machine state there, which
+ * restore-then-extend reproduces exactly.
+ */
+inline machine::Measurement
+simulateForMiss(const HarnessOptions &options,
+                const machine::MachineConfig &config,
+                const workload::Mapping &mapping)
+{
+    if (options.prefixUsable()) {
+        const std::unique_ptr<machine::Machine> machine =
+            options.prefix_planner->warmMachine(config, mapping,
+                                                options.warmup);
+        return machine->measure(options.window);
+    }
+    machine::Machine machine(config, mapping);
+    return machine.run(options.warmup, options.window);
 }
 
 /**
@@ -272,9 +367,8 @@ runCachedMeasurement(const HarnessOptions &options,
         config, mapping, options.warmup, options.window);
     locsim::cache::SimCache &store = *options.sim_cache;
     const std::vector<std::uint8_t> payload = store.getOrRun(key, [&] {
-        machine::Machine machine(config, mapping);
         const machine::Measurement m =
-            machine.run(options.warmup, options.window);
+            simulateForMiss(options, config, mapping);
         util::Serializer s;
         machine::saveMeasurement(s, m);
         return s.takeBuffer();
@@ -289,9 +383,8 @@ runCachedMeasurement(const HarnessOptions &options,
         // Corrupt entry (torn write from a crashed run, foreign
         // bytes): drop it and recompute once.
         store.remove(key);
-        machine::Machine machine(config, mapping);
         const machine::Measurement m =
-            machine.run(options.warmup, options.window);
+            simulateForMiss(options, config, mapping);
         util::Serializer s;
         machine::saveMeasurement(s, m);
         store.getOrRun(key, [&] { return s.takeBuffer(); });
@@ -312,8 +405,12 @@ maybeReportCacheStats(const HarnessOptions &options)
     const locsim::cache::CacheStats s = options.sim_cache->stats();
     std::cerr << "cache-stats: hits=" << s.hits
               << " misses=" << s.misses << " stores=" << s.stores
-              << " dedup_hits=" << s.dedup_hits << " dir="
-              << options.sim_cache->dir().string() << "\n";
+              << " dedup_hits=" << s.dedup_hits
+              << " prefix_hits=" << s.prefix_hits
+              << " prefix_misses=" << s.prefix_misses
+              << " prefix_stores=" << s.prefix_stores
+              << " prefix_dedup_hits=" << s.prefix_dedup_hits
+              << " dir=" << options.sim_cache->dir().string() << "\n";
 }
 
 /** Map the shared observability options onto a machine config. */
@@ -390,6 +487,11 @@ maybeWriteRunReport(const HarnessOptions &options,
                      static_cast<long long>(options.obs.sample_period));
     report.addConfig("cache_dir", options.cache_dir);
     report.addConfig("cache_enabled", options.sim_cache != nullptr);
+    report.addConfig("prefix_cache_enabled",
+                     options.prefix_planner != nullptr);
+    report.addConfig("prefix_rung_stride",
+                     static_cast<std::uint64_t>(
+                         options.prefix_rung_stride));
     for (const SimPoint &p : points) {
         report.addSimulation(p.mapping + ".p" +
                                  std::to_string(p.contexts),
@@ -402,6 +504,10 @@ maybeWriteRunReport(const HarnessOptions &options,
         counters.set("cache.misses", s.misses);
         counters.set("cache.stores", s.stores);
         counters.set("cache.dedup_hits", s.dedup_hits);
+        counters.set("cache.prefix_hits", s.prefix_hits);
+        counters.set("cache.prefix_misses", s.prefix_misses);
+        counters.set("cache.prefix_stores", s.prefix_stores);
+        counters.set("cache.prefix_dedup_hits", s.prefix_dedup_hits);
     }
     report.setCounters(counters.snapshot());
     const double wall =
@@ -563,19 +669,97 @@ runValidationSims(const std::vector<int> &context_counts,
                 specs.push_back({config, cell.named->mapping});
             }
             if (!specs.empty()) {
-                machine::MachineBatch batch(specs);
-                const std::vector<machine::Measurement> results =
-                    batch.run(options.warmup, options.window);
-                for (std::size_t k = 0; k < misses.size(); ++k) {
-                    points[misses[k].slot].m = results[k];
-                    if (store != nullptr) {
-                        util::Serializer s;
-                        machine::saveMeasurement(s, results[k]);
-                        std::vector<std::uint8_t> bytes =
-                            s.takeBuffer();
-                        store->getOrRun(misses[k].key,
-                                        [&] { return bytes; });
+                locsim::cache::PrefixPlanner *planner =
+                    store != nullptr ? options.prefix_planner.get()
+                                     : nullptr;
+                const auto record =
+                    [&](std::size_t miss_index,
+                        const machine::Measurement &m) {
+                        points[misses[miss_index].slot].m = m;
+                        if (store != nullptr) {
+                            util::Serializer s;
+                            machine::saveMeasurement(s, m);
+                            std::vector<std::uint8_t> bytes =
+                                s.takeBuffer();
+                            store->getOrRun(misses[miss_index].key,
+                                            [&] { return bytes; });
+                        }
+                    };
+                // Split the chunk's misses by prefix-image
+                // availability: restorable lanes skip the warmup
+                // entirely, cold lanes advance it once as one batch
+                // (and leave images behind for every later window).
+                std::vector<std::size_t> cold;
+                std::vector<std::size_t> restorable;
+                std::vector<std::vector<std::uint8_t>> images;
+                for (std::size_t k = 0; k < specs.size(); ++k) {
+                    if (planner != nullptr) {
+                        if (auto image = planner->lookupImage(
+                                specs[k].config, specs[k].mapping,
+                                options.warmup)) {
+                            restorable.push_back(k);
+                            images.push_back(std::move(*image));
+                            continue;
+                        }
                     }
+                    cold.push_back(k);
+                }
+                if (!restorable.empty()) {
+                    std::vector<machine::BatchLaneSpec> lane_specs;
+                    for (std::size_t k : restorable)
+                        lane_specs.push_back(specs[k]);
+                    try {
+                        machine::MachineBatch batch(lane_specs);
+                        batch.restoreCheckpoints(images);
+                        const std::vector<machine::Measurement>
+                            results = batch.measure(options.window);
+                        for (std::size_t i = 0;
+                             i < restorable.size(); ++i) {
+                            record(restorable[i], results[i]);
+                            planner->noteRestored(
+                                specs[restorable[i]].config,
+                                specs[restorable[i]].mapping,
+                                options.warmup, images[i]);
+                        }
+                        restorable.clear();
+                    } catch (const std::exception &) {
+                        // Corrupt or stale images: drop them and
+                        // demote the lanes to a cold warmup, which
+                        // re-stores good images.
+                        for (std::size_t k : restorable) {
+                            planner->dropImage(specs[k].config,
+                                               specs[k].mapping,
+                                               options.warmup);
+                        }
+                        cold.insert(cold.end(), restorable.begin(),
+                                    restorable.end());
+                        restorable.clear();
+                    }
+                }
+                if (!cold.empty()) {
+                    std::vector<machine::BatchLaneSpec> lane_specs;
+                    for (std::size_t k : cold)
+                        lane_specs.push_back(specs[k]);
+                    machine::MachineBatch batch(lane_specs);
+                    batch.advance(options.warmup);
+                    if (planner != nullptr) {
+                        // Batched lanes save at the warmup boundary
+                        // only; rung materialization is a solo-
+                        // producer refinement.
+                        for (std::size_t i = 0; i < cold.size();
+                             ++i) {
+                            planner->storeProducedImage(
+                                specs[cold[i]].config,
+                                specs[cold[i]].mapping,
+                                options.warmup,
+                                batch.lane(static_cast<int>(i))
+                                    .saveCheckpoint());
+                        }
+                    }
+                    const std::vector<machine::Measurement> results =
+                        batch.measure(options.window);
+                    for (std::size_t i = 0; i < cold.size(); ++i)
+                        record(cold[i], results[i]);
                 }
             }
             return points;

@@ -204,6 +204,18 @@ def explain(base_phases, cur_phases):
     if top[0] > 0.5:
         lines.append(f"largest shift: {top[1]} (+{top[0]:.1f} points "
                      f"of profiled time) — look there first")
+        checkpoint_growth = sum(
+            d for d, name, _, _ in deltas
+            if d > 0 and name in ("checkpoint_save",
+                                  "checkpoint_restore"))
+        if checkpoint_growth > 0.5:
+            lines.append(
+                "checkpoint phases grew "
+                f"(+{checkpoint_growth:.1f} points): the regression "
+                "is prefix-cache overhead, not simulation — compare "
+                "BM_CheckpointRoundtrip, check image sizes and "
+                "--prefix-rung-stride, or rerun with "
+                "--no-prefix-cache to confirm")
     else:
         lines.append("no phase's share moved meaningfully; the "
                      "regression is spread evenly (or outside the "
@@ -296,6 +308,22 @@ def self_test():
         os.path.join(here, "fixtures", "manifest_disabled.json"))
     expect(disabled is None,
            "profiling-disabled manifest not reported as None")
+    # Checkpoint-phase attribution: a run whose time shifted into
+    # checkpoint_restore/checkpoint_save is ranked and called out as
+    # prefix-cache overhead.
+    ckpt_phases = load_manifest_phases(
+        os.path.join(here, "fixtures", "manifest_checkpoint.json"))
+    expect(ckpt_phases is not None,
+           "checkpoint fixture manifest did not load")
+    ckpt_lines = explain(base_phases, ckpt_phases)
+    expect(any("largest shift: checkpoint_restore" in l
+               for l in ckpt_lines),
+           f"checkpoint_restore growth not attributed: {ckpt_lines}")
+    expect(any("prefix-cache overhead" in l for l in ckpt_lines),
+           f"checkpoint growth hint missing: {ckpt_lines}")
+    base_lines = explain(base_phases, cur_phases)
+    expect(not any("prefix-cache overhead" in l for l in base_lines),
+           "checkpoint hint fired without checkpoint growth")
 
     if failures:
         for f in failures:

@@ -18,14 +18,21 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "util/alloc_count.hh"
 
+#include "cache/key.hh"
+#include "cache/prefix.hh"
+#include "cache/store.hh"
 #include "machine/machine.hh"
 #include "model/alewife.hh"
 #include "model/combined_model.hh"
@@ -326,6 +333,112 @@ BENCHMARK(BM_MachineConstruction)->Unit(benchmark::kMicrosecond);
  * measure the record path, not the cheaper post-cap drop path, while
  * still bounding memory if benchmark iterations run long.
  */
+/**
+ * Cost of one LSCK checkpoint round trip: serialize a warmed machine,
+ * construct a fresh twin, and restore the image into it. This is the
+ * fixed overhead the prefix cache pays per restored sweep point, so
+ * the "is restore cheaper than re-simulating the warmup" break-even
+ * the docs quote comes from these numbers. The fresh-machine
+ * construction is included deliberately — restoreCheckpoint requires
+ * one, so it is part of the real price of a restore.
+ */
+void
+BM_CheckpointRoundtrip(benchmark::State &state, int radix)
+{
+    machine::MachineConfig config;
+    config.radix = radix;
+    const auto nodes = static_cast<std::uint32_t>(radix) *
+                       static_cast<std::uint32_t>(radix);
+    const workload::Mapping mapping =
+        workload::Mapping::random(nodes, 9);
+    machine::Machine machine(config, mapping);
+    machine.advance(2000); // a realistic mid-warmup state
+    state.counters["image_bytes"] = benchmark::Counter(
+        static_cast<double>(machine.saveCheckpoint().size()));
+    const std::uint64_t allocs = heapAllocCount();
+    for (auto _ : state) {
+        const std::vector<std::uint8_t> image =
+            machine.saveCheckpoint();
+        machine::Machine restored(config, mapping);
+        restored.restoreCheckpoint(image);
+        benchmark::DoNotOptimize(&restored);
+    }
+    reportAllocs(state, allocs);
+}
+BENCHMARK_CAPTURE(BM_CheckpointRoundtrip, 8x8, 8)
+    ->Name("BM_CheckpointRoundtrip/8x8")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_CheckpointRoundtrip, 16x16, 16)
+    ->Name("BM_CheckpointRoundtrip/16x16")
+    ->Unit(benchmark::kMicrosecond);
+
+/**
+ * A cold three-window sweep over one shared warmup, exactly as the
+ * figure harnesses run it: each point goes through the result cache
+ * (always missing — the cache directory is fresh per iteration), and
+ * misses simulate either through the prefix planner (warmup runs
+ * once, later windows restore) or from clock zero. The ratio
+ * noprefix/prefix is the headline aggregate cold-sweep speedup
+ * compare_bench.py gates against BENCH_seed.json.
+ */
+void
+BM_PrefixSweep(benchmark::State &state, bool use_prefix)
+{
+    namespace fs = std::filesystem;
+    machine::MachineConfig config; // the 64-node validation machine
+    const workload::Mapping mapping =
+        workload::Mapping::random(64, 9);
+    constexpr std::uint64_t kWarmup = 8000;
+    const std::uint64_t windows[] = {200, 400, 600, 800, 1000};
+    std::uint64_t serial = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        const fs::path dir =
+            fs::temp_directory_path() /
+            ("locsim_prefix_sweep_" + std::to_string(::getpid()) +
+             "_" + std::to_string(serial++));
+        fs::remove_all(dir);
+        state.ResumeTiming();
+        {
+            cache::SimCache store(dir.string());
+            std::optional<cache::PrefixPlanner> planner;
+            if (use_prefix)
+                planner.emplace(store, cache::PrefixOptions{});
+            for (const std::uint64_t window : windows) {
+                const auto payload = store.getOrRun(
+                    cache::simKey(config, mapping, kWarmup, window),
+                    [&] {
+                        machine::Measurement m;
+                        if (planner.has_value()) {
+                            const auto machine = planner->warmMachine(
+                                config, mapping, kWarmup);
+                            m = machine->measure(window);
+                        } else {
+                            machine::Machine machine(config, mapping);
+                            m = machine.run(kWarmup, window);
+                        }
+                        util::Serializer s;
+                        machine::saveMeasurement(s, m);
+                        return s.takeBuffer();
+                    });
+                benchmark::DoNotOptimize(payload.data());
+            }
+        }
+        state.PauseTiming();
+        fs::remove_all(dir);
+        state.ResumeTiming();
+    }
+    // One item per sweep point, so items/second compares directly
+    // between the prefix and noprefix variants.
+    state.SetItemsProcessed(state.iterations() * 5);
+}
+BENCHMARK_CAPTURE(BM_PrefixSweep, prefix, true)
+    ->Name("BM_PrefixSweep/prefix")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PrefixSweep, noprefix, false)
+    ->Name("BM_PrefixSweep/noprefix")
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_FullMachineCyclesTraced(benchmark::State &state)
 {

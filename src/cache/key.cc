@@ -29,16 +29,20 @@ putGraph(util::Serializer &s, const workload::CommGraph &graph)
     }
 }
 
-} // namespace
-
-std::string
-simKey(const machine::MachineConfig &config,
-       const workload::Mapping &mapping, std::uint64_t warmup,
-       std::uint64_t window)
+/**
+ * Serialize every config/mapping field that shapes the simulated
+ * trajectory — the shared core of simKey (which appends the cycle
+ * budget) and prefixKey (which appends the checkpoint format version
+ * and the prefix clock). Late-binding fields (see the whitelist in
+ * key.hh) are deliberately absent from this function, so any field
+ * added to MachineConfig must be added either here or to that
+ * whitelist; tests/prefix_test.cc trips when neither happened.
+ */
+void
+putBehavioralConfig(util::Serializer &s,
+                    const machine::MachineConfig &config,
+                    const workload::Mapping &mapping)
 {
-    util::Serializer s;
-    s.put(kCacheSchemaVersion);
-
     // Machine geometry and clocks.
     s.put(config.radix);
     s.put(config.dims);
@@ -92,11 +96,38 @@ simKey(const machine::MachineConfig &config,
     s.put(mapping.size());
     for (std::uint32_t t = 0; t < mapping.size(); ++t)
         s.put(mapping.node(t));
+}
+
+} // namespace
+
+std::string
+simKey(const machine::MachineConfig &config,
+       const workload::Mapping &mapping, std::uint64_t warmup,
+       std::uint64_t window)
+{
+    util::Serializer s;
+    s.put(kCacheSchemaVersion);
+    putBehavioralConfig(s, config, mapping);
 
     // Cycle budget.
     s.put(warmup);
     s.put(window);
 
+    return util::Sha256::hashHex(s.buffer());
+}
+
+std::string
+prefixKey(const machine::MachineConfig &config,
+          const workload::Mapping &mapping, std::uint64_t clock)
+{
+    util::Serializer s;
+    s.put(kCacheSchemaVersion);
+    s.put(kPrefixSchemaVersion);
+    // The payload is a checkpoint image: a serialized-layout change
+    // must retire stored prefixes even when behavior is unchanged.
+    s.put(machine::checkpointFormatVersion());
+    putBehavioralConfig(s, config, mapping);
+    s.put(clock);
     return util::Sha256::hashHex(s.buffer());
 }
 

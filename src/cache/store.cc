@@ -1,6 +1,12 @@
 /**
  * @file
  * SimCache implementation.
+ *
+ * Both entry families — result payloads (.simcache) and prefix
+ * checkpoint images (.ckpt) — share one code path: lookupEntry /
+ * storePayload / getOrRunEntry parameterized by Kind. The in-flight
+ * singleflight map is keyed by the on-disk file name, so a result and
+ * a checkpoint with the same content hash never alias each other.
  */
 
 #include "cache/store.hh"
@@ -15,6 +21,16 @@ namespace locsim {
 namespace cache {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+const char *
+entrySuffix(int kind)
+{
+    return kind == 0 ? ".simcache" : ".ckpt";
+}
+
+} // namespace
 
 SimCache::SimCache(const std::string &dir) : dir_(dir)
 {
@@ -41,17 +57,17 @@ SimCache::SimCache(const std::string &dir) : dir_(dir)
 }
 
 fs::path
-SimCache::entryPath(const std::string &key) const
+SimCache::entryPath(const std::string &key, Kind kind) const
 {
-    return dir_ / (key + ".simcache");
+    return dir_ / (key + entrySuffix(static_cast<int>(kind)));
 }
 
 std::optional<std::vector<std::uint8_t>>
-SimCache::lookup(const std::string &key) const
+SimCache::lookupEntry(const std::string &key, Kind kind) const
 {
     obs::ScopedPhase profile(profile_slot_, obs::Phase::CacheProbe);
 
-    std::ifstream is(entryPath(key),
+    std::ifstream is(entryPath(key, kind),
                      std::ios::binary | std::ios::ate);
     if (!is)
         return std::nullopt;
@@ -67,15 +83,34 @@ SimCache::lookup(const std::string &key) const
     return bytes;
 }
 
+std::optional<std::vector<std::uint8_t>>
+SimCache::lookup(const std::string &key) const
+{
+    return lookupEntry(key, Kind::Result);
+}
+
+std::optional<std::vector<std::uint8_t>>
+SimCache::lookupCheckpoint(const std::string &key) const
+{
+    return lookupEntry(key, Kind::Checkpoint);
+}
+
 void
 SimCache::remove(const std::string &key)
 {
     std::error_code ec;
-    fs::remove(entryPath(key), ec);
+    fs::remove(entryPath(key, Kind::Result), ec);
 }
 
 void
-SimCache::storePayload(const std::string &key,
+SimCache::removeCheckpoint(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(entryPath(key, Kind::Checkpoint), ec);
+}
+
+void
+SimCache::storePayload(const std::string &key, Kind kind,
                        const std::vector<std::uint8_t> &payload)
 {
     obs::ScopedPhase profile(profile_slot_, obs::Phase::CacheStore);
@@ -105,7 +140,7 @@ SimCache::storePayload(const std::string &key,
         }
     }
     std::error_code ec;
-    fs::rename(temp, entryPath(key), ec);
+    fs::rename(temp, entryPath(key, kind), ec);
     if (ec) {
         std::error_code ec2;
         fs::remove(temp, ec2);
@@ -115,21 +150,26 @@ SimCache::storePayload(const std::string &key,
 }
 
 std::vector<std::uint8_t>
-SimCache::getOrRun(
-    const std::string &key,
+SimCache::getOrRunEntry(
+    const std::string &key, Kind kind,
     const std::function<std::vector<std::uint8_t>()> &compute)
 {
+    const bool checkpoint = kind == Kind::Checkpoint;
+    // Singleflight identity is the on-disk name: the two families
+    // never share a flight even under content-hash collision by key.
+    const std::string flight_key =
+        key + entrySuffix(static_cast<int>(kind));
     for (;;) {
         std::shared_ptr<InFlight> flight;
         bool owner = false;
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            auto it = in_flight_.find(key);
+            auto it = in_flight_.find(flight_key);
             if (it != in_flight_.end()) {
                 flight = it->second;
             } else {
                 flight = std::make_shared<InFlight>();
-                in_flight_.emplace(key, flight);
+                in_flight_.emplace(flight_key, flight);
                 owner = true;
             }
         }
@@ -139,7 +179,10 @@ SimCache::getOrRun(
             flight->done_cv.wait(fl, [&] { return flight->done; });
             if (!flight->failed) {
                 std::lock_guard<std::mutex> lock(mutex_);
-                ++stats_.dedup_hits;
+                if (checkpoint)
+                    ++stats_.prefix_dedup_hits;
+                else
+                    ++stats_.dedup_hits;
                 return flight->payload;
             }
             // The computing thread threw; loop and race to become the
@@ -150,12 +193,12 @@ SimCache::getOrRun(
         std::vector<std::uint8_t> payload;
         bool from_disk = false;
         try {
-            if (auto cached = lookup(key)) {
+            if (auto cached = lookupEntry(key, kind)) {
                 payload = std::move(*cached);
                 from_disk = true;
             } else {
                 payload = compute();
-                storePayload(key, payload);
+                storePayload(key, kind, payload);
             }
         } catch (...) {
             {
@@ -166,7 +209,7 @@ SimCache::getOrRun(
             flight->done_cv.notify_all();
             {
                 std::lock_guard<std::mutex> lock(mutex_);
-                in_flight_.erase(key);
+                in_flight_.erase(flight_key);
             }
             throw;
         }
@@ -178,8 +221,15 @@ SimCache::getOrRun(
         flight->done_cv.notify_all();
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            in_flight_.erase(key);
-            if (from_disk) {
+            in_flight_.erase(flight_key);
+            if (checkpoint) {
+                if (from_disk) {
+                    ++stats_.prefix_hits;
+                } else {
+                    ++stats_.prefix_misses;
+                    ++stats_.prefix_stores;
+                }
+            } else if (from_disk) {
                 ++stats_.hits;
             } else {
                 ++stats_.misses;
@@ -188,6 +238,22 @@ SimCache::getOrRun(
         }
         return payload;
     }
+}
+
+std::vector<std::uint8_t>
+SimCache::getOrRun(
+    const std::string &key,
+    const std::function<std::vector<std::uint8_t>()> &compute)
+{
+    return getOrRunEntry(key, Kind::Result, compute);
+}
+
+std::vector<std::uint8_t>
+SimCache::getOrRunCheckpoint(
+    const std::string &key,
+    const std::function<std::vector<std::uint8_t>()> &compute)
+{
+    return getOrRunEntry(key, Kind::Checkpoint, compute);
 }
 
 CacheStats

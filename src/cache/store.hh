@@ -49,6 +49,14 @@ struct CacheStats
     std::uint64_t misses = 0;     //!< computed (and stored)
     std::uint64_t stores = 0;     //!< payloads written to disk
     std::uint64_t dedup_hits = 0; //!< waited on a concurrent compute
+
+    /** @name Prefix-checkpoint entries (same meanings, .ckpt files) */
+    ///@{
+    std::uint64_t prefix_hits = 0;
+    std::uint64_t prefix_misses = 0;
+    std::uint64_t prefix_stores = 0;
+    std::uint64_t prefix_dedup_hits = 0;
+    ///@}
 };
 
 /** A content-addressed byte store rooted at one directory. */
@@ -88,6 +96,31 @@ class SimCache
     /** Remove @p key's entry, if present (corrupt-payload recovery). */
     void remove(const std::string &key);
 
+    /**
+     * @name Checkpoint-image entries
+     *
+     * A second entry family (`<key>.ckpt` beside `<key>.simcache`)
+     * holding prefix checkpoint images, with identical semantics:
+     * atomic temp+rename stores, singleflight getOrRun (so a prefix
+     * shared by many sweep points is produced exactly once per
+     * process, however many runner::ThreadPool lanes request it),
+     * and corrupt entries handled by the caller via remove +
+     * recompute. Keys come from cache::prefixKey, which folds in the
+     * checkpoint format version — schema versioning is content-
+     * addressed, like everything else in this store. Accounting lands
+     * in the prefix_* stats fields.
+     */
+    ///@{
+    std::vector<std::uint8_t> getOrRunCheckpoint(
+        const std::string &key,
+        const std::function<std::vector<std::uint8_t>()> &compute);
+
+    std::optional<std::vector<std::uint8_t>>
+    lookupCheckpoint(const std::string &key) const;
+
+    void removeCheckpoint(const std::string &key);
+    ///@}
+
     /** Lifetime hit/miss counters (thread-safe snapshot). */
     CacheStats stats() const;
 
@@ -111,9 +144,18 @@ class SimCache
         std::vector<std::uint8_t> payload;
     };
 
-    std::filesystem::path entryPath(const std::string &key) const;
-    void storePayload(const std::string &key,
+    /** Entry families: result payloads vs prefix checkpoint images. */
+    enum class Kind { Result, Checkpoint };
+
+    std::filesystem::path entryPath(const std::string &key,
+                                    Kind kind) const;
+    std::optional<std::vector<std::uint8_t>>
+    lookupEntry(const std::string &key, Kind kind) const;
+    void storePayload(const std::string &key, Kind kind,
                       const std::vector<std::uint8_t> &payload);
+    std::vector<std::uint8_t> getOrRunEntry(
+        const std::string &key, Kind kind,
+        const std::function<std::vector<std::uint8_t>()> &compute);
 
     std::filesystem::path dir_;
     mutable std::mutex mutex_; //!< guards stats_ and in_flight_

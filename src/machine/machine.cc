@@ -572,6 +572,12 @@ constexpr std::uint32_t kCheckpointVersion = 3;
 
 } // namespace
 
+std::uint32_t
+checkpointFormatVersion()
+{
+    return kCheckpointVersion;
+}
+
 std::vector<std::uint8_t>
 Machine::saveCheckpoint() const
 {

@@ -188,6 +188,14 @@ void saveMeasurement(util::Serializer &s, const Measurement &m);
 Measurement loadMeasurement(util::Deserializer &d);
 
 /**
+ * The LSCK checkpoint format version Machine::saveCheckpoint emits
+ * (and restoreCheckpoint requires). Content-addressed stores of
+ * checkpoint images fold it into their keys so a layout bump retires
+ * stored images without a scan (see cache::prefixKey).
+ */
+std::uint32_t checkpointFormatVersion();
+
+/**
  * Shared execution context for one lane of a machine batch (see
  * machine/batch.hh): the shard engines every lane registers its
  * components with, and the lane-striped link stores every lane's
