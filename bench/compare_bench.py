@@ -16,6 +16,14 @@ and a benchmark whose baseline is allocation-free (allocs_per_op == 0)
 regresses on ANY nonzero value — zero-allocation steady state is a
 property, not a quantity, so there is no tolerance band around it.
 
+The large-radix benchmarks additionally report bytes_per_node (the
+machine's deterministic explicit memory accounting, the same figure
+run manifests publish as mem.bytes_per_node). When the baseline entry
+records it, it is gated by the same percentage threshold — a change
+that bloats per-node resident state fails even if it is not slower.
+peak_rss_mb is never gated: it is a cumulative process high-water
+mark and depends on benchmark ordering and the host allocator.
+
 Baseline entries may carry "multicore_only": true (the sharded
 BM_FullMachineCycles variants). Those measure parallel speedup, which
 does not exist on a single-core host: there the shard barriers only
@@ -62,7 +70,8 @@ import os
 import statistics
 import sys
 
-METRICS = (("ns_per_op", "ns/op"), ("allocs_per_op", "allocs/op"))
+METRICS = (("ns_per_op", "ns/op"), ("allocs_per_op", "allocs/op"),
+           ("bytes_per_node", "bytes/node"))
 
 
 def load(path):
@@ -260,6 +269,12 @@ def self_test():
            "nonzero-from-zero allocs_per_op not flagged")
     expect(("BM_WithinNoise", "ns/op") not in flagged,
            "within-threshold delta wrongly flagged")
+    # Footprint gate: bytes_per_node grew ~49%, well past threshold;
+    # the 18x peak_rss_mb jump must NOT fire (never gated).
+    expect(("BM_Footprint", "bytes/node") in flagged,
+           "bytes_per_node regression beyond threshold not flagged")
+    expect(("BM_Footprint", "ns/op") not in flagged,
+           "within-threshold footprint ns/op wrongly flagged")
     expect(("BM_ShardedOnly", "ns/op") not in flagged,
            "multicore-only entry gated on a single-core host")
     expect(skipped == ["BM_ShardedOnly"],
@@ -273,7 +288,7 @@ def self_test():
            "missed aggregate-speedup target not flagged")
     expect(("BM_BatchDocumented", "aggregate speedup") not in flagged,
            "documented-miss aggregate-speedup spec wrongly gated")
-    expect(len(flagged) == 3, f"unexpected regressions: {flagged}")
+    expect(len(flagged) == 4, f"unexpected regressions: {flagged}")
 
     # Multi-core host: the sharded entry is gated like any other.
     _, regs, skipped = compare(base, [cur], 10.0, cores=8)

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include "util/alloc_count.hh"
@@ -83,6 +84,35 @@ reportAllocs(benchmark::State &state, std::uint64_t before)
     state.counters["allocs_per_op"] = benchmark::Counter(
         static_cast<double>(after - before) /
         static_cast<double>(state.iterations()));
+}
+
+/** Process peak RSS in bytes (Linux ru_maxrss is KiB). */
+std::uint64_t
+peakRssBytes()
+{
+    struct rusage usage
+    {
+    };
+    ::getrusage(RUSAGE_SELF, &usage);
+    return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+}
+
+/**
+ * Attach the large-radix footprint counters: bytes_per_node is the
+ * machine's deterministic explicit accounting (the same number the
+ * run manifests publish as mem.bytes_per_node), so the baseline can
+ * gate it; peak_rss_mb is the process high-water mark, informational
+ * only — it is cumulative across every benchmark that ran before this
+ * one and varies with the host allocator.
+ */
+void
+reportFootprint(benchmark::State &state,
+                const machine::Machine &machine, std::uint32_t nodes)
+{
+    state.counters["bytes_per_node"] = benchmark::Counter(
+        static_cast<double>(machine.memoryBytes() / nodes));
+    state.counters["peak_rss_mb"] = benchmark::Counter(
+        static_cast<double>(peakRssBytes()) / (1024.0 * 1024.0));
 }
 
 void
@@ -326,6 +356,84 @@ BM_MachineConstruction(benchmark::State &state)
 }
 BENCHMARK(BM_MachineConstruction)->Unit(benchmark::kMicrosecond);
 
+/*
+ * The large-radix scaling tier: 48x48 (2304 nodes) and 64x64 (4096
+ * nodes) machines, far past the paper's 64-node validation platform.
+ * These exist to keep the compact per-node representation honest —
+ * bytes_per_node is gated by compare_bench.py against BENCH_seed.json
+ * alongside ns/op, so a representation change that bloats resident
+ * state fails CI even if it is not slower.
+ */
+
+/**
+ * Full construct-and-tear-down at large radix. Above the parallel-
+ * construction threshold (64x64) this also times the threaded build
+ * path that sequential BM_MachineConstruction never exercises.
+ */
+void
+BM_LargeRadixConstruction(benchmark::State &state, int radix)
+{
+    machine::MachineConfig config;
+    config.radix = radix;
+    const auto nodes = static_cast<std::uint32_t>(radix) *
+                       static_cast<std::uint32_t>(radix);
+    const workload::Mapping mapping =
+        workload::Mapping::random(nodes, 9);
+    const std::uint64_t allocs = heapAllocCount();
+    for (auto _ : state) {
+        machine::Machine machine(config, mapping);
+        benchmark::DoNotOptimize(&machine);
+    }
+    reportAllocs(state, allocs);
+    // Footprint of a cold machine (pre-traffic): the number a fresh
+    // construction commits to before any line is touched.
+    machine::Machine machine(config, mapping);
+    reportFootprint(state, machine, nodes);
+}
+BENCHMARK_CAPTURE(BM_LargeRadixConstruction, 48x48, 48)
+    ->Name("BM_LargeRadixConstruction/48x48")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LargeRadixConstruction, 64x64, 64)
+    ->Name("BM_LargeRadixConstruction/64x64")
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Simulated cycles per second at large radix, after a short warmup.
+ * The warmup is deliberately brief (full allocation steady state at
+ * 4096 nodes would dominate the whole micro_perf run), so the
+ * reported allocs_per_op depends on how many iterations the harness
+ * chose — the baseline gates ns/op and bytes_per_node only. The
+ * bytes_per_node here is the *warm* footprint: caches and directories
+ * have absorbed real traffic.
+ */
+void
+BM_LargeRadixSimCycles(benchmark::State &state, int radix)
+{
+    machine::MachineConfig config;
+    config.radix = radix;
+    const auto nodes = static_cast<std::uint32_t>(radix) *
+                       static_cast<std::uint32_t>(radix);
+    machine::Machine machine(config,
+                             workload::Mapping::random(nodes, 9));
+    machine.advance(500); // brief warm: touch caches/directories
+    for (auto _ : state)
+        machine.advance(50); // 100 network cycles
+    state.SetItemsProcessed(state.iterations() * 100);
+    reportFootprint(state, machine, nodes);
+}
+// Iteration counts are pinned (not harness-chosen): the machine's
+// warm footprint depends on how many cycles ran before the counter
+// is read, so a floating count would make the gated bytes_per_node
+// wobble with host speed.
+BENCHMARK_CAPTURE(BM_LargeRadixSimCycles, 48x48, 48)
+    ->Name("BM_LargeRadixSimCycles/48x48")
+    ->Iterations(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_LargeRadixSimCycles, 64x64, 64)
+    ->Name("BM_LargeRadixSimCycles/64x64")
+    ->Iterations(4)
+    ->Unit(benchmark::kMillisecond);
+
 /**
  * Same machine with message-level tracing enabled: measures the cost
  * of recording (the null-sink cost when tracing is off is covered by
@@ -482,7 +590,9 @@ class CollectingReporter : public benchmark::ConsoleReporter
         std::string name;
         double ns_per_op = 0.0;
         std::int64_t iterations = 0;
-        double allocs_per_op = -1.0; //!< <0 = not measured
+        double allocs_per_op = -1.0;  //!< <0 = not measured
+        double bytes_per_node = -1.0; //!< <0 = not measured
+        double peak_rss_mb = -1.0;    //!< <0 = not measured
     };
 
     void
@@ -503,6 +613,12 @@ class CollectingReporter : public benchmark::ConsoleReporter
             const auto it = run.counters.find("allocs_per_op");
             if (it != run.counters.end())
                 entry.allocs_per_op = it->second.value;
+            const auto bytes = run.counters.find("bytes_per_node");
+            if (bytes != run.counters.end())
+                entry.bytes_per_node = bytes->second.value;
+            const auto rss = run.counters.find("peak_rss_mb");
+            if (rss != run.counters.end())
+                entry.peak_rss_mb = rss->second.value;
             entries.push_back(std::move(entry));
         }
         ConsoleReporter::ReportRuns(runs);
@@ -544,6 +660,12 @@ writeJson(const std::string &path,
         if (e.allocs_per_op >= 0.0)
             std::fprintf(file, ", \"allocs_per_op\": %.6g",
                          e.allocs_per_op);
+        if (e.bytes_per_node >= 0.0)
+            std::fprintf(file, ", \"bytes_per_node\": %.6g",
+                         e.bytes_per_node);
+        if (e.peak_rss_mb >= 0.0)
+            std::fprintf(file, ", \"peak_rss_mb\": %.6g",
+                         e.peak_rss_mb);
         std::fprintf(file, "}%s\n",
                      i + 1 < entries.size() ? "," : "");
     }

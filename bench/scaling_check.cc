@@ -13,8 +13,12 @@
  * regime.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/common.hh"
 #include "util/csv.hh"
@@ -22,12 +26,69 @@
 
 using namespace locsim;
 
+namespace {
+
+/** Radixes whose runs are capped to quick-mode windows. */
+constexpr int kLargeRadix = 32;
+
+/** Parse a comma-separated radix list ("8,16,48"). */
+std::vector<int>
+parseRadixList(const std::string &arg)
+{
+    std::vector<int> radixes;
+    std::size_t pos = 0;
+    while (pos <= arg.size()) {
+        const std::size_t comma = arg.find(',', pos);
+        const std::string item =
+            arg.substr(pos, comma == std::string::npos
+                                ? std::string::npos
+                                : comma - pos);
+        char *end = nullptr;
+        const long radix = std::strtol(item.c_str(), &end, 10);
+        if (item.empty() || end == nullptr || *end != '\0' ||
+            radix < 2) {
+            LOCSIM_FATAL("--radix-list expects comma-separated "
+                         "radixes >= 2, got '",
+                         arg, "'");
+        }
+        radixes.push_back(static_cast<int>(radix));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return radixes;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    // Peel --radix-list before the common parser (the micro_perf
+    // custom-flag convention); the manifest still records the full
+    // command line below.
+    std::vector<int> radixes = {8, 10, 12, 16, 48};
+    std::vector<const char *> filtered;
+    for (int i = 0; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--radix-list=", 13) == 0) {
+            radixes = parseRadixList(arg + 13);
+            continue;
+        }
+        if (std::strcmp(arg, "--radix-list") == 0) {
+            if (i + 1 >= argc)
+                LOCSIM_FATAL("--radix-list needs a value");
+            radixes = parseRadixList(argv[++i]);
+            continue;
+        }
+        filtered.push_back(arg);
+    }
+
     bench::HarnessOptions options = bench::parseHarnessOptions(
-        argc, argv, "scaling_check",
+        static_cast<int>(filtered.size()), filtered.data(),
+        "scaling_check",
         "measured vs predicted locality gain as machines scale");
+    options.argv.assign(argv, argv + argc);
     if (!options.quick)
         options.window = 12000; // larger machines cost more per cycle
 
@@ -37,13 +98,20 @@ main(int argc, char **argv)
     util::TextTable table({"nodes", "d random", "gain sim",
                            "gain model", "r_t ideal", "r_t random"});
     std::vector<std::vector<std::string>> csv_rows;
-    for (int radix : {8, 10, 12, 16}) {
+    for (int radix : radixes) {
         const auto nodes =
             static_cast<std::uint32_t>(radix * radix);
+        // Large radixes pay far more per cycle; cap them to the quick
+        // defaults so one scaling point doesn't dominate the sweep.
+        bench::HarnessOptions point = options;
+        if (radix >= kLargeRadix) {
+            point.warmup = std::min<std::uint64_t>(point.warmup, 2000);
+            point.window = std::min<std::uint64_t>(point.window, 6000);
+        }
         auto run = [&](const workload::Mapping &mapping) {
             machine::MachineConfig config;
             config.radix = radix;
-            return bench::runCachedMeasurement(options, config,
+            return bench::runCachedMeasurement(point, config,
                                                mapping);
         };
         const auto ideal = run(workload::Mapping::identity(nodes));

@@ -5,6 +5,8 @@
 
 #include "coher/cache.hh"
 
+#include <stdexcept>
+
 #include "util/logging.hh"
 
 namespace locsim {
@@ -17,7 +19,7 @@ Cache::Cache(std::uint32_t cache_bytes)
                   "cache size must be a positive multiple of the line "
                   "size, got ",
                   cache_bytes);
-    lines_.resize(cache_bytes / kLineBytes);
+    sets_ = cache_bytes / kLineBytes;
 }
 
 std::uint32_t
@@ -26,29 +28,16 @@ Cache::setIndex(Addr addr) const
     // Direct-mapped, indexed by the node-local line offset (the low
     // half of the address); lines at the same local offset on
     // different homes conflict, as in a physically indexed cache.
-    return lineIndexOf(addr) %
-           static_cast<std::uint32_t>(lines_.size());
-}
-
-Cache::Line &
-Cache::lineFor(Addr addr)
-{
-    return lines_[setIndex(addr)];
-}
-
-const Cache::Line &
-Cache::lineFor(Addr addr) const
-{
-    return lines_[setIndex(addr)];
+    return lineIndexOf(addr) % sets_;
 }
 
 CacheLookup
 Cache::lookup(Addr addr) const
 {
-    const Line &line = lineFor(addr);
-    if (!line.valid || line.addr != lineOf(addr))
+    const Line *line = lines_.find(setIndex(addr));
+    if (!line || !line->valid || line->addr != lineOf(addr))
         return {};
-    return {line.state, line.data};
+    return {line->state, line->data};
 }
 
 std::optional<Eviction>
@@ -56,7 +45,11 @@ Cache::fill(Addr addr, CacheState state, std::uint64_t data)
 {
     LOCSIM_ASSERT(state != CacheState::Invalid,
                   "cannot fill a line Invalid");
-    Line &line = lineFor(addr);
+    const std::uint32_t set = setIndex(addr);
+    Line *lp = lines_.find(set);
+    if (!lp)
+        lp = &lines_.insert(set, Line{});
+    Line &line = *lp;
     std::optional<Eviction> evicted;
     if (line.valid && line.addr != lineOf(addr)) {
         evicted = Eviction{line.addr, line.state, line.data};
@@ -71,34 +64,34 @@ Cache::fill(Addr addr, CacheState state, std::uint64_t data)
 void
 Cache::setState(Addr addr, CacheState state)
 {
-    Line &line = lineFor(addr);
-    LOCSIM_ASSERT(line.valid && line.addr == lineOf(addr),
+    Line *line = lines_.find(setIndex(addr));
+    LOCSIM_ASSERT(line && line->valid && line->addr == lineOf(addr),
                   "setState on a non-resident line");
     if (state == CacheState::Invalid) {
-        line.valid = false;
-        line.state = CacheState::Invalid;
+        line->valid = false;
+        line->state = CacheState::Invalid;
     } else {
-        line.state = state;
+        line->state = state;
     }
 }
 
 void
 Cache::writeData(Addr addr, std::uint64_t data)
 {
-    Line &line = lineFor(addr);
-    LOCSIM_ASSERT(line.valid && line.addr == lineOf(addr) &&
-                      line.state == CacheState::Modified,
+    Line *line = lines_.find(setIndex(addr));
+    LOCSIM_ASSERT(line && line->valid && line->addr == lineOf(addr) &&
+                      line->state == CacheState::Modified,
                   "writeData requires a resident Modified line");
-    line.data = data;
+    line->data = data;
 }
 
 void
 Cache::invalidate(Addr addr)
 {
-    Line &line = lineFor(addr);
-    if (line.valid && line.addr == lineOf(addr)) {
-        line.valid = false;
-        line.state = CacheState::Invalid;
+    Line *line = lines_.find(setIndex(addr));
+    if (line && line->valid && line->addr == lineOf(addr)) {
+        line->valid = false;
+        line->state = CacheState::Invalid;
     }
 }
 
@@ -106,9 +99,47 @@ std::uint32_t
 Cache::residentLines() const
 {
     std::uint32_t count = 0;
-    for (const Line &line : lines_)
+    lines_.forEach([&](std::uint32_t, const Line &line) {
         count += line.valid ? 1 : 0;
+    });
     return count;
+}
+
+void
+Cache::saveState(util::Serializer &s) const
+{
+    s.put<std::uint64_t>(sets_);
+    const Line untouched{};
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        const Line *found = lines_.find(set);
+        const Line &line = found ? *found : untouched;
+        s.put(line.valid);
+        s.put(line.addr);
+        s.put(line.state);
+        s.put(line.data);
+    }
+}
+
+void
+Cache::loadState(util::Deserializer &d)
+{
+    const auto n = d.get<std::uint64_t>();
+    if (n != sets_)
+        throw std::runtime_error("Cache::loadState: geometry mismatch");
+    lines_.clear();
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        Line line;
+        line.valid = d.getBool();
+        line.addr = d.get<Addr>();
+        line.state = d.get<CacheState>();
+        line.data = d.get<std::uint64_t>();
+        // Only touched sets materialize records; an all-default record
+        // is byte-identical to an absent one on the next save.
+        if (line.valid || line.addr != 0 || line.data != 0 ||
+            line.state != CacheState::Invalid) {
+            lines_.insert(set, line);
+        }
+    }
 }
 
 } // namespace coher

@@ -7,6 +7,15 @@
  * The cache stores one 64-bit verification word per line (the
  * synthetic application's state word) so protocol correctness can be
  * checked end to end.
+ *
+ * Storage is sparse: the workload touches a handful of sets per node,
+ * so line records are materialized on first touch in a flat map keyed
+ * by set index instead of a dense 4096-set array (128KB per node at
+ * the default geometry). A touched set's record is never dropped —
+ * invalidation leaves the stale tag/data residue in place exactly as
+ * the dense array did, which keeps checkpoint bytes identical
+ * (saveState walks sets 0..N-1, emitting the default record for
+ * never-touched sets).
  */
 
 #ifndef LOCSIM_COHER_CACHE_HH_
@@ -14,9 +23,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "coher/protocol.hh"
+#include "util/flat_map.hh"
 #include "util/serialize.hh"
 
 namespace locsim {
@@ -55,10 +64,7 @@ class Cache
     explicit Cache(std::uint32_t cache_bytes);
 
     /** Number of sets (lines) in the cache. */
-    std::uint32_t sets() const
-    {
-        return static_cast<std::uint32_t>(lines_.size());
-    }
+    std::uint32_t sets() const { return sets_; }
 
     /** Probe for an address without changing state. */
     CacheLookup lookup(Addr addr) const;
@@ -91,49 +97,32 @@ class Cache
     /** Count of resident (non-invalid) lines. */
     std::uint32_t residentLines() const;
 
-    /** Serialize all lines (geometry comes from the config). */
-    void
-    saveState(util::Serializer &s) const
-    {
-        s.put<std::uint64_t>(lines_.size());
-        for (const Line &line : lines_) {
-            s.put(line.valid);
-            s.put(line.addr);
-            s.put(line.state);
-            s.put(line.data);
-        }
-    }
+    /** Resident bytes of cache storage (footprint accounting). */
+    std::size_t memoryBytes() const { return lines_.memoryBytes(); }
 
-    void
-    loadState(util::Deserializer &d)
-    {
-        const auto n = d.get<std::uint64_t>();
-        if (n != lines_.size())
-            throw std::runtime_error(
-                "Cache::loadState: geometry mismatch");
-        for (Line &line : lines_) {
-            line.valid = d.getBool();
-            line.addr = d.get<Addr>();
-            line.state = d.get<CacheState>();
-            line.data = d.get<std::uint64_t>();
-        }
-    }
+    /**
+     * Serialize all sets in index order (geometry comes from the
+     * config). Never-touched sets emit the default record, so the
+     * byte stream matches the historical dense-array layout.
+     */
+    void saveState(util::Serializer &s) const;
+
+    void loadState(util::Deserializer &d);
 
   private:
     struct Line
     {
-        bool valid = false;
         Addr addr = 0; // line-aligned address (acts as the tag)
-        CacheState state = CacheState::Invalid;
         std::uint64_t data = 0;
+        CacheState state = CacheState::Invalid;
+        bool valid = false;
     };
 
     std::uint32_t setIndex(Addr addr) const;
 
-    Line &lineFor(Addr addr);
-    const Line &lineFor(Addr addr) const;
-
-    std::vector<Line> lines_;
+    std::uint32_t sets_ = 0;
+    /** Touched sets only, keyed by set index; records never erased. */
+    util::FlatMap<std::uint32_t, Line> lines_;
 };
 
 } // namespace coher

@@ -413,7 +413,7 @@ CacheController::fillLine(Addr addr, CacheState state,
         entry.memory = evicted->data;
         entry.state = DirState::Uncached;
         entry.owner = sim::kNodeNone;
-        entry.sharers.clear();
+        directory_.clearSharers(entry);
     } else {
         send(home, MsgType::PutX, evicted->addr, evicted->data, node_,
              0);
@@ -465,8 +465,8 @@ CacheController::overflowPenalty(const DirEntry &entry)
         return 0;
     // Hardware pointers track remote copies; the home's own cached
     // copy needs no pointer.
-    std::size_t remote = entry.sharers.size();
-    if (Directory::isSharer(entry, node_))
+    std::size_t remote = entry.sharer_count;
+    if (directory_.isSharer(entry, node_))
         --remote;
     if (remote <= config_.dir_pointers)
         return 0;
@@ -484,7 +484,7 @@ CacheController::invalidateSharers(DirEntry &entry, Addr addr,
                                    sim::NodeId keep)
 {
     int sent = 0;
-    for (sim::NodeId sharer : entry.sharers) {
+    for (sim::NodeId sharer : directory_.sharers(entry)) {
         if (sharer == keep)
             continue;
         if (sharer == node_) {
@@ -528,7 +528,7 @@ CacheController::homeLocalAccess(const MemRequest &req)
             fillLine(req.addr, CacheState::Shared, entry.memory);
             if (entry.state == DirState::Uncached)
                 entry.state = DirState::Shared;
-            Directory::addSharer(entry, node_);
+            directory_.addSharer(entry, node_);
             respond_local(entry.memory, overflowPenalty(entry));
             return;
         }
@@ -573,7 +573,7 @@ CacheController::homeLocalAccess(const MemRequest &req)
     // No remote copies: take exclusive ownership locally.
     entry.state = DirState::Exclusive;
     entry.owner = node_;
-    entry.sharers.clear();
+    directory_.clearSharers(entry);
     fillLine(req.addr, CacheState::Modified, entry.memory);
     cache_.writeData(req.addr, req.store_value);
     respond_local(req.store_value);
@@ -601,9 +601,10 @@ CacheController::homeGetS(const ProtoMsg &msg)
             cache_.setState(msg.addr, CacheState::Shared);
             entry.memory = local.data;
             entry.state = DirState::Shared;
-            entry.sharers = {node_};
+            directory_.clearSharers(entry);
+            directory_.addSharer(entry, node_);
             entry.owner = sim::kNodeNone;
-            Directory::addSharer(entry, msg.sender);
+            directory_.addSharer(entry, msg.sender);
             send(msg.sender, MsgType::DataS, msg.addr, entry.memory,
                  msg.sender, config_.mem_latency, 2);
             return;
@@ -618,7 +619,7 @@ CacheController::homeGetS(const ProtoMsg &msg)
 
     if (entry.state == DirState::Uncached)
         entry.state = DirState::Shared;
-    Directory::addSharer(entry, msg.sender);
+    directory_.addSharer(entry, msg.sender);
     const std::uint32_t penalty = overflowPenalty(entry);
     send(msg.sender, MsgType::DataS, msg.addr, entry.memory,
          msg.sender, config_.mem_latency + penalty, 2);
@@ -646,7 +647,7 @@ CacheController::homeGetX(const ProtoMsg &msg)
             entry.memory = local.data;
             entry.state = DirState::Exclusive;
             entry.owner = msg.sender;
-            entry.sharers.clear();
+            directory_.clearSharers(entry);
             send(msg.sender, MsgType::DataX, msg.addr, entry.memory,
                  msg.sender, config_.mem_latency, 2);
             return;
@@ -672,7 +673,7 @@ CacheController::homeGetX(const ProtoMsg &msg)
 
     entry.state = DirState::Exclusive;
     entry.owner = msg.sender;
-    entry.sharers.clear();
+    directory_.clearSharers(entry);
     send(msg.sender, MsgType::DataX, msg.addr, entry.memory,
          msg.sender, config_.mem_latency, 2);
 }
@@ -742,7 +743,7 @@ CacheController::homeFetchReply(const ProtoMsg &msg, bool is_putx)
                   "PutX from a non-owner");
     entry.state = DirState::Uncached;
     entry.owner = sim::kNodeNone;
-    entry.sharers.clear();
+    directory_.clearSharers(entry);
 }
 
 void
@@ -754,10 +755,10 @@ CacheController::completeHomeTxn(Addr line, HomeTxn &txn)
     switch (txn.kind) {
       case HomeTxn::Kind::RemoteRead:
         entry.state = DirState::Shared;
-        entry.sharers.clear();
+        directory_.clearSharers(entry);
         if (old_owner != sim::kNodeNone)
-            entry.sharers.push_back(old_owner);
-        Directory::addSharer(entry, txn.requester);
+            directory_.addSharer(entry, old_owner);
+        directory_.addSharer(entry, txn.requester);
         entry.owner = sim::kNodeNone;
         send(txn.requester, MsgType::DataS, line, entry.memory,
              txn.requester, config_.mem_latency, 4);
@@ -765,16 +766,16 @@ CacheController::completeHomeTxn(Addr line, HomeTxn &txn)
       case HomeTxn::Kind::RemoteWrite:
         entry.state = DirState::Exclusive;
         entry.owner = txn.requester;
-        entry.sharers.clear();
+        directory_.clearSharers(entry);
         send(txn.requester, MsgType::DataX, line, entry.memory,
              txn.requester, config_.mem_latency, 4);
         break;
       case HomeTxn::Kind::LocalRead: {
         entry.state = DirState::Shared;
-        entry.sharers.clear();
+        directory_.clearSharers(entry);
         if (old_owner != sim::kNodeNone)
-            entry.sharers.push_back(old_owner);
-        Directory::addSharer(entry, node_);
+            directory_.addSharer(entry, old_owner);
+        directory_.addSharer(entry, node_);
         entry.owner = sim::kNodeNone;
         fillLine(line, CacheState::Shared, entry.memory);
         finishLocalTxn(txn, entry.memory);
@@ -783,7 +784,7 @@ CacheController::completeHomeTxn(Addr line, HomeTxn &txn)
       case HomeTxn::Kind::LocalWrite: {
         entry.state = DirState::Exclusive;
         entry.owner = node_;
-        entry.sharers.clear();
+        directory_.clearSharers(entry);
         fillLine(line, CacheState::Modified, entry.memory);
         cache_.writeData(line, txn.local_req.store_value);
         finishLocalTxn(txn, txn.local_req.store_value);
@@ -885,6 +886,20 @@ CacheController::quiescent() const
 {
     return mshrs_.empty() && home_txns_.empty() && inbox_.empty() &&
            proc_queue_.empty() && outbox_.empty();
+}
+
+std::size_t
+CacheController::memoryBytes() const
+{
+    // Chunked pool storage dominates; the per-object deferred-queue
+    // capacities inside recycled transactions are a few hundred bytes
+    // and are deliberately left out of the sum.
+    return sizeof(*this) + cache_.memoryBytes() +
+           directory_.memoryBytes() + inbox_.memoryBytes() +
+           proc_queue_.memoryBytes() + outbox_.memoryBytes() +
+           mshr_pool_.memoryBytes() + home_pool_.memoryBytes() +
+           mshrs_.memoryBytes() + home_txns_.memoryBytes() +
+           pending_completions_.capacity() * sizeof(PendingCompletion);
 }
 
 void

@@ -219,6 +219,9 @@ class CacheController : public sim::Clocked
     /** True if no transaction is outstanding at this node. */
     bool quiescent() const;
 
+    /** Resident bytes of this node's coherence state (footprint). */
+    std::size_t memoryBytes() const;
+
     /**
      * The controller has work while any transaction state (MSHRs,
      * home transients, queued messages or requests) exists, or while
@@ -268,9 +271,15 @@ class CacheController : public sim::Clocked
         sim::Tick issued = 0;
     };
 
-    using MshrPool = util::Pool<Mshr>;
+    /**
+     * Transaction pools hold only a handful of live objects per node
+     * (the workload bounds outstanding misses per context), so small
+     * 16-slot chunks keep a 64x64 machine's warm footprint compact
+     * where the default 512-slot chunks would cost ~128KB per node.
+     */
+    using MshrPool = util::Pool<Mshr, 4>;
     using MshrHandle = MshrPool::Handle;
-    using HomePool = util::Pool<HomeTxn>;
+    using HomePool = util::Pool<HomeTxn, 4>;
     using HomeHandle = HomePool::Handle;
 
     /** A completion waiting for its due tick (min-heap by due, seq). */

@@ -1,22 +1,34 @@
 /**
  * @file
- * The full-map directory kept at each line's home node.
+ * The limited-pointer directory kept at each line's home node.
  *
  * Tracks which nodes hold each home line and in what state, plus the
  * backing memory word used for end-to-end verification. Transient
  * (busy) bookkeeping lives in the controller; the directory itself
  * stores only stable sharing state.
+ *
+ * Representation (large-radix compaction): entries live in a chunked
+ * pool indexed by a flat hash map keyed by line, so references stay
+ * valid while new entries materialize. Each entry stores a short
+ * insertion-ordered pointer prefix inline; sets that outgrow it spill
+ * to an overflow slot holding the full insertion-ordered list plus a
+ * bitmap membership accelerator (fixed words covering node ids below
+ * 1024, grown lazily above). Insertion order is authoritative in both
+ * forms: it determines Inv send order and checkpoint bytes, so a
+ * pure-bitmap sharer set (ascending iteration) would change observable
+ * simulation state. See DESIGN.md.
  */
 
 #ifndef LOCSIM_COHER_DIRECTORY_HH_
 #define LOCSIM_COHER_DIRECTORY_HH_
 
-#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
+#include <span>
 
 #include "coher/protocol.hh"
+#include "util/flat_map.hh"
+#include "util/pool.hh"
 #include "util/serialize.hh"
 
 namespace locsim {
@@ -29,96 +41,108 @@ enum class DirState : std::uint8_t {
     Exclusive,  //!< one Modified copy at `owner`; memory is stale
 };
 
-/** Directory entry for one home line. */
+/** Sharer pointers stored inline in a DirEntry before spilling. */
+inline constexpr std::uint32_t kInlineSharers = 6;
+
+/**
+ * Directory entry for one home line. Trivially copyable; the sharer
+ * set is the inline pointer prefix while `overflow_slot` is unset,
+ * and an overflow slot owned by the Directory afterwards. Mutate the
+ * sharer set only through the Directory's accessors.
+ */
 struct DirEntry
 {
-    DirState state = DirState::Uncached;
-    std::vector<sim::NodeId> sharers; //!< valid when Shared
-    sim::NodeId owner = sim::kNodeNone; //!< valid when Exclusive
     std::uint64_t memory = 0; //!< backing memory word
+    sim::NodeId owner = sim::kNodeNone; //!< valid when Exclusive
+    std::uint32_t sharer_count = 0; //!< sharers recorded (any form)
+    /** Insertion-ordered pointer prefix (valid while not spilled). */
+    std::array<sim::NodeId, kInlineSharers> inline_sharers{};
+    /** Overflow slot in the owning Directory, or kNoOverflow. */
+    std::uint32_t overflow_slot = 0xffffffffu;
+    DirState state = DirState::Uncached;
 };
 
 /** Per-node directory + memory for the lines homed there. */
 class Directory
 {
   public:
+    static constexpr std::uint32_t kNoOverflow = 0xffffffffu;
+
     explicit Directory(sim::NodeId home) : home_(home) {}
 
     /** The node this directory belongs to. */
     sim::NodeId home() const { return home_; }
 
     /**
-     * Access (and create on demand) the entry for a line.
+     * Access (and create on demand) the entry for a line. The
+     * reference stays valid across later entry() calls (pooled
+     * storage never relocates).
      *
      * @pre homeOf(addr) == home().
      */
     DirEntry &entry(Addr addr);
 
-    /** Read-only lookup; returns nullptr for never-touched lines. */
+    /**
+     * Read-only lookup; returns nullptr for never-touched lines.
+     *
+     * @pre homeOf(addr) == home().
+     */
     const DirEntry *find(Addr addr) const;
 
-    /** Add a sharer if absent. */
-    static void addSharer(DirEntry &entry, sim::NodeId node);
+    /** Add a sharer if absent (appends to the insertion order). */
+    void addSharer(DirEntry &entry, sim::NodeId node);
 
-    /** Remove a sharer if present. */
-    static void removeSharer(DirEntry &entry, sim::NodeId node);
+    /** Remove a sharer if present (preserves relative order). */
+    void removeSharer(DirEntry &entry, sim::NodeId node);
 
     /** True if @p node is recorded as a sharer. */
-    static bool isSharer(const DirEntry &entry, sim::NodeId node);
+    bool isSharer(const DirEntry &entry, sim::NodeId node) const;
+
+    /** Drop every sharer (releases any overflow slot). */
+    void clearSharers(DirEntry &entry);
+
+    /**
+     * The sharer set in insertion order. Invalidated by any sharer
+     * mutation on the same entry.
+     */
+    std::span<const sim::NodeId> sharers(const DirEntry &entry) const;
 
     /** Number of entries materialized (diagnostics). */
-    std::size_t entryCount() const { return entries_.size(); }
+    std::size_t entryCount() const { return index_.size(); }
+
+    /** Resident bytes of directory storage (footprint accounting). */
+    std::size_t memoryBytes() const;
 
     /**
      * Serialize entries sorted by address so the byte stream is
-     * independent of unordered_map iteration order. Sharer vectors
-     * keep their insertion order — it determines Inv send order, so
-     * it is part of the simulation state.
+     * independent of map iteration order. Sharer sets keep their
+     * insertion order — it determines Inv send order, so it is part
+     * of the simulation state. The byte layout is identical to the
+     * historical full-map representation (LSCK stability).
      */
-    void
-    saveState(util::Serializer &s) const
-    {
-        std::vector<Addr> keys;
-        keys.reserve(entries_.size());
-        for (const auto &kv : entries_)
-            keys.push_back(kv.first);
-        std::sort(keys.begin(), keys.end());
-        s.put<std::uint64_t>(keys.size());
-        for (Addr key : keys) {
-            const DirEntry &entry = entries_.at(key);
-            s.put(key);
-            s.put(entry.state);
-            s.put<std::uint32_t>(
-                static_cast<std::uint32_t>(entry.sharers.size()));
-            for (sim::NodeId sharer : entry.sharers)
-                s.put(sharer);
-            s.put(entry.owner);
-            s.put(entry.memory);
-        }
-    }
+    void saveState(util::Serializer &s) const;
 
-    void
-    loadState(util::Deserializer &d)
-    {
-        entries_.clear();
-        const auto n = d.get<std::uint64_t>();
-        for (std::uint64_t i = 0; i < n; ++i) {
-            const Addr key = d.get<Addr>();
-            DirEntry entry;
-            entry.state = d.get<DirState>();
-            const auto sharer_count = d.get<std::uint32_t>();
-            entry.sharers.reserve(sharer_count);
-            for (std::uint32_t j = 0; j < sharer_count; ++j)
-                entry.sharers.push_back(d.get<sim::NodeId>());
-            entry.owner = d.get<sim::NodeId>();
-            entry.memory = d.get<std::uint64_t>();
-            entries_.emplace(key, std::move(entry));
-        }
-    }
+    void loadState(util::Deserializer &d);
 
   private:
+    /** A spilled sharer set: full insertion order plus a bitmap. */
+    struct OverflowSet
+    {
+        std::vector<sim::NodeId> order; //!< authoritative order
+        std::vector<std::uint64_t> bits; //!< membership accelerator
+    };
+
+    /** Entries come and stay a handful per node; keep chunks small. */
+    using EntryPool = util::Pool<DirEntry, 4>;
+
+    /** Move an inline entry's sharers into a fresh overflow slot. */
+    void spill(DirEntry &entry);
+
     sim::NodeId home_;
-    std::unordered_map<Addr, DirEntry> entries_;
+    EntryPool entries_;
+    util::FlatMap<Addr, EntryPool::Handle> index_;
+    std::vector<OverflowSet> overflow_;
+    std::vector<std::uint32_t> overflow_free_;
 };
 
 } // namespace coher

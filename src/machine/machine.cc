@@ -116,16 +116,88 @@ Machine::Machine(const MachineConfig &config,
     LOCSIM_ASSERT(mapping_.size() == topo.nodeCount(),
                   "mapping size must match the machine size");
 
-    controllers_.reserve(nodes);
-    processors_.reserve(nodes);
-
     proc::ProcessorConfig proc_config = config.processor;
     proc_config.contexts = config.contexts;
 
-    // Per shard: the fabric slice first (period 1), then that shard's
-    // node components. Registration order is the intra-tick call order
-    // and must be the same whatever the shard count: network, then
-    // controller/processor in node order.
+    // Pass 1: build node components into pre-sized slots. Building a
+    // node only reads shared state (engine/network/topology/mapping
+    // references, config), so large machines fan the construction out
+    // over a thread pool; the slot indexing makes the result identical
+    // to sequential construction.
+    controllers_.resize(nodes);
+    processors_.resize(nodes);
+    programs_.resize(static_cast<std::size_t>(nodes) *
+                     static_cast<std::size_t>(config.contexts));
+    const auto buildNode = [&](sim::NodeId node) {
+        sim::Engine &shard_engine =
+            *engines_[static_cast<std::size_t>(plan.shardOf(node))];
+        controllers_[node] = std::make_unique<coher::CacheController>(
+            shard_engine, *network_, node, config.protocol,
+            config.net_clock_ratio);
+
+        std::vector<proc::ThreadProgram *> node_programs;
+        const std::uint32_t thread = mapping_.threadAt(node);
+        for (int ctx = 0; ctx < config.contexts; ++ctx) {
+            const auto instance = static_cast<std::uint32_t>(ctx);
+            const std::size_t slot =
+                static_cast<std::size_t>(node) *
+                    static_cast<std::size_t>(config.contexts) +
+                static_cast<std::size_t>(ctx);
+            switch (config.workload) {
+              case WorkloadKind::TorusNeighbor:
+                programs_[slot] =
+                    std::make_unique<workload::TorusNeighborProgram>(
+                        topo, mapping_, instance, thread, config.app);
+                break;
+              case WorkloadKind::UniformRandom:
+                programs_[slot] =
+                    std::make_unique<workload::UniformRemoteProgram>(
+                        topo, mapping_, instance, thread,
+                        config.uniform_app);
+                break;
+              case WorkloadKind::Graph:
+                LOCSIM_ASSERT(config.graph != nullptr,
+                              "Graph workload needs a CommGraph");
+                programs_[slot] =
+                    std::make_unique<workload::GraphNeighborProgram>(
+                        *config.graph, mapping_, instance, thread,
+                        config.app);
+                break;
+            }
+            node_programs.push_back(programs_[slot].get());
+        }
+        processors_[node] = std::make_unique<proc::Processor>(
+            *controllers_[node], proc_config, node_programs);
+    };
+
+    // Spinning up a build pool costs more than building a small
+    // machine outright; only large radixes take the parallel path.
+    constexpr sim::NodeId kParallelBuildNodes = 1024;
+    if (nodes >= kParallelBuildNodes) {
+        runner::ThreadPool build_pool;
+        const int lanes = build_pool.threadCount() + 1;
+        build_pool.parallelRegion(lanes, [&](int lane) {
+            const auto first = static_cast<sim::NodeId>(
+                (static_cast<std::uint64_t>(nodes) *
+                 static_cast<std::uint64_t>(lane)) /
+                static_cast<std::uint64_t>(lanes));
+            const auto last = static_cast<sim::NodeId>(
+                (static_cast<std::uint64_t>(nodes) *
+                 static_cast<std::uint64_t>(lane + 1)) /
+                static_cast<std::uint64_t>(lanes));
+            for (sim::NodeId node = first; node < last; ++node)
+                buildNode(node);
+        });
+    } else {
+        for (sim::NodeId node = 0; node < nodes; ++node)
+            buildNode(node);
+    }
+
+    // Pass 2 — registration, strictly sequential. Per shard: the
+    // fabric slice first (period 1), then that shard's node
+    // components. Registration order is the intra-tick call order and
+    // must be the same whatever the shard count or build path:
+    // network, then controller/processor in node order.
     for (int s = 0; s < shards_; ++s) {
         sim::Engine &shard_engine = *engines_[s];
         if (shards_ == 1)
@@ -135,47 +207,9 @@ Machine::Machine(const MachineConfig &config,
 
         for (sim::NodeId node = plan.first(s); node < plan.last(s);
              ++node) {
-            controllers_.push_back(
-                std::make_unique<coher::CacheController>(
-                    shard_engine, *network_, node, config.protocol,
-                    config.net_clock_ratio));
-            shard_engine.addClocked(controllers_.back().get(),
+            shard_engine.addClocked(controllers_[node].get(),
                                     config.net_clock_ratio);
-
-            std::vector<proc::ThreadProgram *> node_programs;
-            const std::uint32_t thread = mapping_.threadAt(node);
-            for (int ctx = 0; ctx < config.contexts; ++ctx) {
-                const auto instance = static_cast<std::uint32_t>(ctx);
-                switch (config.workload) {
-                  case WorkloadKind::TorusNeighbor:
-                    programs_.push_back(
-                        std::make_unique<
-                            workload::TorusNeighborProgram>(
-                            topo, mapping_, instance, thread,
-                            config.app));
-                    break;
-                  case WorkloadKind::UniformRandom:
-                    programs_.push_back(
-                        std::make_unique<
-                            workload::UniformRemoteProgram>(
-                            topo, mapping_, instance, thread,
-                            config.uniform_app));
-                    break;
-                  case WorkloadKind::Graph:
-                    LOCSIM_ASSERT(config.graph != nullptr,
-                                  "Graph workload needs a CommGraph");
-                    programs_.push_back(
-                        std::make_unique<
-                            workload::GraphNeighborProgram>(
-                            *config.graph, mapping_, instance, thread,
-                            config.app));
-                    break;
-                }
-                node_programs.push_back(programs_.back().get());
-            }
-            processors_.push_back(std::make_unique<proc::Processor>(
-                *controllers_.back(), proc_config, node_programs));
-            shard_engine.addClocked(processors_.back().get(),
+            shard_engine.addClocked(processors_[node].get(),
                                     config.net_clock_ratio);
         }
     }
@@ -303,6 +337,22 @@ Machine::~Machine()
     }
     counters.add("net.alloc_stalls", network_->totalAllocStalls());
     counters.add("net.remote_wakes", network_->totalRemoteWakes());
+    if (!controllers_.empty()) {
+        counters.set("mem.bytes_per_node",
+                     static_cast<std::uint64_t>(memoryBytes()) /
+                         controllers_.size());
+    }
+}
+
+std::size_t
+Machine::memoryBytes() const
+{
+    std::size_t bytes = network_->memoryBytes();
+    for (const auto &controller : controllers_)
+        bytes += controller->memoryBytes();
+    for (const auto &processor : processors_)
+        bytes += processor->memoryBytes();
+    return bytes;
 }
 
 double

@@ -241,6 +241,16 @@ class Machine : private sim::LockstepSerial
     double mappingDistance() const;
 
     /**
+     * Resident bytes of the machine's major per-node containers
+     * (caches, directories, transaction pools, queues, processors,
+     * programs, network fabric). Deterministic explicit accounting —
+     * not RSS — so the value is portable across hosts and gateable;
+     * published as `mem.bytes_per_node` (divided by the node count)
+     * in the process counter registry on teardown.
+     */
+    std::size_t memoryBytes() const;
+
+    /**
      * Run @p warmup processor cycles, reset statistics, run
      * @p window processor cycles, and report measurements.
      * Equivalent to advance(warmup) followed by measure(window).

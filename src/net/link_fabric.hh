@@ -395,6 +395,15 @@ class FlitLinkStore
             buf_[slot(id, i)] = loadFlit(d);
     }
 
+    /** Resident bytes of control + slab storage (footprint). */
+    std::size_t
+    memoryBytes() const
+    {
+        return ctl_.capacity() * sizeof(Ctl) +
+               buf_.capacity() * sizeof(Flit) +
+               per_lane_next_.capacity() * sizeof(std::uint32_t);
+    }
+
   private:
     /**
      * Per-channel control block: ring indices ([head, mid) visible,
@@ -585,6 +594,15 @@ class CreditLinkStore
             counts_[st + static_cast<std::size_t>(vc)] = d.get<int>();
             counts_[vis + static_cast<std::size_t>(vc)] = d.get<int>();
         }
+    }
+
+    /** Resident bytes of counter + metadata storage (footprint). */
+    std::size_t
+    memoryBytes() const
+    {
+        return counts_.capacity() * sizeof(int) +
+               meta_.capacity() * sizeof(Meta) +
+               per_lane_next_.capacity() * sizeof(std::uint32_t);
     }
 
   private:

@@ -728,6 +728,35 @@ Network::bufferedFlits() const
     return flits;
 }
 
+std::size_t
+Network::memoryBytes() const
+{
+    // Routers, input/output units and the vc slab are arena-backed;
+    // arena_.bytesAllocated() covers them. Lane-striped stores owned
+    // by a batch are counted once by the owner, not per lane.
+    std::size_t bytes = sizeof(*this) + arena_.bytesAllocated() +
+                        input_units_.capacity() *
+                            sizeof(Router::InputVc) +
+                        output_ports_.capacity() *
+                            sizeof(Router::OutputPort) +
+                        vc_slab_.capacity() * sizeof(Flit);
+    if (owned_stores_ != nullptr) {
+        bytes += flit_store_.memoryBytes() +
+                 credit_store_.memoryBytes();
+    }
+    for (const NodeEndpoint &ep : endpoints_) {
+        bytes += ep.source_queue.memoryBytes() +
+                 ep.delivered.memoryBytes();
+    }
+    bytes += endpoints_.capacity() * sizeof(NodeEndpoint);
+    for (const ShardState &shard : shards_) {
+        bytes += shard.record_pool.memoryBytes() +
+                 shard.records.memoryBytes();
+    }
+    bytes += shards_.capacity() * sizeof(ShardState);
+    return bytes;
+}
+
 namespace {
 
 void

@@ -315,6 +315,9 @@ class Network : public sim::Clocked
     /** Flits currently buffered in all routers (sampler probe). */
     std::uint64_t bufferedFlits() const;
 
+    /** Resident bytes of fabric storage (footprint accounting). */
+    std::size_t memoryBytes() const;
+
     /**
      * Attach a tracer for every shard (nullptr to detach; not owned).
      * Allocates one "net.<node>" track per node on first attach:

@@ -135,6 +135,20 @@ class Processor : public sim::Clocked, public coher::MemClient
     bool allBlocked() const;
 
     /**
+     * Resident bytes of processor + program state (footprint
+     * accounting; includes the owned contexts' programs).
+     */
+    std::size_t
+    memoryBytes() const
+    {
+        std::size_t bytes =
+            sizeof(*this) + contexts_.capacity() * sizeof(Context);
+        for (const Context &ctx : contexts_)
+            bytes += ctx.program->memoryBytes();
+        return bytes;
+    }
+
+    /**
      * Serialize dynamic state: per-context run state and current op,
      * the active context, switch progress, and statistics. Program
      * pointers are reconstructed at machine build time; the programs

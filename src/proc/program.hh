@@ -73,6 +73,12 @@ class ThreadProgram
 
     /** Restore state written by saveState(). */
     virtual void loadState(util::Deserializer &d) { (void)d; }
+
+    /**
+     * Resident bytes of program state (footprint accounting).
+     * Programs with heap-owned members add their capacities.
+     */
+    virtual std::size_t memoryBytes() const { return sizeof(*this); }
 };
 
 /** Serialize one Op (checkpoint helpers for processor state). */

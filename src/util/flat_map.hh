@@ -147,6 +147,15 @@ class FlatMap
         count_ = 0;
     }
 
+    /** Resident bytes of slot storage (footprint accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return keys_.capacity() * sizeof(K) +
+               values_.capacity() * sizeof(V) +
+               used_.capacity() * sizeof(std::uint8_t);
+    }
+
     /** Call @p fn(key, value) for every entry (unspecified order). */
     template <typename Fn>
     void

@@ -41,7 +41,7 @@
 namespace locsim {
 namespace util {
 
-template <typename T>
+template <typename T, std::uint32_t ChunkShiftV = 9>
 class Pool
 {
   public:
@@ -118,6 +118,14 @@ class Pool
     std::size_t liveCount() const { return live_; }
     std::size_t capacity() const { return size_; }
 
+    /** Resident bytes of chunk storage (footprint accounting). */
+    std::size_t
+    memoryBytes() const
+    {
+        return chunks_.size() * kChunkSize * sizeof(Slot) +
+               chunks_.capacity() * sizeof(chunks_[0]);
+    }
+
     /**
      * Release every slot and drop storage (load/reset paths only; all
      * outstanding handles become invalid).
@@ -140,9 +148,11 @@ class Pool
         bool live = false;
     };
 
-    /** 512 slots per chunk: large enough that growth is rare, small
-     *  enough that a new peak doesn't over-allocate. */
-    static constexpr std::uint32_t kChunkShift = 9;
+    /** Default 512 slots per chunk: large enough that growth is rare,
+     *  small enough that a new peak doesn't over-allocate. Pools with
+     *  only a handful of live objects per owner (one per node) pass a
+     *  smaller ChunkShiftV so large machines stay compact. */
+    static constexpr std::uint32_t kChunkShift = ChunkShiftV;
     static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
     static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
 

@@ -134,6 +134,9 @@ class RingQueue
         head_ = tail_ = 0;
     }
 
+    /** Resident bytes of ring storage (footprint accounting). */
+    std::size_t memoryBytes() const { return buf_.capacity() * sizeof(T); }
+
     /** Grow capacity to at least @p min_capacity (never shrinks). */
     void
     reserve(std::size_t min_capacity)

@@ -67,6 +67,14 @@ class GraphNeighborProgram : public proc::ThreadProgram
             seen = d.get<std::uint64_t>();
     }
 
+    std::size_t
+    memoryBytes() const override
+    {
+        return sizeof(*this) +
+               neighbor_addrs_.capacity() * sizeof(coher::Addr) +
+               last_seen_.capacity() * sizeof(std::uint64_t);
+    }
+
   private:
     proc::Op makeOp() const;
 

@@ -108,6 +108,15 @@ class TorusNeighborProgram : public proc::ThreadProgram
             seen = d.get<std::uint64_t>();
     }
 
+    std::size_t
+    memoryBytes() const override
+    {
+        return sizeof(*this) +
+               neighbor_addrs_.capacity() * sizeof(coher::Addr) +
+               last_seen_.capacity() * sizeof(std::uint64_t) +
+               sequence_.capacity() * sizeof(Step);
+    }
+
   private:
     proc::Op makeOp() const;
 

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "coher/cache.hh"
 #include "coher/controller.hh"
@@ -95,16 +97,112 @@ TEST(DirectoryUnit, SharerManagement)
     const Addr addr = makeAddr(5, 9);
     DirEntry &entry = dir.entry(addr);
     EXPECT_EQ(entry.state, DirState::Uncached);
-    Directory::addSharer(entry, 1);
-    Directory::addSharer(entry, 2);
-    Directory::addSharer(entry, 1); // idempotent
-    EXPECT_EQ(entry.sharers.size(), 2u);
-    EXPECT_TRUE(Directory::isSharer(entry, 1));
-    Directory::removeSharer(entry, 1);
-    EXPECT_FALSE(Directory::isSharer(entry, 1));
+    dir.addSharer(entry, 1);
+    dir.addSharer(entry, 2);
+    dir.addSharer(entry, 1); // idempotent
+    EXPECT_EQ(entry.sharer_count, 2u);
+    EXPECT_TRUE(dir.isSharer(entry, 1));
+    dir.removeSharer(entry, 1);
+    EXPECT_FALSE(dir.isSharer(entry, 1));
     EXPECT_EQ(dir.entryCount(), 1u);
     EXPECT_NE(dir.find(addr), nullptr);
     EXPECT_EQ(dir.find(makeAddr(5, 10)), nullptr);
+}
+
+TEST(DirectoryUnit, MisHomedAccessDies)
+{
+    Directory dir(5);
+    // Both paths guard the home invariant: entry() always did; the
+    // read path used to silently return nullptr for a line homed
+    // elsewhere, masking routing bugs in the caller.
+    EXPECT_DEATH(dir.entry(makeAddr(6, 0)), "homed elsewhere");
+    EXPECT_DEATH(dir.find(makeAddr(6, 0)), "homed elsewhere");
+}
+
+TEST(DirectoryUnit, RandomizedSharerChurnMatchesOracle)
+{
+    // Randomized add/remove/clear churn against an insertion-ordered
+    // oracle, with node ids spanning the inline-pointer capacity, the
+    // overflow spill, and the fixed bitmap words (ids above 1024).
+    Directory dir(3);
+    DirEntry &entry = dir.entry(makeAddr(3, 1));
+    std::vector<sim::NodeId> oracle;
+    util::Rng rng(20260808);
+    const sim::NodeId universe = 1400;
+
+    auto verify = [&] {
+        ASSERT_EQ(entry.sharer_count, oracle.size());
+        const auto span = dir.sharers(entry);
+        ASSERT_EQ(span.size(), oracle.size());
+        for (std::size_t i = 0; i < oracle.size(); ++i)
+            ASSERT_EQ(span[i], oracle[i]) << "position " << i;
+        for (int probe = 0; probe < 16; ++probe) {
+            const auto node = static_cast<sim::NodeId>(
+                rng.nextBounded(universe));
+            const bool expect = std::find(oracle.begin(), oracle.end(),
+                                          node) != oracle.end();
+            ASSERT_EQ(dir.isSharer(entry, node), expect)
+                << "node " << node;
+        }
+    };
+
+    for (int op = 0; op < 4000; ++op) {
+        const double roll = rng.nextDouble();
+        const auto node =
+            static_cast<sim::NodeId>(rng.nextBounded(universe));
+        if (roll < 0.55) {
+            dir.addSharer(entry, node);
+            if (std::find(oracle.begin(), oracle.end(), node) ==
+                oracle.end())
+                oracle.push_back(node);
+        } else if (roll < 0.95) {
+            dir.removeSharer(entry, node);
+            auto it = std::find(oracle.begin(), oracle.end(), node);
+            if (it != oracle.end())
+                oracle.erase(it);
+        } else {
+            dir.clearSharers(entry);
+            oracle.clear();
+        }
+        if (op % 61 == 0)
+            verify();
+    }
+    verify();
+}
+
+TEST(DirectoryUnit, CheckpointRoundTripAcrossInlineThreshold)
+{
+    // Entries on both sides of the inline-pointer capacity (and one
+    // crossing the 1024-node bitmap boundary) must survive a
+    // save/load/save cycle byte-identically, including sharer order.
+    Directory dir(0);
+    const std::uint32_t widths[] = {1, kInlineSharers,
+                                    kInlineSharers + 1, 40, 1100};
+    std::uint32_t line = 0;
+    for (std::uint32_t width : widths) {
+        DirEntry &entry = dir.entry(makeAddr(0, line++));
+        entry.state = DirState::Shared;
+        entry.memory = 0x1000 + width;
+        // Descending insertion: order must be preserved, not sorted.
+        for (std::uint32_t i = width; i > 0; --i)
+            dir.addSharer(entry, i);
+    }
+    util::Serializer first;
+    dir.saveState(first);
+
+    Directory restored(0);
+    util::Deserializer d(first.buffer());
+    restored.loadState(d);
+    util::Serializer second;
+    restored.saveState(second);
+    ASSERT_EQ(first.buffer(), second.buffer());
+
+    const DirEntry *wide = restored.find(makeAddr(0, 4));
+    ASSERT_NE(wide, nullptr);
+    EXPECT_EQ(wide->sharer_count, 1100u);
+    EXPECT_TRUE(restored.isSharer(*wide, 1100u));
+    EXPECT_FALSE(restored.isSharer(*wide, 1101u));
+    EXPECT_EQ(restored.sharers(*wide).front(), 1100u);
 }
 
 TEST(ProtoMsgPacking, PackUnpackRoundTrip)
@@ -489,8 +587,8 @@ checkGlobalInvariants(
                 EXPECT_NE(entry->state, DirState::Exclusive)
                     << "line " << addr << " shared at node "
                     << controller->node();
-                EXPECT_TRUE(
-                    Directory::isSharer(*entry, controller->node()))
+                EXPECT_TRUE(controllers[home]->directory().isSharer(
+                    *entry, controller->node()))
                     << "line " << addr;
                 EXPECT_EQ(look.data, entry->memory)
                     << "stale shared data for line " << addr;

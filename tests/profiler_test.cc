@@ -179,6 +179,7 @@ TEST(Counters, MachineRunPublishesFabricCounters)
         machine.advance(500);
     }
     bool found = false;
+    bool found_footprint = false;
     for (const auto &[name, value] :
          CounterRegistry::process().snapshot()) {
         if (name == "net.remote_wakes") {
@@ -186,8 +187,18 @@ TEST(Counters, MachineRunPublishesFabricCounters)
             // Sequential execution never crosses shard boundaries.
             EXPECT_EQ(value, 0u);
         }
+        if (name == "mem.bytes_per_node") {
+            found_footprint = true;
+            // Every node owns at least a controller and queues; a
+            // zero value means the accounting broke. The upper bound
+            // guards the compaction: the seed representation cost
+            // ~290KB per node warm.
+            EXPECT_GT(value, 1000u);
+            EXPECT_LT(value, 96u * 1024u);
+        }
     }
     EXPECT_TRUE(found);
+    EXPECT_TRUE(found_footprint);
 }
 
 /** Render a manifest for a tiny profiled run. */
