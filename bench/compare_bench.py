@@ -55,7 +55,14 @@ sections are normalized to shares of profiled time and the phases
 whose share grew the most are called out — "router_scan went from 40%
 to 55%" localizes a regression to the router scan before anyone opens
 a profiler. Manifests with profiling disabled are reported as such
-and skipped.
+and skipped. Two shift patterns get named diagnoses: checkpoint-phase
+growth is attributed to prefix-cache overhead, and a run whose
+router_kernel share collapsed while router_scan grew is called out as
+"SIMD fallback engaged" — the scalar tick path records no
+router_kernel phase, so that signature means the build or host
+stopped selecting the lane-vector kernels (check the LOCSIM_SIMD
+CMake option, the LOCSIM_SIMD environment variable, and the host
+CPU's vector support).
 
 Exit status: 0 when nothing regressed, or always 0 without --strict
 (report-only mode for informational CI steps); 1 with --strict when at
@@ -225,6 +232,22 @@ def explain(base_phases, cur_phases):
                 "BM_CheckpointRoundtrip, check image sizes and "
                 "--prefix-rung-stride, or rerun with "
                 "--no-prefix-cache to confirm")
+        kernel_delta = next(
+            (d for d, name, _, _ in deltas
+             if name == "router_kernel"), 0.0)
+        scan_delta = next(
+            (d for d, name, _, _ in deltas
+             if name == "router_scan"), 0.0)
+        if kernel_delta < -0.5 and scan_delta > 0.5:
+            lines.append(
+                "router_kernel share collapsed "
+                f"({kernel_delta:+.1f} points) while router_scan "
+                f"grew (+{scan_delta:.1f} points): SIMD fallback "
+                "engaged — the scalar tick path records no "
+                "router_kernel phase. Check the LOCSIM_SIMD CMake "
+                "option, the LOCSIM_SIMD environment variable, and "
+                "the host CPU's vector support before hunting "
+                "elsewhere")
     else:
         lines.append("no phase's share moved meaningfully; the "
                      "regression is spread evenly (or outside the "
@@ -339,6 +362,26 @@ def self_test():
     base_lines = explain(base_phases, cur_phases)
     expect(not any("prefix-cache overhead" in l for l in base_lines),
            "checkpoint hint fired without checkpoint growth")
+    # SIMD-fallback attribution: the fallback fixture has no
+    # router_kernel phase (the scalar tick path never records one)
+    # and its time reappears in router_scan — that signature must be
+    # named, and must stay quiet when router_kernel's share merely
+    # tracks the baseline (manifest_current) or shrinks without scan
+    # growth (manifest_checkpoint).
+    fallback_phases = load_manifest_phases(
+        os.path.join(here, "fixtures", "manifest_simd_fallback.json"))
+    expect(fallback_phases is not None,
+           "SIMD-fallback fixture manifest did not load")
+    fallback_lines = explain(base_phases, fallback_phases)
+    expect(any("SIMD fallback engaged" in l for l in fallback_lines),
+           f"SIMD fallback not attributed: {fallback_lines}")
+    expect(any("LOCSIM_SIMD" in l for l in fallback_lines),
+           f"SIMD fallback hint lacks the knob to check: "
+           f"{fallback_lines}")
+    expect(not any("SIMD fallback" in l for l in base_lines),
+           "SIMD fallback hint fired on a steady router_kernel share")
+    expect(not any("SIMD fallback" in l for l in ckpt_lines),
+           "SIMD fallback hint fired without router_scan growth")
 
     if failures:
         for f in failures:

@@ -206,14 +206,17 @@ BENCHMARK_CAPTURE(BM_NetworkSimCycles, 16x16, 16)
  * only by traffic seed. K = 1 is the solo baseline; items processed
  * count aggregate lane-cycles, so the K = 8 entry's items/second
  * divided by K = 1's is the batching speedup compare_bench.py gates
- * (as aggregate_speedup on the BENCH_seed.json baseline).
+ * (as aggregate_speedup on the BENCH_seed.json baseline). The 16x16
+ * entry (4 lanes of radix 16) sizes the batch past L2 so the
+ * lane-vector kernels are measured under realistic cache pressure;
+ * its aggregate baseline is BM_NetworkSimCycles/16x16.
  */
 void
-BM_BatchedSimCycles(benchmark::State &state, int lanes)
+BM_BatchedSimCycles(benchmark::State &state, int lanes, int radix)
 {
     sim::Engine engine;
     net::NetworkConfig config;
-    config.radix = 8;
+    config.radix = radix;
     config.dims = 2;
     net::LinkStores stores(config.router.buffer_depth + 2,
                            config.router.vcs, /*shards=*/1, lanes);
@@ -255,17 +258,20 @@ BM_BatchedSimCycles(benchmark::State &state, int lanes)
     reportAllocs(state, allocs);
     state.SetItemsProcessed(state.iterations() * 100 * lanes);
 }
-BENCHMARK_CAPTURE(BM_BatchedSimCycles, 1, 1)
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 1, 1, 8)
     ->Name("BM_BatchedSimCycles/1")
     ->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_BatchedSimCycles, 2, 2)
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 2, 2, 8)
     ->Name("BM_BatchedSimCycles/2")
     ->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_BatchedSimCycles, 4, 4)
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 4, 4, 8)
     ->Name("BM_BatchedSimCycles/4")
     ->Unit(benchmark::kMicrosecond);
-BENCHMARK_CAPTURE(BM_BatchedSimCycles, 8, 8)
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 8, 8, 8)
     ->Name("BM_BatchedSimCycles/8")
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK_CAPTURE(BM_BatchedSimCycles, 16x16, 4, 16)
+    ->Name("BM_BatchedSimCycles/16x16")
     ->Unit(benchmark::kMicrosecond);
 
 void

@@ -129,7 +129,8 @@ MachineBatch::MachineBatch(const std::vector<BatchLaneSpec> &specs)
             specs[static_cast<std::size_t>(l)].mapping, &context));
         // Uniform shapes must allocate identical channel structures;
         // a mismatch here means the lane-striding invariant (logical
-        // channel c of lane l at id c*lanes+l) is broken.
+        // channel c of lane l at id c*stride+l, stride = bit_ceil of
+        // the lane count) is broken.
         LOCSIM_ASSERT(
             stores_->flits.laneChannels(l) ==
                     stores_->flits.laneChannels(0) &&

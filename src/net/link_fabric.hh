@@ -9,16 +9,18 @@
  * flattens all links of one kind into dense-id SoA arrays:
  *
  *  - FlitLinkStore: every flit link shares one uniform power-of-two
- *    ring capacity, so the flit slabs, head/mid/tail index arrays and
- *    wake bindings are contiguous arrays indexed by ChannelId. The
- *    advance pass walks arrays instead of chasing Link*.
+ *    ring capacity. The hot ring cursors live in three parallel
+ *    uint32 arrays (head / mid / tail) split from the cold per-channel
+ *    metadata (wake binding, owning shard), so the rotation publish
+ *    (mid = tail) is a pure data-parallel pass over adjacent words.
  *  - CreditLinkStore: per-VC staged/visible counters in one
- *    contiguous int array with stride = VC count.
+ *    contiguous int array with stride = 2 * VC count per channel.
  *  - LinkRotator: one Rotatable per (store, shard). Channels mark
  *    themselves dirty in per-rotator 64-bit words; rotation drains
- *    whole words with countr_zero, publishing dirty channels in
- *    ascending-id batches over the SoA arrays instead of one virtual
- *    rotate() per link.
+ *    whole words, handing each word's dirty bitmask to the store's
+ *    publishWord(), which runs the lane-vector kernels of
+ *    net/kernels.hh (SSE2/AVX2 with a scalar fallback, level resolved
+ *    once per store from util::simd::activeLevel()).
  *
  * Rotation order across channels is immaterial (each channel's
  * publish touches only its own state, and cross-shard wake delivery
@@ -28,15 +30,24 @@
  *
  * Every channel belongs to exactly one shard (its producer's); a
  * rotator only ever publishes channels of its own shard, keeping the
- * rotation phase race-free under the sharded driver's barriers.
+ * rotation phase race-free under the sharded driver's barriers. One
+ * dirty word may still interleave channels of several shards, so the
+ * vector kernels never write a channel whose dirty bit is clear (see
+ * the kernels.hh concurrency contract).
  *
  * Batched execution (PR 6) interleaves K independent simulations
- * ("lanes") of the same topology shape in one store: ids are allocated
- * lane-strided (id = logical * lanes + lane), so the same logical
- * channel of every lane occupies adjacent bits of the same dirty word
- * and one word-drain publishes all K lanes of a congested link in one
- * sweep. A store built with lanes == 1 allocates exactly the dense
- * sequential ids it always did.
+ * ("lanes") of the same topology shape in one store. Ids are
+ * allocated lane-strided with the stride padded to the next power of
+ * two (id = logical * bit_ceil(K) + lane), so the same logical
+ * channel of every lane occupies adjacent bits of ONE dirty word
+ * (a pow2 stride <= 64 always divides the word) and one word-drain
+ * publishes all K lanes of a congested link in a single vector pass.
+ * Pad ids (lane slots >= K) are never allocated, marked dirty, bound
+ * or serialized: checkpoint bytes and cache keys see only the logical
+ * channels, so the stride is invisible to every observable (see
+ * DESIGN.md, "Lane striding and vector padding"). A store built with
+ * lanes == 1 allocates exactly the dense sequential ids it always
+ * did.
  */
 
 #ifndef LOCSIM_NET_LINK_FABRIC_HH_
@@ -50,10 +61,12 @@
 #include <utility>
 #include <vector>
 
+#include "net/kernels.hh"
 #include "net/message.hh"
 #include "sim/channel.hh"
 #include "util/logging.hh"
 #include "util/serialize.hh"
+#include "util/simd.hh"
 
 namespace locsim {
 namespace net {
@@ -64,7 +77,7 @@ inline constexpr ChannelId kNoChannel = 0xffffffffu;
 
 /**
  * The per-shard Rotatable that batch-rotates one store's channels.
- * @tparam Store exposes publishChannel(ChannelId).
+ * @tparam Store exposes publishWord(word, bits).
  */
 template <typename Store>
 class LinkRotator final : public sim::Rotatable
@@ -111,13 +124,8 @@ class LinkRotator final : public sim::Rotatable
         // added a branch). The drain is not on the 16x16 critical
         // path — per-flit switch traversal is (docs/PERFORMANCE.md).
         for (const std::uint32_t word : touched_) {
-            std::uint64_t bits = std::exchange(dirty_words_[word], 0);
-            const ChannelId base = static_cast<ChannelId>(word) << 6;
-            while (bits != 0) {
-                const int b = std::countr_zero(bits);
-                bits &= bits - 1;
-                store_.publishChannel(base + static_cast<ChannelId>(b));
-            }
+            store_.publishWord(word,
+                               std::exchange(dirty_words_[word], 0));
         }
         touched_.clear();
     }
@@ -175,6 +183,26 @@ struct WakeBinding
     }
 };
 
+namespace detail {
+
+/** Lane stride for a K-lane store: pow2 so lane groups never straddle
+ *  a 64-bit dirty word (any pow2 <= 64 divides the word size). */
+inline std::size_t
+laneStride(int lanes)
+{
+    return std::bit_ceil(static_cast<std::size_t>(lanes));
+}
+
+/** Ids rounded up to whole dirty words, so the vector kernels can
+ *  load full words without running off the cursor arrays. */
+inline std::size_t
+paddedIds(ChannelId id)
+{
+    return ((static_cast<std::size_t>(id) >> 6) + 1) << 6;
+}
+
+} // namespace detail
+
 /**
  * All flit links of one fabric, flattened. Same latching semantics as
  * the old FlitRing: pushes land in [mid, tail) and become visible
@@ -191,7 +219,9 @@ class FlitLinkStore
      *        by lane (see the file comment). 1 = solo store.
      */
     FlitLinkStore(int max_occupancy, int shards, int lanes = 1)
-        : lanes_(lanes), per_lane_next_(static_cast<std::size_t>(lanes), 0)
+        : lanes_(lanes), stride_(detail::laneStride(lanes)),
+          per_lane_next_(static_cast<std::size_t>(lanes), 0),
+          level_(util::simd::activeLevel())
     {
         LOCSIM_ASSERT(lanes >= 1, "lane count must be >= 1");
         std::size_t cap = 4;
@@ -229,19 +259,28 @@ class FlitLinkStore
         const std::size_t logical =
             per_lane_next_[static_cast<std::size_t>(lane_)]++;
         const auto id = static_cast<ChannelId>(
-            logical * static_cast<std::size_t>(lanes_) +
-            static_cast<std::size_t>(lane_));
-        if (ctl_.size() <= id) {
-            ctl_.resize(static_cast<std::size_t>(id) + 1);
-            buf_.resize((static_cast<std::size_t>(id) + 1) * cap_);
+            logical * stride_ + static_cast<std::size_t>(lane_));
+        if (ids_ <= id) {
+            ids_ = static_cast<std::size_t>(id) + 1;
+            const std::size_t padded = detail::paddedIds(id);
+            if (head_.size() < padded) {
+                head_.resize(padded, 0);
+                mid_.resize(padded, 0);
+                tail_.resize(padded, 0);
+                meta_.resize(padded);
+                remote_bits_.resize(padded >> 6, 0);
+            }
+            buf_.resize(ids_ * cap_);
         }
-        ctl_[id] = Ctl{};
-        ctl_[id].owner = static_cast<std::uint16_t>(owner);
+        head_[id] = mid_[id] = tail_[id] = 0;
+        meta_[id] = Meta{};
+        meta_[id].owner = static_cast<std::uint16_t>(owner);
+        remote_bits_[id >> 6] &= ~(1ull << (id & 63u));
         rotators_[static_cast<std::size_t>(owner)]->ensure(id);
         return id;
     }
 
-    std::size_t channelCount() const { return ctl_.size(); }
+    std::size_t channelCount() const { return ids_; }
 
     /** The Rotatable to register with shard @p s's engine. */
     sim::Rotatable *rotator(int s)
@@ -252,30 +291,30 @@ class FlitLinkStore
     void
     bindWake(ChannelId id, std::uint32_t *mask, std::uint32_t bit)
     {
-        ctl_[id].wake.bindLocal(mask, bit);
+        meta_[id].wake.bindLocal(mask, bit);
+        remote_bits_[id >> 6] &= ~(1ull << (id & 63u));
     }
 
     void
     bindRemoteWake(ChannelId id, std::atomic<std::uint32_t> *mask,
                    std::uint32_t bit)
     {
-        ctl_[id].wake.bindRemote(mask, bit);
+        meta_[id].wake.bindRemote(mask, bit);
+        remote_bits_[id >> 6] |= 1ull << (id & 63u);
     }
 
     /** True if no flit is currently visible to the consumer. */
     bool
     empty(ChannelId id) const
     {
-        const Ctl &c = ctl_[id];
-        return headOf(c) == c.mid;
+        return headOf(id) == mid_[id];
     }
 
     /** Flits currently visible to the consumer. */
     std::uint32_t
     visibleCount(ChannelId id) const
     {
-        const Ctl &c = ctl_[id];
-        return c.mid - headOf(c);
+        return mid_[id] - headOf(id);
     }
 
     /** Enqueue a flit; visible after the owner's next rotation. */
@@ -295,13 +334,13 @@ class FlitLinkStore
     Flit &
     stage(ChannelId id)
     {
-        Ctl &c = ctl_[id];
-        LOCSIM_ASSERT(c.tail - headOf(c) < cap_,
+        LOCSIM_ASSERT(tail_[id] - headOf(id) < cap_,
                       "flit link overflow: credit protocol violated");
-        Flit &staged = buf_[slot(id, c.tail)];
-        ++c.tail;
-        rotators_[c.owner]->markChannel(id);
-        c.wake.wakeOnPush();
+        Flit &staged = buf_[slot(id, tail_[id])];
+        ++tail_[id];
+        const Meta &m = meta_[id];
+        rotators_[m.owner]->markChannel(id);
+        m.wake.wakeOnPush();
         return staged;
     }
 
@@ -310,7 +349,7 @@ class FlitLinkStore
     front(ChannelId id) const
     {
         LOCSIM_ASSERT(!empty(id), "front() on empty link");
-        return buf_[slot(id, headOf(ctl_[id]))];
+        return buf_[slot(id, headOf(id))];
     }
 
     /**
@@ -318,10 +357,7 @@ class FlitLinkStore
      * flits with at(), then retire them all with one consume() — one
      * cursor load and one store per port-drain instead of per flit.
      */
-    std::uint32_t headCursor(ChannelId id) const
-    {
-        return headOf(ctl_[id]);
-    }
+    std::uint32_t headCursor(ChannelId id) const { return headOf(id); }
 
     const Flit &
     at(ChannelId id, std::uint32_t index) const
@@ -333,11 +369,10 @@ class FlitLinkStore
     void
     consume(ChannelId id, std::uint32_t count)
     {
-        Ctl &c = ctl_[id];
-        const std::uint32_t head = headOf(c);
-        LOCSIM_ASSERT(c.mid - head >= count,
+        const std::uint32_t head = headOf(id);
+        LOCSIM_ASSERT(mid_[id] - head >= count,
                       "consume() past the visible region");
-        std::atomic_ref<std::uint32_t>(c.head).store(
+        std::atomic_ref<std::uint32_t>(head_[id]).store(
             head + count, std::memory_order_relaxed);
     }
 
@@ -346,10 +381,9 @@ class FlitLinkStore
     pop(ChannelId id)
     {
         LOCSIM_ASSERT(!empty(id), "pop() on empty link");
-        Ctl &c = ctl_[id];
-        const std::uint32_t head = headOf(c);
+        const std::uint32_t head = headOf(id);
         const Flit flit = buf_[slot(id, head)];
-        std::atomic_ref<std::uint32_t>(c.head).store(
+        std::atomic_ref<std::uint32_t>(head_[id]).store(
             head + 1, std::memory_order_relaxed);
         return flit;
     }
@@ -358,9 +392,29 @@ class FlitLinkStore
     void
     publishChannel(ChannelId id)
     {
-        Ctl &c = ctl_[id];
-        c.wake.wakeOnPublish();
-        c.mid = c.tail;
+        meta_[id].wake.wakeOnPublish();
+        mid_[id] = tail_[id];
+    }
+
+    /**
+     * Publish every dirty channel of one 64-channel word (rotation
+     * phase only). Publish-time wakes exist only for cross-shard
+     * channels (remote_bits_), handled scalar; the cursor copy for
+     * the whole word then runs as one lane-vector pass.
+     */
+    void
+    publishWord(std::uint32_t word, std::uint64_t bits)
+    {
+        const ChannelId base = static_cast<ChannelId>(word) << 6;
+        std::uint64_t remote = bits & remote_bits_[word];
+        while (remote != 0) {
+            const int b = std::countr_zero(remote);
+            remote &= remote - 1;
+            meta_[base + static_cast<ChannelId>(b)]
+                .wake.wakeOnPublish();
+        }
+        kernels::flitPublishWord(mid_.data() + base,
+                                 tail_.data() + base, bits, level_);
     }
 
     /**
@@ -373,25 +427,23 @@ class FlitLinkStore
     void
     saveChannel(util::Serializer &s, ChannelId id) const
     {
-        const Ctl &c = ctl_[id];
-        const std::uint32_t head = headOf(c);
+        const std::uint32_t head = headOf(id);
         s.put(static_cast<std::uint64_t>(head));
-        s.put(static_cast<std::uint64_t>(c.mid));
-        s.put(static_cast<std::uint64_t>(c.tail));
-        for (std::uint32_t i = head; i != c.tail; ++i)
+        s.put(static_cast<std::uint64_t>(mid_[id]));
+        s.put(static_cast<std::uint64_t>(tail_[id]));
+        for (std::uint32_t i = head; i != tail_[id]; ++i)
             saveFlit(s, buf_[slot(id, i)]);
     }
 
     void
     loadChannel(util::Deserializer &d, ChannelId id)
     {
-        Ctl &c = ctl_[id];
-        c.head = static_cast<std::uint32_t>(d.get<std::uint64_t>());
-        c.mid = static_cast<std::uint32_t>(d.get<std::uint64_t>());
-        c.tail = static_cast<std::uint32_t>(d.get<std::uint64_t>());
-        LOCSIM_ASSERT(c.tail - c.head <= cap_,
+        head_[id] = static_cast<std::uint32_t>(d.get<std::uint64_t>());
+        mid_[id] = static_cast<std::uint32_t>(d.get<std::uint64_t>());
+        tail_[id] = static_cast<std::uint32_t>(d.get<std::uint64_t>());
+        LOCSIM_ASSERT(tail_[id] - head_[id] <= cap_,
                       "flit ring checkpoint exceeds capacity");
-        for (std::uint32_t i = c.head; i != c.tail; ++i)
+        for (std::uint32_t i = head_[id]; i != tail_[id]; ++i)
             buf_[slot(id, i)] = loadFlit(d);
     }
 
@@ -399,26 +451,26 @@ class FlitLinkStore
     std::size_t
     memoryBytes() const
     {
-        return ctl_.capacity() * sizeof(Ctl) +
+        return (head_.capacity() + mid_.capacity() +
+                tail_.capacity()) *
+                   sizeof(std::uint32_t) +
+               meta_.capacity() * sizeof(Meta) +
+               remote_bits_.capacity() * sizeof(std::uint64_t) +
                buf_.capacity() * sizeof(Flit) +
                per_lane_next_.capacity() * sizeof(std::uint32_t);
     }
 
   private:
     /**
-     * Per-channel control block: ring indices ([head, mid) visible,
-     * [mid, tail) staged; monotonic 32-bit, differences are wrap-
-     * safe), wake binding and owning shard packed into 32 bytes so
-     * every link operation touches half a cache line of control state
-     * plus the flit slab.
+     * Cold per-channel metadata, split from the hot ring cursors so
+     * the publish kernels stream pure uint32 arrays: the wake binding
+     * (touched at push/publish, not copied by the kernels) and the
+     * owning shard.
      */
-    struct Ctl
+    struct Meta
     {
-        std::uint32_t head = 0;
-        std::uint32_t mid = 0;
-        std::uint32_t tail = 0;
-        std::uint16_t owner = 0;
         WakeBinding wake;
+        std::uint16_t owner = 0;
     };
 
     std::size_t
@@ -433,10 +485,10 @@ class FlitLinkStore
      * overflow assert reads it, so cross-shard accesses go through
      * std::atomic_ref (relaxed), mirroring the old atomic member.
      */
-    static std::uint32_t
-    headOf(const Ctl &c)
+    std::uint32_t
+    headOf(ChannelId id) const
     {
-        return std::atomic_ref<const std::uint32_t>(c.head).load(
+        return std::atomic_ref<const std::uint32_t>(head_[id]).load(
             std::memory_order_relaxed);
     }
 
@@ -445,9 +497,24 @@ class FlitLinkStore
     unsigned shift_ = 0;
     int lanes_ = 1;
     int lane_ = 0;
+    std::size_t stride_ = 1;
+    std::size_t ids_ = 0; //!< allocated ids (pad slots excluded above)
     std::vector<std::uint32_t> per_lane_next_;
+    util::simd::Level level_;
 
-    std::vector<Ctl> ctl_;
+    /**
+     * Ring cursors, one hot uint32 per channel per array ([head, mid)
+     * visible, [mid, tail) staged; monotonic, differences are wrap-
+     * safe), padded to whole 64-channel words for the vector publish.
+     * Pad slots are never read or written outside full-word kernel
+     * loads.
+     */
+    std::vector<std::uint32_t> head_;
+    std::vector<std::uint32_t> mid_;
+    std::vector<std::uint32_t> tail_;
+    std::vector<Meta> meta_;
+    /** Channels whose wake binding is remote, per dirty word. */
+    std::vector<std::uint64_t> remote_bits_;
     std::vector<Flit> buf_;
 
     std::vector<std::unique_ptr<LinkRotator<FlitLinkStore>>> rotators_;
@@ -455,7 +522,7 @@ class FlitLinkStore
 
 /**
  * All credit-return links, flattened: staged/visible counters per VC
- * in one contiguous array of stride vcs.
+ * in one contiguous array of stride 2 * vcs per channel.
  */
 class CreditLinkStore
 {
@@ -463,8 +530,9 @@ class CreditLinkStore
     static constexpr int kMaxVcs = 8;
 
     CreditLinkStore(int vcs, int shards, int lanes = 1)
-        : vcs_(vcs), lanes_(lanes),
-          per_lane_next_(static_cast<std::size_t>(lanes), 0)
+        : vcs_(vcs), lanes_(lanes), stride_(detail::laneStride(lanes)),
+          per_lane_next_(static_cast<std::size_t>(lanes), 0),
+          level_(util::simd::activeLevel())
     {
         LOCSIM_ASSERT(vcs >= 1 && vcs <= kMaxVcs, "VC count range");
         LOCSIM_ASSERT(lanes >= 1, "lane count must be >= 1");
@@ -496,21 +564,28 @@ class CreditLinkStore
         const std::size_t logical =
             per_lane_next_[static_cast<std::size_t>(lane_)]++;
         const auto id = static_cast<ChannelId>(
-            logical * static_cast<std::size_t>(lanes_) +
-            static_cast<std::size_t>(lane_));
-        if (meta_.size() <= id) {
-            meta_.resize(static_cast<std::size_t>(id) + 1);
-            counts_.resize((static_cast<std::size_t>(id) + 1) * 2 *
-                               static_cast<std::size_t>(vcs_),
+            logical * stride_ + static_cast<std::size_t>(lane_));
+        if (ids_ <= id) {
+            ids_ = static_cast<std::size_t>(id) + 1;
+            const std::size_t padded = detail::paddedIds(id);
+            if (meta_.size() < padded) {
+                meta_.resize(padded);
+                remote_bits_.resize(padded >> 6, 0);
+            }
+            counts_.resize(ids_ * 2 * static_cast<std::size_t>(vcs_),
                            0);
         }
         meta_[id] = Meta{};
         meta_[id].owner = static_cast<std::uint16_t>(owner);
+        remote_bits_[id >> 6] &= ~(1ull << (id & 63u));
+        const std::size_t st = stagedBase(id);
+        for (int vc = 0; vc < 2 * vcs_; ++vc)
+            counts_[st + static_cast<std::size_t>(vc)] = 0;
         rotators_[static_cast<std::size_t>(owner)]->ensure(id);
         return id;
     }
 
-    std::size_t channelCount() const { return meta_.size(); }
+    std::size_t channelCount() const { return ids_; }
 
     sim::Rotatable *rotator(int s)
     {
@@ -521,6 +596,7 @@ class CreditLinkStore
     bindWake(ChannelId id, std::uint32_t *mask, std::uint32_t bit)
     {
         meta_[id].wake.bindLocal(mask, bit);
+        remote_bits_[id >> 6] &= ~(1ull << (id & 63u));
     }
 
     void
@@ -528,6 +604,7 @@ class CreditLinkStore
                    std::uint32_t bit)
     {
         meta_[id].wake.bindRemote(mask, bit);
+        remote_bits_[id >> 6] |= 1ull << (id & 63u);
     }
 
     /** Return one credit for (id, vc); visible after rotation. */
@@ -573,6 +650,23 @@ class CreditLinkStore
         }
     }
 
+    /** Publish every dirty channel of one word (rotation phase only);
+     *  see FlitLinkStore::publishWord for the remote/vector split. */
+    void
+    publishWord(std::uint32_t word, std::uint64_t bits)
+    {
+        const ChannelId base = static_cast<ChannelId>(word) << 6;
+        std::uint64_t remote = bits & remote_bits_[word];
+        while (remote != 0) {
+            const int b = std::countr_zero(remote);
+            remote &= remote - 1;
+            meta_[base + static_cast<ChannelId>(b)]
+                .wake.wakeOnPublish();
+        }
+        kernels::creditPublishWord(counts_.data() + stagedBase(base),
+                                   bits, vcs_, level_);
+    }
+
     /** Byte-identical to the old CreditPipe stream. */
     void
     saveChannel(util::Serializer &s, ChannelId id) const
@@ -602,6 +696,7 @@ class CreditLinkStore
     {
         return counts_.capacity() * sizeof(int) +
                meta_.capacity() * sizeof(Meta) +
+               remote_bits_.capacity() * sizeof(std::uint64_t) +
                per_lane_next_.capacity() * sizeof(std::uint32_t);
     }
 
@@ -630,9 +725,14 @@ class CreditLinkStore
     int vcs_;
     int lanes_ = 1;
     int lane_ = 0;
+    std::size_t stride_ = 1;
+    std::size_t ids_ = 0;
     std::vector<std::uint32_t> per_lane_next_;
+    util::simd::Level level_;
     std::vector<int> counts_;
     std::vector<Meta> meta_;
+    /** Channels whose wake binding is remote, per dirty word. */
+    std::vector<std::uint64_t> remote_bits_;
 
     std::vector<std::unique_ptr<LinkRotator<CreditLinkStore>>>
         rotators_;

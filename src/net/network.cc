@@ -6,7 +6,9 @@
 #include "net/network.hh"
 
 #include <algorithm>
+#include <bit>
 
+#include "net/kernels.hh"
 #include "obs/profiler.hh"
 #include "util/logging.hh"
 
@@ -145,6 +147,17 @@ Network::Network(const NetworkConfig &config,
                          static_cast<std::size_t>(ports));
     vc_slab_.resize(static_cast<std::size_t>(n) *
                     static_cast<std::size_t>(units) * vc_cap);
+    // Wake/occupancy slabs, padded to whole groups of 8 so the latch
+    // kernel's full-width accesses on the last group stay in bounds.
+    // Pad words start zero and are never staged, so they always read
+    // as idle.
+    const std::size_t padded_nodes =
+        (static_cast<std::size_t>(n) + 7u) & ~std::size_t{7};
+    flit_wake_staged_.assign(padded_nodes, 0u);
+    flit_wake_.assign(padded_nodes, 0u);
+    credit_wake_staged_.assign(padded_nodes, 0u);
+    credit_wake_.assign(padded_nodes, 0u);
+    buffered_slab_.assign(padded_nodes, 0u);
 
     for (sim::NodeId node = 0; node < n; ++node) {
         Router::RouterSlices slices;
@@ -157,6 +170,11 @@ Network::Network(const NetworkConfig &config,
         slices.vc_slots = vc_slab_.data() +
                           static_cast<std::size_t>(node) *
                               static_cast<std::size_t>(units) * vc_cap;
+        slices.flit_wake_staged = flit_wake_staged_.data() + node;
+        slices.flit_wake = flit_wake_.data() + node;
+        slices.credit_wake_staged = credit_wake_staged_.data() + node;
+        slices.credit_wake = credit_wake_.data() + node;
+        slices.buffered = buffered_slab_.data() + node;
         routers_.push_back(arena_.make<Router>(topo_, node,
                                                config_.router,
                                                flit_store_,
@@ -254,6 +272,32 @@ Network::Network(const NetworkConfig &config,
                 }
             }
         }
+    }
+
+    // Kernel-path metadata, fixed once all remote wake bindings are
+    // known: each shard's list of routers with cross-shard producers
+    // (their atomics are drained scalar before the vector latch) and
+    // its busy-byte scratch, one byte per group of 8 nodes the latch
+    // kernel can touch (shard boundaries round outward to group
+    // boundaries; the kernel itself peels the shared edge groups to
+    // scalar). Sized here so the steady-state loop never allocates.
+    simd_level_ = util::simd::activeLevel();
+    remote_nodes_.resize(static_cast<std::size_t>(K));
+    busy_scratch_.resize(static_cast<std::size_t>(K));
+    for (int s = 0; s < K; ++s) {
+        const sim::NodeId lo = plan_.first(s);
+        const sim::NodeId hi = plan_.last(s);
+        for (sim::NodeId node = lo; node < hi; ++node) {
+            if (routers_[node]->hasRemoteWakes()) {
+                remote_nodes_[static_cast<std::size_t>(s)].push_back(
+                    node);
+            }
+        }
+        const std::size_t groups =
+            hi > lo ? (static_cast<std::size_t>(hi - 1) / 8 -
+                       static_cast<std::size_t>(lo) / 8 + 1)
+                    : 0;
+        busy_scratch_[static_cast<std::size_t>(s)].assign(groups, 0u);
     }
 }
 
@@ -566,25 +610,113 @@ Network::tickShard(int s, sim::Tick now)
 
     const sim::NodeId lo = plan_.first(s);
     const sim::NodeId hi = plan_.last(s);
-    // Latch the wake bits staged by last cycle's channel pushes
-    // (including cross-shard pushes, via the routers' remote words)
-    // before anything pushes this cycle: injection, ejection credits
-    // and router traversal below all stage wakes for the NEXT cycle,
-    // matching the channels' one-cycle latching delay.
-    for (sim::NodeId node = lo; node < hi; ++node)
-        routers_[node]->latchWakes();
+
+    if (simd_level_ == util::simd::Level::Off) {
+        // Scalar reference path (LOCSIM_SIMD=off): the kernel path
+        // below must stay bit-identical to this one — CI diffs the
+        // two builds byte-for-byte.
+        //
+        // Latch the wake bits staged by last cycle's channel pushes
+        // (including cross-shard pushes, via the routers' remote
+        // words) before anything pushes this cycle: injection,
+        // ejection credits and router traversal below all stage wakes
+        // for the NEXT cycle, matching the channels' one-cycle
+        // latching delay.
+        for (sim::NodeId node = lo; node < hi; ++node)
+            routers_[node]->latchWakes();
+        if (plan_.shards > 1)
+            drainRecordMail(s, now);
+        for (sim::NodeId node = lo; node < hi; ++node)
+            tickEjection(node, now);
+        for (sim::NodeId node = lo; node < hi; ++node)
+            tickInjection(node, now);
+        // An idle router's tick is a no-op (no buffered flits,
+        // nothing visible on its channels, and its arbitration state
+        // is derived from `now`), so skipping it cannot change
+        // behavior.
+        for (sim::NodeId node = lo; node < hi; ++node) {
+            if (routers_[node]->busy())
+                routers_[node]->tick(now);
+        }
+        return;
+    }
+
+    // Lane-vector path: the same latch / eject / inject / dispatch
+    // sequence, but the start-of-cycle latch and busy evaluation run
+    // as a vector kernel over groups of 8 contiguous nodes. Busy is
+    // computed at latch time rather than after injection; the two are
+    // identical because ejection and injection only *stage* wakes for
+    // the next cycle (and buffered counts change only inside router
+    // ticks), so nothing a dispatch decision depends on moves in
+    // between.
+    auto &busy = busy_scratch_[static_cast<std::size_t>(s)];
+    const auto lo_s = static_cast<std::size_t>(lo);
+    const auto hi_s = static_cast<std::size_t>(hi);
+    const std::size_t gfirst = lo_s / 8;
+    // Vector range [vlo, vhi): whole groups of 8 at absolute offsets.
+    // The last shard rounds up into the slab padding (pad words are
+    // never staged, so they always evaluate idle); every other shard
+    // rounds inward and peels its edge nodes to scalar — a boundary
+    // group can be shared with a neighboring shard ticking
+    // concurrently, and only whole-group ownership makes the vector
+    // read-modify-write race-free.
+    const std::size_t vlo = (lo_s + 7u) & ~std::size_t{7};
+    std::size_t vhi = hi_s == routers_.size()
+                          ? (hi_s + 7u) & ~std::size_t{7}
+                          : hi_s & ~std::size_t{7};
+    if (vhi < vlo)
+        vhi = vlo;
+    {
+        obs::ScopedPhase kernel(
+            profile_slots_[static_cast<std::size_t>(s)],
+            obs::Phase::RouterKernel);
+        // Cross-shard wakes fold into the staged words first, so the
+        // vector latch picks them up exactly as latchWakes() would
+        // have (rotation is barrier-separated from this phase, so the
+        // remote atomics are quiescent here).
+        for (const sim::NodeId node :
+             remote_nodes_[static_cast<std::size_t>(s)])
+            routers_[node]->drainRemoteWakes();
+        std::fill(busy.begin(), busy.end(), std::uint8_t{0});
+        for (std::size_t node = lo_s; node < vlo && node < hi_s;
+             ++node) {
+            routers_[node]->latchWakes();
+            if (routers_[node]->busy())
+                busy[node / 8 - gfirst] |=
+                    static_cast<std::uint8_t>(1u << (node & 7));
+        }
+        if (vhi > vlo) {
+            kernels::routerLatchBusy(
+                flit_wake_staged_.data(), flit_wake_.data(),
+                credit_wake_staged_.data(), credit_wake_.data(),
+                buffered_slab_.data(), vlo, vhi,
+                busy.data() + (vlo / 8 - gfirst), simd_level_);
+        }
+        for (std::size_t node = vhi; node < hi_s; ++node) {
+            routers_[node]->latchWakes();
+            if (routers_[node]->busy())
+                busy[node / 8 - gfirst] |=
+                    static_cast<std::uint8_t>(1u << (node & 7));
+        }
+    }
     if (plan_.shards > 1)
         drainRecordMail(s, now);
     for (sim::NodeId node = lo; node < hi; ++node)
         tickEjection(node, now);
     for (sim::NodeId node = lo; node < hi; ++node)
         tickInjection(node, now);
-    // An idle router's tick is a no-op (no buffered flits, nothing
-    // visible on its channels, and its arbitration state is derived
-    // from `now`), so skipping it cannot change behavior.
-    for (sim::NodeId node = lo; node < hi; ++node) {
-        if (routers_[node]->busy())
+    // Dispatch straight off the busy bytes, ascending — the same
+    // node order as the scalar scan, without re-deriving busy per
+    // node.
+    for (std::size_t g = 0; g < busy.size(); ++g) {
+        std::uint32_t bits = busy[g];
+        while (bits != 0) {
+            const int b = std::countr_zero(bits);
+            bits &= bits - 1;
+            const auto node = static_cast<sim::NodeId>(
+                (gfirst + g) * 8 + static_cast<std::size_t>(b));
             routers_[node]->tick(now);
+        }
     }
 }
 
@@ -740,6 +872,12 @@ Network::memoryBytes() const
                         output_ports_.capacity() *
                             sizeof(Router::OutputPort) +
                         vc_slab_.capacity() * sizeof(Flit);
+    bytes += (flit_wake_staged_.capacity() + flit_wake_.capacity() +
+              credit_wake_staged_.capacity() + credit_wake_.capacity() +
+              buffered_slab_.capacity()) *
+             sizeof(std::uint32_t);
+    for (const auto &scratch : busy_scratch_)
+        bytes += scratch.capacity();
     if (owned_stores_ != nullptr) {
         bytes += flit_store_.memoryBytes() +
                  credit_store_.memoryBytes();

@@ -56,6 +56,7 @@
 #include "util/pool.hh"
 #include "util/ring_queue.hh"
 #include "util/serialize.hh"
+#include "util/simd.hh"
 
 namespace locsim {
 
@@ -471,6 +472,40 @@ class Network : public sim::Clocked
     std::vector<Router::InputVc> input_units_;
     std::vector<Router::OutputPort> output_ports_;
     std::vector<Flit> vc_slab_;
+
+    /**
+     * Per-node wake and occupancy words, one uint32 per router per
+     * slab (indexed by node id). Hoisting these out of the Router
+     * objects lets tickShard latch wakes and evaluate per-node busy
+     * masks as a lane-vector kernel over 8 contiguous nodes at a time
+     * (kernels::routerLatchBusy). Padded to a multiple of 8 words so
+     * full-width vector loads/stores on the last group stay in
+     * bounds; pad words are never staged and always read as idle.
+     */
+    std::vector<std::uint32_t> flit_wake_staged_;
+    std::vector<std::uint32_t> flit_wake_;
+    std::vector<std::uint32_t> credit_wake_staged_;
+    std::vector<std::uint32_t> credit_wake_;
+    std::vector<std::uint32_t> buffered_slab_;
+
+    /**
+     * Per-shard list of nodes with cross-shard producers. The kernel
+     * path drains their remote wake atomics into the staged words
+     * before the vector latch; every other node's staged words are
+     * only written by its own shard, so the vector pass is race-free.
+     */
+    std::vector<std::vector<sim::NodeId>> remote_nodes_;
+
+    /**
+     * Per-shard busy-byte scratch for the latch kernel: one byte per
+     * group of 8 nodes, bit b = node (group*8 + b) had work at latch
+     * time. Sized at construction; the steady-state loop never
+     * allocates.
+     */
+    std::vector<std::vector<std::uint8_t>> busy_scratch_;
+
+    /** Lane-vector kernel level, resolved once at construction. */
+    util::simd::Level simd_level_ = util::simd::Level::Off;
 
     // Per-node endpoint channels (indexed by node).
     std::vector<ChannelId> inject_link_;

@@ -17,8 +17,14 @@ Router::Router(const TorusTopology &topo, sim::NodeId node,
                CreditLinkStore &credits, const RouterSlices &slices)
     : topo_(topo), node_(node), config_(config), flit_store_(flits),
       credit_store_(credits), inputs_(slices.inputs),
-      outputs_(slices.outputs)
+      outputs_(slices.outputs), buffered_(slices.buffered),
+      flit_wake_staged_(slices.flit_wake_staged),
+      flit_wake_(slices.flit_wake),
+      credit_wake_staged_(slices.credit_wake_staged),
+      credit_wake_(slices.credit_wake)
 {
+    LOCSIM_ASSERT(buffered_ != nullptr && flit_wake_ != nullptr,
+                  "router wake/occupancy slab words are required");
     LOCSIM_ASSERT(config_.vcs >= 2,
                   "torus wormhole routing needs >= 2 virtual channels");
     LOCSIM_ASSERT(config_.buffer_depth >= 1, "buffer depth must be >= 1");
@@ -65,9 +71,9 @@ Router::connect(int port, ChannelId in, ChannelId out,
     // Input channels wake this router at push time so tick() visits
     // only the ports that actually carry something.
     if (in != kNoChannel)
-        flit_store_.bindWake(in, &flit_wake_staged_, 1u << port);
+        flit_store_.bindWake(in, flit_wake_staged_, 1u << port);
     if (credit_down != kNoChannel) {
-        credit_store_.bindWake(credit_down, &credit_wake_staged_,
+        credit_store_.bindWake(credit_down, credit_wake_staged_,
                                1u << port);
     }
     // The consumer downstream of `out` exposes buffer_depth slots per
@@ -84,7 +90,7 @@ Router::receiveCredits()
 {
     // Visit only the ports whose credit links woke us; the wake
     // contract guarantees every other credit link is empty.
-    std::uint32_t ports = std::exchange(credit_wake_, 0u);
+    std::uint32_t ports = std::exchange(*credit_wake_, 0u);
     while (ports != 0) {
         const int port = std::countr_zero(ports);
         ports &= ports - 1;
@@ -111,7 +117,7 @@ Router::receiveCredits()
 void
 Router::receiveFlits()
 {
-    std::uint32_t ports = std::exchange(flit_wake_, 0u);
+    std::uint32_t ports = std::exchange(*flit_wake_, 0u);
     while (ports != 0) {
         const int port = std::countr_zero(ports);
         ports &= ports - 1;
@@ -133,7 +139,7 @@ Router::receiveFlits()
                           static_cast<int>(flit.vc));
             ivc.bufPush(flit);
             vc_occupied_ |= 1u << unit;
-            ++buffered_;
+            ++*buffered_;
             if (ivc.routed) {
                 // A body flit joined a unit that holds its output VC:
                 // that port may forward again.
@@ -310,7 +316,7 @@ Router::switchTraversal(sim::Tick now)
             Flit &flit = flit_store_.stage(link);
             flit = ivc.bufFront();
             ivc.bufPop();
-            --buffered_;
+            --*buffered_;
             if (ivc.bufEmpty())
                 vc_occupied_ &= ~(1u << owner);
             input_port_used |= 1u << in_port;
@@ -386,15 +392,15 @@ Router::switchTraversal(sim::Tick now)
 void
 Router::tick(sim::Tick now)
 {
-    if (credit_wake_ != 0)
+    if (*credit_wake_ != 0)
         receiveCredits();
-    if (flit_wake_ != 0)
+    if (*flit_wake_ != 0)
         receiveFlits();
     // Both remaining phases only act on buffered flits (an output VC
     // owner with an empty input buffer is waiting on upstream body
     // flits and makes no progress), so a router woken only to absorb
     // credits stops here.
-    if (buffered_ == 0)
+    if (*buffered_ == 0)
         return;
     routeAndAllocate(now);
     switchTraversal(now);
@@ -403,7 +409,7 @@ Router::tick(sim::Tick now)
 std::size_t
 Router::bufferedFlits() const
 {
-    return buffered_;
+    return *buffered_;
 }
 
 } // namespace net

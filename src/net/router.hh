@@ -129,12 +129,22 @@ class Router
      * This router's views into the Network-owned state slabs:
      * @p inputs has unitCount() entries, @p outputs portCount()
      * entries, and @p vc_slots unitCount() * vcRingCapacity() flits.
+     * The wake/occupancy words live in per-node uint32 slabs (one
+     * word per router per slab) so the start-of-cycle latch and busy
+     * scan stream contiguous arrays — and vectorize (see
+     * kernels::routerLatchBusy) — instead of striding across router
+     * objects; each pointer names this router's single word.
      */
     struct RouterSlices
     {
         InputVc *inputs = nullptr;
         OutputPort *outputs = nullptr;
         Flit *vc_slots = nullptr;
+        std::uint32_t *flit_wake_staged = nullptr;
+        std::uint32_t *flit_wake = nullptr;
+        std::uint32_t *credit_wake_staged = nullptr;
+        std::uint32_t *credit_wake = nullptr;
+        std::uint32_t *buffered = nullptr;
     };
 
     Router(const TorusTopology &topo, sim::NodeId node,
@@ -200,19 +210,43 @@ class Router
     void
     latchWakes()
     {
-        flit_wake_ |= std::exchange(flit_wake_staged_, 0u);
-        credit_wake_ |= std::exchange(credit_wake_staged_, 0u);
+        *flit_wake_ |= std::exchange(*flit_wake_staged_, 0u);
+        *credit_wake_ |= std::exchange(*credit_wake_staged_, 0u);
         if (has_remote_wakes_) {
             const std::uint32_t flits = remote_flit_wake_.exchange(
                 0u, std::memory_order_relaxed);
             const std::uint32_t credits = remote_credit_wake_.exchange(
                 0u, std::memory_order_relaxed);
-            flit_wake_ |= flits;
-            credit_wake_ |= credits;
+            *flit_wake_ |= flits;
+            *credit_wake_ |= credits;
             remote_wakes_ += static_cast<std::uint64_t>(
                 std::popcount(flits) + std::popcount(credits));
         }
     }
+
+    /**
+     * Kernel-path variant of the remote half of latchWakes(): fold
+     * pending cross-shard wakes into the *staged* words, which the
+     * lane-vector latch (kernels::routerLatchBusy) then ORs into the
+     * wake words exactly as latchWakes() would have — same final
+     * state, same remote_wakes_ accounting. The Network calls this
+     * for its per-shard remote-node list before running the kernel.
+     */
+    void
+    drainRemoteWakes()
+    {
+        const std::uint32_t flits =
+            remote_flit_wake_.exchange(0u, std::memory_order_relaxed);
+        const std::uint32_t credits = remote_credit_wake_.exchange(
+            0u, std::memory_order_relaxed);
+        *flit_wake_staged_ |= flits;
+        *credit_wake_staged_ |= credits;
+        remote_wakes_ += static_cast<std::uint64_t>(
+            std::popcount(flits) + std::popcount(credits));
+    }
+
+    /** True once any channel bound a cross-shard wake to this router. */
+    bool hasRemoteWakes() const { return has_remote_wakes_; }
 
     /**
      * Cross-shard wake words. In sharded runs, an input channel whose
@@ -245,7 +279,8 @@ class Router
     bool
     busy() const
     {
-        return buffered_ > 0 || flit_wake_ != 0 || credit_wake_ != 0;
+        return *buffered_ > 0 || *flit_wake_ != 0 ||
+               *credit_wake_ != 0;
     }
 
     /** Flits forwarded through output @p port (for utilization). */
@@ -321,16 +356,18 @@ class Router
             }
             s.put(static_cast<int>(op.next_vc));
         }
-        s.put<std::uint64_t>(buffered_);
+        // The slab word is 32-bit in memory; the stream keeps its
+        // original 64-bit field.
+        s.put<std::uint64_t>(*buffered_);
         // Fold pending cross-shard wakes into the staged words: the
         // two are drained identically by latchWakes(), and folding
         // keeps checkpoint bytes independent of the shard count.
-        s.put(flit_wake_staged_ |
+        s.put(*flit_wake_staged_ |
               remote_flit_wake_.load(std::memory_order_relaxed));
-        s.put(flit_wake_);
-        s.put(credit_wake_staged_ |
+        s.put(*flit_wake_);
+        s.put(*credit_wake_staged_ |
               remote_credit_wake_.load(std::memory_order_relaxed));
-        s.put(credit_wake_);
+        s.put(*credit_wake_);
         s.put(vc_occupied_);
         s.put(owned_ports_);
         s.put(rr_now_);
@@ -376,11 +413,12 @@ class Router
             }
             op.next_vc = static_cast<std::int8_t>(d.get<int>());
         }
-        buffered_ = static_cast<std::size_t>(d.get<std::uint64_t>());
-        flit_wake_staged_ = d.get<std::uint32_t>();
-        flit_wake_ = d.get<std::uint32_t>();
-        credit_wake_staged_ = d.get<std::uint32_t>();
-        credit_wake_ = d.get<std::uint32_t>();
+        *buffered_ =
+            static_cast<std::uint32_t>(d.get<std::uint64_t>());
+        *flit_wake_staged_ = d.get<std::uint32_t>();
+        *flit_wake_ = d.get<std::uint32_t>();
+        *credit_wake_staged_ = d.get<std::uint32_t>();
+        *credit_wake_ = d.get<std::uint32_t>();
         remote_flit_wake_.store(0u, std::memory_order_relaxed);
         remote_credit_wake_.store(0u, std::memory_order_relaxed);
         vc_occupied_ = d.get<std::uint32_t>();
@@ -440,8 +478,9 @@ class Router
     std::array<ChannelId, kMaxPorts> credit_up_;
     std::array<ChannelId, kMaxPorts> credit_down_;
 
-    /** Flits currently held in input VC buffers (kept incrementally). */
-    std::size_t buffered_ = 0;
+    /** Flits currently held in input VC buffers (kept incrementally;
+     *  slab word, see RouterSlices). */
+    std::uint32_t *buffered_ = nullptr;
 
     /**
      * Activity bitmasks, one bit per port (wake words) or per input
@@ -451,12 +490,15 @@ class Router
      * channels actually carry something, and the allocation /
      * traversal phases visit only units with buffered flits / ports
      * with owned VCs. The constructor asserts port * VC counts fit in
-     * 32 bits.
+     * 32 bits. All four words live in Network-owned per-node slabs
+     * (RouterSlices) so the start-of-cycle latch is a contiguous —
+     * and vectorizable — sweep; these pointers name this router's
+     * words.
      */
-    std::uint32_t flit_wake_staged_ = 0;
-    std::uint32_t flit_wake_ = 0;
-    std::uint32_t credit_wake_staged_ = 0;
-    std::uint32_t credit_wake_ = 0;
+    std::uint32_t *flit_wake_staged_ = nullptr;
+    std::uint32_t *flit_wake_ = nullptr;
+    std::uint32_t *credit_wake_staged_ = nullptr;
+    std::uint32_t *credit_wake_ = nullptr;
     /** Cross-shard wake words; see remoteFlitWakeWord(). */
     std::atomic<std::uint32_t> remote_flit_wake_{0};
     std::atomic<std::uint32_t> remote_credit_wake_{0};

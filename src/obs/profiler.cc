@@ -16,6 +16,8 @@ phaseName(Phase phase)
         return "engine_dispatch";
       case Phase::RouterScan:
         return "router_scan";
+      case Phase::RouterKernel:
+        return "router_kernel";
       case Phase::LinkRotation:
         return "link_rotation";
       case Phase::Coherence:

@@ -45,6 +45,7 @@ namespace obs {
 enum class Phase : int {
     EngineDispatch = 0, //!< engine phase A: events + clocked scan
     RouterScan,         //!< network tickShard (latch/eject/inject/route)
+    RouterKernel,       //!< lane-vector latch/busy kernel inside tickShard
     LinkRotation,       //!< engine phase B: dirty-channel rotation
     Coherence,          //!< cache-controller protocol processing
     BarrierWait,        //!< lockstep barrier arrivals
@@ -55,7 +56,7 @@ enum class Phase : int {
     CacheStore,         //!< sim-cache payload write
 };
 
-inline constexpr int kPhaseCount = 10;
+inline constexpr int kPhaseCount = 11;
 
 /** Stable lower-snake name for manifests and tables. */
 const char *phaseName(Phase phase);

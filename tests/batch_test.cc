@@ -28,6 +28,7 @@
 #include "machine/machine.hh"
 #include "obs/sampler.hh"
 #include "util/serialize.hh"
+#include "util/simd.hh"
 #include "workload/mapping.hh"
 
 namespace locsim {
@@ -114,6 +115,72 @@ TEST(Batch, LanesBitIdenticalToSoloAtEverySizeAndShardCount)
                     << "lane " << l << " of " << lanes << " at "
                     << shards << " shard(s)";
             }
+        }
+    }
+}
+
+/**
+ * Non-power-of-two lane counts ride the same striding invariant: the
+ * lane stride is the power-of-two ceiling of the lane count, so K in
+ * {3, 5, 6} leaves pad lanes between logical channels. Pad ids are
+ * never allocated or published, so every live lane must still match
+ * its solo oracle bit for bit at 1 and 2 shards.
+ */
+TEST(Batch, NonPowerOfTwoLaneCountsBitIdenticalToSolo)
+{
+    constexpr std::uint64_t kWarmup = 800, kWindow = 2500;
+    const std::vector<BatchLaneSpec> all = laneSpecs(6, 1);
+    std::vector<std::vector<std::uint8_t>> solo;
+    for (const BatchLaneSpec &spec : all) {
+        Machine machine(spec.config, spec.mapping);
+        solo.push_back(measurementBytes(machine.run(kWarmup, kWindow)));
+    }
+    for (int shards : {1, 2}) {
+        for (int lanes : {3, 5, 6}) {
+            MachineBatch batch(laneSpecs(lanes, shards));
+            const std::vector<Measurement> results =
+                batch.run(kWarmup, kWindow);
+            ASSERT_EQ(results.size(), static_cast<std::size_t>(lanes));
+            for (int l = 0; l < lanes; ++l) {
+                EXPECT_EQ(measurementBytes(results[l]),
+                          solo[static_cast<std::size_t>(l)])
+                    << "lane " << l << " of " << lanes << " at "
+                    << shards << " shard(s)";
+            }
+        }
+    }
+}
+
+/**
+ * The scalar and lane-vector kernel paths are the same simulation:
+ * with the kernel level forced off (the LOCSIM_SIMD=off build's
+ * steady state) a batch produces byte-identical measurements and
+ * checkpoint images to the ambient level (SSE2/AVX2 where the CPU has
+ * it). The level is latched at construction, so each batch here is
+ * built entirely under its forced level.
+ */
+TEST(Batch, ScalarAndVectorKernelPathsBitIdentical)
+{
+    constexpr std::uint64_t kWarmup = 600, kWindow = 1800;
+    const util::simd::Level ambient = util::simd::activeLevel();
+    auto runAt = [&](util::simd::Level level, int lanes, int shards) {
+        util::simd::setActiveLevelForTest(level);
+        MachineBatch batch(laneSpecs(lanes, shards));
+        const std::vector<Measurement> results =
+            batch.run(kWarmup, kWindow);
+        std::vector<std::vector<std::uint8_t>> bytes;
+        for (const Measurement &m : results)
+            bytes.push_back(measurementBytes(m));
+        for (int l = 0; l < batch.lanes(); ++l)
+            bytes.push_back(batch.lane(l).saveCheckpoint());
+        util::simd::setActiveLevelForTest(ambient);
+        return bytes;
+    };
+    for (int shards : {1, 2}) {
+        for (int lanes : {1, 4, 5}) {
+            EXPECT_EQ(runAt(util::simd::Level::Off, lanes, shards),
+                      runAt(ambient, lanes, shards))
+                << lanes << " lane(s) at " << shards << " shard(s)";
         }
     }
 }
